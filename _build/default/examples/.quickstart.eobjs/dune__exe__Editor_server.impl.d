@@ -1,0 +1,1 @@
+examples/editor_server.ml: Hemlock_cc Hemlock_linker Hemlock_obj Hemlock_os Hemlock_sfs List Printf

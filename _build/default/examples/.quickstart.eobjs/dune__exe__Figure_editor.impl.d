@@ -1,0 +1,1 @@
+examples/figure_editor.ml: Hemlock_apps Hemlock_linker Hemlock_os Hemlock_sfs Hemlock_util List Printf

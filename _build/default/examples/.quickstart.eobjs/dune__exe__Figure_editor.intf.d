@@ -1,0 +1,1 @@
+examples/figure_editor.mli:

@@ -1,0 +1,1 @@
+examples/lynx_tables.ml: Hemlock_apps Hemlock_linker Hemlock_os Hemlock_util Printf

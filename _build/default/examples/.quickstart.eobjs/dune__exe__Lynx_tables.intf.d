@@ -1,0 +1,1 @@
+examples/lynx_tables.mli:

@@ -1,0 +1,1 @@
+examples/parallel_sum.ml: Hemlock_apps Hemlock_linker Hemlock_os Hemlock_runtime List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Hemlock_cc Hemlock_linker Hemlock_obj Hemlock_os Hemlock_sfs Hemlock_vm List Printf

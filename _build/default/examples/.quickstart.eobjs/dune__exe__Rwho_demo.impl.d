@@ -1,0 +1,1 @@
+examples/rwho_demo.ml: Hemlock_apps Hemlock_util Printf String

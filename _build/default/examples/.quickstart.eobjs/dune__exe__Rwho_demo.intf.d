@@ -1,0 +1,1 @@
+examples/rwho_demo.mli:

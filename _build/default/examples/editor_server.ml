@@ -1,0 +1,138 @@
+(* The paper's §3 vision: "rewriting the emacs editor with a functional
+   interface to which every process with a text window can be linked.
+   With lazy linking, we would not bother to bring the editor's more
+   esoteric features into a particular process's address space unless
+   and until they were needed."
+
+   Here the "editor" is a suite of public modules: a core buffer module
+   plus five feature modules, every one of them on the program's
+   reachability graph.  The client uses two.  The rest are mapped
+   (inaccessibly) but never linked.
+
+   Run with:  dune exec examples/editor_server.exe *)
+
+module Kernel = Hemlock_os.Kernel
+module Fs = Hemlock_sfs.Fs
+module Path = Hemlock_sfs.Path
+module Cc = Hemlock_cc.Cc
+module Lds = Hemlock_linker.Lds
+module Ldl = Hemlock_linker.Ldl
+module Search = Hemlock_linker.Search
+module Sharing = Hemlock_linker.Sharing
+module Modinst = Hemlock_linker.Modinst
+module Objfile = Hemlock_obj.Objfile
+
+let core_src = {|
+char buffer[1024];
+int buf_len;
+
+int ed_insert(int ch) {
+  buffer[buf_len] = ch;
+  buf_len = buf_len + 1;
+  return buf_len;
+}
+
+int ed_char_at(int i) { return buffer[i]; }
+int ed_length() { return buf_len; }
+|}
+
+(* Each feature exports one entry point; some depend on others. *)
+let features =
+  [
+    ( "ed_search",
+      {|
+extern int ed_char_at(int i);
+extern int ed_length();
+int ed_count(int ch) {
+  int i; int n;
+  i = 0; n = 0;
+  while (i < ed_length()) {
+    if (ed_char_at(i) == ch) { n = n + 1; }
+    i = i + 1;
+  }
+  return n;
+}|} );
+    ("ed_spell", {|
+extern int ed_count(int ch);
+int ed_spellcheck() { return ed_count('z') * 100; }|});
+    ("ed_calc", {|
+int ed_evaluate(int x) { return x * x + 1; }|});
+    ("ed_mail", {|
+extern int ed_spellcheck();
+int ed_send_mail() { return ed_spellcheck() + 1; }|});
+    ("ed_art", {|
+int ed_draw_banner() { return 9999; }|});
+  ]
+
+let client_src = {|
+extern int ed_insert(int ch);
+extern int ed_length();
+extern int ed_count(int ch);
+
+int main() {
+  ed_insert('h'); ed_insert('e'); ed_insert('l'); ed_insert('l'); ed_insert('o');
+  print_str("buffer holds ");
+  print_int(ed_length());
+  print_str(" chars, ");
+  print_int(ed_count('l'));
+  print_str(" of them 'l'\n");
+  return 0;
+}
+|}
+
+let () =
+  let k = Kernel.create () in
+  let ldl = Ldl.install k in
+  let fs = Kernel.fs k in
+  Fs.mkdir fs "/shared/editor";
+  let install name src =
+    Fs.write_file fs
+      (Printf.sprintf "/shared/editor/%s.o" name)
+      (Objfile.serialize (Cc.to_object ~name:(name ^ ".o") src))
+  in
+  install "ed_core" core_src;
+  List.iter (fun (name, src) -> install name src) features;
+  (* Feature modules resolve the core through their own scope. *)
+  let ctx = { Search.fs; cwd = Path.root; env = [] } in
+  List.iter
+    (fun (name, deps) ->
+      Lds.embed_metadata ctx
+        ~template:(Printf.sprintf "/shared/editor/%s.o" name)
+        ~modules:deps ~search_path:[ "/shared/editor" ])
+    [
+      ("ed_search", [ "ed_core.o" ]);
+      ("ed_spell", [ "ed_search.o" ]);
+      ("ed_mail", [ "ed_spell.o" ]);
+    ];
+  Fs.mkdir fs "/home/client";
+  Fs.write_file fs "/home/client/main.o"
+    (Objfile.serialize (Cc.to_object ~name:"main.o" client_src));
+  ignore
+    (Lds.link
+       { Search.fs; cwd = Path.of_string ~cwd:Path.root "/home/client"; env = [] }
+       ~specs:
+         ({ Lds.sp_name = "main.o"; sp_class = Sharing.Static_private }
+         :: List.map
+              (fun (name, _) ->
+                { Lds.sp_name = Printf.sprintf "/shared/editor/%s.o" name;
+                  sp_class = Sharing.Dynamic_public })
+              (("ed_core", "") :: features))
+       ~output:"edit" ());
+  let proc = Kernel.spawn_exec k "/home/client/edit" in
+  Kernel.run k;
+  print_string (Kernel.console k);
+  Printf.printf "\nThe client's reachability graph names all %d editor modules:\n"
+    (1 + List.length features);
+  List.iter
+    (fun inst ->
+      Printf.printf "  %-28s mapped at 0x%08x, %s\n" inst.Modinst.inst_key
+        inst.Modinst.inst_base
+        (if inst.Modinst.inst_obj.Objfile.relocs = [] then "self-contained"
+         else if inst.Modinst.inst_linked then "LINKED on first use"
+         else "never linked"))
+    (Ldl.instances ldl proc);
+  Printf.printf
+    "\nOnly the modules that actually ran were linked on first touch; spell\n\
+     and mail stayed as inaccessible mappings (calc and ascii-art are\n\
+     self-contained, so creation already finished them) - lazy linking\n\
+     carries the whole feature graph at the cost of only what runs.\n"

@@ -1,0 +1,59 @@
+(* The xfig workload (paper sections 4 and 5): a figure kept as a
+   pointer-linked structure in a shared segment, edited in place, with
+   the position-dependence caveat demonstrated at the end.
+
+   Run with:  dune exec examples/figure_editor.exe *)
+
+module Kernel = Hemlock_os.Kernel
+module Ldl = Hemlock_linker.Ldl
+module Xfig = Hemlock_apps.Xfig
+module Prng = Hemlock_util.Prng
+
+let () =
+  let k = Kernel.create () in
+  let ldl = Ldl.install k in
+  let done_ = ref false in
+  ignore
+    (Kernel.spawn_native k ~name:"xfig" (fun k proc ->
+         Ldl.attach ldl proc;
+         (* Session 1: draw a few objects.  No save step exists: the
+            figure lives in /shared/figs/demo, which is both a file and
+            the editor's live data structure. *)
+         let rng = Prng.create ~seed:11 in
+         Kernel.fs k |> fun fs ->
+         if not (Hemlock_sfs.Fs.exists fs "/shared/figs") then
+           Hemlock_sfs.Fs.mkdir fs "/shared/figs";
+         let fig = Xfig.Shared_fig.create k proc ~path:"/shared/figs/demo" in
+         List.iter (Xfig.Shared_fig.add k proc ~fig) (Xfig.gen_figure rng ~n:3);
+         Printf.printf "session 1 drew %d objects\n" (Xfig.Shared_fig.count k proc ~fig);
+         0));
+  Kernel.run k;
+  ignore
+    (Kernel.spawn_native k ~name:"xfig2" (fun k proc ->
+         Ldl.attach ldl proc;
+         (* Session 2 (a different process): the figure is just there. *)
+         let fig = Xfig.Shared_fig.attach k proc ~path:"/shared/figs/demo" in
+         Printf.printf "session 2 opened the same figure: %d objects, no load/parse step\n"
+           (Xfig.Shared_fig.count k proc ~fig);
+         Xfig.Shared_fig.duplicate k proc ~fig ~dx:25 ~dy:25;
+         Printf.printf "session 2 duplicated everything: now %d objects\n"
+           (Xfig.Shared_fig.count k proc ~fig);
+         List.iter
+           (fun o ->
+             Printf.printf "  kind=%d at (%d,%d) %dx%d\n" o.Xfig.o_kind o.Xfig.o_x o.Xfig.o_y
+               o.Xfig.o_w o.Xfig.o_h)
+           (Xfig.Shared_fig.objects k proc ~fig);
+         (* The caveat (section 5, "Position-Dependent Files"): cp of the
+            raw bytes breaks the internal pointers. *)
+         let broken =
+           Xfig.naive_copy_is_broken k proc ~src:"/shared/figs/demo" ~dst:"/shared/figs/copy"
+         in
+         Printf.printf
+           "\nnaive `cp demo copy` of the figure file: pointers broken? %b\n\
+            (figures 'can safely be copied only by xfig itself' - the price of\n\
+            absolute internal pointers)\n"
+           broken;
+         done_ := true;
+         0));
+  Kernel.run k;
+  assert !done_

@@ -1,0 +1,36 @@
+(* The Lynx-compiler tables workload (paper section 4, "Programs with
+   Non-Linear Data Structures"): scanner/parser generators sharing their
+   tables with the compiler through a persistent public module.
+
+   Run with:  dune exec examples/lynx_tables.exe *)
+
+module Kernel = Hemlock_os.Kernel
+module Ldl = Hemlock_linker.Ldl
+module Symtab = Hemlock_apps.Symtab
+module Stats = Hemlock_util.Stats
+
+let () =
+  let k = Kernel.create () in
+  let ldl = Ldl.install k in
+  ignore k;
+  let entries = 600 in
+  Printf.printf "tables of %d entries, three ways of getting them to the compiler:\n\n" entries;
+  let show name f =
+    Stats.reset ();
+    let outcome, d = Stats.measure f in
+    Printf.printf "  %-34s checksum=%d  ~cycles=%-6d generated-lines=%d\n" name
+      outcome.Symtab.oc_checksum (Stats.cycles d) outcome.Symtab.oc_generated_lines
+  in
+  show "1. generate source + recompile" (fun () ->
+      Symtab.run_generated_source ldl ~entries ~app_id:"demo");
+  show "2. linearise to a file + reparse" (fun () ->
+      Symtab.run_linearized ldl ~entries ~app_id:"demo");
+  show "3. hemlock, first run (init tables)" (fun () ->
+      Symtab.run_hemlock ldl ~entries ~app_id:"demo" ~first_run:true);
+  show "3. hemlock, every later run" (fun () ->
+      Symtab.run_hemlock ldl ~entries ~app_id:"demo" ~first_run:false);
+  Printf.printf
+    "\nAll three agree.  In the paper the generated 'C version of the tables\n\
+     is over 5400 lines, and takes 18 seconds to compile'; with a persistent\n\
+     module the utilities initialise the tables once and the compiler simply\n\
+     links them in - eliminating 20-25%% of the utility code.\n"

@@ -1,0 +1,97 @@
+(* Quickstart: transparent sharing of a variable between two programs.
+
+   A "counter" module is written in Hem-C, compiled to a template on the
+   shared partition, and linked into two different programs as a dynamic
+   public module.  Neither program contains a single shared-memory
+   set-up call: the counter is an ordinary extern, and the only
+   Hemlock-specific thing anywhere is one linker argument.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Kernel = Hemlock_os.Kernel
+module Fs = Hemlock_sfs.Fs
+module Path = Hemlock_sfs.Path
+module Cc = Hemlock_cc.Cc
+module Lds = Hemlock_linker.Lds
+module Ldl = Hemlock_linker.Ldl
+module Search = Hemlock_linker.Search
+module Sharing = Hemlock_linker.Sharing
+module Objfile = Hemlock_obj.Objfile
+
+(* The shared module: one variable, one function.  Nothing here knows it
+   will be shared. *)
+let counter_source = {|
+int counter;
+
+int bump() {
+  counter = counter + 1;
+  return counter;
+}
+|}
+
+(* A client program: `bump` and `counter` are plain externs. *)
+let program_source name =
+  Printf.sprintf
+    {|
+extern int counter;
+extern int bump();
+
+int main() {
+  print_str("%s: counter was ");
+  print_int(counter);
+  print_str(", bumped to ");
+  print_int(bump());
+  print_str("\n");
+  return 0;
+}
+|}
+    name
+
+let () =
+  (* Boot a simulated machine with the Hemlock linkers installed. *)
+  let k = Kernel.create () in
+  let _ldl = Ldl.install k in
+  let fs = Kernel.fs k in
+
+  (* "Compile" the shared template onto the shared partition, and the two
+     programs' private sources into home directories. *)
+  Fs.mkdir fs "/shared/lib";
+  Fs.write_file fs "/shared/lib/counter.o"
+    (Objfile.serialize (Cc.to_object ~name:"counter.o" counter_source));
+  List.iter
+    (fun name ->
+      let home = "/home/" ^ name in
+      Fs.mkdir fs home;
+      Fs.write_file fs (home ^ "/main.o")
+        (Objfile.serialize (Cc.to_object ~name:"main.o" (program_source name)));
+      (* The Hemlock part: one extra linker argument tags the module's
+         sharing class. *)
+      let ctx = { Search.fs; cwd = Path.of_string ~cwd:Path.root home; env = [] } in
+      ignore
+        (Lds.link ctx
+           ~specs:
+             [
+               { Lds.sp_name = "main.o"; sp_class = Sharing.Static_private };
+               { Lds.sp_name = "/shared/lib/counter.o"; sp_class = Sharing.Dynamic_public };
+             ]
+           ~output:"prog" ()))
+    [ "alpha"; "beta" ];
+
+  (* Run alpha twice and beta once; they all see the same counter. *)
+  ignore (Kernel.spawn_exec k "/home/alpha/prog");
+  Kernel.run k;
+  ignore (Kernel.spawn_exec k "/home/beta/prog");
+  Kernel.run k;
+  ignore (Kernel.spawn_exec k "/home/alpha/prog");
+  Kernel.run k;
+  print_string (Kernel.console k);
+
+  Printf.printf "\nThe shared file system now contains:\n";
+  List.iter
+    (fun (slot, path) -> Printf.printf "  slot %4d at 0x%08x: %s\n" slot
+        (Hemlock_vm.Layout.addr_of_slot slot) path)
+    (Fs.shared_table fs);
+  Printf.printf
+    "\n'counter' was created by the dynamic linker the first time a program\n\
+     touched it, lives at a globally unique address, and persists until\n\
+     explicitly deleted - like a file, because it is one.\n"

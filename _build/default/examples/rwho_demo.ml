@@ -1,0 +1,31 @@
+(* The rwho workload (paper section 4, "Administrative Files"): rwhod
+   keeping its database in shared memory instead of spool files.
+
+   Run with:  dune exec examples/rwho_demo.exe *)
+
+module Stats = Hemlock_util.Stats
+module Rwho = Hemlock_apps.Rwho
+
+let () =
+  let n_hosts = 16 in
+  Printf.printf "Simulating %d machines broadcasting status updates...\n\n" n_hosts;
+  let (rwho_files, ruptime_files), (_, d_rwho_files, _) =
+    Rwho.run_simulation ~style:Rwho.File_spool ~n_hosts ~rounds:2 ~max_users:3
+  in
+  let (rwho_shm, ruptime_shm), (_, d_rwho_shm, _) =
+    Rwho.run_simulation ~style:Rwho.Shared_db ~n_hosts ~rounds:2 ~max_users:3
+  in
+  Printf.printf "$ ruptime        (shared-database version)\n%s\n" ruptime_shm;
+  Printf.printf "$ rwho\n%s\n" rwho_shm;
+  assert (String.equal rwho_files rwho_shm);
+  assert (String.equal ruptime_files ruptime_shm);
+  Printf.printf "The file-based utilities print byte-identical reports, but pay for it:\n\n";
+  Printf.printf "  one rwho call, spool files:      %6d ~cycles  (%d files opened, %d bytes parsed)\n"
+    (Stats.cycles d_rwho_files) d_rwho_files.Stats.files_opened d_rwho_files.Stats.bytes_copied;
+  Printf.printf "  one rwho call, shared database:  %6d ~cycles  (%d files opened, %d bytes copied)\n"
+    (Stats.cycles d_rwho_shm) d_rwho_shm.Stats.files_opened d_rwho_shm.Stats.bytes_copied;
+  Printf.printf
+    "\nThe shared version walks the daemon's live data structure directly -\n\
+     no files, no parsing - the re-implementation the paper measured as\n\
+     'both simpler and faster', saving about a second per call on their\n\
+     65-machine network.\n"

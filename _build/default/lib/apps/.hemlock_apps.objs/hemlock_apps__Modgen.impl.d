@@ -1,0 +1,1 @@
+lib/apps/modgen.ml: Filename Fun Hemlock_baseline Hemlock_cc Hemlock_isa Hemlock_linker Hemlock_obj Hemlock_os Hemlock_sfs List Printf String

@@ -1,0 +1,1 @@
+lib/apps/modgen.mli: Hemlock_baseline Hemlock_linker Hemlock_os

@@ -1,0 +1,1 @@
+lib/apps/presto.ml: Hemlock_cc Hemlock_isa Hemlock_linker Hemlock_obj Hemlock_os Hemlock_sfs Hemlock_util Hemlock_vm List Printf String

@@ -1,0 +1,1 @@
+lib/apps/presto.mli: Hemlock_linker Hemlock_os

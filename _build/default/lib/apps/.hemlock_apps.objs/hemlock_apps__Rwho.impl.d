@@ -1,0 +1,1 @@
+lib/apps/rwho.ml: Bytes Char Hemlock_baseline Hemlock_os Hemlock_runtime Hemlock_sfs Hemlock_util Hemlock_vm List Printf String

@@ -1,0 +1,1 @@
+lib/apps/rwho.mli: Bytes Hemlock_os Hemlock_util

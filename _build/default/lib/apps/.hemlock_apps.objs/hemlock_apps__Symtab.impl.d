@@ -1,0 +1,1 @@
+lib/apps/symtab.ml: Array Buffer Bytes Filename Hemlock_baseline Hemlock_cc Hemlock_isa Hemlock_linker Hemlock_obj Hemlock_os Hemlock_sfs Hemlock_util Hemlock_vm List Option Printf

@@ -1,0 +1,1 @@
+lib/apps/symtab.mli: Hemlock_linker Hemlock_os

@@ -1,0 +1,1 @@
+lib/apps/xfig.ml: Bytes Hemlock_baseline Hemlock_os Hemlock_runtime Hemlock_sfs Hemlock_util Hemlock_vm List

@@ -1,0 +1,1 @@
+lib/apps/xfig.mli: Hemlock_os Hemlock_util

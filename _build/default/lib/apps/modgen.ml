@@ -1,0 +1,147 @@
+module Kernel = Hemlock_os.Kernel
+module Proc = Hemlock_os.Proc
+module Fs = Hemlock_sfs.Fs
+module Path = Hemlock_sfs.Path
+module Objfile = Hemlock_obj.Objfile
+module Cc = Hemlock_cc.Cc
+module Lds = Hemlock_linker.Lds
+module Ldl = Hemlock_linker.Ldl
+module Search = Hemlock_linker.Search
+module Sharing = Hemlock_linker.Sharing
+module Modinst = Hemlock_linker.Modinst
+module Plt = Hemlock_baseline.Plt
+
+let datum i = 100 + i
+
+let expected ~modules ~used =
+  let rec f i x =
+    if i >= modules then invalid_arg "Modgen.expected: chain too short"
+    else if x < 1 then datum i
+    else f (i + 1) (x - 1) + datum i + datum (i + 1)
+  in
+  f 0 used
+
+let module_source ~modules i =
+  if i = modules - 1 then
+    Printf.sprintf {|
+int d%d = %d;
+int f%d(int x) {
+  return d%d;
+}
+|} i (datum i) i i
+  else
+    Printf.sprintf
+      {|
+extern int f%d(int x);
+extern int d%d;
+int d%d = %d;
+int f%d(int x) {
+  if (x < 1) { return d%d; }
+  return f%d(x - 1) + d%d + d%d;
+}
+|}
+      (i + 1) (i + 1) i (datum i) i i (i + 1) i (i + 1)
+
+let install ldl ~dir ~modules =
+  let k = Ldl.kernel ldl in
+  let fs = Kernel.fs k in
+  let ctx = { Search.fs; cwd = Path.root; env = [] } in
+  List.init modules (fun i ->
+      let template = Printf.sprintf "%s/mod%d.o" dir i in
+      let obj = Cc.to_object ~name:(Filename.basename template) (module_source ~modules i) in
+      Fs.write_file fs template (Objfile.serialize obj);
+      (* Embed the successor in the module's own list: the reachability
+         graph the paper describes, one edge per module. *)
+      let own = if i = modules - 1 then [] else [ Printf.sprintf "mod%d.o" (i + 1) ] in
+      Lds.embed_metadata ctx ~template ~modules:own ~search_path:[ dir ];
+      template)
+
+let driver_source ~used =
+  Printf.sprintf {|
+extern int f0(int x);
+int main() {
+  print_int(f0(%d));
+  return 0;
+}
+|} used
+
+let link_driver ldl ~dir ~out ~used =
+  let k = Ldl.kernel ldl in
+  let fs = Kernel.fs k in
+  let home = Filename.dirname out in
+  if not (Fs.exists fs home) then Fs.mkdir fs home;
+  Fs.write_file fs (home ^ "/main.o")
+    (Objfile.serialize (Cc.to_object ~name:"main.o" (driver_source ~used)));
+  let cls =
+    if String.length dir >= 7 && String.sub dir 0 7 = "/shared" then Sharing.Dynamic_public
+    else Sharing.Dynamic_private
+  in
+  let ctx = { Search.fs; cwd = Path.of_string ~cwd:Path.root home; env = [] } in
+  ignore
+    (Lds.link ctx ~cli_dirs:[ dir ]
+       ~specs:
+         [
+           { Lds.sp_name = "main.o"; sp_class = Sharing.Static_private };
+           { Lds.sp_name = "mod0.o"; sp_class = cls };
+         ]
+       ~output:out ())
+
+let run_driver ldl ~prog =
+  let k = Ldl.kernel ldl in
+  Kernel.console_clear k;
+  let proc = Kernel.spawn_exec k ~name:prog prog in
+  Kernel.run k;
+  let result =
+    match int_of_string_opt (String.trim (Kernel.console k)) with
+    | Some v -> v
+    | None -> failwith ("driver output not an integer: " ^ Kernel.console k)
+  in
+  let instances = Ldl.instances ldl proc in
+  let linked = List.length (List.filter (fun i -> i.Modinst.inst_linked) instances) in
+  (result, linked, List.length instances)
+
+let run_lazy ldl ~prog = run_driver ldl ~prog
+
+let run_eager ldl ~prog =
+  Ldl.set_bind_now ldl true;
+  Fun.protect ~finally:(fun () -> Ldl.set_bind_now ldl false) (fun () -> run_driver ldl ~prog)
+
+let boot_source =
+  String.concat "\n"
+    [
+      "        .text";
+      "        .globl _pltstart";
+      "_pltstart:";
+      "        jal  main";
+      "        move $a0, $v0";
+      "        li   $v0, " ^ string_of_int Hemlock_os.Sysno.exit;
+      "        syscall";
+      "";
+    ]
+
+let run_plt plt ~templates ~used =
+  let k = Plt.kernel plt in
+  let fs = Kernel.fs k in
+  if not (Fs.exists fs "/home/plt") then Fs.mkdir fs "/home/plt";
+  let driver = "/home/plt/driver.o" in
+  Fs.write_file fs driver
+    (Objfile.serialize (Cc.to_object ~name:"driver.o" (driver_source ~used)));
+  let boot = "/home/plt/boot.o" in
+  Fs.write_file fs boot
+    (Objfile.serialize (Hemlock_isa.Asm.assemble ~name:"boot.o" boot_source));
+  Kernel.console_clear k;
+  let proc = Kernel.spawn_blank k ~name:"plt-driver" () in
+  Plt.load plt proc ~located:((boot :: driver :: templates));
+  let entry =
+    match Plt.dlsym plt proc "_pltstart" with
+    | Some a -> a
+    | None -> failwith "no _pltstart"
+  in
+  Kernel.set_isa_entry k proc ~entry;
+  Kernel.run k;
+  let result =
+    match int_of_string_opt (String.trim (Kernel.console k)) with
+    | Some v -> v
+    | None -> failwith ("plt driver output not an integer: " ^ Kernel.console k)
+  in
+  (result, Plt.bound plt proc, Plt.stubs plt proc)

@@ -1,0 +1,55 @@
+(** The Presto port workload (§4 "Parallel Applications").
+
+    A parallel application whose worker processes share variables.  Two
+    ways to get the sharing:
+
+    - {b Hemlock}: the shared variables live in a separate source file
+      compiled to a template; children link it as a {e dynamic public}
+      module.  The parent creates a temporary directory on the shared
+      partition, drops a symlink to the template there, and prepends the
+      directory to LD_LIBRARY_PATH; the first child to run ldl creates
+      and initialises the shared data under a file lock, the rest link
+      it.  The parent never links the module; it cleans everything up
+      afterwards.
+
+    - {b Post-processor} (what the authors did before Hemlock, 432
+      lines of lex): compile the workers with the shared variables as
+      ordinary globals, then rewrite the generated assembly, replacing
+      every reference to a shared variable with its address in a
+      pre-agreed shared segment that the parent maps into each child.
+
+    Both runs produce the same results array; the post-processor path
+    additionally reports how much assembly it had to grovel over. *)
+
+module Kernel = Hemlock_os.Kernel
+module Ldl = Hemlock_linker.Ldl
+
+(** Worker-count capacity of the shared results array. *)
+val max_workers : int
+
+(** Hem-C source of the shared-data module. *)
+val shared_data_source : string
+
+(** Hem-C source of the worker program. *)
+val child_source : work_iters:int -> string
+
+(** What the results array must contain after a run with [workers]
+    workers (each worker's deterministic work product, indexed by the
+    order in which workers grabbed the lock). *)
+val expected_results : workers:int -> work_iters:int -> int list
+
+(** [postprocess ~shared asm] rewrites assembly, binding each shared
+    variable name to its fixed address.  Returns the new text and the
+    number of references rewritten. *)
+val postprocess : shared:(string * int) list -> string -> string * int
+
+(** [run_hemlock ldl ~workers ~work_iters ~app_id] runs the full
+    Hemlock protocol on the linker service's kernel and returns the
+    results array (first [workers] entries). *)
+val run_hemlock : Ldl.t -> workers:int -> work_iters:int -> app_id:string -> int list
+
+(** [run_postprocessed ldl ...] runs the baseline.  Also returns the
+    number of assembly lines scanned and references rewritten, the
+    tooling cost the paper complains about. *)
+val run_postprocessed :
+  Ldl.t -> workers:int -> work_iters:int -> app_id:string -> int list * (int * int)

@@ -1,0 +1,92 @@
+(** The rwhod / rwho workload (§4 "Administrative Files").
+
+    rwhod receives status broadcasts from its peers.  The original
+    implementation rewrote one spool file per remote machine on every
+    update, and rwho / ruptime re-read and re-parsed all of them on
+    every invocation.  The Hemlock re-implementation keeps the database
+    as a pointer-linked structure in a shared segment: the daemon
+    updates records in place and the utilities walk the structure
+    directly.
+
+    Both implementations produce byte-identical reports, so tests can
+    check them against each other. *)
+
+module Kernel = Hemlock_os.Kernel
+module Proc = Hemlock_os.Proc
+
+type user = { u_name : string; u_tty : string; u_idle : int }
+
+type status = {
+  st_host : string;
+  st_load1 : int;  (** load average x100 *)
+  st_load5 : int;
+  st_load15 : int;
+  st_uptime : int;  (** seconds *)
+  st_users : user list;
+}
+
+(** Deterministic status generator. *)
+val gen_status : Hemlock_util.Prng.t -> host:string -> max_users:int -> status
+
+(** Host name list "host00".."hostNN". *)
+val hosts : int -> string list
+
+(** Network packet encoding (common to both daemons — the wire format
+    is not what the paper compares). *)
+val encode_packet : status -> Bytes.t
+
+val decode_packet : Bytes.t -> status
+
+(** {1 File-based implementation} *)
+
+module Files : sig
+  (** Spool directory used: [/tmp/rwho]. *)
+  val setup : Kernel.t -> unit
+
+  (** Store one update: linearise and rewrite the host's spool file. *)
+  val store : Kernel.t -> Proc.t -> status -> unit
+
+  (** rwho: all logged-in users across hosts, sorted by name. *)
+  val rwho : Kernel.t -> Proc.t -> string
+
+  (** ruptime: one line per host, sorted. *)
+  val ruptime : Kernel.t -> Proc.t -> string
+end
+
+(** {1 Shared-memory implementation} *)
+
+module Shm : sig
+  (** Database segment: [/shared/rwho/db]. *)
+  val setup : Kernel.t -> Proc.t -> unit
+
+  (** Update the host's record in place (allocating it on first sight). *)
+  val store : Kernel.t -> Proc.t -> status -> unit
+
+  val rwho : Kernel.t -> Proc.t -> string
+  val ruptime : Kernel.t -> Proc.t -> string
+end
+
+type style = File_spool | Shared_db
+
+(** [run_simulation ~style ~n_hosts ~rounds ~max_users] boots a machine,
+    runs a daemon consuming [rounds] full sweeps of broadcast updates,
+    then one rwho and one ruptime call.  Returns the reports plus the
+    counter deltas of (daemon update phase, rwho call, ruptime call). *)
+val run_simulation :
+  style:style ->
+  n_hosts:int ->
+  rounds:int ->
+  max_users:int ->
+  (string * string) * (Hemlock_util.Stats.t * Hemlock_util.Stats.t * Hemlock_util.Stats.t)
+
+(** [run_cluster ~style ~machines ~rounds ~max_users] is the paper's
+    actual deployment shape: one kernel per machine ({!Hemlock_os.Cluster}),
+    an rwhod on each receiving its peers' broadcasts and maintaining its
+    own local database, and the rwho/ruptime utilities run on machine 0.
+    Returns machine 0's reports and the rwho-call counter delta. *)
+val run_cluster :
+  style:style ->
+  machines:int ->
+  rounds:int ->
+  max_users:int ->
+  (string * string) * Hemlock_util.Stats.t

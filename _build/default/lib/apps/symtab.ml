@@ -1,0 +1,159 @@
+module Kernel = Hemlock_os.Kernel
+module Proc = Hemlock_os.Proc
+module Fs = Hemlock_sfs.Fs
+module Path = Hemlock_sfs.Path
+module Prot = Hemlock_vm.Prot
+module Prng = Hemlock_util.Prng
+module Objfile = Hemlock_obj.Objfile
+module Serializer = Hemlock_baseline.Serializer
+module Ldl = Hemlock_linker.Ldl
+module Search = Hemlock_linker.Search
+module Modinst = Hemlock_linker.Modinst
+
+let gen_tables ~seed ~entries =
+  let rng = Prng.create ~seed in
+  let scan = Array.init entries (fun _ -> Prng.int rng 10_000) in
+  let parse = Array.init entries (fun _ -> Prng.int rng 10_000) in
+  (scan, parse)
+
+let checksum (scan, parse) =
+  Array.fold_left ( + ) 0 (Array.mapi (fun i v -> (2 * v) + parse.(i)) scan)
+
+type outcome = { oc_checksum : int; oc_generated_lines : int }
+
+let root_ctx fs = { Search.fs; cwd = Path.root; env = [] }
+
+let ensure_dir fs path = if not (Fs.exists fs path) then Fs.mkdir fs path
+
+let dummy_scope =
+  { Modinst.sc_label = "lynx"; sc_modules = []; sc_search = []; sc_parent = None }
+
+(* Map a tables module and sum through its exported arrays in place. *)
+let consume_module k proc ~module_path ~entries =
+  let fs = Kernel.fs k in
+  let inst = Modinst.public_instance (root_ctx fs) ~module_path ~scope:dummy_scope in
+  ignore (Kernel.map_shared_file k proc ~path:module_path ~prot:Prot.Read_only);
+  let addr name =
+    match Modinst.find_export inst name with
+    | Some a -> a
+    | None -> failwith ("tables module lacks " ^ name)
+  in
+  let scan = addr "scan_tab" and parse = addr "parse_tab" in
+  let sum = ref 0 in
+  for i = 0 to entries - 1 do
+    sum :=
+      !sum
+      + (2 * Kernel.load_u32 k proc (scan + (4 * i)))
+      + Kernel.load_u32 k proc (parse + (4 * i))
+  done;
+  !sum
+
+let in_proc ldl name f =
+  let k = Ldl.kernel ldl in
+  let result = ref None in
+  ignore
+    (Kernel.spawn_native k ~name (fun k proc ->
+         result := Some (f k proc);
+         0));
+  Kernel.run k;
+  match !result with
+  | Some v -> v
+  | None -> failwith (name ^ " did not complete")
+
+(* ----- generated source: emit, assemble, re-create the module ----- *)
+
+let emit_source (scan, parse) =
+  let buf = Buffer.create (16 * Array.length scan) in
+  let lines = ref 0 in
+  let add fmt = Printf.ksprintf (fun s -> incr lines; Buffer.add_string buf (s ^ "\n")) fmt in
+  add "        .data";
+  add "        .globl scan_tab";
+  add "scan_tab:";
+  Array.iter (fun v -> add "        .word %d" v) scan;
+  add "        .globl parse_tab";
+  add "parse_tab:";
+  Array.iter (fun v -> add "        .word %d" v) parse;
+  add "        .globl tab_len";
+  add "tab_len:";
+  add "        .word %d" (Array.length scan);
+  (Buffer.contents buf, !lines)
+
+let run_generated_source ldl ~entries ~app_id =
+  let k = Ldl.kernel ldl in
+  let fs = Kernel.fs k in
+  ensure_dir fs "/shared/lynx";
+  let tables = gen_tables ~seed:7 ~entries in
+  (* The generators' output: one source line per table entry. *)
+  let source, lines = emit_source tables in
+  let template = Printf.sprintf "/shared/lynx/gen_%s.o" app_id in
+  let module_path = Filename.chop_suffix template ".o" in
+  let obj = Hemlock_isa.Asm.assemble ~name:(Filename.basename template) source in
+  Fs.write_file fs template (Objfile.serialize obj);
+  (* "Recompile": recreate the module from the fresh template. *)
+  if Fs.exists fs module_path then Fs.unlink fs module_path;
+  ignore (Modinst.create_public_file (root_ctx fs) ~template_path:template ~obj ~module_path);
+  let sum = in_proc ldl "lynx-compiler" (fun k proc -> consume_module k proc ~module_path ~entries) in
+  { oc_checksum = sum; oc_generated_lines = lines }
+
+(* ----- linearised file between passes ----- *)
+
+let run_linearized ldl ~entries ~app_id =
+  let tables = gen_tables ~seed:7 ~entries in
+  let path = "/tmp/lynx_" ^ app_id ^ ".tables" in
+  let scan, parse = tables in
+  let to_value arr = Serializer.List (Array.to_list (Array.map (fun v -> Serializer.Int v) arr)) in
+  (* Pass 1: linearise and write. *)
+  in_proc ldl "lynx-pass1" (fun k proc ->
+      let ascii = Serializer.to_ascii (Serializer.List [ to_value scan; to_value parse ]) in
+      let fd = Kernel.sys_open k proc ~create:true ~trunc:true path in
+      ignore (Kernel.sys_write k proc fd (Bytes.of_string ascii));
+      Kernel.sys_close k proc fd);
+  (* Pass 2: read, parse, rebuild in memory, use. *)
+  let sum =
+    in_proc ldl "lynx-pass2" (fun k proc ->
+        let fd = Kernel.sys_open k proc path in
+        let bytes = Kernel.sys_read k proc fd 0x100000 in
+        Kernel.sys_close k proc fd;
+        match Serializer.of_ascii (Bytes.to_string bytes) with
+        | Serializer.List [ Serializer.List s; Serializer.List p ] ->
+          let arr = function Serializer.Int v -> v | _ -> failwith "bad table" in
+          let scan = Array.of_list (List.map arr s) in
+          let parse = Array.of_list (List.map arr p) in
+          checksum (scan, parse)
+        | _ -> failwith "bad tables file")
+  in
+  { oc_checksum = sum; oc_generated_lines = 0 }
+
+(* ----- Hemlock: persistent public module, initialised once ----- *)
+
+let tables_template_source ~entries =
+  Printf.sprintf {|
+int scan_tab[%d];
+int parse_tab[%d];
+int tab_len;
+|} entries entries
+
+let run_hemlock ldl ~entries ~app_id ~first_run =
+  let k = Ldl.kernel ldl in
+  let fs = Kernel.fs k in
+  ensure_dir fs "/shared/lynx";
+  let template = Printf.sprintf "/shared/lynx/tables_%s.o" app_id in
+  let module_path = Filename.chop_suffix template ".o" in
+  if first_run then begin
+    (* The utility programs initialise the persistent tables. *)
+    let obj = Hemlock_cc.Cc.to_object ~name:"tables.o" (tables_template_source ~entries) in
+    Fs.write_file fs template (Objfile.serialize obj);
+    if Fs.exists fs module_path then Fs.unlink fs module_path;
+    ignore (Modinst.create_public_file (root_ctx fs) ~template_path:template ~obj ~module_path);
+    in_proc ldl "lynx-util" (fun k proc ->
+        let inst = Modinst.public_instance (root_ctx fs) ~module_path ~scope:dummy_scope in
+        ignore (Kernel.map_shared_file k proc ~path:module_path ~prot:Prot.Read_write);
+        let addr name = Option.get (Modinst.find_export inst name) in
+        let scan, parse = gen_tables ~seed:7 ~entries in
+        Array.iteri (fun i v -> Kernel.store_u32 k proc (addr "scan_tab" + (4 * i)) v) scan;
+        Array.iteri (fun i v -> Kernel.store_u32 k proc (addr "parse_tab" + (4 * i)) v) parse;
+        Kernel.store_u32 k proc (addr "tab_len") entries)
+  end;
+  (* The compiler links the tables in and uses them, every rebuild. *)
+  let sum = in_proc ldl "lynx-compiler" (fun k proc -> consume_module k proc ~module_path ~entries) in
+  { oc_checksum = sum; oc_generated_lines = 0 }

@@ -1,0 +1,43 @@
+(** The Lynx-compiler tables workload (§4 "Programs with Non-Linear
+    Data Structures").
+
+    Scanner/parser generators produce numeric tables that a compiler
+    needs in a later pass.  Three ways to get them there:
+
+    - {b Generated source} (what Lynx did): utilities emit a source
+      module initialising the tables — the paper's "C version of the
+      tables is over 5400 lines and takes 18 seconds to compile" — which
+      is assembled and linked into the compiler on every rebuild.
+    - {b Linearised file}: the first pass serialises the tables; the
+      next pass parses them back (the multi-pass symbol-table shuffle).
+    - {b Hemlock}: the utilities initialise a {e persistent public
+      module} once; the compiler links it in and uses the tables in
+      place.  Rebuilds and reruns pay nothing.
+
+    All three produce the same checksum, printed by the consumer. *)
+
+module Kernel = Hemlock_os.Kernel
+module Ldl = Hemlock_linker.Ldl
+
+(** Deterministic table generator (models the scanner/parser
+    generators' output). *)
+val gen_tables : seed:int -> entries:int -> int array * int array
+
+(** Reference checksum the consumer must print. *)
+val checksum : int array * int array -> int
+
+type outcome = {
+  oc_checksum : int;
+  oc_generated_lines : int;  (** lines of generated source (0 when none) *)
+}
+
+(** One full build+use cycle per style.  [app_id] keeps file names
+    distinct across runs. *)
+
+val run_generated_source : Ldl.t -> entries:int -> app_id:string -> outcome
+
+val run_linearized : Ldl.t -> entries:int -> app_id:string -> outcome
+
+(** [first_run] initialises the persistent module; pass [false] to model
+    a rebuild/rerun that simply links the existing tables. *)
+val run_hemlock : Ldl.t -> entries:int -> app_id:string -> first_run:bool -> outcome

@@ -1,0 +1,66 @@
+(** The xfig workload (§4 "Programs with Non-Linear Data Structures" and
+    §5 "Position-Dependent Files").
+
+    A figure is a linked list of drawing objects.  The original xfig
+    translated the lists to and from a pointer-free ASCII file on every
+    save/load, and separately kept pointer-based routines to duplicate
+    objects inside a figure.  The Hemlock version keeps the figure in a
+    shared segment with a per-segment heap: save/load disappear, and the
+    pointer-based copy routines work on the (persistent) figure
+    directly.
+
+    The price (§5): a Hemlock figure is position-dependent — copying the
+    file's bytes to a different segment leaves its internal pointers
+    aimed at the old one.  {!naive_copy_is_broken} demonstrates it. *)
+
+module Kernel = Hemlock_os.Kernel
+module Proc = Hemlock_os.Proc
+
+type obj = { o_kind : int; o_x : int; o_y : int; o_w : int; o_h : int }
+
+val gen_figure : Hemlock_util.Prng.t -> n:int -> obj list
+
+(** {1 File-format implementation (the original xfig)} *)
+
+module File_format : sig
+  val save : Kernel.t -> Proc.t -> path:string -> obj list -> unit
+  val load : Kernel.t -> Proc.t -> path:string -> obj list
+end
+
+(** {1 Shared-segment implementation} *)
+
+module Shared_fig : sig
+  (** [create k proc ~path] formats a figure segment; returns its base. *)
+  val create : Kernel.t -> Proc.t -> path:string -> int
+
+  (** [attach k proc ~path] maps an existing figure; returns its base. *)
+  val attach : Kernel.t -> Proc.t -> path:string -> int
+
+  val add : Kernel.t -> Proc.t -> fig:int -> obj -> unit
+
+  (** Objects front (most recently added) to back. *)
+  val objects : Kernel.t -> Proc.t -> fig:int -> obj list
+
+  (** [duplicate k proc ~fig ~dx ~dy] copies every object, offset by
+      (dx, dy) — the pointer-based copy routine. *)
+  val duplicate : Kernel.t -> Proc.t -> fig:int -> dx:int -> dy:int -> unit
+
+  val count : Kernel.t -> Proc.t -> fig:int -> int
+end
+
+(** {1 Whole editing sessions (for the benches)} *)
+
+(** Baseline: load the .fig file, add [n_new] objects, duplicate all,
+    save.  Returns the final object count. *)
+val file_session :
+  Kernel.t -> Proc.t -> path:string -> n_new:int -> dup:bool -> int
+
+(** Hemlock: attach, add, duplicate; persistence is free. *)
+val shm_session :
+  Kernel.t -> Proc.t -> path:string -> n_new:int -> dup:bool -> int
+
+(** Copy a shared figure's raw bytes into a second shared file and
+    check whether the copy's object list survives; returns [true] when
+    the naive copy is broken (it always is, once the figure has at
+    least one node — its pointers still aim at the original slot). *)
+val naive_copy_is_broken : Kernel.t -> Proc.t -> src:string -> dst:string -> bool

@@ -1,0 +1,1 @@
+lib/baseline/channels.ml: Bytes Char Hemlock_os Hemlock_sfs Hemlock_util Hemlock_vm

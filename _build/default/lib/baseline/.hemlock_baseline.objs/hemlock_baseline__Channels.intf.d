@@ -1,0 +1,1 @@
+lib/baseline/channels.mli: Hemlock_util

@@ -1,0 +1,1 @@
+lib/baseline/plt.mli: Hemlock_os

@@ -1,0 +1,1 @@
+lib/baseline/serializer.ml: Buffer Format Hemlock_util List Printf String

@@ -1,0 +1,1 @@
+lib/baseline/serializer.mli: Bytes Format

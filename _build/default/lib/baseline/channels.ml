@@ -1,0 +1,156 @@
+module Kernel = Hemlock_os.Kernel
+module Proc = Hemlock_os.Proc
+module Fs = Hemlock_sfs.Fs
+module Prot = Hemlock_vm.Prot
+module Stats = Hemlock_util.Stats
+
+type kind = Shared_memory | Message_passing | File_based | Domain_call
+
+let kind_to_string = function
+  | Shared_memory -> "shared-memory"
+  | Message_passing -> "messages"
+  | File_based -> "files"
+  | Domain_call -> "pd-call"
+
+let all_kinds = [ Shared_memory; Message_passing; File_based; Domain_call ]
+
+(* Shared-segment word offsets. *)
+let off_req_seq = 0
+let off_resp_seq = 4
+let off_len = 8
+let off_payload = 16
+
+let consume_payload k proc ~read_byte len =
+  (* The server touches every byte, identically in all three styles. *)
+  let sum = ref 0 in
+  for i = 0 to len - 1 do
+    sum := !sum + read_byte k proc i
+  done;
+  !sum
+
+let run_exchange ~kind ~payload ~rounds =
+  let k = Kernel.create () in
+  let fs = Kernel.fs k in
+  Fs.mkdir fs "/shared/ipc";
+  Fs.create_file fs "/shared/ipc/chan";
+  Fs.mkdir fs "/tmp/spool";
+  Kernel.msgq_create k "req-doorbell" ~capacity:4;
+  Kernel.msgq_create k "resp-doorbell" ~capacity:4;
+  let started = ref false in
+  let client_done = ref false in
+  let server body =
+    let p =
+      Kernel.spawn_native k ~name:"server" (fun k proc ->
+          Proc.wait_until (fun () -> !started);
+          body k proc;
+          0)
+    in
+    p
+  in
+  let client body =
+    Kernel.spawn_native k ~name:"client" (fun k proc ->
+        Proc.wait_until (fun () -> !started);
+        body k proc;
+        client_done := true;
+        0)
+  in
+  (match kind with
+  | Shared_memory ->
+    ignore
+      (server (fun k proc ->
+           let base = Kernel.map_shared_file k proc ~path:"/shared/ipc/chan" ~prot:Prot.Read_write in
+           for round = 1 to rounds do
+             Proc.wait_until (fun () -> Kernel.load_u32 k proc (base + off_req_seq) >= round);
+             let len = Kernel.load_u32 k proc (base + off_len) in
+             ignore
+               (consume_payload k proc ~read_byte:(fun k proc i ->
+                    Kernel.load_u8 k proc (base + off_payload + i))
+                  len);
+             Kernel.store_u32 k proc (base + off_resp_seq) round
+           done));
+    ignore
+      (client (fun k proc ->
+           let base = Kernel.map_shared_file k proc ~path:"/shared/ipc/chan" ~prot:Prot.Read_write in
+           for round = 1 to rounds do
+             (* Produce the request in place: no intermediate form. *)
+             for i = 0 to payload - 1 do
+               Kernel.store_u8 k proc (base + off_payload + i) ((round + i) land 0xFF)
+             done;
+             Kernel.store_u32 k proc (base + off_len) payload;
+             Kernel.store_u32 k proc (base + off_req_seq) round;
+             Proc.wait_until (fun () -> Kernel.load_u32 k proc (base + off_resp_seq) >= round)
+           done))
+  | Message_passing ->
+    Kernel.msgq_create k "req" ~capacity:4;
+    Kernel.msgq_create k "resp" ~capacity:4;
+    ignore
+      (server (fun k proc ->
+           for _ = 1 to rounds do
+             let msg = Kernel.msg_recv k proc "req" in
+             ignore
+               (consume_payload k proc ~read_byte:(fun _ _ i -> Char.code (Bytes.get msg i))
+                  (Bytes.length msg));
+             Kernel.msg_send k proc "resp" (Bytes.create 4)
+           done));
+    ignore
+      (client (fun k proc ->
+           for round = 1 to rounds do
+             (* Produce into a private buffer, then copy into the kernel. *)
+             let buf = Bytes.init payload (fun i -> Char.chr ((round + i) land 0xFF)) in
+             Kernel.msg_send k proc "req" buf;
+             ignore (Kernel.msg_recv k proc "resp")
+           done))
+  | Domain_call ->
+    (* The server exports an entry point; it stays alive as a daemon so
+       its domain exists, but never spins on the data. *)
+    let srv =
+      Kernel.spawn_native k ~name:"pd-server" (fun k proc ->
+          let base = Kernel.map_shared_file k proc ~path:"/shared/ipc/chan" ~prot:Prot.Read_write in
+          Kernel.register_pd_service k ~name:"consume" ~owner:proc (fun k srv_proc len ->
+              consume_payload k srv_proc
+                ~read_byte:(fun k p i -> Kernel.load_u8 k p (base + off_payload + i))
+                len);
+          Proc.wait_until (fun () -> !client_done);
+          0)
+    in
+    Kernel.set_daemon k srv;
+    ignore
+      (client (fun k proc ->
+           let base = Kernel.map_shared_file k proc ~path:"/shared/ipc/chan" ~prot:Prot.Read_write in
+           (* Let the server install its service first. *)
+           Proc.wait_until (fun () -> Kernel.find_proc k srv.Proc.pid <> None);
+           Proc.yield ();
+           for round = 1 to rounds do
+             for i = 0 to payload - 1 do
+               Kernel.store_u8 k proc (base + off_payload + i) ((round + i) land 0xFF)
+             done;
+             ignore (Kernel.pd_call k proc ~service:"consume" payload)
+           done))
+  | File_based ->
+    ignore
+      (server (fun k proc ->
+           for _ = 1 to rounds do
+             ignore (Kernel.msg_recv k proc "req-doorbell");
+             let fd = Kernel.sys_open k proc "/tmp/spool/req" in
+             let msg = Kernel.sys_read k proc fd 0x100000 in
+             Kernel.sys_close k proc fd;
+             ignore
+               (consume_payload k proc ~read_byte:(fun _ _ i -> Char.code (Bytes.get msg i))
+                  (Bytes.length msg));
+             Kernel.msg_send k proc "resp-doorbell" Bytes.empty
+           done));
+    ignore
+      (client (fun k proc ->
+           for round = 1 to rounds do
+             let buf = Bytes.init payload (fun i -> Char.chr ((round + i) land 0xFF)) in
+             let fd = Kernel.sys_open k proc ~create:true "/tmp/spool/req" in
+             ignore (Kernel.sys_write k proc fd buf);
+             Kernel.sys_close k proc fd;
+             Kernel.msg_send k proc "req-doorbell" Bytes.empty;
+             ignore (Kernel.msg_recv k proc "resp-doorbell")
+           done)));
+  let before = Stats.snapshot () in
+  started := true;
+  Kernel.run k;
+  assert !client_done;
+  Stats.diff ~before ~after:(Stats.snapshot ())

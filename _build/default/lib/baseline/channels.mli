@@ -1,0 +1,32 @@
+(** Client/server interaction styles compared in E10 (the paper's §1
+    claims 3-4: shared memory transfers information without translating
+    it to and from a linear intermediate form, and avoids operating
+    system overhead and copying costs).
+
+    One exchange = the client produces a [payload]-byte request, the
+    server consumes every byte and acknowledges.  The three styles only
+    differ in how the bytes travel:
+
+    - {b Shared_memory}: the client writes the payload in place in a
+      shared segment and bumps a sequence word; zero copies.
+    - {b Message_passing}: the payload is copied into a kernel message
+      queue and out again (two copies, two blocking syscalls).
+    - {b File_based}: the payload is written to a file and read back by
+      the server (two copies through the file system plus opens), with
+      empty doorbell messages for synchronisation.
+    - {b Domain_call}: the paper's future-work fast path — payload in
+      the shared segment plus one protection-domain-switching call per
+      round ({!Hemlock_os.Kernel.pd_call}): synchronous, copyless, no
+      scheduler round trip. *)
+
+type kind = Shared_memory | Message_passing | File_based | Domain_call
+
+val kind_to_string : kind -> string
+
+val all_kinds : kind list
+
+(** [run_exchange ~kind ~payload ~rounds] runs a fresh simulated
+    machine with one client and one server exchanging [rounds] requests,
+    returning the counter deltas for the whole exchange phase (setup
+    excluded). *)
+val run_exchange : kind:kind -> payload:int -> rounds:int -> Hemlock_util.Stats.t

@@ -1,0 +1,149 @@
+module Codec = Hemlock_util.Codec
+
+type value = Int of int | Str of string | List of value list
+
+exception Parse_error of string
+
+let err msg = raise (Parse_error msg)
+
+(* ----- ASCII ----- *)
+
+let rec emit_ascii buf = function
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Str s ->
+    Buffer.add_char buf '"';
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+  | List vs ->
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ' ';
+        emit_ascii buf v)
+      vs;
+    Buffer.add_char buf ')'
+
+let to_ascii v =
+  let buf = Buffer.create 256 in
+  emit_ascii buf v;
+  Buffer.contents buf
+
+let of_ascii s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\n' || s.[!pos] = '\t') do
+      incr pos
+    done
+  in
+  let rec parse () =
+    skip_ws ();
+    match peek () with
+    | None -> err "unexpected end of input"
+    | Some '(' ->
+      incr pos;
+      let rec items acc =
+        skip_ws ();
+        match peek () with
+        | Some ')' ->
+          incr pos;
+          List (List.rev acc)
+        | None -> err "unterminated list"
+        | Some _ -> items (parse () :: acc)
+      in
+      items []
+    | Some '"' ->
+      incr pos;
+      let buf = Buffer.create 16 in
+      let rec scan () =
+        match peek () with
+        | None -> err "unterminated string"
+        | Some '"' -> incr pos
+        | Some '\\' ->
+          incr pos;
+          (match peek () with
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some '"' -> Buffer.add_char buf '"'
+          | Some '\\' -> Buffer.add_char buf '\\'
+          | Some c -> err (Printf.sprintf "bad escape \\%c" c)
+          | None -> err "unterminated escape");
+          incr pos;
+          scan ()
+        | Some c ->
+          Buffer.add_char buf c;
+          incr pos;
+          scan ()
+      in
+      scan ();
+      Str (Buffer.contents buf)
+    | Some ('-' | '0' .. '9') ->
+      let start = !pos in
+      if s.[!pos] = '-' then incr pos;
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        incr pos
+      done;
+      (match int_of_string_opt (String.sub s start (!pos - start)) with
+      | Some v -> Int v
+      | None -> err "bad number")
+    | Some c -> err (Printf.sprintf "unexpected character %C" c)
+  in
+  let v = parse () in
+  skip_ws ();
+  if !pos <> n then err "trailing garbage";
+  v
+
+(* ----- binary ----- *)
+
+let rec emit_binary w = function
+  | Int n ->
+    Codec.Writer.u8 w 0;
+    Codec.Writer.u32 w (n land 0xFFFF_FFFF)
+  | Str s ->
+    Codec.Writer.u8 w 1;
+    Codec.Writer.str w s
+  | List vs ->
+    Codec.Writer.u8 w 2;
+    Codec.Writer.u32 w (List.length vs);
+    List.iter (emit_binary w) vs
+
+let to_binary v =
+  let w = Codec.Writer.create () in
+  emit_binary w v;
+  Codec.Writer.contents w
+
+let of_binary bytes =
+  let r = Codec.Reader.create bytes in
+  let rec parse () =
+    match Codec.Reader.u8 r with
+    | 0 -> Int (Codec.sext32 (Codec.Reader.u32 r))
+    | 1 -> Str (Codec.Reader.str r)
+    | 2 ->
+      let len = Codec.Reader.u32 r in
+      List (List.init len (fun _ -> parse ()))
+    | tag -> err (Printf.sprintf "bad tag %d" tag)
+  in
+  match parse () with
+  | v -> if Codec.Reader.eof r then v else err "trailing bytes"
+  | exception Failure msg -> err msg
+
+let rec equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | List xs, List ys -> ( try List.for_all2 equal xs ys with Invalid_argument _ -> false)
+  | (Int _ | Str _ | List _), _ -> false
+
+let rec pp ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Str s -> Format.fprintf ppf "%S" s
+  | List vs ->
+    Format.fprintf ppf "(@[%a@])"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+      vs

@@ -1,0 +1,26 @@
+(** The linearisation baseline: what pre-Hemlock programs do with
+    pointer-rich data — translate it to and from a flat intermediate
+    form (rwhod's spool files, xfig's .fig format, the Lynx tables'
+    generated source).
+
+    Values are s-expression-shaped; both a parsable ASCII encoding (the
+    "rigid format ... parsable ASCII description" of §4) and a compact
+    binary one are provided, so experiments can compare against either
+    flavour of file format. *)
+
+type value = Int of int | Str of string | List of value list
+
+exception Parse_error of string
+
+val to_ascii : value -> string
+
+(** @raise Parse_error *)
+val of_ascii : string -> value
+
+val to_binary : value -> Bytes.t
+
+(** @raise Parse_error *)
+val of_binary : Bytes.t -> value
+
+val equal : value -> value -> bool
+val pp : Format.formatter -> value -> unit

@@ -1,0 +1,1 @@
+lib/cc/cc.ml: Codegen Hemlock_isa Lexer Parser Printf

@@ -1,0 +1,1 @@
+lib/cc/cc.mli: Hemlock_obj

@@ -1,0 +1,1 @@
+lib/cc/codegen.ml: Ast Buffer Hashtbl Hemlock_os List Option Printf String

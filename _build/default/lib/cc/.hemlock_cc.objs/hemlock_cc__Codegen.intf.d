@@ -1,0 +1,1 @@
+lib/cc/codegen.mli: Ast

@@ -1,0 +1,71 @@
+(** Abstract syntax of Hem-C, the toy C subset the workloads are written
+    in.  Word-oriented: [int] and pointers are 32 bits, [char] is a
+    byte; arrays are one-dimensional. *)
+
+type ty = Int | Char | Ptr of ty
+
+type unop = Neg | Not | Deref | Addr
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And  (** short-circuit && *)
+  | Or  (** short-circuit || *)
+
+type expr =
+  | Num of int
+  | Str of string  (** string literal: address of a NUL-terminated char array *)
+  | Var of string
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Index of expr * expr  (** a[i] *)
+  | Call of string * expr list
+  | Assign of expr * expr  (** lvalue = expr, itself an expression *)
+
+type stmt =
+  | Expr of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of expr option * expr option * expr option * stmt list
+      (** for (init; cond; step) body — all three headers optional *)
+  | Break
+  | Continue
+  | Return of expr option
+  | Local of ty * string * expr option  (** local declaration *)
+  | Block of stmt list
+
+type global = {
+  g_ty : ty;
+  g_name : string;
+  g_array : int option;  (** array length, when an array *)
+  g_init : int option;  (** constant initialiser *)
+  g_extern : bool;
+}
+
+type func = {
+  f_name : string;
+  f_params : (ty * string) list;
+  f_body : stmt list;
+  f_static : bool;  (** not exported (C static) *)
+}
+
+type decl = Global of global | Func of func
+
+type program = decl list
+
+let size_of = function Int -> 4 | Char -> 1 | Ptr _ -> 4
+
+(** Element size for pointer arithmetic / indexing through a value of
+    this type. *)
+let elem_size = function
+  | Ptr inner -> size_of inner
+  | Int | Char -> 1

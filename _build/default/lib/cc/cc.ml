@@ -1,0 +1,16 @@
+exception Error of string
+
+let to_asm ?use_gp src =
+  match Codegen.compile ?use_gp (Parser.parse src) with
+  | asm -> asm
+  | exception Parser.Error { line; msg } ->
+    raise (Error (Printf.sprintf "line %d: %s" line msg))
+  | exception Lexer.Error { line; msg } ->
+    raise (Error (Printf.sprintf "line %d: %s" line msg))
+  | exception Codegen.Error msg -> raise (Error msg)
+
+let to_object ?use_gp ~name src =
+  match Hemlock_isa.Asm.assemble ~name (to_asm ?use_gp src) with
+  | obj -> obj
+  | exception Hemlock_isa.Asm.Error { line; msg } ->
+    raise (Error (Printf.sprintf "generated asm line %d: %s" line msg))

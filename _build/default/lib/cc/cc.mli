@@ -1,0 +1,11 @@
+(** Front-end facade: Hem-C source to assembly or to a template object
+    file. *)
+
+exception Error of string
+
+(** Compile to assembly text.  @raise Error with a line-tagged message. *)
+val to_asm : ?use_gp:bool -> string -> string
+
+(** Compile and assemble to a template.  [name] is the object's
+    provenance string (e.g. "rwhod.o"). *)
+val to_object : ?use_gp:bool -> name:string -> string -> Hemlock_obj.Objfile.t

@@ -1,0 +1,457 @@
+open Ast
+module Sysno = Hemlock_os.Sysno
+
+exception Error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let builtins =
+  [
+    "print_int"; "print_str"; "getpid"; "yield"; "sbrk"; "fork"; "wait";
+    "path_to_addr"; "addr_to_path"; "exit"; "lock_acquire"; "lock_release";
+  ]
+
+type var_info =
+  | Global_var of ty * bool (* is_array *)
+  | Local_var of ty * int (* fp offset *)
+
+type env = {
+  buf : Buffer.t;
+  mutable strings : (string * string) list; (* label, contents *)
+  mutable label_count : int;
+  globals : (string, ty * bool) Hashtbl.t;
+  mutable locals : (string * (ty * int)) list;
+  use_gp : bool;
+  mutable current_fn : string;
+}
+
+let emit env fmt = Printf.ksprintf (fun s -> Buffer.add_string env.buf (s ^ "\n")) fmt
+
+let fresh_label env hint =
+  env.label_count <- env.label_count + 1;
+  Printf.sprintf ".L%s_%s_%d" env.current_fn hint env.label_count
+
+let string_label env s =
+  match List.find_opt (fun (_, c) -> String.equal c s) env.strings with
+  | Some (l, _) -> l
+  | None ->
+    let l = Printf.sprintf ".Lstr%d" (List.length env.strings) in
+    env.strings <- (l, s) :: env.strings;
+    l
+
+let lookup env name =
+  match List.assoc_opt name env.locals with
+  | Some (ty, off) -> Local_var (ty, off)
+  | None -> (
+    match Hashtbl.find_opt env.globals name with
+    | Some (ty, arr) -> Global_var (ty, arr)
+    | None -> errf "undeclared variable %s (in %s)" name env.current_fn)
+
+(* ----- types ----- *)
+
+let rec type_of env = function
+  | Num _ -> Int
+  | Str _ -> Ptr Char
+  | Var name -> (
+    match lookup env name with
+    | Global_var (ty, true) -> Ptr ty (* arrays decay *)
+    | Global_var (ty, false) -> ty
+    | Local_var (ty, _) -> ty)
+  | Unary (Deref, e) -> (
+    match type_of env e with
+    | Ptr t -> t
+    | Int | Char -> Int (* deref of int: treated as int* *) )
+  | Unary (Addr, e) -> Ptr (type_of env e)
+  | Unary ((Neg | Not), _) -> Int
+  | Binary ((Add | Sub), a, b) -> (
+    match (type_of env a, type_of env b) with
+    | (Ptr _ as p), _ -> p
+    | _, (Ptr _ as p) -> p
+    | _, _ -> Int)
+  | Binary (_, _, _) -> Int
+  | Index (e, _) -> (
+    match type_of env e with
+    | Ptr t -> t
+    | Int | Char -> Int)
+  | Call (_, _) -> Int
+  | Assign (lhs, _) -> type_of env lhs
+
+let load_op = function Char -> "lb" | Int | Ptr _ -> "lw"
+let store_op = function Char -> "sb" | Int | Ptr _ -> "sw"
+
+(* ----- expressions -----
+   Value of the expression ends in $v0.  $t0-$t3 are scratch; nested
+   subexpressions save intermediates on the stack. *)
+
+let push env = emit env "        addi $sp, $sp, -4\n        sw   $v0, 0($sp)"
+
+let pop_t0 env = emit env "        lw   $t0, 0($sp)\n        addi $sp, $sp, 4"
+
+(* Is this global a gp-addressable scalar under -use-gp? *)
+let gp_scalar env name =
+  env.use_gp
+  &&
+  match Hashtbl.find_opt env.globals name with
+  | Some ((Int | Ptr _), false) -> true
+  | Some _ | None -> false
+
+let rec gen_expr env e =
+  match e with
+  | Num n ->
+    if n >= -0x8000 && n <= 0x7FFF then emit env "        li   $v0, %d" n
+    else begin
+      emit env "        lui  $v0, 0x%x" ((n lsr 16) land 0xFFFF);
+      emit env "        ori  $v0, $v0, 0x%x" (n land 0xFFFF)
+    end
+  | Str s -> emit env "        la   $v0, %s" (string_label env s)
+  | Var name -> (
+    match lookup env name with
+    | Local_var (ty, off) -> emit env "        %s   $v0, %d($fp)" (load_op ty) off
+    | Global_var (_, true) -> emit env "        la   $v0, %s" name
+    | Global_var (ty, false) ->
+      if gp_scalar env name then emit env "        %s   $v0, %s($gp)" (load_op ty) name
+      else begin
+        emit env "        la   $t0, %s" name;
+        emit env "        %s   $v0, 0($t0)" (load_op ty)
+      end)
+  | Unary (Neg, e) ->
+    gen_expr env e;
+    emit env "        sub  $v0, $zero, $v0"
+  | Unary (Not, e) ->
+    gen_expr env e;
+    emit env "        sltu $v0, $zero, $v0";
+    emit env "        xori $v0, $v0, 1"
+  | Unary (Deref, e) ->
+    let ty = type_of env (Unary (Deref, e)) in
+    gen_expr env e;
+    emit env "        %s   $v0, 0($v0)" (load_op ty)
+  | Unary (Addr, lv) -> gen_lvalue env lv
+  | Binary (And, a, b) ->
+    let out = fresh_label env "and" in
+    gen_expr env a;
+    emit env "        beq  $v0, $zero, %s" out;
+    gen_expr env b;
+    emit env "        sltu $v0, $zero, $v0";
+    emit env "%s:" out
+  | Binary (Or, a, b) ->
+    let out = fresh_label env "or" in
+    gen_expr env a;
+    emit env "        sltu $v0, $zero, $v0";
+    emit env "        bne  $v0, $zero, %s" out;
+    gen_expr env b;
+    emit env "        sltu $v0, $zero, $v0";
+    emit env "%s:" out
+  | Binary (op, a, b) ->
+    let scale_a, scale_b =
+      match op with
+      | Add | Sub -> (
+        match (type_of env a, type_of env b) with
+        | Ptr t, (Int | Char) -> (1, size_of t)
+        | (Int | Char), Ptr t -> (size_of t, 1)
+        | _, _ -> (1, 1))
+      | Mul | Div | Rem | Eq | Ne | Lt | Le | Gt | Ge | And | Or -> (1, 1)
+    in
+    gen_expr env a;
+    if scale_a > 1 then begin
+      emit env "        li   $t0, %d" scale_a;
+      emit env "        mul  $v0, $v0, $t0"
+    end;
+    push env;
+    gen_expr env b;
+    if scale_b > 1 then begin
+      emit env "        li   $t0, %d" scale_b;
+      emit env "        mul  $v0, $v0, $t0"
+    end;
+    pop_t0 env;
+    (match op with
+    | Add -> emit env "        add  $v0, $t0, $v0"
+    | Sub -> emit env "        sub  $v0, $t0, $v0"
+    | Mul -> emit env "        mul  $v0, $t0, $v0"
+    | Div -> emit env "        div  $v0, $t0, $v0"
+    | Rem -> emit env "        rem  $v0, $t0, $v0"
+    | Eq ->
+      emit env "        xor  $v0, $t0, $v0";
+      emit env "        sltu $v0, $zero, $v0";
+      emit env "        xori $v0, $v0, 1"
+    | Ne ->
+      emit env "        xor  $v0, $t0, $v0";
+      emit env "        sltu $v0, $zero, $v0"
+    | Lt -> emit env "        slt  $v0, $t0, $v0"
+    | Gt -> emit env "        slt  $v0, $v0, $t0"
+    | Le ->
+      emit env "        slt  $v0, $v0, $t0";
+      emit env "        xori $v0, $v0, 1"
+    | Ge ->
+      emit env "        slt  $v0, $t0, $v0";
+      emit env "        xori $v0, $v0, 1"
+    | And | Or -> assert false)
+  | Index (_, _) as e ->
+    let ty = type_of env e in
+    gen_lvalue env e;
+    emit env "        %s   $v0, 0($v0)" (load_op ty)
+  | Call (fn, args) -> gen_call env fn args
+  | Assign (lv, rhs) ->
+    let ty = type_of env lv in
+    gen_lvalue env lv;
+    push env;
+    gen_expr env rhs;
+    pop_t0 env;
+    emit env "        %s   $v0, 0($t0)" (store_op ty)
+
+(* Address of an lvalue into $v0. *)
+and gen_lvalue env = function
+  | Var name -> (
+    match lookup env name with
+    | Local_var (_, off) -> emit env "        addi $v0, $fp, %d" off
+    | Global_var (_, _) -> emit env "        la   $v0, %s" name)
+  | Unary (Deref, e) -> gen_expr env e
+  | Index (base, idx) ->
+    let elem =
+      match type_of env base with
+      | Ptr t -> size_of t
+      | Int | Char -> 1
+    in
+    gen_expr env base;
+    push env;
+    gen_expr env idx;
+    if elem > 1 then begin
+      emit env "        li   $t0, %d" elem;
+      emit env "        mul  $v0, $v0, $t0"
+    end;
+    pop_t0 env;
+    emit env "        add  $v0, $t0, $v0"
+  | e ->
+    ignore e;
+    errf "not an lvalue (in %s)" env.current_fn
+
+and gen_call env fn args =
+  let n_args = List.length args in
+  let syscall_with_args num =
+    (* Evaluate args, push, then pop into $a0..$a3. *)
+    List.iter
+      (fun a ->
+        gen_expr env a;
+        push env)
+      args;
+    List.iteri
+      (fun i _ ->
+        emit env "        lw   $a%d, %d($sp)" (n_args - 1 - i) (4 * i))
+      args;
+    emit env "        addi $sp, $sp, %d" (4 * n_args);
+    emit env "        li   $v0, %d" num;
+    emit env "        syscall"
+  in
+  match fn with
+  | "print_int" -> syscall_with_args Sysno.print_int
+  | "print_str" -> syscall_with_args Sysno.print_str
+  | "getpid" -> syscall_with_args Sysno.getpid
+  | "yield" -> syscall_with_args Sysno.yield
+  | "sbrk" -> syscall_with_args Sysno.sbrk
+  | "fork" -> syscall_with_args Sysno.fork
+  | "wait" -> syscall_with_args Sysno.wait
+  | "path_to_addr" -> syscall_with_args Sysno.path_to_addr
+  | "addr_to_path" -> syscall_with_args Sysno.addr_to_path
+  | "exit" -> syscall_with_args Sysno.exit
+  | "lock_acquire" -> syscall_with_args Sysno.lock_acquire
+  | "lock_release" -> syscall_with_args Sysno.lock_release
+  | fn ->
+    (* Push right-to-left so arg i sits at fp+8+4i in the callee. *)
+    List.iter
+      (fun a ->
+        gen_expr env a;
+        push env)
+      (List.rev args);
+    emit env "        jal  %s" fn;
+    if n_args > 0 then emit env "        addi $sp, $sp, %d" (4 * n_args)
+
+(* ----- statements ----- *)
+
+let rec count_locals stmts =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Local (_, _, _) -> acc + 1
+      | If (_, a, b) -> acc + count_locals a + count_locals b
+      | While (_, body) -> acc + count_locals body
+      | For (_, _, _, body) -> acc + count_locals body
+      | Block body -> acc + count_locals body
+      | Expr _ | Return _ | Break | Continue -> acc)
+    0 stmts
+
+(* (break target, continue target) of the innermost enclosing loop *)
+type loop_ctx = { lc_break : string; lc_continue : string }
+
+let rec gen_stmt env ~exit_label ~loops next_slot s =
+  match s with
+  | Expr e ->
+    gen_expr env e;
+    next_slot
+  | Return None ->
+    emit env "        li   $v0, 0";
+    emit env "        b    %s" exit_label;
+    next_slot
+  | Return (Some e) ->
+    gen_expr env e;
+    emit env "        b    %s" exit_label;
+    next_slot
+  | Local (ty, name, init) ->
+    let off = -4 * (next_slot + 1) in
+    env.locals <- (name, (ty, off)) :: env.locals;
+    (match init with
+    | Some e ->
+      gen_expr env (Assign (Var name, e));
+      ()
+    | None -> ());
+    next_slot + 1
+  | If (cond, then_, else_) ->
+    let l_else = fresh_label env "else" in
+    let l_end = fresh_label env "endif" in
+    gen_expr env cond;
+    emit env "        beq  $v0, $zero, %s" l_else;
+    let slot = gen_stmts env ~exit_label ~loops next_slot then_ in
+    emit env "        b    %s" l_end;
+    emit env "%s:" l_else;
+    let slot' = gen_stmts env ~exit_label ~loops slot else_ in
+    emit env "%s:" l_end;
+    slot'
+  | While (cond, body) ->
+    let l_top = fresh_label env "loop" in
+    let l_end = fresh_label env "endloop" in
+    emit env "%s:" l_top;
+    gen_expr env cond;
+    emit env "        beq  $v0, $zero, %s" l_end;
+    let ctx = { lc_break = l_end; lc_continue = l_top } in
+    let slot = gen_stmts env ~exit_label ~loops:(ctx :: loops) next_slot body in
+    emit env "        b    %s" l_top;
+    emit env "%s:" l_end;
+    slot
+  | For (init, cond, step, body) ->
+    let l_top = fresh_label env "for" in
+    let l_step = fresh_label env "forstep" in
+    let l_end = fresh_label env "endfor" in
+    Option.iter (gen_expr env) init;
+    emit env "%s:" l_top;
+    (match cond with
+    | Some c ->
+      gen_expr env c;
+      emit env "        beq  $v0, $zero, %s" l_end
+    | None -> ());
+    (* continue jumps to the step, not the top *)
+    let ctx = { lc_break = l_end; lc_continue = l_step } in
+    let slot = gen_stmts env ~exit_label ~loops:(ctx :: loops) next_slot body in
+    emit env "%s:" l_step;
+    Option.iter (gen_expr env) step;
+    emit env "        b    %s" l_top;
+    emit env "%s:" l_end;
+    slot
+  | Break -> (
+    match loops with
+    | ctx :: _ ->
+      emit env "        b    %s" ctx.lc_break;
+      next_slot
+    | [] -> errf "break outside a loop (in %s)" env.current_fn)
+  | Continue -> (
+    match loops with
+    | ctx :: _ ->
+      emit env "        b    %s" ctx.lc_continue;
+      next_slot
+    | [] -> errf "continue outside a loop (in %s)" env.current_fn)
+  | Block body ->
+    let saved = env.locals in
+    let slot = gen_stmts env ~exit_label ~loops next_slot body in
+    env.locals <- saved;
+    slot
+
+and gen_stmts env ~exit_label ~loops next_slot stmts =
+  List.fold_left (fun slot s -> gen_stmt env ~exit_label ~loops slot s) next_slot stmts
+
+(* ----- top level ----- *)
+
+let gen_func env f =
+  env.current_fn <- f.f_name;
+  env.locals <-
+    List.mapi (fun i (ty, name) -> (name, (ty, 8 + (4 * i)))) f.f_params;
+  let frame = 4 * count_locals f.f_body in
+  if not f.f_static then emit env "        .globl %s" f.f_name;
+  emit env "%s:" f.f_name;
+  emit env "        addi $sp, $sp, -8";
+  emit env "        sw   $ra, 4($sp)";
+  emit env "        sw   $fp, 0($sp)";
+  emit env "        move $fp, $sp";
+  if frame > 0 then emit env "        addi $sp, $sp, %d" (-frame);
+  let exit_label = Printf.sprintf ".L%s_exit" f.f_name in
+  ignore (gen_stmts env ~exit_label ~loops:[] 0 f.f_body);
+  emit env "        li   $v0, 0";
+  emit env "%s:" exit_label;
+  emit env "        move $sp, $fp";
+  emit env "        lw   $ra, 4($sp)";
+  emit env "        lw   $fp, 0($sp)";
+  emit env "        addi $sp, $sp, 8";
+  emit env "        jr   $ra";
+  emit env ""
+
+let compile ?(use_gp = false) prog =
+  let env =
+    {
+      buf = Buffer.create 1024;
+      strings = [];
+      label_count = 0;
+      globals = Hashtbl.create 16;
+      locals = [];
+      use_gp;
+      current_fn = "";
+    }
+  in
+  (* Register every global (including externs) for type information. *)
+  List.iter
+    (function
+      | Global g -> Hashtbl.replace env.globals g.g_name (g.g_ty, g.g_array <> None)
+      | Func _ -> ())
+    prog;
+  emit env "        .text";
+  List.iter (function Func f -> gen_func env f | Global _ -> ()) prog;
+  (* Data section: initialised globals and string literals. *)
+  emit env "        .data";
+  List.iter
+    (function
+      | Global { g_extern = true; _ } | Func _ -> ()
+      | Global ({ g_init = Some v; _ } as g) ->
+        emit env "        .globl %s" g.g_name;
+        emit env "%s:" g.g_name;
+        emit env "        .word %d" v
+      | Global { g_init = None; _ } -> ())
+    prog;
+  List.iter
+    (fun (label, s) ->
+      emit env "%s:" label;
+      let escaped =
+        String.concat ""
+          (List.map
+             (function
+               | '\n' -> "\\n"
+               | '\t' -> "\\t"
+               | '"' -> "\\\""
+               | '\\' -> "\\\\"
+               | '\000' -> "\\0"
+               | c -> String.make 1 c)
+             (List.init (String.length s) (String.get s)))
+      in
+      emit env "        .asciiz \"%s\"" escaped)
+    (List.rev env.strings);
+  (* Bss: uninitialised globals and arrays. *)
+  emit env "        .bss";
+  List.iter
+    (function
+      | Global { g_extern = true; _ } | Func _ -> ()
+      | Global { g_init = Some _; _ } -> ()
+      | Global ({ g_init = None; _ } as g) ->
+        let size =
+          match g.g_array with
+          | Some len -> len * size_of g.g_ty
+          | None -> size_of g.g_ty
+        in
+        emit env "        .globl %s" g.g_name;
+        emit env "%s:" g.g_name;
+        emit env "        .space %d" ((size + 3) land lnot 3))
+    prog;
+  Buffer.contents env.buf

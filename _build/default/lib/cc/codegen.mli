@@ -1,0 +1,18 @@
+(** Code generator: Hem-C AST to ISA assembly text.
+
+    Conventions: all arguments are passed on the stack (pushed right to
+    left, popped by the caller); return value in $v0; $fp frames.  Every
+    global access is absolute ([la] + load/store, i.e. HI16/LO16
+    relocations) unless [use_gp] is set, in which case scalar globals are
+    accessed $gp-relative — the compact-but-sparse-hostile addressing
+    the paper's linkers must reject for shared modules. *)
+
+exception Error of string
+
+(** Built-in functions lowered to syscalls: [print_int], [print_str],
+    [getpid], [yield], [sbrk], [fork], [wait], [path_to_addr],
+    [addr_to_path], [exit], [lock_acquire], [lock_release]. *)
+val builtins : string list
+
+(** [compile ?use_gp prog] emits assembly for the translation unit. *)
+val compile : ?use_gp:bool -> Ast.program -> string

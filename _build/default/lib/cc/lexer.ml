@@ -1,0 +1,215 @@
+type token =
+  | INT_KW
+  | CHAR_KW
+  | EXTERN
+  | STATIC
+  | IF
+  | ELSE
+  | WHILE
+  | FOR
+  | BREAK
+  | CONTINUE
+  | RETURN
+  | IDENT of string
+  | NUM of int
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | AMP
+  | AMPAMP
+  | PIPEPIPE
+  | BANG
+  | ASSIGN
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Error of { line : int; msg : string }
+
+let keyword = function
+  | "int" -> Some INT_KW
+  | "char" -> Some CHAR_KW
+  | "extern" -> Some EXTERN
+  | "static" -> Some STATIC
+  | "if" -> Some IF
+  | "else" -> Some ELSE
+  | "while" -> Some WHILE
+  | "for" -> Some FOR
+  | "break" -> Some BREAK
+  | "continue" -> Some CONTINUE
+  | "return" -> Some RETURN
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let tokens = ref [] in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let err msg = raise (Error { line = !line; msg }) in
+  let rec go i =
+    if i >= n then emit EOF
+    else
+      match src.[i] with
+      | '\n' ->
+        incr line;
+        go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+        let rec skip j =
+          if j + 1 >= n then err "unterminated comment"
+          else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+          else begin
+            if src.[j] = '\n' then incr line;
+            skip (j + 1)
+          end
+        in
+        go (skip (i + 2))
+      | '(' -> emit LPAREN; go (i + 1)
+      | ')' -> emit RPAREN; go (i + 1)
+      | '{' -> emit LBRACE; go (i + 1)
+      | '}' -> emit RBRACE; go (i + 1)
+      | '[' -> emit LBRACKET; go (i + 1)
+      | ']' -> emit RBRACKET; go (i + 1)
+      | ';' -> emit SEMI; go (i + 1)
+      | ',' -> emit COMMA; go (i + 1)
+      | '*' -> emit STAR; go (i + 1)
+      | '+' -> emit PLUS; go (i + 1)
+      | '-' -> emit MINUS; go (i + 1)
+      | '/' -> emit SLASH; go (i + 1)
+      | '%' -> emit PERCENT; go (i + 1)
+      | '&' when i + 1 < n && src.[i + 1] = '&' -> emit AMPAMP; go (i + 2)
+      | '&' -> emit AMP; go (i + 1)
+      | '|' when i + 1 < n && src.[i + 1] = '|' -> emit PIPEPIPE; go (i + 2)
+      | '|' -> err "bitwise | not supported"
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit NE; go (i + 2)
+      | '!' -> emit BANG; go (i + 1)
+      | '=' when i + 1 < n && src.[i + 1] = '=' -> emit EQ; go (i + 2)
+      | '=' -> emit ASSIGN; go (i + 1)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit LE; go (i + 2)
+      | '<' -> emit LT; go (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit GE; go (i + 2)
+      | '>' -> emit GT; go (i + 1)
+      | '"' ->
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then err "unterminated string"
+          else
+            match src.[j] with
+            | '"' -> j + 1
+            | '\\' when j + 1 < n ->
+              (match src.[j + 1] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | '0' -> Buffer.add_char buf '\000'
+              | '\\' -> Buffer.add_char buf '\\'
+              | '"' -> Buffer.add_char buf '"'
+              | c -> err (Printf.sprintf "bad escape \\%c" c));
+              scan (j + 2)
+            | c ->
+              Buffer.add_char buf c;
+              scan (j + 1)
+        in
+        let next = scan (i + 1) in
+        emit (STRING (Buffer.contents buf));
+        go next
+      | '\'' ->
+        (* character literal *)
+        if i + 2 < n && src.[i + 1] <> '\\' && src.[i + 2] = '\'' then begin
+          emit (NUM (Char.code src.[i + 1]));
+          go (i + 3)
+        end
+        else if i + 3 < n && src.[i + 1] = '\\' && src.[i + 3] = '\'' then begin
+          let c =
+            match src.[i + 2] with
+            | 'n' -> 10
+            | 't' -> 9
+            | '0' -> 0
+            | '\\' -> 92
+            | '\'' -> 39
+            | c -> err (Printf.sprintf "bad escape \\%c" c)
+          in
+          emit (NUM c);
+          go (i + 4)
+        end
+        else err "bad character literal"
+      | c when is_digit c ->
+        let rec scan j = if j < n && (is_ident_char src.[j]) then scan (j + 1) else j in
+        let stop = scan i in
+        let text = String.sub src i (stop - i) in
+        (match int_of_string_opt text with
+        | Some v -> emit (NUM v)
+        | None -> err (Printf.sprintf "bad number %S" text));
+        go stop
+      | c when is_ident_start c ->
+        let rec scan j = if j < n && is_ident_char src.[j] then scan (j + 1) else j in
+        let stop = scan i in
+        let text = String.sub src i (stop - i) in
+        emit (match keyword text with Some t -> t | None -> IDENT text);
+        go stop
+      | c -> err (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0;
+  List.rev !tokens
+
+let token_to_string = function
+  | INT_KW -> "int"
+  | CHAR_KW -> "char"
+  | EXTERN -> "extern"
+  | STATIC -> "static"
+  | IF -> "if"
+  | ELSE -> "else"
+  | WHILE -> "while"
+  | FOR -> "for"
+  | BREAK -> "break"
+  | CONTINUE -> "continue"
+  | RETURN -> "return"
+  | IDENT s -> s
+  | NUM n -> string_of_int n
+  | STRING s -> Printf.sprintf "%S" s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | AMPAMP -> "&&"
+  | PIPEPIPE -> "||"
+  | BANG -> "!"
+  | ASSIGN -> "="
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"

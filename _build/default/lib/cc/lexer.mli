@@ -1,0 +1,49 @@
+(** Tokeniser for Hem-C. *)
+
+type token =
+  | INT_KW
+  | CHAR_KW
+  | EXTERN
+  | STATIC
+  | IF
+  | ELSE
+  | WHILE
+  | FOR
+  | BREAK
+  | CONTINUE
+  | RETURN
+  | IDENT of string
+  | NUM of int
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | AMP
+  | AMPAMP
+  | PIPEPIPE
+  | BANG
+  | ASSIGN
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Error of { line : int; msg : string }
+
+(** Tokens paired with their source line. *)
+val tokenize : string -> (token * int) list
+
+val token_to_string : token -> string

@@ -1,0 +1,357 @@
+open Lexer
+
+exception Error of { line : int; msg : string }
+
+type st = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> EOF
+
+let line st = match st.toks with (_, l) :: _ -> l | [] -> 0
+
+let err st msg = raise (Error { line = line st; msg })
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    err st
+      (Printf.sprintf "expected %s, found %s" (token_to_string tok)
+         (token_to_string (peek st)))
+
+let expect_ident st =
+  match peek st with
+  | IDENT name ->
+    advance st;
+    name
+  | t -> err st (Printf.sprintf "expected identifier, found %s" (token_to_string t))
+
+(* type = ("int" | "char") "*"* *)
+let parse_base_ty st =
+  match peek st with
+  | INT_KW ->
+    advance st;
+    Ast.Int
+  | CHAR_KW ->
+    advance st;
+    Ast.Char
+  | t -> err st (Printf.sprintf "expected type, found %s" (token_to_string t))
+
+let parse_stars st base =
+  let rec go ty =
+    if peek st = STAR then begin
+      advance st;
+      go (Ast.Ptr ty)
+    end
+    else ty
+  in
+  go base
+
+(* ----- expressions (precedence climbing) ----- *)
+
+let rec parse_expr st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_or st in
+  if peek st = ASSIGN then begin
+    advance st;
+    let rhs = parse_assign st in
+    Ast.Assign (lhs, rhs)
+  end
+  else lhs
+
+and parse_or st =
+  let rec go lhs =
+    if peek st = PIPEPIPE then begin
+      advance st;
+      go (Ast.Binary (Ast.Or, lhs, parse_and st))
+    end
+    else lhs
+  in
+  go (parse_and st)
+
+and parse_and st =
+  let rec go lhs =
+    if peek st = AMPAMP then begin
+      advance st;
+      go (Ast.Binary (Ast.And, lhs, parse_cmp st))
+    end
+    else lhs
+  in
+  go (parse_cmp st)
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | EQ -> Some Ast.Eq
+    | NE -> Some Ast.Ne
+    | LT -> Some Ast.Lt
+    | LE -> Some Ast.Le
+    | GT -> Some Ast.Gt
+    | GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+    advance st;
+    Ast.Binary (op, lhs, parse_add st)
+  | None -> lhs
+
+and parse_add st =
+  let rec go lhs =
+    match peek st with
+    | PLUS ->
+      advance st;
+      go (Ast.Binary (Ast.Add, lhs, parse_mul st))
+    | MINUS ->
+      advance st;
+      go (Ast.Binary (Ast.Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    match peek st with
+    | STAR ->
+      advance st;
+      go (Ast.Binary (Ast.Mul, lhs, parse_unary st))
+    | SLASH ->
+      advance st;
+      go (Ast.Binary (Ast.Div, lhs, parse_unary st))
+    | PERCENT ->
+      advance st;
+      go (Ast.Binary (Ast.Rem, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | MINUS ->
+    advance st;
+    Ast.Unary (Ast.Neg, parse_unary st)
+  | BANG ->
+    advance st;
+    Ast.Unary (Ast.Not, parse_unary st)
+  | STAR ->
+    advance st;
+    Ast.Unary (Ast.Deref, parse_unary st)
+  | AMP ->
+    advance st;
+    Ast.Unary (Ast.Addr, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec go e =
+    match peek st with
+    | LBRACKET ->
+      advance st;
+      let idx = parse_expr st in
+      expect st RBRACKET;
+      go (Ast.Index (e, idx))
+    | _ -> e
+  in
+  go (parse_primary st)
+
+and parse_primary st =
+  match peek st with
+  | NUM n ->
+    advance st;
+    Ast.Num n
+  | STRING s ->
+    advance st;
+    Ast.Str s
+  | LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st RPAREN;
+    e
+  | IDENT name -> (
+    advance st;
+    match peek st with
+    | LPAREN ->
+      advance st;
+      let rec args acc =
+        if peek st = RPAREN then List.rev acc
+        else
+          let a = parse_expr st in
+          if peek st = COMMA then begin
+            advance st;
+            args (a :: acc)
+          end
+          else List.rev (a :: acc)
+      in
+      let actuals = args [] in
+      expect st RPAREN;
+      Ast.Call (name, actuals)
+    | _ -> Ast.Var name)
+  | t -> err st (Printf.sprintf "unexpected token %s in expression" (token_to_string t))
+
+(* ----- statements ----- *)
+
+let rec parse_stmt st =
+  match peek st with
+  | LBRACE -> Ast.Block (parse_block st)
+  | IF ->
+    advance st;
+    expect st LPAREN;
+    let cond = parse_expr st in
+    expect st RPAREN;
+    let then_ = parse_stmt_as_block st in
+    let else_ =
+      if peek st = ELSE then begin
+        advance st;
+        parse_stmt_as_block st
+      end
+      else []
+    in
+    Ast.If (cond, then_, else_)
+  | WHILE ->
+    advance st;
+    expect st LPAREN;
+    let cond = parse_expr st in
+    expect st RPAREN;
+    Ast.While (cond, parse_stmt_as_block st)
+  | FOR ->
+    advance st;
+    expect st LPAREN;
+    let opt_expr stop =
+      if peek st = stop then None
+      else Some (parse_expr st)
+    in
+    let init = opt_expr SEMI in
+    expect st SEMI;
+    let cond = opt_expr SEMI in
+    expect st SEMI;
+    let step = opt_expr RPAREN in
+    expect st RPAREN;
+    Ast.For (init, cond, step, parse_stmt_as_block st)
+  | BREAK ->
+    advance st;
+    expect st SEMI;
+    Ast.Break
+  | CONTINUE ->
+    advance st;
+    expect st SEMI;
+    Ast.Continue
+  | RETURN ->
+    advance st;
+    if peek st = SEMI then begin
+      advance st;
+      Ast.Return None
+    end
+    else begin
+      let e = parse_expr st in
+      expect st SEMI;
+      Ast.Return (Some e)
+    end
+  | INT_KW | CHAR_KW ->
+    let ty = parse_stars st (parse_base_ty st) in
+    let name = expect_ident st in
+    let init =
+      if peek st = ASSIGN then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    expect st SEMI;
+    Ast.Local (ty, name, init)
+  | _ ->
+    let e = parse_expr st in
+    expect st SEMI;
+    Ast.Expr e
+
+and parse_stmt_as_block st =
+  match parse_stmt st with Ast.Block stmts -> stmts | s -> [ s ]
+
+and parse_block st =
+  expect st LBRACE;
+  let rec go acc =
+    if peek st = RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* ----- top level ----- *)
+
+let parse_decl st =
+  let is_extern = peek st = EXTERN in
+  if is_extern then advance st;
+  let is_static = peek st = STATIC in
+  if is_static then advance st;
+  let ty = parse_stars st (parse_base_ty st) in
+  let name = expect_ident st in
+  match peek st with
+  | LPAREN ->
+    advance st;
+    let rec params acc =
+      if peek st = RPAREN then List.rev acc
+      else
+        let pty = parse_stars st (parse_base_ty st) in
+        let pname = expect_ident st in
+        if peek st = COMMA then begin
+          advance st;
+          params ((pty, pname) :: acc)
+        end
+        else List.rev ((pty, pname) :: acc)
+    in
+    let formals = params [] in
+    expect st RPAREN;
+    if is_extern || peek st = SEMI then begin
+      expect st SEMI;
+      (* Prototype only: externs need no record at all. *)
+      None
+    end
+    else
+      Some (Ast.Func { f_name = name; f_params = formals; f_body = parse_block st; f_static = is_static })
+  | LBRACKET ->
+    advance st;
+    let len = match peek st with
+      | NUM n ->
+        advance st;
+        n
+      | t -> err st (Printf.sprintf "expected array length, found %s" (token_to_string t))
+    in
+    expect st RBRACKET;
+    expect st SEMI;
+    Some (Ast.Global { g_ty = ty; g_name = name; g_array = Some len; g_init = None; g_extern = is_extern })
+  | _ ->
+    let init =
+      if peek st = ASSIGN then begin
+        advance st;
+        match peek st with
+        | NUM n ->
+          advance st;
+          Some n
+        | MINUS ->
+          advance st;
+          (match peek st with
+          | NUM n ->
+            advance st;
+            Some (-n)
+          | t -> err st (Printf.sprintf "bad initialiser %s" (token_to_string t)))
+        | t -> err st (Printf.sprintf "global initialisers must be constants, found %s" (token_to_string t))
+      end
+      else None
+    in
+    expect st SEMI;
+    Some (Ast.Global { g_ty = ty; g_name = name; g_array = None; g_init = init; g_extern = is_extern })
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec go acc =
+    if peek st = EOF then List.rev acc
+    else
+      match parse_decl st with
+      | Some d -> go (d :: acc)
+      | None -> go acc
+  in
+  match go [] with
+  | prog -> prog
+  | exception Lexer.Error { line; msg } -> raise (Error { line; msg })

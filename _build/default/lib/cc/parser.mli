@@ -1,0 +1,5 @@
+(** Recursive-descent parser for Hem-C. *)
+
+exception Error of { line : int; msg : string }
+
+val parse : string -> Ast.program

@@ -1,0 +1,1 @@
+lib/core/aout.ml: Bytes Char Format Hemlock_obj Hemlock_util List Option Printf Sharing String

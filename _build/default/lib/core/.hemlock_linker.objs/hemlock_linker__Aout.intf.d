@@ -1,0 +1,1 @@
+lib/core/aout.mli: Bytes Format Hemlock_obj Sharing

@@ -1,0 +1,1 @@
+lib/core/ldl.ml: Aout Array Bytes Filename Fun Hashtbl Hemlock_obj Hemlock_os Hemlock_sfs Hemlock_util Hemlock_vm List Modinst Option Printf Reloc_engine Search Sharing String

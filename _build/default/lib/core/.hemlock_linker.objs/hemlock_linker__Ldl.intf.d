@@ -1,0 +1,1 @@
+lib/core/ldl.mli: Hemlock_obj Hemlock_os Modinst

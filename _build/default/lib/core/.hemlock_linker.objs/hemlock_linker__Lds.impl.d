@@ -1,0 +1,1 @@
+lib/core/lds.ml: Aout Bytes Filename Hashtbl Hemlock_isa Hemlock_obj Hemlock_os Hemlock_sfs Hemlock_util List Modinst Option Printf Reloc_engine Search Sharing String

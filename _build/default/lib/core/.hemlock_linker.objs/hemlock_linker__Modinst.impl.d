@@ -1,0 +1,1 @@
+lib/core/modinst.ml: Array Char Hemlock_obj Hemlock_sfs Hemlock_vm List Option Printf Reloc_engine Search String

@@ -1,0 +1,1 @@
+lib/core/modinst.mli: Hemlock_obj Hemlock_vm Reloc_engine Search

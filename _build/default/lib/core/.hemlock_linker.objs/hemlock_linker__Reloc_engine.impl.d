@@ -1,0 +1,1 @@
+lib/core/reloc_engine.ml: Hemlock_isa Hemlock_obj Hemlock_util List Printf

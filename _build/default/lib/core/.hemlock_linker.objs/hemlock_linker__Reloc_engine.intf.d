@@ -1,0 +1,1 @@
+lib/core/reloc_engine.mli: Hemlock_obj

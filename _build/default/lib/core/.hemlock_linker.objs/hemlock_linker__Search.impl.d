@@ -1,0 +1,1 @@
+lib/core/search.ml: Hemlock_sfs List String

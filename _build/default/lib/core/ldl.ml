@@ -1,0 +1,531 @@
+module Kernel = Hemlock_os.Kernel
+module Proc = Hemlock_os.Proc
+module Sysno = Hemlock_os.Sysno
+module Objfile = Hemlock_obj.Objfile
+module Fs = Hemlock_sfs.Fs
+module Path = Hemlock_sfs.Path
+module As = Hemlock_vm.Address_space
+module Layout = Hemlock_vm.Layout
+module Prot = Hemlock_vm.Prot
+module Segment = Hemlock_vm.Segment
+module Stats = Hemlock_util.Stats
+module Codec = Hemlock_util.Codec
+
+exception Link_error = Reloc_engine.Link_error
+
+(* Raised when progress needs a file lock someone else holds; translated
+   to a blocked syscall (ISA), a Retry_when (fault handler), or a
+   wait_until (native callers). *)
+exception Would_block of (unit -> bool)
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Link_error s)) fmt
+
+type pstate = {
+  mutable ps_aout : Aout.t option;
+  mutable ps_image_seg : Segment.t option;
+  mutable ps_instances : Modinst.t list;
+  mutable ps_root : Modinst.scope;
+  mutable ps_pending : Objfile.reloc list;
+  mutable ps_veneer_next : int;
+  mutable ps_started : bool;
+}
+
+type t = {
+  k : Kernel.t;
+  states : (int, pstate) Hashtbl.t;
+  mutable warn : string list;
+  mutable bind_now : bool;
+}
+
+let kernel t = t.k
+
+let set_bind_now t v = t.bind_now <- v
+
+let warnings t = List.rev t.warn
+
+let warn t fmt = Printf.ksprintf (fun s -> t.warn <- s :: t.warn) fmt
+
+let ctx_of t proc =
+  { Search.fs = Kernel.fs t.k; cwd = proc.Proc.cwd; env = proc.Proc.env }
+
+let state t proc = Hashtbl.find_opt t.states proc.Proc.pid
+
+let instances t proc =
+  match state t proc with Some ps -> List.rev ps.ps_instances | None -> []
+
+let instance_at t proc addr =
+  match state t proc with
+  | None -> None
+  | Some ps -> List.find_opt (fun i -> Modinst.contains i addr) ps.ps_instances
+
+let pending_image_relocs t proc =
+  match state t proc with Some ps -> ps.ps_pending | None -> []
+
+let find_instance ps located =
+  List.find_opt (fun i -> String.equal i.Modinst.inst_key located) ps.ps_instances
+
+let load_template ctx path =
+  match Fs.read_file ctx.Search.fs ~cwd:ctx.Search.cwd path with
+  | bytes -> (
+    match Objfile.parse bytes with
+    | obj -> obj
+    | exception Failure msg -> errf "bad template %s: %s" path msg)
+  | exception Fs.Error { kind; _ } ->
+    errf "cannot read template %s: %s" path (Fs.err_kind_to_string kind)
+
+let is_shared_located located =
+  Path.is_prefix ~prefix:[ "shared" ] (Path.of_string ~cwd:Path.root located)
+
+let module_file_of_template located =
+  if Filename.check_suffix located ".o" then Filename.chop_suffix located ".o"
+  else errf "public module template %s does not end in .o" located
+
+(* Serialise creation of a public module with a file lock; the first
+   process of a parallel application creates and initialises the shared
+   data, its siblings block then link the existing file (§4, fn 3). *)
+let ensure_public_created t proc ~located ~obj =
+  let fs = Kernel.fs t.k in
+  let module_path = module_file_of_template located in
+  let ready () =
+    Fs.exists fs module_path
+    && Modinst.Header.is_module_file (Fs.segment_of fs module_path)
+  in
+  if ready () then module_path
+  else begin
+    let lock_name = module_path ^ ".lock" in
+    if not (Kernel.try_flock t.k proc lock_name) then
+      raise (Would_block (fun () -> Kernel.flock_holder t.k lock_name = None));
+    Fun.protect
+      ~finally:(fun () -> Kernel.funlock t.k proc lock_name)
+      (fun () ->
+        if not (ready ()) then begin
+          if Fs.exists fs module_path then
+            errf "%s exists but is not a Hemlock module" module_path;
+          ignore
+            (Modinst.create_public_file (ctx_of t proc) ~template_path:located ~obj
+               ~module_path)
+        end);
+    module_path
+  end
+
+(* Effective search directories for a scope: its own, then its
+   ancestors' up to the root (whose list is the run-time search path). *)
+let rec scope_dirs scope =
+  scope.Modinst.sc_search
+  @ (match scope.Modinst.sc_parent with Some p -> scope_dirs p | None -> [])
+
+(* ----- instantiation ------------------------------------------------------ *)
+
+let instantiate t proc ps ~located ~public ~parent_scope =
+  let ctx = ctx_of t proc in
+  let obj = load_template ctx located in
+  if obj.Objfile.uses_gp then
+    errf "module %s uses $gp: ldl requires modules compiled with gp disabled" located;
+  let scope =
+    {
+      Modinst.sc_label = located;
+      sc_modules = obj.Objfile.own_modules;
+      sc_search = obj.Objfile.own_search_path;
+      sc_parent = Some parent_scope;
+    }
+  in
+  let inst =
+    if public then begin
+      if not (is_shared_located located) then
+        errf "public module template %s must reside on the shared partition" located;
+      let module_path = ensure_public_created t proc ~located ~obj in
+      let inst = Modinst.public_instance ctx ~module_path ~scope in
+      let fully = Modinst.Header.fully_linked inst.Modinst.inst_seg in
+      let prot = if fully then Prot.Read_write_exec else Prot.No_access in
+      (match As.mapping_at proc.Proc.space inst.Modinst.inst_base with
+      | Some _ -> ()
+      | None ->
+        As.map proc.Proc.space ~base:inst.Modinst.inst_base ~len:Layout.shared_slot_size
+          ~seg:inst.Modinst.inst_seg ~prot ~share:As.Public ~label:module_path ());
+      if fully then begin
+        inst.Modinst.inst_linked <- true;
+        Stats.global.modules_linked <- Stats.global.modules_linked + 1
+      end;
+      inst
+    end
+    else begin
+      let size = Layout.page_up (Modinst.placed_size obj) in
+      let base =
+        match
+          As.find_gap proc.Proc.space ~lo:Aout.private_arena_lo ~hi:Aout.private_arena_hi
+            ~size
+        with
+        | Some base -> base
+        | None -> errf "out of private arena space for %s" located
+      in
+      let inst = Modinst.private_instance ~located ~obj ~base ~scope in
+      let prot =
+        if obj.Objfile.relocs = [] then Prot.Read_write_exec else Prot.No_access
+      in
+      As.map proc.Proc.space ~base ~len:size ~seg:inst.Modinst.inst_seg ~prot
+        ~share:As.Private ~label:located ();
+      if prot = Prot.Read_write_exec then begin
+        inst.Modinst.inst_linked <- true;
+        Stats.global.modules_linked <- Stats.global.modules_linked + 1
+      end;
+      inst
+    end
+  in
+  ps.ps_instances <- inst :: ps.ps_instances;
+  inst
+
+(* Locate a module by name through a scope's effective directories and
+   make sure it is instantiated (mapped, possibly without access). *)
+let ensure_instance_by_name t proc ps ~scope name =
+  let ctx = ctx_of t proc in
+  match Search.locate ctx ~dirs:(scope_dirs scope) name with
+  | None -> None
+  | Some located -> (
+    match find_instance ps located with
+    | Some inst -> Some inst
+    | None ->
+      Some (instantiate t proc ps ~located ~public:(is_shared_located located) ~parent_scope:scope))
+
+(* Scoped symbol resolution: this scope's module list, then the parent
+   chain; at the root, also the main image's exports. *)
+let rec resolve_scoped t proc ps scope name =
+  let try_module mname =
+    match ensure_instance_by_name t proc ps ~scope mname with
+    | Some inst -> Modinst.find_export inst name
+    | None -> None
+  in
+  match List.find_map try_module scope.Modinst.sc_modules with
+  | Some addr -> Some addr
+  | None -> (
+    match scope.Modinst.sc_parent with
+    | Some parent -> resolve_scoped t proc ps parent name
+    | None -> (
+      match ps.ps_aout with
+      | Some aout ->
+        Option.map (fun off -> Aout.image_base + off) (Aout.find_symbol aout name)
+      | None -> None))
+
+(* ----- the lazy link pass ------------------------------------------------- *)
+
+let link_instance t proc ps inst =
+  if not inst.Modinst.inst_linked then begin
+    let obj = inst.Modinst.inst_obj in
+    let image = Modinst.image_base inst in
+    let text_b, data_b, bss_b = Objfile.section_bases obj in
+    let bases = function
+      | Objfile.Text -> image + text_b
+      | Objfile.Data -> image + data_b
+      | Objfile.Bss -> image + bss_b
+    in
+    let resolve name =
+      match Modinst.find_own inst name with
+      | Some addr -> Some addr
+      | None -> resolve_scoped t proc ps inst.Modinst.inst_scope name
+    in
+    let already, mark =
+      if inst.Modinst.inst_public then
+        ( Modinst.Header.applied inst.Modinst.inst_seg,
+          Modinst.Header.set_applied inst.Modinst.inst_seg )
+      else
+        ( (fun i -> inst.Modinst.inst_applied.(i)),
+          fun i -> inst.Modinst.inst_applied.(i) <- true )
+    in
+    let sink = Modinst.sink_of_segment inst.Modinst.inst_seg ~vaddr_base:inst.Modinst.inst_base in
+    let left =
+      Reloc_engine.link_pass ~obj ~bases ~resolve ~already ~mark sink ~gp:None
+        ~veneer:(Some (Modinst.veneer_pool inst))
+    in
+    if left <> [] then
+      warn t "module %s: %d reference(s) unresolved at the root (left to fault)"
+        inst.Modinst.inst_key (List.length left);
+    As.protect proc.Proc.space inst.Modinst.inst_base Prot.Read_write_exec;
+    inst.Modinst.inst_linked <- true;
+    Stats.global.modules_linked <- Stats.global.modules_linked + 1
+  end
+
+(* ----- start-up (crt0's trap) ---------------------------------------------- *)
+
+let image_sink ps =
+  match ps.ps_image_seg with
+  | Some seg -> Modinst.sink_of_segment seg ~vaddr_base:Aout.image_base
+  | None -> errf "no image for this process"
+
+let resolve_image_pending t proc ps =
+  match ps.ps_aout with
+  | None -> ()
+  | Some aout ->
+    let sink = image_sink ps in
+    let pool =
+      {
+        Reloc_engine.vp_base = Aout.image_base + aout.Aout.veneer_off;
+        vp_cap = aout.Aout.veneer_cap;
+        vp_get_next = (fun () -> ps.ps_veneer_next);
+        vp_set_next = (fun n -> ps.ps_veneer_next <- n);
+      }
+    in
+    let gp = Option.map (fun off -> Aout.image_base + off) aout.Aout.gp_base_off in
+    let still = ref [] in
+    List.iter
+      (fun r ->
+        match resolve_scoped t proc ps ps.ps_root r.Objfile.rel_symbol with
+        | Some addr ->
+          Stats.global.symbols_resolved <- Stats.global.symbols_resolved + 1;
+          Reloc_engine.apply sink
+            ~at:(Aout.image_base + r.Objfile.rel_offset)
+            ~kind:r.Objfile.rel_kind
+            ~value:(addr + r.Objfile.rel_addend)
+            ~gp ~veneer:(Some pool)
+        | None -> still := r :: !still)
+      ps.ps_pending;
+    ps.ps_pending <- List.rev !still
+
+let ldl_startup t proc ps =
+  match ps.ps_aout with
+  | None -> ()
+  | Some aout ->
+    let root =
+      {
+        Modinst.sc_label = proc.Proc.comm;
+        sc_modules =
+          List.map (fun sp -> sp.Aout.sp_template) aout.Aout.static_pubs
+          @ List.map (fun d -> d.Aout.dd_name) aout.Aout.dynamics;
+        sc_search = Search.runtime_dirs (ctx_of t proc) ~recorded:aout.Aout.static_dirs;
+        sc_parent = None;
+      }
+    in
+    ps.ps_root <- root;
+    (* Map (and if necessary recreate) the static public modules. *)
+    List.iter
+      (fun sp ->
+        match ensure_instance_by_name t proc ps ~scope:root sp.Aout.sp_template with
+        | Some _ -> ()
+        | None -> warn t "static public module %s not found at run time" sp.Aout.sp_template
+        | exception Link_error msg -> warn t "static public %s: %s" sp.Aout.sp_template msg)
+      aout.Aout.static_pubs;
+    (* Create/instantiate dynamic modules, honouring the descriptor class. *)
+    List.iter
+      (fun d ->
+        let ctx = ctx_of t proc in
+        match Search.locate ctx ~dirs:(scope_dirs root) d.Aout.dd_name with
+        | None -> warn t "dynamic module %s not found" d.Aout.dd_name
+        | Some located -> (
+          if find_instance ps located = None then
+            match
+              instantiate t proc ps ~located
+                ~public:(d.Aout.dd_class = Sharing.Dynamic_public)
+                ~parent_scope:root
+            with
+            | (_ : Modinst.t) -> ()
+            | exception Link_error msg -> warn t "dynamic %s: %s" d.Aout.dd_name msg))
+      aout.Aout.dynamics;
+    (* Resolve the image's retained references against what is now mapped
+       — including symbols whose location was unknown at static link
+       time (the dld-style capability). *)
+    resolve_image_pending t proc ps;
+    (* LD_BIND_NOW: chase the whole reachability graph up front. *)
+    if t.bind_now then begin
+      let rec fixpoint () =
+        match List.find_opt (fun i -> not i.Modinst.inst_linked) ps.ps_instances with
+        | Some inst ->
+          link_instance t proc ps inst;
+          fixpoint ()
+        | None -> ()
+      in
+      fixpoint ()
+    end;
+    ps.ps_started <- true
+
+(* ----- the fault handler (§2) ----------------------------------------------- *)
+
+let handle_fault t _k proc fault =
+  match state t proc with
+  | None -> Kernel.Unhandled
+  | Some ps -> (
+    let addr = fault.Kernel.f_addr in
+    let finish f =
+      match f () with
+      | () -> Kernel.Resolved
+      | exception Would_block cond -> Kernel.Retry_when cond
+      | exception Link_error msg ->
+        warn t "fault at 0x%08x: %s" addr msg;
+        Kernel.Unhandled
+    in
+    match List.find_opt (fun i -> Modinst.contains i addr) ps.ps_instances with
+    | Some inst when not inst.Modinst.inst_linked ->
+      (* Lazy linking: resolve all of the touched module's references,
+         mapping in (possibly inaccessibly) any modules they need. *)
+      finish (fun () -> link_instance t proc ps inst)
+    | Some _ -> Kernel.Unhandled
+    | None ->
+      if Layout.is_public addr then begin
+        match Fs.path_of_addr (Kernel.fs t.k) addr with
+        | exception Fs.Error _ -> Kernel.Unhandled
+        | path ->
+          let seg = Fs.segment_of (Kernel.fs t.k) path in
+          if Modinst.Header.is_module_file seg then
+            finish (fun () ->
+                let scope =
+                  {
+                    Modinst.sc_label = path;
+                    sc_modules = [];
+                    sc_search = [];
+                    sc_parent = Some ps.ps_root;
+                  }
+                in
+                let inst = Modinst.public_instance (ctx_of t proc) ~module_path:path ~scope in
+                (match As.mapping_at proc.Proc.space inst.Modinst.inst_base with
+                | Some _ -> ()
+                | None ->
+                  As.map proc.Proc.space ~base:inst.Modinst.inst_base
+                    ~len:Layout.shared_slot_size ~seg:inst.Modinst.inst_seg
+                    ~prot:Prot.No_access ~share:As.Public ~label:path ());
+                ps.ps_instances <- inst :: ps.ps_instances;
+                link_instance t proc ps inst)
+          else
+            (* An ordinary shared file: map it so the pointer chase can
+               proceed (access rights permitting). *)
+            finish (fun () ->
+                ignore (Kernel.map_shared_file t.k proc ~path ~prot:Prot.Read_write))
+      end
+      else Kernel.Unhandled)
+
+(* ----- binfmt loader ---------------------------------------------------------- *)
+
+let count_used_veneers aout =
+  let text = aout.Aout.text in
+  let rec go i n =
+    if i >= aout.Aout.veneer_cap then n
+    else
+      let off = aout.Aout.veneer_off + (i * Reloc_engine.veneer_slot_bytes) in
+      if off + 4 <= Bytes.length text && Codec.get_u32 text off <> 0 then go (i + 1) (n + 1)
+      else go (i + 1) n
+  in
+  go 0 0
+
+let empty_root proc =
+  { Modinst.sc_label = proc.Proc.comm; sc_modules = []; sc_search = []; sc_parent = None }
+
+let loader t _k proc bytes ~path =
+  if not (Aout.looks_like bytes) then raise Kernel.Wrong_format;
+  let aout = Aout.parse bytes in
+  let size = Aout.image_size aout in
+  let seg = Segment.create ~name:("image:" ^ path) ~max_size:(Layout.page_up size) () in
+  Segment.blit_in seg ~dst_off:0 aout.Aout.text;
+  Segment.blit_in seg ~dst_off:(Bytes.length aout.Aout.text) aout.Aout.data;
+  Segment.resize seg (Layout.page_up size);
+  As.map proc.Proc.space ~base:Aout.image_base ~len:(Layout.page_up size) ~seg
+    ~prot:Prot.Read_write_exec ~share:As.Private ~label:path ();
+  Hashtbl.replace t.states proc.Proc.pid
+    {
+      ps_aout = Some aout;
+      ps_image_seg = Some seg;
+      ps_instances = [];
+      ps_root = empty_root proc;
+      ps_pending = aout.Aout.pending;
+      ps_veneer_next = count_used_veneers aout;
+      ps_started = false;
+    };
+  Kernel.install_segv_handler t.k proc ~name:"hemlock-ldl" (handle_fault t);
+  Aout.image_base + aout.Aout.entry_off
+
+(* ----- fork hook ------------------------------------------------------------------ *)
+
+let clone_for_fork t ~parent ~child =
+  match state t parent with
+  | None -> ()
+  | Some ps ->
+    let remap base fallback =
+      match As.mapping_at child.Proc.space base with
+      | Some (_, _, m) -> m.As.seg
+      | None -> fallback
+    in
+    let clone_inst inst =
+      if inst.Modinst.inst_public then { inst with Modinst.inst_key = inst.Modinst.inst_key }
+      else
+        {
+          inst with
+          Modinst.inst_seg = remap inst.Modinst.inst_base inst.Modinst.inst_seg;
+          inst_applied = Array.copy inst.Modinst.inst_applied;
+        }
+    in
+    Hashtbl.replace t.states child.Proc.pid
+      {
+        ps_aout = ps.ps_aout;
+        ps_image_seg =
+          Option.map (fun seg -> remap Aout.image_base seg) ps.ps_image_seg;
+        ps_instances = List.map clone_inst ps.ps_instances;
+        ps_root = ps.ps_root;
+        ps_pending = ps.ps_pending;
+        ps_veneer_next = ps.ps_veneer_next;
+        ps_started = ps.ps_started;
+      }
+
+(* ----- public entry points ---------------------------------------------------------- *)
+
+let install k =
+  let t = { k; states = Hashtbl.create 16; warn = []; bind_now = false } in
+  Kernel.register_binfmt k ~name:"hexe" (fun kk proc bytes ~path -> loader t kk proc bytes ~path);
+  Kernel.register_syscall k Sysno.ldl_run (fun _k proc cpu ->
+      match state t proc with
+      | None -> ()
+      | Some ps -> (
+        if not ps.ps_started then
+          try ldl_startup t proc ps with
+          | Would_block cond -> Kernel.block_syscall cpu cond
+          | Link_error msg -> warn t "ldl: %s" msg));
+  Kernel.add_fork_hook k (fun ~parent ~child -> clone_for_fork t ~parent ~child);
+  t
+
+let attach t proc =
+  if state t proc = None then begin
+    let root =
+      {
+        Modinst.sc_label = proc.Proc.comm;
+        sc_modules = [];
+        sc_search = Search.runtime_dirs (ctx_of t proc) ~recorded:Search.default_dirs;
+        sc_parent = None;
+      }
+    in
+    Hashtbl.replace t.states proc.Proc.pid
+      {
+        ps_aout = None;
+        ps_image_seg = None;
+        ps_instances = [];
+        ps_root = root;
+        ps_pending = [];
+        ps_veneer_next = 0;
+        ps_started = true;
+      };
+    Kernel.install_segv_handler t.k proc ~name:"hemlock-ldl" (handle_fault t)
+  end
+
+let rec retry_native f =
+  match f () with
+  | v -> v
+  | exception Would_block cond ->
+    Proc.wait_until cond;
+    retry_native f
+
+let dlopen t proc name =
+  attach t proc;
+  let ps = Option.get (state t proc) in
+  retry_native (fun () ->
+      match ensure_instance_by_name t proc ps ~scope:ps.ps_root name with
+      | Some inst -> inst
+      | None -> errf "dlopen: cannot find module %s" name)
+
+let dlsym t proc name =
+  attach t proc;
+  let ps = Option.get (state t proc) in
+  retry_native (fun () ->
+      match resolve_scoped t proc ps ps.ps_root name with
+      | Some addr -> Some addr
+      | None ->
+        (* dld-style: symbols of explicitly loaded modules are visible
+           even when no module list names them. *)
+        List.find_map (fun inst -> Modinst.find_export inst name) ps.ps_instances)
+
+let link_now t proc inst =
+  match state t proc with
+  | None -> errf "link_now: process not attached"
+  | Some ps -> retry_native (fun () -> link_instance t proc ps inst)

@@ -1,0 +1,51 @@
+(** lds — the static linker for sharing (§3).
+
+    Takes object modules each tagged with one of the four sharing
+    classes and produces a load image (a.out):
+
+    - {b static private} modules are combined into the image, with crt0
+      prepended and cross-references resolved;
+    - {b static public} modules are created in the shared file system
+      (if they do not yet exist) at their permanent global addresses,
+      and references to their symbols are resolved to absolute
+      addresses — the job the stock ld refused to do;
+    - {b dynamic} modules are merely recorded by name together with the
+      search strategy, for ldl; lds warns when their templates cannot
+      be found yet and aborts only for missing {e static} modules;
+    - relocation records that could not be resolved statically are
+      retained in the image's explicit data structure;
+    - a veneer pool is reserved, and out-of-range jumps to public
+      modules are routed through it at static link time. *)
+
+exception Link_error of string
+
+type spec = { sp_name : string; sp_class : Sharing.t }
+
+(** [link ctx ~specs ~output ()] builds [output].
+
+    @param cli_dirs the -L search directories.
+    @param duplicate_policy what to do when two static modules export
+    the same global: report an error (default, traditional) or take the
+    first (the other behaviour §3 describes).
+    @return warnings (missing dynamic modules, public modules created
+    with unresolved external references, ...).
+    @raise Link_error on missing static modules, duplicate symbols
+    (under [`Error]), gp-using public modules, or malformed templates. *)
+val link :
+  Search.ctx ->
+  ?cli_dirs:string list ->
+  ?duplicate_policy:[ `Error | `First ] ->
+  specs:spec list ->
+  output:string ->
+  unit ->
+  string list
+
+(** [embed_metadata ctx ~template ~modules ~search_path] is the "run a
+    .o through lds with an argument that retains relocation information"
+    flow: rewrites the template embedding its own module list and search
+    path, the inputs to scoped linking. *)
+val embed_metadata :
+  Search.ctx -> template:string -> modules:string list -> search_path:string list -> unit
+
+(** The crt0 start-up module source lds links into every program. *)
+val crt0_source : string

@@ -1,0 +1,70 @@
+(** Applying relocations to placed module images.
+
+    The engine is address-based: a {!sink} reads and writes 32-bit words
+    at absolute virtual addresses, whether backed by an in-construction
+    [Bytes.t] image (lds) or a live {!Hemlock_vm.Segment.t} (ldl).
+
+    Out-of-range [Jump26] targets are routed through {e veneers}: 16-byte
+    code fragments ("jumps to new, nearby code fragments that load the
+    appropriate target address into a register and jump indirectly", §3)
+    allocated from a per-module pool. *)
+
+exception Link_error of string
+
+type sink = { get32 : int -> int; set32 : int -> int -> unit }
+
+(** A veneer pool: [vp_base] is the absolute address of the first slot;
+    the next-free counter is accessed through the closures so it can
+    live either in OCaml state (private modules) or in the shared module
+    header (public modules). *)
+type veneer_pool = {
+  vp_base : int;
+  vp_cap : int;
+  vp_get_next : unit -> int;
+  vp_set_next : int -> unit;
+}
+
+(** Bytes per veneer slot (lui/ori/jr/nop). *)
+val veneer_slot_bytes : int
+
+(** Monotone count of veneers emitted, for the E11 harness. *)
+val veneers_created : unit -> int
+
+val reset_veneer_count : unit -> unit
+
+(** [alloc_veneer sink pool ~target] writes a veneer jumping to [target]
+    and returns its address.  Reuses an existing slot with the same
+    target.  @raise Link_error when the pool is exhausted. *)
+val alloc_veneer : sink -> veneer_pool -> target:int -> int
+
+(** [apply sink ~at ~kind ~value ~gp ~veneer] patches the word at
+    absolute address [at].  [value] is the resolved symbol address plus
+    addend.  [gp] is required for [Gprel16]; [veneer] for out-of-range
+    [Jump26].  @raise Link_error on range violations. *)
+val apply :
+  sink ->
+  at:int ->
+  kind:Hemlock_obj.Objfile.reloc_kind ->
+  value:int ->
+  gp:int option ->
+  veneer:veneer_pool option ->
+  unit
+
+(** A pass over a module's relocation list.
+
+    [link_pass ~obj ~bases ~resolve ~already ~mark sink ~gp ~veneer]
+    visits each relocation by index; [bases] gives the absolute base
+    address of each section of the placed module; [resolve] maps a
+    symbol name to an absolute address ([None] leaves the relocation
+    pending); [already]/[mark] track per-relocation completion.  Returns
+    the indices that remain unresolved. *)
+val link_pass :
+  obj:Hemlock_obj.Objfile.t ->
+  bases:(Hemlock_obj.Objfile.section -> int) ->
+  resolve:(string -> int option) ->
+  already:(int -> bool) ->
+  mark:(int -> unit) ->
+  sink ->
+  gp:int option ->
+  veneer:veneer_pool option ->
+  int list

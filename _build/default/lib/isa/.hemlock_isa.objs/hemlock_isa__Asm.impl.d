@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Buffer Char Hemlock_obj Hemlock_util Insn List Printf Reg String

@@ -1,0 +1,1 @@
+lib/isa/cpu.ml: Array Format Hemlock_util Hemlock_vm Insn Reg

@@ -1,0 +1,1 @@
+lib/isa/cpu.mli: Format Hemlock_vm Reg

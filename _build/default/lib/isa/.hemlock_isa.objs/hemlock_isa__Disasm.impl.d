@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Buffer Bytes Format Hemlock_util Insn List Printf

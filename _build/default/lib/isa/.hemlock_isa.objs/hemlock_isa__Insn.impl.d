@@ -1,0 +1,1 @@
+lib/isa/insn.ml: Format Hemlock_util Printf Reg

@@ -1,0 +1,427 @@
+module Objfile = Hemlock_obj.Objfile
+module Codec = Hemlock_util.Codec
+
+exception Error of { line : int; msg : string }
+
+type fixup = { fix_offset : int; fix_label : string; fix_line : int }
+
+type state = {
+  name : string;
+  text : Buffer.t;
+  data : Buffer.t;
+  mutable bss_size : int;
+  mutable section : Objfile.section;
+  mutable symbols : (string * Objfile.section * int) list; (* reverse order *)
+  mutable globals : string list;
+  mutable relocs : Objfile.reloc list; (* reverse order *)
+  mutable branch_fixups : fixup list;
+  mutable uses_gp : bool;
+  mutable line : int;
+}
+
+let err st msg = raise (Error { line = st.line; msg })
+
+let errf st fmt = Printf.ksprintf (err st) fmt
+
+(* --- tokenizing ------------------------------------------------------- *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+(* Split an operand list on commas, then trim. *)
+let split_operands s =
+  if String.trim s = "" then []
+  else List.map String.trim (String.split_on_char ',' s)
+
+let parse_int st s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> errf st "bad integer %S" s
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '$'
+
+let is_ident s =
+  String.length s > 0
+  && (s.[0] < '0' || s.[0] > '9')
+  && s.[0] <> '-'
+  && String.for_all is_ident_char s
+  && s.[0] <> '$'
+
+(* expr = int | sym | sym+int | sym-int *)
+let parse_expr st s =
+  let plus = String.index_opt s '+' in
+  let minus = if String.length s > 1 then String.index_from_opt s 1 '-' else None in
+  match (plus, minus) with
+  | Some i, _ | None, Some i ->
+    let sym = String.trim (String.sub s 0 i) in
+    let rest = String.trim (String.sub s i (String.length s - i)) in
+    if is_ident sym then (Some sym, parse_int st rest)
+    else (None, parse_int st s)
+  | None, None ->
+    if is_ident s then (Some s, 0) else (None, parse_int st s)
+
+(* --- emission --------------------------------------------------------- *)
+
+let current_buffer st =
+  match st.section with
+  | Objfile.Text -> Some st.text
+  | Objfile.Data -> Some st.data
+  | Objfile.Bss -> None
+
+let here st =
+  match st.section with
+  | Objfile.Text -> Buffer.length st.text
+  | Objfile.Data -> Buffer.length st.data
+  | Objfile.Bss -> st.bss_size
+
+let emit_u8 st v =
+  match current_buffer st with
+  | Some buf -> Buffer.add_char buf (Char.chr (v land 0xFF))
+  | None ->
+    if v <> 0 then err st "bss section cannot hold initialised data";
+    st.bss_size <- st.bss_size + 1
+
+let emit_u32 st v =
+  emit_u8 st v;
+  emit_u8 st (v lsr 8);
+  emit_u8 st (v lsr 16);
+  emit_u8 st (v lsr 24)
+
+let emit_insn st insn =
+  if st.section <> Objfile.Text then err st "instruction outside .text";
+  emit_u32 st (Insn.encode insn)
+
+let add_reloc st kind symbol addend =
+  st.relocs <-
+    {
+      Objfile.rel_section = st.section;
+      rel_offset = here st;
+      rel_kind = kind;
+      rel_symbol = symbol;
+      rel_addend = addend;
+    }
+    :: st.relocs
+
+let define_label st name =
+  if List.exists (fun (n, _, _) -> String.equal n name) st.symbols then
+    errf st "duplicate label %s" name;
+  st.symbols <- (name, st.section, here st) :: st.symbols
+
+(* --- instruction parsing ---------------------------------------------- *)
+
+let reg st s =
+  match Reg.of_string s with r -> r | exception Failure msg -> err st msg
+
+(* "off($r)" | "($r)" | "sym($gp)" *)
+let parse_mem st s =
+  match String.index_opt s '(' with
+  | None -> errf st "bad memory operand %S" s
+  | Some i ->
+    if s.[String.length s - 1] <> ')' then errf st "bad memory operand %S" s;
+    let base = String.sub s (i + 1) (String.length s - i - 2) in
+    let prefix = String.trim (String.sub s 0 i) in
+    let base_reg = reg st base in
+    if prefix <> "" && is_ident prefix then begin
+      if base_reg <> Reg.gp then
+        errf st "symbolic displacement only allowed with $gp: %S" s;
+      `Gprel (prefix, base_reg)
+    end
+    else `Plain ((if prefix = "" then 0 else parse_int st prefix), base_reg)
+
+let parse_asciiz st s =
+  let s = String.trim s in
+  if String.length s < 2 || s.[0] <> '"' || s.[String.length s - 1] <> '"' then
+    err st "expected quoted string";
+  let body = String.sub s 1 (String.length s - 2) in
+  (* handle backslash escapes: n t backslash quote 0 *)
+  let buf = Buffer.create (String.length body) in
+  let rec go i =
+    if i < String.length body then
+      if body.[i] = '\\' && i + 1 < String.length body then begin
+        (match body.[i + 1] with
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | '0' -> Buffer.add_char buf '\000'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '"' -> Buffer.add_char buf '"'
+        | c -> errf st "bad escape \\%c" c);
+        go (i + 2)
+      end
+      else begin
+        Buffer.add_char buf body.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let imm16_ok v = v >= -0x8000 && v <= 0x7FFF
+
+let handle_load_store st mnemonic rt src =
+  let mk_plain off base =
+    match mnemonic with
+    | "lw" -> Insn.Lw (rt, base, off)
+    | "lb" -> Insn.Lb (rt, base, off)
+    | "sw" -> Insn.Sw (rt, base, off)
+    | "sb" -> Insn.Sb (rt, base, off)
+    | _ -> assert false
+  in
+  match parse_mem st src with
+  | `Plain (off, base) -> emit_insn st (mk_plain off base)
+  | `Gprel (sym, base) ->
+    (* gp-relative access: a 16-bit displacement from $gp, patched by a
+       GPREL16 reloc.  Marks the module as incompatible with the sparse
+       shared address space. *)
+    st.uses_gp <- true;
+    add_reloc st Objfile.Gprel16 sym 0;
+    emit_insn st (mk_plain 0 base)
+
+let handle_instruction st mnemonic operands =
+  let ops = split_operands operands in
+  let nth i =
+    match List.nth_opt ops i with
+    | Some s -> s
+    | None -> errf st "missing operand %d for %s" i mnemonic
+  in
+  let arity n =
+    if List.length ops <> n then
+      errf st "%s expects %d operands, got %d" mnemonic n (List.length ops)
+  in
+  let r i = reg st (nth i) in
+  let int i = parse_int st (nth i) in
+  let rrr mk =
+    arity 3;
+    emit_insn st (mk (r 0) (r 1) (r 2))
+  in
+  let shift mk =
+    arity 3;
+    emit_insn st (mk (r 0) (r 1) (int 2))
+  in
+  let immediate mk =
+    arity 3;
+    emit_insn st (mk (r 0) (r 1) (int 2))
+  in
+  let branch2 mk =
+    arity 3;
+    st.branch_fixups <-
+      { fix_offset = here st; fix_label = nth 2; fix_line = st.line } :: st.branch_fixups;
+    emit_insn st (mk (r 0) (r 1) 0)
+  in
+  let branch1 mk =
+    arity 2;
+    st.branch_fixups <-
+      { fix_offset = here st; fix_label = nth 1; fix_line = st.line } :: st.branch_fixups;
+    emit_insn st (mk (r 0) 0)
+  in
+  match mnemonic with
+  | "add" -> rrr (fun a b c -> Insn.Add (a, b, c))
+  | "sub" -> rrr (fun a b c -> Insn.Sub (a, b, c))
+  | "mul" -> rrr (fun a b c -> Insn.Mul (a, b, c))
+  | "div" -> rrr (fun a b c -> Insn.Div (a, b, c))
+  | "rem" -> rrr (fun a b c -> Insn.Rem (a, b, c))
+  | "and" -> rrr (fun a b c -> Insn.And (a, b, c))
+  | "or" -> rrr (fun a b c -> Insn.Or (a, b, c))
+  | "xor" -> rrr (fun a b c -> Insn.Xor (a, b, c))
+  | "slt" -> rrr (fun a b c -> Insn.Slt (a, b, c))
+  | "sltu" -> rrr (fun a b c -> Insn.Sltu (a, b, c))
+  | "sll" -> shift (fun a b c -> Insn.Sll (a, b, c))
+  | "srl" -> shift (fun a b c -> Insn.Srl (a, b, c))
+  | "sra" -> shift (fun a b c -> Insn.Sra (a, b, c))
+  | "addi" -> immediate (fun a b c -> Insn.Addi (a, b, c))
+  | "slti" -> immediate (fun a b c -> Insn.Slti (a, b, c))
+  | "andi" -> immediate (fun a b c -> Insn.Andi (a, b, c))
+  | "ori" -> immediate (fun a b c -> Insn.Ori (a, b, c))
+  | "xori" -> immediate (fun a b c -> Insn.Xori (a, b, c))
+  | "lui" ->
+    arity 2;
+    emit_insn st (Insn.Lui (r 0, int 1))
+  | "lw" | "lb" | "sw" | "sb" ->
+    arity 2;
+    handle_load_store st mnemonic (r 0) (nth 1)
+  | "beq" -> branch2 (fun a b off -> Insn.Beq (a, b, off))
+  | "bne" -> branch2 (fun a b off -> Insn.Bne (a, b, off))
+  | "blez" -> branch1 (fun a off -> Insn.Blez (a, off))
+  | "bgtz" -> branch1 (fun a off -> Insn.Bgtz (a, off))
+  | "b" ->
+    arity 1;
+    st.branch_fixups <-
+      { fix_offset = here st; fix_label = nth 0; fix_line = st.line } :: st.branch_fixups;
+    emit_insn st (Insn.Beq (Reg.zero, Reg.zero, 0))
+  | "j" | "jal" ->
+    arity 1;
+    add_reloc st Objfile.Jump26 (nth 0) 0;
+    emit_insn st (if mnemonic = "j" then Insn.J 0 else Insn.Jal 0)
+  | "jr" ->
+    arity 1;
+    emit_insn st (Insn.Jr (r 0))
+  | "jalr" ->
+    arity 2;
+    emit_insn st (Insn.Jalr (r 0, r 1))
+  | "syscall" ->
+    arity 0;
+    emit_insn st Insn.Syscall
+  | "break" ->
+    arity 0;
+    emit_insn st Insn.Break
+  | "nop" ->
+    arity 0;
+    emit_insn st Insn.nop
+  | "la" ->
+    arity 2;
+    let rd = r 0 in
+    let sym, addend = parse_expr st (nth 1) in
+    (match sym with
+    | Some sym ->
+      add_reloc st Objfile.Hi16 sym addend;
+      emit_insn st (Insn.Lui (rd, 0));
+      add_reloc st Objfile.Lo16 sym addend;
+      emit_insn st (Insn.Ori (rd, rd, 0))
+    | None ->
+      let v = addend in
+      emit_insn st (Insn.Lui (rd, (v lsr 16) land 0xFFFF));
+      emit_insn st (Insn.Ori (rd, rd, v land 0xFFFF)))
+  | "li" ->
+    arity 2;
+    let rd = r 0 in
+    let v = int 1 in
+    if imm16_ok v then emit_insn st (Insn.Addi (rd, Reg.zero, v))
+    else begin
+      emit_insn st (Insn.Lui (rd, (v lsr 16) land 0xFFFF));
+      emit_insn st (Insn.Ori (rd, rd, v land 0xFFFF))
+    end
+  | "move" ->
+    arity 2;
+    emit_insn st (Insn.Add (r 0, r 1, Reg.zero))
+  | m -> errf st "unknown mnemonic %S" m
+
+let handle_directive st directive rest =
+  match directive with
+  | ".text" -> st.section <- Objfile.Text
+  | ".data" -> st.section <- Objfile.Data
+  | ".bss" -> st.section <- Objfile.Bss
+  | ".globl" | ".global" ->
+    List.iter (fun s -> st.globals <- s :: st.globals) (split_operands rest)
+  | ".word" ->
+    if split_operands rest = [] then err st ".word needs at least one operand";
+    let emit_word s =
+      match parse_expr st s with
+      | Some sym, addend ->
+        add_reloc st Objfile.Abs32 sym addend;
+        emit_u32 st 0
+      | None, v -> emit_u32 st (Codec.mask32 v)
+    in
+    List.iter emit_word (split_operands rest)
+  | ".byte" ->
+    if split_operands rest = [] then err st ".byte needs at least one operand";
+    List.iter (fun s -> emit_u8 st (parse_int st s)) (split_operands rest)
+  | ".asciiz" ->
+    String.iter (fun c -> emit_u8 st (Char.code c)) (parse_asciiz st rest);
+    emit_u8 st 0
+  | ".space" ->
+    let n = parse_int st (String.trim rest) in
+    if st.section = Objfile.Bss then st.bss_size <- st.bss_size + n
+    else
+      for _ = 1 to n do
+        emit_u8 st 0
+      done
+  | ".align" ->
+    let pad = (4 - (here st land 3)) land 3 in
+    if st.section = Objfile.Bss then st.bss_size <- st.bss_size + pad
+    else
+      for _ = 1 to pad do
+        emit_u8 st 0
+      done
+  | d -> errf st "unknown directive %S" d
+
+let handle_line st line =
+  let line = String.trim (strip_comment line) in
+  if line <> "" then begin
+    (* Leading labels, possibly several. *)
+    let rec strip_labels line =
+      match String.index_opt line ':' with
+      | Some i when is_ident (String.trim (String.sub line 0 i)) ->
+        define_label st (String.trim (String.sub line 0 i));
+        strip_labels (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+      | Some _ | None -> line
+    in
+    let line = strip_labels line in
+    if line <> "" then
+      if line.[0] = '.' then begin
+        match String.index_opt line ' ' with
+        | None -> handle_directive st line ""
+        | Some i ->
+          handle_directive st (String.sub line 0 i)
+            (String.sub line i (String.length line - i))
+      end
+      else begin
+        match String.index_opt line ' ' with
+        | None -> handle_instruction st line ""
+        | Some i ->
+          handle_instruction st (String.sub line 0 i)
+            (String.trim (String.sub line i (String.length line - i)))
+      end
+  end
+
+let apply_branch_fixups st =
+  let text = Buffer.to_bytes st.text in
+  let fix { fix_offset; fix_label; fix_line } =
+    st.line <- fix_line;
+    match List.find_opt (fun (n, _, _) -> String.equal n fix_label) st.symbols with
+    | Some (_, Objfile.Text, label_off) ->
+      let delta = (label_off - (fix_offset + 4)) / 4 in
+      if not (imm16_ok delta) then errf st "branch to %s out of range" fix_label;
+      let word = Codec.get_u32 text fix_offset in
+      Codec.set_u32 text fix_offset ((word land lnot 0xFFFF) lor (delta land 0xFFFF))
+    | Some (_, (Objfile.Data | Objfile.Bss), _) ->
+      errf st "branch target %s is not in .text" fix_label
+    | None -> errf st "branch to undefined local label %s" fix_label
+  in
+  List.iter fix st.branch_fixups;
+  text
+
+let assemble ~name source =
+  let st =
+    {
+      name;
+      text = Buffer.create 256;
+      data = Buffer.create 64;
+      bss_size = 0;
+      section = Objfile.Text;
+      symbols = [];
+      globals = [];
+      relocs = [];
+      branch_fixups = [];
+      uses_gp = false;
+      line = 0;
+    }
+  in
+  List.iteri
+    (fun i line ->
+      st.line <- i + 1;
+      handle_line st line)
+    (String.split_on_char '\n' source);
+  let text = apply_branch_fixups st in
+  let symbols =
+    List.rev_map
+      (fun (sym_name, sym_section, sym_offset) ->
+        let sym_binding =
+          if List.mem sym_name st.globals then Objfile.Global else Objfile.Local
+        in
+        { Objfile.sym_name; sym_section; sym_offset; sym_binding })
+      st.symbols
+  in
+  {
+    Objfile.obj_name = st.name;
+    text;
+    data = Buffer.to_bytes st.data;
+    bss_size = st.bss_size;
+    symbols;
+    relocs = List.rev st.relocs;
+    uses_gp = st.uses_gp;
+    own_modules = [];
+    own_search_path = [];
+  }

@@ -1,0 +1,36 @@
+(** The assembler: textual assembly to {!Hemlock_obj.Objfile.t}
+    templates.  This is the layer the toy compiler targets, and the one
+    test/bench code uses to author modules directly.
+
+    Syntax summary:
+    {v
+      .text / .data / .bss        select section
+      .globl name                 export a label
+      label:                      define a symbol at the current offset
+      .word expr {, expr}         32-bit datum; expr = int | sym | sym+int
+      .byte int                   8-bit datum
+      .asciiz "str"               NUL-terminated string
+      .space n                    n zero bytes (any section; bss only grows)
+      .align                      pad to a 4-byte boundary
+      add $rd, $rs, $rt           register ops (add sub mul div rem and
+                                  or xor slt sltu sll srl sra with shamt)
+      addi/andi/ori/xori/slti     immediates; lui $rt, imm
+      lw/lb/sw/sb $rt, off($rs)   memory; "sym($gp)" emits a GPREL16
+                                  reloc and marks the module as gp-using
+      beq/bne $rs, $rt, label     pc-relative, module-local
+      blez/bgtz $rs, label
+      j/jal label                 emits a JUMP26 reloc (linker patches)
+      jr $rs / jalr $rd, $rs
+      syscall / break / nop
+      la $rd, sym                 pseudo: lui+ori with HI16/LO16 relocs
+      li $rd, imm                 pseudo
+      move $rd, $rs               pseudo
+      b label                     pseudo: beq $zero, $zero
+      # ...                       comment
+    v} *)
+
+exception Error of { line : int; msg : string }
+
+(** [assemble ~name source] assembles a template module.
+    @raise Error with a source line number on any syntax problem. *)
+val assemble : name:string -> string -> Hemlock_obj.Objfile.t

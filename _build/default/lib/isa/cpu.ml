@@ -1,0 +1,148 @@
+module As = Hemlock_vm.Address_space
+module Codec = Hemlock_util.Codec
+module Stats = Hemlock_util.Stats
+
+type t = { regs : int array; mutable pc : int }
+
+type status = Running | Halted of int
+
+exception Cpu_error of { pc : int; msg : string }
+
+let create ~entry ~sp =
+  let regs = Array.make 32 0 in
+  regs.(Reg.sp) <- sp;
+  { regs; pc = entry }
+
+let reg t r = t.regs.(r)
+
+let set_reg t r v = if r <> 0 then t.regs.(r) <- Codec.mask32 v
+
+let signed t r = Codec.sext32 t.regs.(r)
+
+let error t msg = raise (Cpu_error { pc = t.pc; msg })
+
+let step t space ~syscall =
+  let pc = t.pc in
+  let word = As.fetch space pc in
+  let insn =
+    match Insn.decode word with
+    | insn -> insn
+    | exception Failure msg -> error t msg
+  in
+  Stats.global.instructions <- Stats.global.instructions + 1;
+  let next = pc + 4 in
+  let branch off taken = if taken then next + (off * 4) else next in
+  match insn with
+  | Insn.Break -> Halted (Codec.sext32 t.regs.(Reg.a0))
+  | Insn.Syscall ->
+    t.pc <- next;
+    Stats.global.syscalls <- Stats.global.syscalls + 1;
+    syscall t;
+    Running
+  | insn ->
+    let next =
+      match insn with
+      | Insn.Sll (rd, rt, sh) ->
+        set_reg t rd (t.regs.(rt) lsl sh);
+        next
+      | Insn.Srl (rd, rt, sh) ->
+        set_reg t rd (t.regs.(rt) lsr sh);
+        next
+      | Insn.Sra (rd, rt, sh) ->
+        set_reg t rd (Codec.sext32 t.regs.(rt) asr sh);
+        next
+      | Insn.Add (rd, rs, rt) ->
+        set_reg t rd (t.regs.(rs) + t.regs.(rt));
+        next
+      | Insn.Sub (rd, rs, rt) ->
+        set_reg t rd (t.regs.(rs) - t.regs.(rt));
+        next
+      | Insn.Mul (rd, rs, rt) ->
+        set_reg t rd (signed t rs * signed t rt);
+        next
+      | Insn.Div (rd, rs, rt) ->
+        if t.regs.(rt) = 0 then error t "division by zero";
+        set_reg t rd (signed t rs / signed t rt);
+        next
+      | Insn.Rem (rd, rs, rt) ->
+        if t.regs.(rt) = 0 then error t "remainder by zero";
+        set_reg t rd (signed t rs mod signed t rt);
+        next
+      | Insn.And (rd, rs, rt) ->
+        set_reg t rd (t.regs.(rs) land t.regs.(rt));
+        next
+      | Insn.Or (rd, rs, rt) ->
+        set_reg t rd (t.regs.(rs) lor t.regs.(rt));
+        next
+      | Insn.Xor (rd, rs, rt) ->
+        set_reg t rd (t.regs.(rs) lxor t.regs.(rt));
+        next
+      | Insn.Slt (rd, rs, rt) ->
+        set_reg t rd (if signed t rs < signed t rt then 1 else 0);
+        next
+      | Insn.Sltu (rd, rs, rt) ->
+        set_reg t rd (if t.regs.(rs) < t.regs.(rt) then 1 else 0);
+        next
+      | Insn.Addi (rt, rs, imm) ->
+        set_reg t rt (t.regs.(rs) + imm);
+        next
+      | Insn.Slti (rt, rs, imm) ->
+        set_reg t rt (if signed t rs < imm then 1 else 0);
+        next
+      | Insn.Andi (rt, rs, imm) ->
+        set_reg t rt (t.regs.(rs) land imm);
+        next
+      | Insn.Ori (rt, rs, imm) ->
+        set_reg t rt (t.regs.(rs) lor imm);
+        next
+      | Insn.Xori (rt, rs, imm) ->
+        set_reg t rt (t.regs.(rs) lxor imm);
+        next
+      | Insn.Lui (rt, imm) ->
+        set_reg t rt (imm lsl 16);
+        next
+      | Insn.Lw (rt, base, off) ->
+        set_reg t rt (As.load_u32 space (Codec.mask32 (t.regs.(base) + off)));
+        next
+      | Insn.Lb (rt, base, off) ->
+        set_reg t rt (As.load_u8 space (Codec.mask32 (t.regs.(base) + off)));
+        next
+      | Insn.Sw (rt, base, off) ->
+        As.store_u32 space (Codec.mask32 (t.regs.(base) + off)) t.regs.(rt);
+        next
+      | Insn.Sb (rt, base, off) ->
+        As.store_u8 space (Codec.mask32 (t.regs.(base) + off)) (t.regs.(rt) land 0xFF);
+        next
+      | Insn.Beq (rs, rt, off) -> branch off (t.regs.(rs) = t.regs.(rt))
+      | Insn.Bne (rs, rt, off) -> branch off (t.regs.(rs) <> t.regs.(rt))
+      | Insn.Blez (rs, off) -> branch off (signed t rs <= 0)
+      | Insn.Bgtz (rs, off) -> branch off (signed t rs > 0)
+      | Insn.J field -> Insn.jump_target ~pc field
+      | Insn.Jal field ->
+        set_reg t Reg.ra next;
+        Insn.jump_target ~pc field
+      | Insn.Jr rs -> t.regs.(rs)
+      | Insn.Jalr (rd, rs) ->
+        let target = t.regs.(rs) in
+        set_reg t rd next;
+        target
+      | Insn.Syscall | Insn.Break -> assert false
+    in
+    t.pc <- next;
+    Running
+
+let run ~fuel t space ~syscall =
+  let rec go n = if n = 0 then Running else
+    match step t space ~syscall with
+    | Running -> go (n - 1)
+    | Halted code -> Halted code
+  in
+  go fuel
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>pc = 0x%08x@," t.pc;
+  for i = 0 to 31 do
+    if t.regs.(i) <> 0 then
+      Format.fprintf ppf "%-5s = 0x%08x@," (Reg.name i) t.regs.(i)
+  done;
+  Format.fprintf ppf "@]"

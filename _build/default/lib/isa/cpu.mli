@@ -1,0 +1,34 @@
+(** The interpreter.  Every fetch, load and store goes through a
+    {!Hemlock_vm.Address_space.t}, so touching an unmapped or protected
+    address raises {!Hemlock_vm.Address_space.Fault} {e out of}
+    {!step} with the pc still pointing at the faulting instruction —
+    after the kernel runs the process's SIGSEGV handler the instruction
+    restarts, exactly the behaviour Hemlock's lazy linker relies on. *)
+
+type t = { regs : int array; mutable pc : int }
+
+type status =
+  | Running
+  | Halted of int  (** exit code *)
+
+(** Decode failures and arithmetic traps (division by zero). *)
+exception Cpu_error of { pc : int; msg : string }
+
+val create : entry:int -> sp:int -> t
+
+val reg : t -> Reg.t -> int
+
+(** Writes to register 0 are discarded; values are masked to 32 bits. *)
+val set_reg : t -> Reg.t -> int -> unit
+
+(** Execute one instruction.  [syscall] is invoked for SYSCALL traps
+    with the pc already advanced past the instruction, so a handler that
+    blocks and later resumes continues after the trap; it reads and
+    writes registers itself.  May raise [Address_space.Fault] (pc
+    unmoved) or [Cpu_error]. *)
+val step : t -> Hemlock_vm.Address_space.t -> syscall:(t -> unit) -> status
+
+(** [run ~fuel t as_ ~syscall] steps until halt or fuel runs out. *)
+val run : fuel:int -> t -> Hemlock_vm.Address_space.t -> syscall:(t -> unit) -> status
+
+val pp : Format.formatter -> t -> unit

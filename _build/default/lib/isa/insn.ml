@@ -1,0 +1,203 @@
+type t =
+  | Sll of Reg.t * Reg.t * int
+  | Srl of Reg.t * Reg.t * int
+  | Sra of Reg.t * Reg.t * int
+  | Add of Reg.t * Reg.t * Reg.t
+  | Sub of Reg.t * Reg.t * Reg.t
+  | Mul of Reg.t * Reg.t * Reg.t
+  | Div of Reg.t * Reg.t * Reg.t
+  | Rem of Reg.t * Reg.t * Reg.t
+  | And of Reg.t * Reg.t * Reg.t
+  | Or of Reg.t * Reg.t * Reg.t
+  | Xor of Reg.t * Reg.t * Reg.t
+  | Slt of Reg.t * Reg.t * Reg.t
+  | Sltu of Reg.t * Reg.t * Reg.t
+  | Addi of Reg.t * Reg.t * int
+  | Slti of Reg.t * Reg.t * int
+  | Andi of Reg.t * Reg.t * int
+  | Ori of Reg.t * Reg.t * int
+  | Xori of Reg.t * Reg.t * int
+  | Lui of Reg.t * int
+  | Lw of Reg.t * Reg.t * int
+  | Lb of Reg.t * Reg.t * int
+  | Sw of Reg.t * Reg.t * int
+  | Sb of Reg.t * Reg.t * int
+  | Beq of Reg.t * Reg.t * int
+  | Bne of Reg.t * Reg.t * int
+  | Blez of Reg.t * int
+  | Bgtz of Reg.t * int
+  | J of int
+  | Jal of int
+  | Jr of Reg.t
+  | Jalr of Reg.t * Reg.t
+  | Syscall
+  | Break
+
+let nop = Sll (0, 0, 0)
+
+let check_reg r = if r < 0 || r > 31 then failwith "Insn.encode: bad register"
+
+let check_u name v bits =
+  if v < 0 || v >= 1 lsl bits then
+    failwith (Printf.sprintf "Insn.encode: %s out of range: %d" name v)
+
+let imm16_signed v =
+  if v < -0x8000 || v > 0x7FFF then
+    failwith (Printf.sprintf "Insn.encode: signed imm16 out of range: %d" v)
+  else v land 0xFFFF
+
+let r_type funct rs rt rd shamt =
+  check_reg rs;
+  check_reg rt;
+  check_reg rd;
+  check_u "shamt" shamt 5;
+  (rs lsl 21) lor (rt lsl 16) lor (rd lsl 11) lor (shamt lsl 6) lor funct
+
+let i_type op rs rt imm =
+  check_reg rs;
+  check_reg rt;
+  (op lsl 26) lor (rs lsl 21) lor (rt lsl 16) lor (imm land 0xFFFF)
+
+let j_type op target =
+  check_u "jump target" target 26;
+  (op lsl 26) lor target
+
+let encode = function
+  | Sll (rd, rt, sh) -> r_type 0 0 rt rd sh
+  | Srl (rd, rt, sh) -> r_type 2 0 rt rd sh
+  | Sra (rd, rt, sh) -> r_type 3 0 rt rd sh
+  | Jr rs -> r_type 8 rs 0 0 0
+  | Jalr (rd, rs) -> r_type 9 rs 0 rd 0
+  | Syscall -> r_type 12 0 0 0 0
+  | Break -> r_type 13 0 0 0 0
+  | Mul (rd, rs, rt) -> r_type 24 rs rt rd 0
+  | Div (rd, rs, rt) -> r_type 26 rs rt rd 0
+  | Rem (rd, rs, rt) -> r_type 27 rs rt rd 0
+  | Add (rd, rs, rt) -> r_type 32 rs rt rd 0
+  | Sub (rd, rs, rt) -> r_type 34 rs rt rd 0
+  | And (rd, rs, rt) -> r_type 36 rs rt rd 0
+  | Or (rd, rs, rt) -> r_type 37 rs rt rd 0
+  | Xor (rd, rs, rt) -> r_type 38 rs rt rd 0
+  | Slt (rd, rs, rt) -> r_type 42 rs rt rd 0
+  | Sltu (rd, rs, rt) -> r_type 43 rs rt rd 0
+  | J target -> j_type 2 target
+  | Jal target -> j_type 3 target
+  | Beq (rs, rt, off) -> i_type 4 rs rt (imm16_signed off)
+  | Bne (rs, rt, off) -> i_type 5 rs rt (imm16_signed off)
+  | Blez (rs, off) -> i_type 6 rs 0 (imm16_signed off)
+  | Bgtz (rs, off) -> i_type 7 rs 0 (imm16_signed off)
+  | Addi (rt, rs, imm) -> i_type 8 rs rt (imm16_signed imm)
+  | Slti (rt, rs, imm) -> i_type 10 rs rt (imm16_signed imm)
+  | Andi (rt, rs, imm) ->
+    check_u "imm16" imm 16;
+    i_type 12 rs rt imm
+  | Ori (rt, rs, imm) ->
+    check_u "imm16" imm 16;
+    i_type 13 rs rt imm
+  | Xori (rt, rs, imm) ->
+    check_u "imm16" imm 16;
+    i_type 14 rs rt imm
+  | Lui (rt, imm) ->
+    check_u "imm16" imm 16;
+    i_type 15 0 rt imm
+  | Lb (rt, base, off) -> i_type 32 base rt (imm16_signed off)
+  | Lw (rt, base, off) -> i_type 35 base rt (imm16_signed off)
+  | Sb (rt, base, off) -> i_type 40 base rt (imm16_signed off)
+  | Sw (rt, base, off) -> i_type 43 base rt (imm16_signed off)
+
+let sext16 = Hemlock_util.Codec.sext16
+
+let decode word =
+  let op = (word lsr 26) land 0x3F in
+  let rs = (word lsr 21) land 0x1F in
+  let rt = (word lsr 16) land 0x1F in
+  let rd = (word lsr 11) land 0x1F in
+  let shamt = (word lsr 6) land 0x1F in
+  let funct = word land 0x3F in
+  let imm = word land 0xFFFF in
+  let target = word land 0x3FF_FFFF in
+  match op with
+  | 0 -> (
+    match funct with
+    | 0 -> Sll (rd, rt, shamt)
+    | 2 -> Srl (rd, rt, shamt)
+    | 3 -> Sra (rd, rt, shamt)
+    | 8 -> Jr rs
+    | 9 -> Jalr (rd, rs)
+    | 12 -> Syscall
+    | 13 -> Break
+    | 24 -> Mul (rd, rs, rt)
+    | 26 -> Div (rd, rs, rt)
+    | 27 -> Rem (rd, rs, rt)
+    | 32 -> Add (rd, rs, rt)
+    | 34 -> Sub (rd, rs, rt)
+    | 36 -> And (rd, rs, rt)
+    | 37 -> Or (rd, rs, rt)
+    | 38 -> Xor (rd, rs, rt)
+    | 42 -> Slt (rd, rs, rt)
+    | 43 -> Sltu (rd, rs, rt)
+    | f -> failwith (Printf.sprintf "Insn.decode: bad funct %d" f))
+  | 2 -> J target
+  | 3 -> Jal target
+  | 4 -> Beq (rs, rt, sext16 imm)
+  | 5 -> Bne (rs, rt, sext16 imm)
+  | 6 -> Blez (rs, sext16 imm)
+  | 7 -> Bgtz (rs, sext16 imm)
+  | 8 -> Addi (rt, rs, sext16 imm)
+  | 10 -> Slti (rt, rs, sext16 imm)
+  | 12 -> Andi (rt, rs, imm)
+  | 13 -> Ori (rt, rs, imm)
+  | 14 -> Xori (rt, rs, imm)
+  | 15 -> Lui (rt, imm)
+  | 32 -> Lb (rt, rs, sext16 imm)
+  | 35 -> Lw (rt, rs, sext16 imm)
+  | 40 -> Sb (rt, rs, sext16 imm)
+  | 43 -> Sw (rt, rs, sext16 imm)
+  | op -> failwith (Printf.sprintf "Insn.decode: bad opcode %d" op)
+
+let region_mask = 0xF000_0000
+
+let jump_in_range ~pc ~target =
+  target land 3 = 0 && (pc + 4) land region_mask = target land region_mask
+
+let jump_field ~target = (target land lnot region_mask) lsr 2
+
+let jump_target ~pc field = ((pc + 4) land region_mask) lor (field lsl 2)
+
+let pp ppf insn =
+  let r = Reg.name in
+  let p fmt = Format.fprintf ppf fmt in
+  match insn with
+  | Sll (rd, rt, sh) -> p "sll %s, %s, %d" (r rd) (r rt) sh
+  | Srl (rd, rt, sh) -> p "srl %s, %s, %d" (r rd) (r rt) sh
+  | Sra (rd, rt, sh) -> p "sra %s, %s, %d" (r rd) (r rt) sh
+  | Add (rd, rs, rt) -> p "add %s, %s, %s" (r rd) (r rs) (r rt)
+  | Sub (rd, rs, rt) -> p "sub %s, %s, %s" (r rd) (r rs) (r rt)
+  | Mul (rd, rs, rt) -> p "mul %s, %s, %s" (r rd) (r rs) (r rt)
+  | Div (rd, rs, rt) -> p "div %s, %s, %s" (r rd) (r rs) (r rt)
+  | Rem (rd, rs, rt) -> p "rem %s, %s, %s" (r rd) (r rs) (r rt)
+  | And (rd, rs, rt) -> p "and %s, %s, %s" (r rd) (r rs) (r rt)
+  | Or (rd, rs, rt) -> p "or %s, %s, %s" (r rd) (r rs) (r rt)
+  | Xor (rd, rs, rt) -> p "xor %s, %s, %s" (r rd) (r rs) (r rt)
+  | Slt (rd, rs, rt) -> p "slt %s, %s, %s" (r rd) (r rs) (r rt)
+  | Sltu (rd, rs, rt) -> p "sltu %s, %s, %s" (r rd) (r rs) (r rt)
+  | Addi (rt, rs, imm) -> p "addi %s, %s, %d" (r rt) (r rs) imm
+  | Slti (rt, rs, imm) -> p "slti %s, %s, %d" (r rt) (r rs) imm
+  | Andi (rt, rs, imm) -> p "andi %s, %s, 0x%x" (r rt) (r rs) imm
+  | Ori (rt, rs, imm) -> p "ori %s, %s, 0x%x" (r rt) (r rs) imm
+  | Xori (rt, rs, imm) -> p "xori %s, %s, 0x%x" (r rt) (r rs) imm
+  | Lui (rt, imm) -> p "lui %s, 0x%x" (r rt) imm
+  | Lw (rt, base, off) -> p "lw %s, %d(%s)" (r rt) off (r base)
+  | Lb (rt, base, off) -> p "lb %s, %d(%s)" (r rt) off (r base)
+  | Sw (rt, base, off) -> p "sw %s, %d(%s)" (r rt) off (r base)
+  | Sb (rt, base, off) -> p "sb %s, %d(%s)" (r rt) off (r base)
+  | Beq (rs, rt, off) -> p "beq %s, %s, %d" (r rs) (r rt) off
+  | Bne (rs, rt, off) -> p "bne %s, %s, %d" (r rs) (r rt) off
+  | Blez (rs, off) -> p "blez %s, %d" (r rs) off
+  | Bgtz (rs, off) -> p "bgtz %s, %d" (r rs) off
+  | J target -> p "j 0x%x" (target lsl 2)
+  | Jal target -> p "jal 0x%x" (target lsl 2)
+  | Jr rs -> p "jr %s" (r rs)
+  | Jalr (rd, rs) -> p "jalr %s, %s" (r rd) (r rs)
+  | Syscall -> p "syscall"
+  | Break -> p "break"

@@ -1,0 +1,71 @@
+(** The instruction set: a 32-bit RISC in the R3000 mould, with the two
+    addressing limits the paper's linkers must work around:
+
+    - {b J/JAL} carry a 26-bit word target and can only reach within the
+      enclosing 256 MB region — out-of-range calls need linker-inserted
+      veneers;
+    - {b gp-relative} loads/stores have 16-bit displacements and are
+      unusable in the sparse 1 GB shared region.
+
+    Instructions encode to/decode from 32-bit words so relocation is
+    performed by patching real instruction fields in memory. *)
+
+type t =
+  (* shifts *)
+  | Sll of Reg.t * Reg.t * int
+  | Srl of Reg.t * Reg.t * int
+  | Sra of Reg.t * Reg.t * int
+  (* register arithmetic / logic *)
+  | Add of Reg.t * Reg.t * Reg.t
+  | Sub of Reg.t * Reg.t * Reg.t
+  | Mul of Reg.t * Reg.t * Reg.t
+  | Div of Reg.t * Reg.t * Reg.t
+  | Rem of Reg.t * Reg.t * Reg.t
+  | And of Reg.t * Reg.t * Reg.t
+  | Or of Reg.t * Reg.t * Reg.t
+  | Xor of Reg.t * Reg.t * Reg.t
+  | Slt of Reg.t * Reg.t * Reg.t
+  | Sltu of Reg.t * Reg.t * Reg.t
+  (* immediates *)
+  | Addi of Reg.t * Reg.t * int  (** signed 16-bit *)
+  | Slti of Reg.t * Reg.t * int
+  | Andi of Reg.t * Reg.t * int  (** zero-extended *)
+  | Ori of Reg.t * Reg.t * int
+  | Xori of Reg.t * Reg.t * int
+  | Lui of Reg.t * int
+  (* memory *)
+  | Lw of Reg.t * Reg.t * int  (** [Lw (rt, base, off)]: rt <- mem32[base+off] *)
+  | Lb of Reg.t * Reg.t * int
+  | Sw of Reg.t * Reg.t * int
+  | Sb of Reg.t * Reg.t * int
+  (* control *)
+  | Beq of Reg.t * Reg.t * int  (** signed word offset from pc+4 *)
+  | Bne of Reg.t * Reg.t * int
+  | Blez of Reg.t * int
+  | Bgtz of Reg.t * int
+  | J of int  (** 26-bit word target within the pc's 256 MB region *)
+  | Jal of int
+  | Jr of Reg.t
+  | Jalr of Reg.t * Reg.t  (** [Jalr (rd, rs)]: rd <- pc+4; pc <- rs *)
+  | Syscall
+  | Break  (** halt *)
+
+val nop : t
+
+(** @raise Failure when a field is out of range. *)
+val encode : t -> int
+
+(** @raise Failure on an undecodable word. *)
+val decode : int -> t
+
+(** [jump_in_range ~pc ~target] — can a J/JAL at [pc] reach [target]?
+    True iff both share bits 28-31 and target is word-aligned. *)
+val jump_in_range : pc:int -> target:int -> bool
+
+(** 26-bit field value for a jump to [target] from region of [pc]. *)
+val jump_field : target:int -> int
+
+(** Absolute target of a 26-bit field fetched at [pc]. *)
+val jump_target : pc:int -> int -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type t = int
+
+let zero = 0
+let at = 1
+let v0 = 2
+let v1 = 3
+let a0 = 4
+let a1 = 5
+let a2 = 6
+let a3 = 7
+let t0 = 8
+let t1 = 9
+let t2 = 10
+let t3 = 11
+let gp = 28
+let sp = 29
+let fp = 30
+let ra = 31
+
+let names =
+  [|
+    "zero"; "at"; "v0"; "v1"; "a0"; "a1"; "a2"; "a3";
+    "t0"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7";
+    "s0"; "s1"; "s2"; "s3"; "s4"; "s5"; "s6"; "s7";
+    "t8"; "t9"; "k0"; "k1"; "gp"; "sp"; "fp"; "ra";
+  |]
+
+let name r =
+  if r < 0 || r > 31 then failwith (Printf.sprintf "Reg.name: bad register %d" r)
+  else "$" ^ names.(r)
+
+let of_string s =
+  let body =
+    if String.length s > 0 && s.[0] = '$' then String.sub s 1 (String.length s - 1)
+    else s
+  in
+  match int_of_string_opt body with
+  | Some n when n >= 0 && n <= 31 -> n
+  | Some n -> failwith (Printf.sprintf "Reg.of_string: bad register number %d" n)
+  | None -> (
+    let rec scan i =
+      if i > 31 then failwith (Printf.sprintf "Reg.of_string: unknown register %S" s)
+      else if String.equal names.(i) body then i
+      else scan (i + 1)
+    in
+    scan 0)

@@ -1,0 +1,36 @@
+(** Register file conventions (MIPS-flavoured).  [gp] is the
+    performance-enhancing global pointer register whose 16-bit offsets
+    the paper must disable for modules in the sparse shared region. *)
+
+type t = int
+(** 0..31; register 0 is hard-wired to zero. *)
+
+val zero : t
+
+(** Assembler/linker temporary, used by veneers. *)
+val at : t
+
+(** Return value / syscall number. *)
+val v0 : t
+
+val v1 : t
+val a0 : t
+val a1 : t
+val a2 : t
+val a3 : t
+val t0 : t
+val t1 : t
+val t2 : t
+val t3 : t
+
+(** Global pointer: 16-bit-offset data addressing. *)
+val gp : t
+
+val sp : t
+val fp : t
+val ra : t
+
+val name : t -> string
+
+(** Parse "$sp", "$4", "$t0"... @raise Failure on unknown names. *)
+val of_string : string -> t

@@ -1,0 +1,1 @@
+lib/lisp/lisp.ml: Buffer Hemlock_cc Hemlock_isa List Printf String

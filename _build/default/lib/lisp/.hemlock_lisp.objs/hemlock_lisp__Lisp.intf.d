@@ -1,0 +1,1 @@
+lib/lisp/lisp.mli: Hemlock_obj

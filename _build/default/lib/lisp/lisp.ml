@@ -1,0 +1,197 @@
+module Ast = Hemlock_cc.Ast
+
+exception Error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* ----- s-expression reader ----- *)
+
+type sexp = Atom of string | Str of string | List of sexp list
+
+let read_sexps src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | Some ';' ->
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done;
+      skip_ws ()
+    | Some _ | None -> ()
+  in
+  let atom_char c =
+    not (c = '(' || c = ')' || c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = ';' || c = '"')
+  in
+  let rec parse () =
+    skip_ws ();
+    match peek () with
+    | None -> errf "unexpected end of input"
+    | Some '(' ->
+      incr pos;
+      let rec items acc =
+        skip_ws ();
+        match peek () with
+        | Some ')' ->
+          incr pos;
+          List (List.rev acc)
+        | None -> errf "unterminated list"
+        | Some _ -> items (parse () :: acc)
+      in
+      items []
+    | Some ')' -> errf "unexpected )"
+    | Some '"' ->
+      incr pos;
+      let buf = Buffer.create 16 in
+      let rec scan () =
+        match peek () with
+        | None -> errf "unterminated string"
+        | Some '"' -> incr pos
+        | Some '\\' ->
+          incr pos;
+          (match peek () with
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some 't' -> Buffer.add_char buf '\t'
+          | Some '"' -> Buffer.add_char buf '"'
+          | Some '\\' -> Buffer.add_char buf '\\'
+          | Some c -> errf "bad escape \\%c" c
+          | None -> errf "unterminated escape");
+          incr pos;
+          scan ()
+        | Some c ->
+          Buffer.add_char buf c;
+          incr pos;
+          scan ()
+      in
+      scan ();
+      Str (Buffer.contents buf)
+    | Some _ ->
+      let start = !pos in
+      while (match peek () with Some c when atom_char c -> true | _ -> false) do
+        incr pos
+      done;
+      if !pos = start then errf "stray character %C" src.[start];
+      Atom (String.sub src start (!pos - start))
+  in
+  let rec top acc =
+    skip_ws ();
+    if !pos >= n then List.rev acc else top (parse () :: acc)
+  in
+  top []
+
+(* ----- translation to the common AST -----
+
+   Lisp identifiers allow '-', which the assembler's symbol syntax does
+   not; mangle dashes to underscores so (lock-acquire ...) meets the
+   lock_acquire builtin and shared symbols match their C spellings. *)
+
+let mangle name = String.map (fun c -> if c = '-' then '_' else c) name
+
+let binops =
+  [
+    ("+", Ast.Add); ("-", Ast.Sub); ("*", Ast.Mul); ("/", Ast.Div); ("%", Ast.Rem);
+    ("<", Ast.Lt); ("<=", Ast.Le); (">", Ast.Gt); (">=", Ast.Ge); ("=", Ast.Eq);
+    ("!=", Ast.Ne); ("and", Ast.And); ("or", Ast.Or);
+  ]
+
+let rec expr = function
+  | Atom a -> (
+    match int_of_string_opt a with
+    | Some v -> Ast.Num v
+    | None -> Ast.Var (mangle a))
+  | Str s -> Ast.Str s
+  | List [] -> errf "empty application"
+  | List (Atom op :: args) when List.mem_assoc op binops -> (
+    let op_v = List.assoc op binops in
+    match args with
+    | [] -> errf "(%s) needs arguments" op
+    | [ one ] when op = "-" -> Ast.Unary (Ast.Neg, expr one)
+    | first :: rest ->
+      (* left-fold n-ary applications: (+ a b c) = ((a+b)+c) *)
+      List.fold_left (fun acc e -> Ast.Binary (op_v, acc, expr e)) (expr first) rest)
+  | List [ Atom "not"; e ] -> Ast.Unary (Ast.Not, expr e)
+  | List (Atom "if" :: _) ->
+    errf "if is a statement form: use it in a body or as a function's final form"
+  | List [ Atom "set!"; Atom v; e ] -> Ast.Assign (Ast.Var (mangle v), expr e)
+  | List (Atom "begin" :: es) -> (
+    match List.rev es with
+    | [] -> errf "(begin) needs a body"
+    | last :: _ ->
+      ignore last;
+      errf "begin is statement-only; use it inside defun bodies")
+  | List (Atom f :: args) -> Ast.Call (mangle f, List.map expr args)
+  | List (e :: _) -> errf "cannot apply %s" (match e with List _ -> "a list" | _ -> "that")
+
+(* Statement-position forms: if/while/begin/set! get real control flow. *)
+let rec stmt = function
+  | List [ Atom "if"; c; t ] -> Ast.If (expr c, [ stmt t ], [])
+  | List [ Atom "if"; c; t; e ] -> Ast.If (expr c, [ stmt t ], [ stmt e ])
+  | List (Atom "while" :: c :: body) -> Ast.While (expr c, List.map stmt body)
+  | List (Atom "begin" :: body) -> Ast.Block (List.map stmt body)
+  | List [ Atom "let1"; Atom v; e ] -> Ast.Local (Ast.Int, mangle v, Some (expr e))
+  | e -> Ast.Expr (expr e)
+
+(* The final body form produces the return value; a final [if] (or
+   [begin]) lowers to returns in each branch. *)
+let rec returning = function
+  | List [ Atom "if"; c; t ] -> [ Ast.If (expr c, returning t, [ Ast.Return None ]) ]
+  | List [ Atom "if"; c; t; e ] -> [ Ast.If (expr c, returning t, returning e) ]
+  | List (Atom "begin" :: body) -> body_with_return body
+  | e -> [ Ast.Return (Some (expr e)) ]
+
+and body_with_return body =
+  match List.rev body with
+  | [] -> errf "empty function body"
+  | last :: rev_init -> List.rev_map stmt rev_init @ returning last
+
+let func_body = body_with_return
+
+let decl = function
+  | List [ Atom "extern-var"; Atom name ] ->
+    Ast.Global
+      { g_ty = Ast.Int; g_name = mangle name; g_array = None; g_init = None; g_extern = true }
+  | List [ Atom "extern-fun"; Atom _ ] ->
+    (* like a C prototype: nothing to emit; calls are resolved by name *)
+    Ast.Global { g_ty = Ast.Int; g_name = "__lisp_extern_fun"; g_array = None; g_init = None; g_extern = true }
+  | List [ Atom "defvar"; Atom name; Atom v ] -> (
+    match int_of_string_opt v with
+    | Some init ->
+      Ast.Global
+        { g_ty = Ast.Int; g_name = mangle name; g_array = None; g_init = Some init; g_extern = false }
+    | None -> errf "defvar %s needs a constant initialiser" name)
+  | List (Atom "defun" :: List (Atom name :: params) :: body) ->
+    let param (p : sexp) =
+      match p with
+      | Atom a -> (Ast.Int, mangle a)
+      | Str _ | List _ -> errf "bad parameter in %s" name
+    in
+    Ast.Func
+      {
+        f_name = mangle name;
+        f_params = List.map param params;
+        f_body = func_body body;
+        f_static = false;
+      }
+  | other ->
+    errf "unknown top-level form: %s"
+      (match other with
+      | List (Atom a :: _) -> a
+      | Atom a -> a
+      | _ -> "?")
+
+let to_program src = List.map decl (read_sexps src)
+
+let to_asm src =
+  match Hemlock_cc.Codegen.compile (to_program src) with
+  | asm -> asm
+  | exception Hemlock_cc.Codegen.Error msg -> raise (Error msg)
+
+let to_object ~name src =
+  match Hemlock_isa.Asm.assemble ~name (to_asm src) with
+  | obj -> obj
+  | exception Hemlock_isa.Asm.Error { line; msg } ->
+    errf "generated asm line %d: %s" line msg

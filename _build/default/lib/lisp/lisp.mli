@@ -1,0 +1,38 @@
+(** Hem-Lisp: a second source language for Hemlock modules.
+
+    The paper (§3, §6) argues that "linker support for sharing
+    capitalizes on the lowest common denominator for language
+    implementations: the object file", and flags multi-language sharing
+    of abstractions as the open "Language Heterogeneity" problem.  This
+    front end demonstrates the mechanism: modules written in a Lisp
+    dialect compile to the same template format as Hem-C, link against
+    C modules (and vice versa), and share public variables with them —
+    the linkers never know which compiler produced a module.
+
+    Syntax:
+    {v
+      (extern-var counter)             ; shared/external variable
+      (extern-fun bump)                ; external function
+      (defvar total 0)                 ; global with constant initialiser
+      (defun (add a b) (+ a b))        ; functions; last body form is the result
+      (defun (main)
+        (print-int (add (bump) total))
+        (print-str "\n")
+        0)
+    v}
+
+    Expressions: integer literals, variables, [(f args...)] calls,
+    arithmetic [+ - * / %], comparisons [< <= > >= = !=], [and]/[or]
+    (short-circuit), [not], [(if c then else)], [(while c body...)],
+    [(set! v e)], [(begin e...)], and string literals (addresses of
+    NUL-terminated data).  Everything is a 32-bit word, exactly as in
+    Hem-C; the builtins ([print-int], [print-str], [fork], [getpid],
+    [yield], [lock-acquire], ...) map to the same syscalls. *)
+
+exception Error of string
+
+(** Compile a translation unit to assembly text. *)
+val to_asm : string -> string
+
+(** Compile and assemble to a template object. *)
+val to_object : name:string -> string -> Hemlock_obj.Objfile.t

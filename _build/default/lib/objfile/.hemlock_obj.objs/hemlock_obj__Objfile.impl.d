@@ -1,0 +1,1 @@
+lib/objfile/objfile.ml: Bytes Char Format Hemlock_util List Printf String

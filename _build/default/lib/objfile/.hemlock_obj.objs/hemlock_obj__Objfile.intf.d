@@ -1,0 +1,1 @@
+lib/objfile/objfile.mli: Bytes Format

@@ -1,0 +1,1 @@
+lib/os/cluster.ml: Array Bytes Hemlock_util Kernel List Printf String

@@ -1,0 +1,1 @@
+lib/os/cluster.mli: Bytes Kernel

@@ -1,0 +1,1 @@
+lib/os/kernel.ml: Array Buffer Bytes Char Effect Format Hashtbl Hemlock_isa Hemlock_sfs Hemlock_util Hemlock_vm List Option Printexc Printf Proc Queue String Sysno

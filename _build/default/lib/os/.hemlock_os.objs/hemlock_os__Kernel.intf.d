@@ -1,0 +1,1 @@
+lib/os/kernel.mli: Bytes Hemlock_isa Hemlock_sfs Hemlock_vm Proc

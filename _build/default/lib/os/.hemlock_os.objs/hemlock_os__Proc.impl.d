@@ -1,0 +1,1 @@
+lib/os/proc.ml: Effect Hemlock_isa Hemlock_sfs Hemlock_vm List

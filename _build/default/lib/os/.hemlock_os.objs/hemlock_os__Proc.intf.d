@@ -1,0 +1,1 @@
+lib/os/proc.mli: Effect Hemlock_isa Hemlock_sfs Hemlock_vm

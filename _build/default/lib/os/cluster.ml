@@ -1,0 +1,58 @@
+module Stats = Hemlock_util.Stats
+
+type t = { kernels : Kernel.t array }
+
+let inbox = "net-inbox"
+
+let create ~machines =
+  if machines <= 0 then invalid_arg "Cluster.create: need at least one machine";
+  let boot _ =
+    let k = Kernel.create () in
+    Kernel.msgq_create k inbox ~capacity:4096;
+    k
+  in
+  { kernels = Array.init machines boot }
+
+let size t = Array.length t.kernels
+
+let machine t i = t.kernels.(i)
+
+(* A kernel-less enqueue: network delivery is not any process's syscall,
+   so it goes straight into the peer's queue via a transient carrier. *)
+let deliver k payload =
+  let carrier = Kernel.spawn_native k ~name:"net-rx" (fun k proc ->
+      Kernel.msg_send k proc inbox payload;
+      0)
+  in
+  ignore carrier
+
+let broadcast t ~from payload =
+  Array.iteri
+    (fun i k ->
+      if i <> from then begin
+        Stats.global.messages_sent <- Stats.global.messages_sent + 1;
+        Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length payload;
+        deliver k payload
+      end)
+    t.kernels
+
+let run ?(max_rounds = 1_000_000) t =
+  let rec loop rounds =
+    if rounds = 0 then raise (Kernel.Os_error "Cluster.run: round budget exhausted");
+    let progress = ref false in
+    let idle = ref [] in
+    Array.iteri
+      (fun i k ->
+        match Kernel.step k with
+        | `Progress -> progress := true
+        | `Idle -> idle := i :: !idle
+        | `Done -> ())
+      t.kernels;
+    if !progress then loop (rounds - 1)
+    else if !idle <> [] then
+      raise
+        (Kernel.Deadlock
+           (Printf.sprintf "machines %s blocked with no network traffic pending"
+              (String.concat ", " (List.map string_of_int !idle))))
+  in
+  loop max_rounds

@@ -1,0 +1,33 @@
+(** A cluster of simulated machines connected by a broadcast network —
+    the substrate for running rwhod the way the paper did, on "our local
+    network of 65 rwhod-equipped machines", one kernel per machine.
+
+    Each machine gets a message queue named {!inbox}; {!broadcast}
+    enqueues a datagram into every {e other} machine's inbox (UDP
+    broadcast, loss-free).  The cluster scheduler interleaves the
+    machines' kernels until all are quiescent, so a daemon blocked on
+    its inbox wakes when a peer's broadcast arrives. *)
+
+type t
+
+(** Name of the per-machine network inbox queue. *)
+val inbox : string
+
+(** [create ~machines] boots that many kernels, each with the inbox
+    queue created. *)
+val create : machines:int -> t
+
+val size : t -> int
+
+(** [machine t i] is machine [i]'s kernel. *)
+val machine : t -> int -> Kernel.t
+
+(** [broadcast t ~from payload] delivers [payload] to every machine
+    except [from], counting network traffic as message sends. *)
+val broadcast : t -> from:int -> Bytes.t -> unit
+
+(** Interleave all machines until every one reports [`Done].
+    @raise Kernel.Deadlock when no machine can make progress but some
+    non-daemon process is still blocked.
+    @param max_rounds safety valve. *)
+val run : ?max_rounds:int -> t -> unit

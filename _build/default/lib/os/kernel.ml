@@ -1,0 +1,711 @@
+module As = Hemlock_vm.Address_space
+module Layout = Hemlock_vm.Layout
+module Prot = Hemlock_vm.Prot
+module Segment = Hemlock_vm.Segment
+module Fs = Hemlock_sfs.Fs
+module Path = Hemlock_sfs.Path
+module Cpu = Hemlock_isa.Cpu
+module Reg = Hemlock_isa.Reg
+module Codec = Hemlock_util.Codec
+module Stats = Hemlock_util.Stats
+
+exception Deadlock of string
+exception Os_error of string
+exception Wrong_format
+
+type fault = {
+  f_addr : int;
+  f_access : Prot.access;
+  f_reason : As.fault_reason;
+}
+
+type segv_result = Resolved | Retry_when of (unit -> bool) | Unhandled
+
+type fd = int
+
+type fd_entry = { fe_seg : Segment.t; mutable fe_pos : int }
+
+type msgq = { mq_queue : Bytes.t Queue.t; mq_capacity : int }
+
+type t = {
+  fs : Fs.t;
+  proc_table : (int, Proc.t) Hashtbl.t;
+  mutable next_pid : int;
+  console_buf : Buffer.t;
+  segv_handlers : (int, (string * handler) list) Hashtbl.t;
+  ext_syscalls : (int, t -> Proc.t -> Cpu.t -> unit) Hashtbl.t;
+  mutable binfmts : (string * (t -> Proc.t -> Bytes.t -> path:string -> int)) list;
+  fd_entries : (int * int, fd_entry) Hashtbl.t;
+  next_fds : (int, int) Hashtbl.t;
+  locks : (string, int) Hashtbl.t;
+  msgqs : (string, msgq) Hashtbl.t;
+  daemons : (int, unit) Hashtbl.t;
+  mutable tick_count : int;
+  mutable fork_hooks : (parent:Proc.t -> child:Proc.t -> unit) list;
+  pd_services : (string, pd_service) Hashtbl.t;
+}
+
+and pd_service = { pd_owner : Proc.t; pd_entry : t -> Proc.t -> int -> int }
+
+and handler = t -> Proc.t -> fault -> segv_result
+
+type segv_handler = handler
+
+(* Internal control-flow exceptions for ISA syscall dispatch. *)
+exception Isa_exit of int
+exception Isa_yield
+exception Isa_blocked of (unit -> bool)
+exception Isa_fatal of string
+
+let create () =
+  let fs = Fs.create () in
+  Fs.rescan_shared fs;
+  {
+    fs;
+    proc_table = Hashtbl.create 32;
+    next_pid = 1;
+    console_buf = Buffer.create 256;
+    segv_handlers = Hashtbl.create 32;
+    ext_syscalls = Hashtbl.create 8;
+    binfmts = [];
+    fd_entries = Hashtbl.create 32;
+    next_fds = Hashtbl.create 32;
+    locks = Hashtbl.create 8;
+    msgqs = Hashtbl.create 8;
+    daemons = Hashtbl.create 8;
+    tick_count = 0;
+    fork_hooks = [];
+    pd_services = Hashtbl.create 8;
+  }
+
+let add_fork_hook t hook = t.fork_hooks <- t.fork_hooks @ [ hook ]
+
+let fs t = t.fs
+
+let reboot t = Fs.rescan_shared t.fs
+
+let console t = Buffer.contents t.console_buf
+let console_clear t = Buffer.clear t.console_buf
+
+let ticks t = t.tick_count
+
+(* --- protection-domain calls (the paper's future-work syscall) -------- *)
+
+let register_pd_service t ~name ~owner pd_entry =
+  if Hashtbl.mem t.pd_services name then
+    raise (Os_error ("pd service exists: " ^ name));
+  Hashtbl.replace t.pd_services name { pd_owner = owner; pd_entry }
+
+let pd_call t proc ~service arg =
+  match Hashtbl.find_opt t.pd_services service with
+  | None -> raise (Os_error ("no such pd service: " ^ service))
+  | Some { pd_owner; pd_entry } ->
+    (* One trap, two domain switches (in and out), no copying: the
+       handler runs against the server's address space while the caller
+       is suspended. *)
+    Stats.global.syscalls <- Stats.global.syscalls + 1;
+    Stats.global.context_switches <- Stats.global.context_switches + 2;
+    ignore proc;
+    pd_entry t pd_owner arg
+
+(* --- signals ----------------------------------------------------------- *)
+
+let install_segv_handler t proc ~name h =
+  let chain = Option.value ~default:[] (Hashtbl.find_opt t.segv_handlers proc.Proc.pid) in
+  Hashtbl.replace t.segv_handlers proc.Proc.pid ((name, h) :: chain)
+
+let deliver_segv t proc fault =
+  Stats.global.faults <- Stats.global.faults + 1;
+  let chain = Option.value ~default:[] (Hashtbl.find_opt t.segv_handlers proc.Proc.pid) in
+  let rec walk = function
+    | [] -> Unhandled
+    | (_, h) :: rest -> (
+      match h t proc fault with
+      | Resolved -> Resolved
+      | Retry_when cond -> Retry_when cond
+      | Unhandled -> walk rest)
+  in
+  walk chain
+
+(* --- extension points --------------------------------------------------- *)
+
+let register_syscall t num f =
+  if num < Sysno.first_extension then
+    invalid_arg "Kernel.register_syscall: number reserved for the core";
+  Hashtbl.replace t.ext_syscalls num f
+
+let register_binfmt t ~name loader = t.binfmts <- t.binfmts @ [ (name, loader) ]
+
+let block_syscall cpu cond =
+  cpu.Cpu.pc <- cpu.Cpu.pc - 4;
+  raise (Isa_blocked cond)
+
+(* --- process table ------------------------------------------------------ *)
+
+let find_proc t pid = Hashtbl.find_opt t.proc_table pid
+
+let processes t =
+  List.sort
+    (fun a b -> compare a.Proc.pid b.Proc.pid)
+    (Hashtbl.fold (fun _ p acc -> p :: acc) t.proc_table [])
+
+let set_daemon t proc = Hashtbl.replace t.daemons proc.Proc.pid ()
+
+let close_fds t pid =
+  let doomed =
+    Hashtbl.fold
+      (fun (p, fd) _ acc -> if p = pid then (p, fd) :: acc else acc)
+      t.fd_entries []
+  in
+  List.iter (Hashtbl.remove t.fd_entries) doomed
+
+let release_locks t pid =
+  let held = Hashtbl.fold (fun k holder acc -> if holder = pid then k :: acc else acc) t.locks [] in
+  List.iter (Hashtbl.remove t.locks) held
+
+let exit_proc t proc code =
+  proc.Proc.state <- Proc.Zombie code;
+  close_fds t proc.Proc.pid;
+  release_locks t proc.Proc.pid
+
+let kill t proc ~reason =
+  Buffer.add_string t.console_buf
+    (Printf.sprintf "[kernel] pid %d (%s) killed: %s\n" proc.Proc.pid proc.Proc.comm reason);
+  exit_proc t proc (-1)
+
+let fresh_pid t =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  pid
+
+let spawn_native t ?(name = "native") ?(env = []) ?(cwd = Path.root) body =
+  let pid = fresh_pid t in
+  let proc =
+    {
+      Proc.pid;
+      parent = 0;
+      space = As.create ();
+      cwd;
+      env;
+      state = Proc.Runnable;
+      body = Proc.Native { nstate = Proc.Done };
+      brk = Layout.heap_base;
+      comm = name;
+    }
+  in
+  (match proc.Proc.body with
+  | Proc.Native n -> n.Proc.nstate <- Proc.Not_started (fun () -> body t proc)
+  | Proc.Isa _ -> assert false);
+  Hashtbl.replace t.proc_table pid proc;
+  proc
+
+(* --- memory helpers ----------------------------------------------------- *)
+
+let fault_of_exn = function
+  | As.Fault { addr; access; reason } ->
+    Some { f_addr = addr; f_access = access; f_reason = reason }
+  | _ -> None
+
+let pp_fault f =
+  Printf.sprintf "%s fault at 0x%08x (%s)"
+    (Format.asprintf "%a" Prot.pp_access f.f_access)
+    f.f_addr
+    (match f.f_reason with As.Unmapped -> "unmapped" | As.Protection -> "protection")
+
+(* Checked access for native process code: retries through SIGSEGV
+   delivery, blocking on Retry_when conditions. *)
+let rec native_access : 'a. t -> Proc.t -> (unit -> 'a) -> 'a =
+  fun t proc f ->
+  try f () with
+  | As.Fault _ as e -> (
+    let fault = Option.get (fault_of_exn e) in
+    match deliver_segv t proc fault with
+    | Resolved -> native_access t proc f
+    | Retry_when cond ->
+      Proc.wait_until cond;
+      native_access t proc f
+    | Unhandled ->
+      raise (Proc.Killed { pid = proc.Proc.pid; reason = pp_fault fault }))
+
+(* Each checked access bills one instruction, so native workload code
+   and ISA code are accounted on the same scale. *)
+let tick () = Stats.global.instructions <- Stats.global.instructions + 1
+
+let load_u8 t proc addr =
+  tick ();
+  native_access t proc (fun () -> As.load_u8 proc.Proc.space addr)
+
+let load_u32 t proc addr =
+  tick ();
+  native_access t proc (fun () -> As.load_u32 proc.Proc.space addr)
+
+let store_u8 t proc addr v =
+  tick ();
+  native_access t proc (fun () -> As.store_u8 proc.Proc.space addr v)
+
+let store_u32 t proc addr v =
+  tick ();
+  native_access t proc (fun () -> As.store_u32 proc.Proc.space addr v)
+let read_cstring t proc addr = native_access t proc (fun () -> As.read_cstring proc.Proc.space addr)
+
+let write_cstring t proc addr s =
+  native_access t proc (fun () ->
+      String.iteri (fun i c -> As.store_u8 proc.Proc.space (addr + i) (Char.code c)) s;
+      As.store_u8 proc.Proc.space (addr + String.length s) 0)
+
+(* Bounded retry for faults taken while the kernel touches user memory on
+   behalf of an ISA syscall (e.g. reading a path argument). *)
+let isa_access t proc f =
+  let rec go fuel =
+    if fuel = 0 then raise (Isa_fatal "fault loop in syscall argument")
+    else
+      try f () with
+      | As.Fault _ as e -> (
+        let fault = Option.get (fault_of_exn e) in
+        match deliver_segv t proc fault with
+        | Resolved -> go (fuel - 1)
+        | Retry_when _ | Unhandled ->
+          raise (Isa_fatal ("fault in syscall argument: " ^ pp_fault fault)))
+  in
+  go 64
+
+(* --- the new kernel calls ------------------------------------------------ *)
+
+let sys_path_to_addr t proc path =
+  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  Fs.addr_of_path t.fs ~cwd:proc.Proc.cwd path
+
+let sys_addr_to_path t _proc addr =
+  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  Fs.path_of_addr t.fs addr
+
+let map_shared_file t proc ~path ~prot =
+  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  let base = Fs.addr_of_path t.fs ~cwd:proc.Proc.cwd path in
+  let canonical = Fs.path_of_addr t.fs base in
+  match As.mapping_at proc.Proc.space base with
+  | Some _ -> base
+  | None ->
+    let seg = Fs.segment_of t.fs canonical in
+    As.map proc.Proc.space ~base ~len:Layout.shared_slot_size ~seg ~prot
+      ~share:As.Public ~label:canonical ();
+    base
+
+(* --- file descriptors ----------------------------------------------------- *)
+
+let next_fd t pid =
+  let n = Option.value ~default:3 (Hashtbl.find_opt t.next_fds pid) in
+  Hashtbl.replace t.next_fds pid (n + 1);
+  n
+
+let sys_open t proc ?(create = false) ?(trunc = false) path =
+  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  Stats.global.files_opened <- Stats.global.files_opened + 1;
+  let cwd = proc.Proc.cwd in
+  if create && not (Fs.exists t.fs ~cwd path) then Fs.create_file t.fs ~cwd path;
+  let seg = Fs.segment_of t.fs ~cwd path in
+  if trunc then Segment.resize seg 0;
+  let fd = next_fd t proc.Proc.pid in
+  Hashtbl.replace t.fd_entries (proc.Proc.pid, fd) { fe_seg = seg; fe_pos = 0 };
+  fd
+
+let sys_open_by_addr t proc addr =
+  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  Stats.global.files_opened <- Stats.global.files_opened + 1;
+  let path = Fs.path_of_addr t.fs addr in
+  let seg = Fs.segment_of t.fs path in
+  let fd = next_fd t proc.Proc.pid in
+  Hashtbl.replace t.fd_entries (proc.Proc.pid, fd) { fe_seg = seg; fe_pos = 0 };
+  fd
+
+let fd_entry t proc fd =
+  match Hashtbl.find_opt t.fd_entries (proc.Proc.pid, fd) with
+  | Some e -> e
+  | None -> raise (Os_error (Printf.sprintf "bad file descriptor %d" fd))
+
+let sys_read t proc fd len =
+  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  let e = fd_entry t proc fd in
+  let avail = max 0 (Segment.size e.fe_seg - e.fe_pos) in
+  let n = min len avail in
+  let out = Segment.blit_out e.fe_seg ~src_off:e.fe_pos ~len:n in
+  e.fe_pos <- e.fe_pos + n;
+  Stats.global.bytes_copied <- Stats.global.bytes_copied + n;
+  out
+
+let sys_write t proc fd b =
+  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  let e = fd_entry t proc fd in
+  Segment.blit_in e.fe_seg ~dst_off:e.fe_pos b;
+  e.fe_pos <- e.fe_pos + Bytes.length b;
+  Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
+  Bytes.length b
+
+let sys_lseek t proc fd pos =
+  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  let e = fd_entry t proc fd in
+  if pos < 0 then raise (Os_error "lseek: negative offset");
+  e.fe_pos <- pos
+
+let sys_close t proc fd =
+  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  if not (Hashtbl.mem t.fd_entries (proc.Proc.pid, fd)) then
+    raise (Os_error (Printf.sprintf "bad file descriptor %d" fd));
+  Hashtbl.remove t.fd_entries (proc.Proc.pid, fd)
+
+(* --- file locks ------------------------------------------------------------ *)
+
+let lock_key proc path = Path.to_string (Path.of_string ~cwd:proc.Proc.cwd path)
+
+let try_flock t proc path =
+  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  let key = lock_key proc path in
+  match Hashtbl.find_opt t.locks key with
+  | Some holder when holder <> proc.Proc.pid -> false
+  | Some _ -> true (* re-entrant *)
+  | None ->
+    Hashtbl.replace t.locks key proc.Proc.pid;
+    true
+
+let flock t proc path =
+  let key = lock_key proc path in
+  Proc.wait_until (fun () -> not (Hashtbl.mem t.locks key));
+  ignore (try_flock t proc path)
+
+let funlock t proc path =
+  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  let key = lock_key proc path in
+  match Hashtbl.find_opt t.locks key with
+  | Some holder when holder = proc.Proc.pid -> Hashtbl.remove t.locks key
+  | Some _ -> raise (Os_error "funlock: not the lock holder")
+  | None -> ()
+
+let flock_holder t path = Hashtbl.find_opt t.locks (Path.to_string (Path.of_string ~cwd:Path.root path))
+
+(* --- message queues ---------------------------------------------------------- *)
+
+let msgq_create t name ~capacity =
+  if Hashtbl.mem t.msgqs name then raise (Os_error ("msgq exists: " ^ name));
+  Hashtbl.replace t.msgqs name { mq_queue = Queue.create (); mq_capacity = capacity }
+
+let msgq_exists t name = Hashtbl.mem t.msgqs name
+
+let get_msgq t name =
+  match Hashtbl.find_opt t.msgqs name with
+  | Some q -> q
+  | None -> raise (Os_error ("no such msgq: " ^ name))
+
+let msgq_length t name = Queue.length (get_msgq t name).mq_queue
+
+let msg_send t _proc name b =
+  let q = get_msgq t name in
+  Proc.wait_until (fun () -> Queue.length q.mq_queue < q.mq_capacity);
+  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  Stats.global.messages_sent <- Stats.global.messages_sent + 1;
+  Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
+  Queue.add (Bytes.copy b) q.mq_queue
+
+let msg_recv t _proc name =
+  let q = get_msgq t name in
+  Proc.wait_until (fun () -> not (Queue.is_empty q.mq_queue));
+  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  let b = Queue.take q.mq_queue in
+  Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
+  b
+
+let msg_try_recv t _proc name =
+  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  let q = get_msgq t name in
+  if Queue.is_empty q.mq_queue then None
+  else begin
+    let b = Queue.take q.mq_queue in
+    Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
+    Some b
+  end
+
+(* --- exec / fork -------------------------------------------------------------- *)
+
+let stack_bytes = 256 * 1024
+
+let map_stack t proc =
+  ignore t;
+  let seg =
+    Segment.create ~name:(Printf.sprintf "stack:%d" proc.Proc.pid) ~max_size:stack_bytes ()
+  in
+  As.map proc.Proc.space ~base:(Layout.stack_limit - stack_bytes) ~len:stack_bytes ~seg
+    ~prot:Prot.Read_write ~share:As.Private ~label:"stack" ()
+
+let exec t proc path =
+  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  (* Signal dispositions are reset across exec, as in Unix. *)
+  Hashtbl.remove t.segv_handlers proc.Proc.pid;
+  let image = Fs.read_file t.fs ~cwd:proc.Proc.cwd path in
+  let rec try_loaders = function
+    | [] -> raise (Os_error (Printf.sprintf "exec %s: unrecognised format" path))
+    | (_, loader) :: rest -> (
+      proc.Proc.space <- As.create ();
+      match loader t proc image ~path with
+      | entry -> entry
+      | exception Wrong_format -> try_loaders rest)
+  in
+  let entry = try_loaders t.binfmts in
+  map_stack t proc;
+  proc.Proc.brk <- Layout.heap_base;
+  proc.Proc.comm <- path;
+  let cpu = Cpu.create ~entry ~sp:(Layout.stack_limit - 64) in
+  proc.Proc.body <- Proc.Isa cpu;
+  proc.Proc.state <- Proc.Runnable
+
+let spawn_blank t ?(name = "blank") ?(env = []) ?(cwd = Path.root) () =
+  let proc = spawn_native t ~name ~env ~cwd (fun _ _ -> 0) in
+  proc.Proc.state <- Proc.Blocked (fun () -> false);
+  proc
+
+let set_isa_entry t proc ~entry =
+  (match As.mapping_at proc.Proc.space (Layout.stack_limit - stack_bytes) with
+  | Some _ -> ()
+  | None -> map_stack t proc);
+  let cpu = Cpu.create ~entry ~sp:(Layout.stack_limit - 64) in
+  proc.Proc.body <- Proc.Isa cpu;
+  proc.Proc.state <- Proc.Runnable
+
+let spawn_exec t ?(name = "a.out") ?(env = []) ?(cwd = Path.root) path =
+  let proc = spawn_native t ~name ~env ~cwd (fun _ _ -> 0) in
+  exec t proc path;
+  proc
+
+let fork_isa t proc =
+  match proc.Proc.body with
+  | Proc.Native _ -> raise (Os_error "fork: only ISA processes can fork")
+  | Proc.Isa cpu ->
+    Stats.global.syscalls <- Stats.global.syscalls + 1;
+    let pid = fresh_pid t in
+    let child_cpu = { Cpu.regs = Array.copy cpu.Cpu.regs; pc = cpu.Cpu.pc } in
+    let child =
+      {
+        Proc.pid;
+        parent = proc.Proc.pid;
+        space = As.clone proc.Proc.space;
+        cwd = proc.Proc.cwd;
+        env = proc.Proc.env;
+        state = Proc.Runnable;
+        body = Proc.Isa child_cpu;
+        brk = proc.Proc.brk;
+        comm = proc.Proc.comm;
+      }
+    in
+    (* The child inherits the parent's signal dispositions. *)
+    (match Hashtbl.find_opt t.segv_handlers proc.Proc.pid with
+    | Some chain -> Hashtbl.replace t.segv_handlers pid chain
+    | None -> ());
+    Hashtbl.replace t.proc_table pid child;
+    List.iter (fun hook -> hook ~parent:proc ~child) t.fork_hooks;
+    child
+
+let children t pid =
+  List.filter (fun p -> p.Proc.parent = pid) (processes t)
+
+let reap t proc =
+  let kids = children t proc.Proc.pid in
+  match List.find_opt Proc.is_zombie kids with
+  | Some z -> (
+    match z.Proc.state with
+    | Proc.Zombie code ->
+      Hashtbl.remove t.proc_table z.Proc.pid;
+      Hashtbl.remove t.segv_handlers z.Proc.pid;
+      Hashtbl.remove t.daemons z.Proc.pid;
+      Some (z.Proc.pid, code)
+    | Proc.Runnable | Proc.Blocked _ -> assert false)
+  | None -> None
+
+let waitpid t proc =
+  if children t proc.Proc.pid = [] then raise (Os_error "waitpid: no children");
+  Proc.wait_until (fun () -> List.exists Proc.is_zombie (children t proc.Proc.pid));
+  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  Option.get (reap t proc)
+
+(* --- ISA syscall dispatch -------------------------------------------------------- *)
+
+let sbrk t proc bytes =
+  let old = proc.Proc.brk in
+  if bytes > 0 then begin
+    let len = Layout.page_up bytes in
+    if proc.Proc.brk + len > Layout.heap_limit then raise (Os_error "sbrk: out of heap");
+    let seg =
+      Segment.create ~name:(Printf.sprintf "heap:%d:0x%x" proc.Proc.pid old) ~max_size:len ()
+    in
+    Segment.resize seg len;
+    As.map proc.Proc.space ~base:old ~len ~seg ~prot:Prot.Read_write ~share:As.Private
+      ~label:"heap" ();
+    proc.Proc.brk <- old + len
+  end;
+  ignore t;
+  old
+
+let dispatch t proc cpu =
+  let v0 = Cpu.reg cpu Reg.v0 in
+  let a0 = Cpu.reg cpu Reg.a0 in
+  let a1 = Cpu.reg cpu Reg.a1 in
+  let a2 = Cpu.reg cpu Reg.a2 in
+  if v0 = Sysno.exit then raise (Isa_exit (Codec.sext32 a0))
+  else if v0 = Sysno.fork then begin
+    let child = fork_isa t proc in
+    (match child.Proc.body with
+    | Proc.Isa child_cpu -> Cpu.set_reg child_cpu Reg.v0 0
+    | Proc.Native _ -> assert false);
+    Cpu.set_reg cpu Reg.v0 child.Proc.pid
+  end
+  else if v0 = Sysno.wait then begin
+    if children t proc.Proc.pid = [] then Cpu.set_reg cpu Reg.v0 0xFFFF_FFFF
+    else
+      match reap t proc with
+      | Some (pid, code) ->
+        Cpu.set_reg cpu Reg.v0 pid;
+        Cpu.set_reg cpu Reg.v1 code
+      | None ->
+        (* Block and retry the syscall: rewind past the trap. *)
+        cpu.Cpu.pc <- cpu.Cpu.pc - 4;
+        raise
+          (Isa_blocked
+             (fun () -> List.exists Proc.is_zombie (children t proc.Proc.pid)))
+  end
+  else if v0 = Sysno.getpid then Cpu.set_reg cpu Reg.v0 proc.Proc.pid
+  else if v0 = Sysno.yield then raise Isa_yield
+  else if v0 = Sysno.sbrk then Cpu.set_reg cpu Reg.v0 (sbrk t proc a0)
+  else if v0 = Sysno.print_int then
+    Buffer.add_string t.console_buf (string_of_int (Codec.sext32 a0))
+  else if v0 = Sysno.print_str then
+    Buffer.add_string t.console_buf
+      (isa_access t proc (fun () -> As.read_cstring proc.Proc.space a0))
+  else if v0 = Sysno.path_to_addr then begin
+    let path = isa_access t proc (fun () -> As.read_cstring proc.Proc.space a0) in
+    match Fs.addr_of_path t.fs ~cwd:proc.Proc.cwd path with
+    | addr -> Cpu.set_reg cpu Reg.v0 addr
+    | exception Fs.Error _ -> Cpu.set_reg cpu Reg.v0 0
+  end
+  else if v0 = Sysno.addr_to_path then begin
+    match Fs.path_of_addr t.fs a0 with
+    | path ->
+      let truncated = String.sub path 0 (min (String.length path) (max 0 (a2 - 1))) in
+      isa_access t proc (fun () ->
+          String.iteri
+            (fun i c -> As.store_u8 proc.Proc.space (a1 + i) (Char.code c))
+            truncated;
+          As.store_u8 proc.Proc.space (a1 + String.length truncated) 0);
+      Cpu.set_reg cpu Reg.v0 (String.length truncated)
+    | exception Fs.Error _ -> Cpu.set_reg cpu Reg.v0 0xFFFF_FFFF
+  end
+  else
+    match Hashtbl.find_opt t.ext_syscalls v0 with
+    | Some f -> f t proc cpu
+    | None -> raise (Isa_fatal (Printf.sprintf "bad syscall %d" v0))
+
+(* --- scheduler --------------------------------------------------------------------- *)
+
+let quantum = 4000
+
+let run_isa_quantum t proc cpu =
+  match Cpu.run ~fuel:quantum cpu proc.Proc.space ~syscall:(dispatch t proc) with
+  | Cpu.Halted code -> exit_proc t proc code
+  | Cpu.Running -> ()
+  | exception Isa_exit code -> exit_proc t proc code
+  | exception Isa_yield -> ()
+  | exception Isa_blocked cond -> proc.Proc.state <- Proc.Blocked cond
+  | exception Isa_fatal msg -> kill t proc ~reason:msg
+  | exception Cpu.Cpu_error { pc; msg } ->
+    kill t proc ~reason:(Printf.sprintf "cpu error at 0x%08x: %s" pc msg)
+  | exception Os_error msg -> kill t proc ~reason:msg
+  | exception (As.Fault _ as e) -> (
+    let fault = Option.get (fault_of_exn e) in
+    match deliver_segv t proc fault with
+    | Resolved -> () (* pc still points at the faulting instruction *)
+    | Retry_when cond -> proc.Proc.state <- Proc.Blocked cond
+    | Unhandled -> kill t proc ~reason:(pp_fault fault))
+
+let resume_native t proc n =
+  let handler =
+    {
+      Effect.Deep.retc = (fun code -> Proc.Finished code);
+      exnc =
+        (fun e ->
+          match e with Proc.Exit_proc code -> Proc.Finished code | e -> Proc.Crashed e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Proc.Yield ->
+            Some
+              (fun (k : (a, Proc.outcome) Effect.Deep.continuation) ->
+                n.Proc.nstate <- Proc.Suspended k;
+                Proc.Paused)
+          | Proc.Wait_until cond ->
+            Some
+              (fun (k : (a, Proc.outcome) Effect.Deep.continuation) ->
+                n.Proc.nstate <- Proc.Suspended k;
+                proc.Proc.state <- Proc.Blocked cond;
+                Proc.Paused)
+          | _ -> None);
+    }
+  in
+  let outcome =
+    match n.Proc.nstate with
+    | Proc.Not_started f ->
+      n.Proc.nstate <- Proc.Done;
+      Effect.Deep.match_with f () handler
+    | Proc.Suspended k ->
+      n.Proc.nstate <- Proc.Done;
+      Effect.Deep.continue k ()
+    | Proc.Done -> Proc.Finished 0
+  in
+  match outcome with
+  | Proc.Finished code -> exit_proc t proc code
+  | Proc.Crashed (Proc.Killed { reason; _ }) -> kill t proc ~reason
+  | Proc.Crashed e -> kill t proc ~reason:("uncaught exception: " ^ Printexc.to_string e)
+  | Proc.Paused -> ()
+
+let run_one t proc =
+  t.tick_count <- t.tick_count + 1;
+  Stats.global.context_switches <- Stats.global.context_switches + 1;
+  match proc.Proc.body with
+  | Proc.Isa cpu -> run_isa_quantum t proc cpu
+  | Proc.Native n -> resume_native t proc n
+
+let unblock_pass t =
+  List.iter
+    (fun p ->
+      match p.Proc.state with
+      | Proc.Blocked cond when cond () -> p.Proc.state <- Proc.Runnable
+      | Proc.Blocked _ | Proc.Runnable | Proc.Zombie _ -> ())
+    (processes t)
+
+let blocked_nondaemons t =
+  List.filter
+    (fun p ->
+      (match p.Proc.state with Proc.Blocked _ -> true | Proc.Runnable | Proc.Zombie _ -> false)
+      && not (Hashtbl.mem t.daemons p.Proc.pid))
+    (processes t)
+
+let step t =
+  unblock_pass t;
+  let runnable = List.filter (fun p -> p.Proc.state = Proc.Runnable) (processes t) in
+  match runnable with
+  | [] -> if blocked_nondaemons t = [] then `Done else `Idle
+  | ps ->
+    List.iter (fun p -> if p.Proc.state = Proc.Runnable then run_one t p) ps;
+    `Progress
+
+let run ?(max_ticks = 2_000_000) t =
+  let deadline = t.tick_count + max_ticks in
+  let rec loop () =
+    if t.tick_count > deadline then raise (Os_error "Kernel.run: tick budget exhausted");
+    match step t with
+    | `Progress -> loop ()
+    | `Done -> ()
+    | `Idle ->
+      raise
+        (Deadlock
+           (String.concat ", "
+              (List.map
+                 (fun p -> Printf.sprintf "pid %d (%s)" p.Proc.pid p.Proc.comm)
+                 (blocked_nondaemons t))))
+  in
+  loop ()

@@ -1,0 +1,251 @@
+(** The simulated Unix kernel.
+
+    One [t] is one machine: a file system (with the shared partition), a
+    process table with a round-robin scheduler, signal (SIGSEGV)
+    delivery, file descriptors, file locks, System-V-style message
+    queues, and a console.  The kernel knows nothing about objects or
+    linking (§2: "Objects have no meaning to the kernel"); the linkers
+    live in a separate library and hook in through {!register_syscall},
+    {!register_binfmt} and {!install_segv_handler}. *)
+
+type t
+
+exception Deadlock of string
+
+(** Raised out of kernel calls on OS-level errors (bad fd, etc.). *)
+exception Os_error of string
+
+(** {1 Construction} *)
+
+(** A booted kernel with a fresh file system.  Boot rescans the shared
+    partition to rebuild the address lookup table, as in the paper. *)
+val create : unit -> t
+
+val fs : t -> Hemlock_sfs.Fs.t
+
+(** Simulate a reboot: the in-kernel addr->path table is discarded and
+    rebuilt by scanning the shared file system (crash survival, §3). *)
+val reboot : t -> unit
+
+(** {1 Console} *)
+
+val console : t -> string
+val console_clear : t -> unit
+
+(** {1 Faults and signals} *)
+
+type fault = {
+  f_addr : int;
+  f_access : Hemlock_vm.Prot.access;
+  f_reason : Hemlock_vm.Address_space.fault_reason;
+}
+
+(** Outcome of a SIGSEGV handler: the fault was fixed (restart the
+    instruction); it will be fixable once a condition holds (e.g. a file
+    lock is busy — block the process and retry); or this handler cannot
+    deal with it (try the next handler in the chain). *)
+type segv_result = Resolved | Retry_when of (unit -> bool) | Unhandled
+
+type segv_handler = t -> Proc.t -> fault -> segv_result
+
+(** [install_segv_handler t proc ~name h] pushes [h] onto the front of
+    the process's handler chain.  The Hemlock runtime installs its
+    handler here; a program-provided handler installed earlier keeps
+    running as the fallback, mirroring the paper's wrapped [signal]. *)
+val install_segv_handler : t -> Proc.t -> name:string -> segv_handler -> unit
+
+(** [deliver_segv t proc fault] walks the chain; [Unhandled] means no
+    handler resolved it. *)
+val deliver_segv : t -> Proc.t -> fault -> segv_result
+
+(** {1 Extension points} *)
+
+(** [register_syscall t num f] installs an ISA syscall (num >=
+    {!Sysno.first_extension}). *)
+val register_syscall : t -> int -> (t -> Proc.t -> Hemlock_isa.Cpu.t -> unit) -> unit
+
+(** [block_syscall cpu cond] aborts the current ISA syscall so that it
+    retries once [cond] holds: rewinds the pc past the trap and raises
+    the scheduler's internal blocking exception.  For use by registered
+    extension syscalls (e.g. ldl waiting on a file lock). *)
+val block_syscall : Hemlock_isa.Cpu.t -> (unit -> bool) -> 'a
+
+(** A binfmt loader: given the raw image and its path, set up the
+    process's address space and return the entry point.  Loaders are
+    tried in registration order; a loader rejects by raising
+    [Wrong_format]. *)
+exception Wrong_format
+
+val register_binfmt :
+  t -> name:string -> (t -> Proc.t -> Bytes.t -> path:string -> int) -> unit
+
+(** {1 Processes} *)
+
+(** [spawn_native t ~name body] creates a runnable native process.  Its
+    body runs under the scheduler's effect handler, so it may call the
+    blocking kernel operations below. *)
+val spawn_native :
+  t ->
+  ?name:string ->
+  ?env:(string * string) list ->
+  ?cwd:Hemlock_sfs.Path.t ->
+  (t -> Proc.t -> int) ->
+  Proc.t
+
+(** Mark a process as a daemon: the scheduler is allowed to finish while
+    it is still blocked (e.g. a server waiting for messages). *)
+val set_daemon : t -> Proc.t -> unit
+
+(** [exec t proc path] replaces the process image: fresh address space,
+    image loaded by a registered binfmt, stack mapped, ISA body
+    installed.  Environment and cwd survive, as in Unix. *)
+val exec : t -> Proc.t -> string -> unit
+
+(** [spawn_blank t ~name ()] creates a process that stays blocked until
+    given a body — used by loaders that populate the address space
+    themselves (e.g. the jump-table baseline linker). *)
+val spawn_blank :
+  t ->
+  ?name:string ->
+  ?env:(string * string) list ->
+  ?cwd:Hemlock_sfs.Path.t ->
+  unit ->
+  Proc.t
+
+(** [set_isa_entry t proc ~entry] maps a stack, installs an ISA body
+    starting at [entry], and makes the process runnable. *)
+val set_isa_entry : t -> Proc.t -> entry:int -> unit
+
+(** [spawn_exec t ~name path] = spawn a fresh process + [exec]. *)
+val spawn_exec :
+  t ->
+  ?name:string ->
+  ?env:(string * string) list ->
+  ?cwd:Hemlock_sfs.Path.t ->
+  string ->
+  Proc.t
+
+(** Fork an ISA process (§5: private segments copied, public shared,
+    both continue at the same pc).  Returns the child. *)
+val fork_isa : t -> Proc.t -> Proc.t
+
+(** [add_fork_hook t h] runs [h] after every fork; the dynamic linker
+    uses this to clone its per-process link state. *)
+val add_fork_hook : t -> (parent:Proc.t -> child:Proc.t -> unit) -> unit
+
+val find_proc : t -> int -> Proc.t option
+val processes : t -> Proc.t list
+
+(** Terminate a process abnormally. *)
+val kill : t -> Proc.t -> reason:string -> unit
+
+(** Native blocking wait; returns (pid, exit code).
+    @raise Os_error if the process has no children. *)
+val waitpid : t -> Proc.t -> (int * int)
+
+(** {1 Scheduling} *)
+
+(** Run until every process has exited (daemons may remain blocked).
+    @raise Deadlock when non-daemon processes are blocked with no
+    runnable process to unblock them.
+    @param max_ticks safety valve against runaway programs. *)
+val run : ?max_ticks:int -> t -> unit
+
+(** One scheduler pass: wake blocked processes whose conditions hold and
+    give every runnable process a quantum.  [`Progress] — something ran;
+    [`Idle] — nothing runnable but non-daemon processes are blocked
+    (they may be waiting on events another machine will deliver);
+    [`Done] — only zombies and blocked daemons remain.  {!Cluster} uses
+    this to interleave several machines. *)
+val step : t -> [ `Progress | `Idle | `Done ]
+
+(** {1 Checked user-memory access for native code}
+
+    These retry through SIGSEGV delivery, so native workload code
+    touching a shared pointer gets the same lazy-mapping behaviour as
+    ISA loads and stores.  @raise Proc.Killed when unhandled. *)
+
+val load_u8 : t -> Proc.t -> int -> int
+val load_u32 : t -> Proc.t -> int -> int
+val store_u8 : t -> Proc.t -> int -> int -> unit
+val store_u32 : t -> Proc.t -> int -> int -> unit
+val read_cstring : t -> Proc.t -> int -> string
+val write_cstring : t -> Proc.t -> int -> string -> unit
+
+(** {1 The new kernel calls (§2-3)} *)
+
+(** Global address of a shared file. *)
+val sys_path_to_addr : t -> Proc.t -> string -> int
+
+(** Path of the shared file containing a public address. *)
+val sys_addr_to_path : t -> Proc.t -> int -> string
+
+(** Map a shared file into the process at its global address; returns
+    the base.  Idempotent when already mapped. *)
+val map_shared_file : t -> Proc.t -> path:string -> prot:Hemlock_vm.Prot.t -> int
+
+(** {1 File descriptors} *)
+
+type fd = int
+
+(** [sys_open t proc ?create ?trunc path] opens a file; [create] makes
+    it when missing, [trunc] resets its length (O_TRUNC). *)
+val sys_open : t -> Proc.t -> ?create:bool -> ?trunc:bool -> string -> fd
+
+(** [sys_open_by_addr] is the overloaded open: open a shared file by any
+    address inside it. *)
+val sys_open_by_addr : t -> Proc.t -> int -> fd
+
+val sys_read : t -> Proc.t -> fd -> int -> Bytes.t
+val sys_write : t -> Proc.t -> fd -> Bytes.t -> int
+val sys_lseek : t -> Proc.t -> fd -> int -> unit
+val sys_close : t -> Proc.t -> fd -> unit
+
+(** {1 File locks} (ldl uses these to serialise shared-segment creation) *)
+
+val try_flock : t -> Proc.t -> string -> bool
+
+(** Blocking acquire (native processes only). *)
+val flock : t -> Proc.t -> string -> unit
+
+val funlock : t -> Proc.t -> string -> unit
+
+(** Holder pid of the lock on a path, if locked. *)
+val flock_holder : t -> string -> int option
+
+(** {1 Message queues} (the messaging baseline, and rwhod's network) *)
+
+(** [msgq_create t name ~capacity] makes a queue; sends block when full,
+    receives when empty (native processes only). *)
+val msgq_create : t -> string -> capacity:int -> unit
+
+val msgq_exists : t -> string -> bool
+val msg_send : t -> Proc.t -> string -> Bytes.t -> unit
+val msg_recv : t -> Proc.t -> string -> Bytes.t
+val msg_try_recv : t -> Proc.t -> string -> Bytes.t option
+val msgq_length : t -> string -> int
+
+(** {1 Protection-domain calls}
+
+    The paper's §6 future work: "a protection-domain switching system
+    call ... to support synchronous communication across protection
+    boundaries".  A server registers a named entry point; a client's
+    [pd_call] switches into the server's domain, runs the entry with an
+    argument word, and switches back with the result — two domain
+    switches, no kernel copying, no scheduler round trip.  Arguments
+    larger than a word travel through shared segments. *)
+
+(** [register_pd_service t ~name ~owner f] exports entry point [f] from
+    the [owner] process's domain. *)
+val register_pd_service : t -> name:string -> owner:Proc.t -> (t -> Proc.t -> int -> int) -> unit
+
+(** [pd_call t proc ~service arg] — synchronous cross-domain call.  The
+    handler runs in the {e server's} protection domain (its address
+    space), with the caller suspended, and the result word comes back.
+    @raise Os_error for unknown services. *)
+val pd_call : t -> Proc.t -> service:string -> int -> int
+
+(** {1 Misc} *)
+
+(** Monotonic scheduler tick counter. *)
+val ticks : t -> int

@@ -1,0 +1,62 @@
+(** Process records and the cooperative-scheduling effects.
+
+    A process is either an {b ISA} process (a {!Hemlock_isa.Cpu.t}
+    stepped by the kernel's scheduler, quantum by quantum) or a {b
+    native} process (an OCaml closure run under an effect handler, used
+    for daemons and workload harness code).  Native processes block and
+    yield by performing the effects below; the kernel's scheduler
+    captures the continuation.
+
+    In the paper's terms a process is a protection domain: its
+    {!Hemlock_vm.Address_space.t} has overloaded private mappings plus
+    the globally-consistent public region. *)
+
+type state =
+  | Runnable
+  | Blocked of (unit -> bool)  (** runnable again when the condition holds *)
+  | Zombie of int  (** exited with code, not yet reaped *)
+
+type outcome = Finished of int | Crashed of exn | Paused
+
+type nstate =
+  | Not_started of (unit -> int)
+  | Suspended of (unit, outcome) Effect.Deep.continuation
+  | Done
+
+type native = { mutable nstate : nstate }
+
+type body = Isa of Hemlock_isa.Cpu.t | Native of native
+
+type t = {
+  pid : int;
+  mutable parent : int;
+  mutable space : Hemlock_vm.Address_space.t;
+  mutable cwd : Hemlock_sfs.Path.t;
+  mutable env : (string * string) list;
+  mutable state : state;
+  mutable body : body;
+  mutable brk : int;  (** heap break for sbrk *)
+  mutable comm : string;  (** command name, for diagnostics *)
+}
+
+(** Performed by native process code to let others run. *)
+type _ Effect.t += Yield : unit Effect.t
+
+(** Performed to block until a condition becomes true. *)
+type _ Effect.t += Wait_until : (unit -> bool) -> unit Effect.t
+
+(** Raised (or performed) by native bodies to terminate. *)
+exception Exit_proc of int
+
+(** Raised into native code when an unhandled fault kills the process. *)
+exception Killed of { pid : int; reason : string }
+
+val yield : unit -> unit
+val wait_until : (unit -> bool) -> unit
+
+val is_zombie : t -> bool
+
+(** Environment-variable access ([getenv]/[setenv]). *)
+val getenv : t -> string -> string option
+
+val setenv : t -> string -> string -> unit

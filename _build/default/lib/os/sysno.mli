@@ -1,0 +1,35 @@
+(** Syscall numbers for ISA programs (placed in $v0 before [syscall]).
+    Numbers 32+ are reserved for registered extensions; the dynamic
+    linker's run-time service installs itself there (see
+    {!Kernel.register_syscall}). *)
+
+val exit : int  (** a0 = code *)
+
+val fork : int  (** v0 = child pid in parent, 0 in child *)
+
+val wait : int  (** v0 = pid reaped, v1 = exit code; blocks *)
+
+val getpid : int
+val yield : int
+
+val sbrk : int  (** a0 = bytes; v0 = old break *)
+
+val print_int : int  (** a0 = value, printed in decimal to the console *)
+
+val print_str : int  (** a0 = address of NUL-terminated string *)
+
+val path_to_addr : int  (** a0 = path cstring; v0 = addr or 0 *)
+
+val addr_to_path : int
+(** a0 = addr, a1 = buffer, a2 = buflen; writes path, v0 = length or -1 *)
+
+(** Kernel lock-word syscalls (registered by the Hemlock runtime's
+    [Sync.install]; numbers fixed here so the compiler can emit them). *)
+val lock_acquire : int
+
+val lock_release : int
+
+(** First number available to {!Kernel.register_syscall}. *)
+val first_extension : int
+
+val ldl_run : int  (** crt0 traps here to run the dynamic linker *)

@@ -1,0 +1,1 @@
+lib/runtime/janitor.ml: Char Format Fun Hemlock_linker Hemlock_os Hemlock_sfs Hemlock_vm List Printf Shm_heap String

@@ -1,0 +1,1 @@
+lib/runtime/janitor.mli: Format Hemlock_os

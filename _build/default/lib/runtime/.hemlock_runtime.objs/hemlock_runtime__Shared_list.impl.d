@@ -1,0 +1,1 @@
+lib/runtime/shared_list.ml: Char Hemlock_os List Shm_heap String

@@ -1,0 +1,1 @@
+lib/runtime/shared_list.mli: Hemlock_os

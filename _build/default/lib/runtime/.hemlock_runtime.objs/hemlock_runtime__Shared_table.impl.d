@@ -1,0 +1,1 @@
+lib/runtime/shared_table.ml: Char Hemlock_os Printf Shared_list Shm_heap String

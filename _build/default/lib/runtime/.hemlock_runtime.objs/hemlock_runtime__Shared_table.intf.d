@@ -1,0 +1,1 @@
+lib/runtime/shared_table.mli: Hemlock_os

@@ -1,0 +1,1 @@
+lib/runtime/shm_heap.ml: Hemlock_os Hemlock_sfs Hemlock_vm Printf

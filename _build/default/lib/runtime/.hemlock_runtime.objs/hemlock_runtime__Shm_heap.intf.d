@@ -1,0 +1,1 @@
+lib/runtime/shm_heap.mli: Hemlock_os Hemlock_vm

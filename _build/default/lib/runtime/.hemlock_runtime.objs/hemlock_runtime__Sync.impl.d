@@ -1,0 +1,1 @@
+lib/runtime/sync.ml: Fun Hemlock_isa Hemlock_os Hemlock_vm Printf

@@ -1,0 +1,74 @@
+module Kernel = Hemlock_os.Kernel
+module Fs = Hemlock_sfs.Fs
+module Layout = Hemlock_vm.Layout
+module Segment = Hemlock_vm.Segment
+module Modinst = Hemlock_linker.Modinst
+module Aout = Hemlock_linker.Aout
+
+type kind = Module | Heap | Template | Executable | Plain
+
+type entry = {
+  j_slot : int;
+  j_path : string;
+  j_addr : int;
+  j_bytes : int;
+  j_kind : kind;
+  j_heap_live : int option;
+  j_template : string option;
+}
+
+let kind_to_string = function
+  | Module -> "module"
+  | Heap -> "heap"
+  | Template -> "template"
+  | Executable -> "executable"
+  | Plain -> "plain"
+
+let starts_with seg s =
+  Segment.size seg >= String.length s
+  && List.for_all
+       (fun i -> Segment.get_u8 seg i = Char.code s.[i])
+       (List.init (String.length s) Fun.id)
+
+let classify seg =
+  if Modinst.Header.is_module_file seg then Module
+  else if Shm_heap.is_heap_segment seg then Heap
+  else if starts_with seg "HOBJ" then Template
+  else if starts_with seg "HEXE" then Executable
+  else Plain
+
+let survey k =
+  let fs = Kernel.fs k in
+  List.map
+    (fun (slot, path) ->
+      let seg = Fs.segment_of fs path in
+      let kind = classify seg in
+      {
+        j_slot = slot;
+        j_path = path;
+        j_addr = Layout.addr_of_slot slot;
+        j_bytes = Segment.size seg;
+        j_kind = kind;
+        j_heap_live = (if kind = Heap then Some (Shm_heap.live_bytes_of_segment seg) else None);
+        j_template = (if kind = Module then Some (Modinst.Header.template seg) else None);
+      })
+    (Fs.shared_table fs)
+
+let remove k path = Fs.unlink (Kernel.fs k) path
+
+let orphaned_modules k =
+  let fs = Kernel.fs k in
+  List.filter
+    (fun e ->
+      match e.j_template with
+      | Some template -> not (Fs.exists fs template)
+      | None -> false)
+    (survey k)
+
+let pp_entry ppf e =
+  Format.fprintf ppf "slot %4d  0x%08x  %-10s %7dB  %s%s" e.j_slot e.j_addr
+    (kind_to_string e.j_kind) e.j_bytes e.j_path
+    (match (e.j_heap_live, e.j_template) with
+    | Some live, _ -> Printf.sprintf "  (live %dB)" live
+    | _, Some t -> Printf.sprintf "  (from %s)" t
+    | None, None -> "")

@@ -1,0 +1,42 @@
+(** Manual cleanup of shared segments (§5 "Garbage Collection").
+
+    The paper sees "no alternative in the general case but to rely on
+    manual cleanup", and leans on the crucial property that the shared
+    file system provides "the ability to peruse all of the segments in
+    existence".  This module is that perusal: a survey of every live
+    slot, classifying each segment (created module, segment heap, plain
+    data) with enough detail for a human or a policy script to decide
+    what to delete. *)
+
+module Kernel = Hemlock_os.Kernel
+
+type kind =
+  | Module  (** a created Hemlock module (HMOD header) *)
+  | Heap  (** a formatted segment heap *)
+  | Template  (** a module template (.o contents) *)
+  | Executable  (** an a.out image *)
+  | Plain  (** anything else *)
+
+type entry = {
+  j_slot : int;
+  j_path : string;
+  j_addr : int;
+  j_bytes : int;  (** current file size *)
+  j_kind : kind;
+  j_heap_live : int option;  (** live allocation bytes, for heaps *)
+  j_template : string option;  (** source template, for modules *)
+}
+
+val kind_to_string : kind -> string
+
+(** Every live shared segment, in slot order. *)
+val survey : Kernel.t -> entry list
+
+(** [remove k path] unlinks a shared segment (freeing its slot). *)
+val remove : Kernel.t -> string -> unit
+
+(** Segments whose recorded template no longer exists — created modules
+    orphaned by a deleted template; prime cleanup candidates. *)
+val orphaned_modules : Kernel.t -> entry list
+
+val pp_entry : Format.formatter -> entry -> unit

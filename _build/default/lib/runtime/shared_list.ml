@@ -1,0 +1,73 @@
+module Kernel = Hemlock_os.Kernel
+module Proc = Hemlock_os.Proc
+
+let init k proc ~head = Kernel.store_u32 k proc head 0
+
+let node_words n_fields = 1 + n_fields
+
+let push k proc ~head ~fields =
+  let heap = Shm_heap.heap_base k head in
+  let node = Shm_heap.alloc k proc ~heap (4 * node_words (List.length fields)) in
+  Kernel.store_u32 k proc node (Kernel.load_u32 k proc head);
+  List.iteri (fun i v -> Kernel.store_u32 k proc (node + 4 + (4 * i)) v) fields;
+  Kernel.store_u32 k proc head node;
+  node
+
+let pop k proc ~head ~n_fields =
+  match Kernel.load_u32 k proc head with
+  | 0 -> None
+  | node ->
+    let fields = List.init n_fields (fun i -> Kernel.load_u32 k proc (node + 4 + (4 * i))) in
+    Kernel.store_u32 k proc head (Kernel.load_u32 k proc node);
+    Shm_heap.free k proc ~heap:(Shm_heap.heap_base k head) node;
+    Some fields
+
+let iter k proc ~head f =
+  let rec go node =
+    if node <> 0 then begin
+      let next = Kernel.load_u32 k proc node in
+      f node;
+      go next
+    end
+  in
+  go (Kernel.load_u32 k proc head)
+
+let length k proc ~head =
+  let n = ref 0 in
+  iter k proc ~head (fun _ -> incr n);
+  !n
+
+let field k proc node i = Kernel.load_u32 k proc (node + 4 + (4 * i))
+
+let set_field k proc node i v = Kernel.store_u32 k proc (node + 4 + (4 * i)) v
+
+let find k proc ~head ~f =
+  let rec go node =
+    if node = 0 then None
+    else if f node then Some node
+    else go (Kernel.load_u32 k proc node)
+  in
+  go (Kernel.load_u32 k proc head)
+
+let copy k proc ~head ~dst_head ~n_fields =
+  (* Collect nodes front-to-back, then push in reverse to keep order. *)
+  let nodes = ref [] in
+  iter k proc ~head (fun node -> nodes := node :: !nodes);
+  Kernel.store_u32 k proc dst_head 0;
+  List.iter
+    (fun node ->
+      let fields = List.init n_fields (field k proc node) in
+      ignore (push k proc ~head:dst_head ~fields))
+    !nodes
+
+let write_string k proc addr s =
+  String.iteri (fun i c -> Kernel.store_u8 k proc (addr + i) (Char.code c)) s;
+  Kernel.store_u8 k proc (addr + String.length s) 0
+
+let read_string k proc addr = Kernel.read_cstring k proc addr
+
+let alloc_string k proc ~near s =
+  let heap = Shm_heap.heap_base k near in
+  let addr = Shm_heap.alloc k proc ~heap (String.length s + 1) in
+  write_string k proc addr s;
+  addr

@@ -1,0 +1,54 @@
+(** Pointer-linked structures in shared memory.
+
+    The workloads (xfig's object lists, rwhod's host database, the Lynx
+    compiler's tables) all build linked structures whose nodes live in a
+    segment's own heap and whose pointers are global addresses — so the
+    structure can be shared between processes, or left in place across
+    program executions, with no linearisation.
+
+    A node is a block of [1 + n] words: [\[next; field0; ...\]].
+    A list head is one shared word holding the first node's address. *)
+
+module Kernel = Hemlock_os.Kernel
+module Proc = Hemlock_os.Proc
+
+(** [init k proc ~head] makes the list empty. *)
+val init : Kernel.t -> Proc.t -> head:int -> unit
+
+(** [push k proc ~head ~fields] allocates a node from the head's
+    segment heap (see {!Shm_heap.heap_base}) and prepends it.  Returns
+    the node address. *)
+val push : Kernel.t -> Proc.t -> head:int -> fields:int list -> int
+
+(** [pop k proc ~head] unlinks and frees the first node, returning its
+    fields; [None] on the empty list. *)
+val pop : Kernel.t -> Proc.t -> head:int -> n_fields:int -> int list option
+
+val length : Kernel.t -> Proc.t -> head:int -> int
+
+(** [iter k proc ~head f] calls [f node_addr] front to back. *)
+val iter : Kernel.t -> Proc.t -> head:int -> (int -> unit) -> unit
+
+(** [field k proc node i] / [set_field k proc node i v] access field [i]
+    of a node. *)
+val field : Kernel.t -> Proc.t -> int -> int -> int
+
+val set_field : Kernel.t -> Proc.t -> int -> int -> int -> unit
+
+(** [find k proc ~head ~f] first node satisfying the predicate. *)
+val find : Kernel.t -> Proc.t -> head:int -> f:(int -> bool) -> int option
+
+(** [copy k proc ~head ~dst_head ~n_fields] structurally copies a list
+    (the xfig "duplicate objects in a figure" operation: the
+    pre-existing pointer-based copy routine now works on files). *)
+val copy : Kernel.t -> Proc.t -> head:int -> dst_head:int -> n_fields:int -> unit
+
+(** Write a NUL-terminated string into shared memory at [addr]. *)
+val write_string : Kernel.t -> Proc.t -> int -> string -> unit
+
+(** Read a NUL-terminated string. *)
+val read_string : Kernel.t -> Proc.t -> int -> string
+
+(** Allocate a string in the segment heap owning [near]; returns its
+    address. *)
+val alloc_string : Kernel.t -> Proc.t -> near:int -> string -> int

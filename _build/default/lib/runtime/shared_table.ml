@@ -1,0 +1,107 @@
+module Kernel = Hemlock_os.Kernel
+module Proc = Hemlock_os.Proc
+
+exception Table_full
+
+(* Layout: [magic][capacity][count] then capacity slots of
+   [key_ptr][value].  key_ptr 0 = never used, 1 = tombstone. *)
+let magic = 0x48544142 (* "HTAB" *)
+
+let off_capacity = 4
+let off_count = 8
+let header_words = 3
+
+let slot_addr table i = table + (4 * header_words) + (8 * i)
+
+let check k proc table =
+  if Kernel.load_u32 k proc table <> magic then
+    invalid_arg (Printf.sprintf "Shared_table: 0x%08x is not a table" table)
+
+let create k proc ~heap ~capacity =
+  if capacity <= 0 then invalid_arg "Shared_table.create: capacity";
+  let table = Shm_heap.alloc k proc ~heap ((4 * header_words) + (8 * capacity)) in
+  Kernel.store_u32 k proc table magic;
+  Kernel.store_u32 k proc (table + off_capacity) capacity;
+  Kernel.store_u32 k proc (table + off_count) 0;
+  table
+
+let capacity k proc ~table =
+  check k proc table;
+  Kernel.load_u32 k proc (table + off_capacity)
+
+let length k proc ~table =
+  check k proc table;
+  Kernel.load_u32 k proc (table + off_count)
+
+let hash key =
+  (* FNV-1a, folded to 30 bits so it stays a small OCaml int. *)
+  let h = ref 0x811C9DC5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0x3FFF_FFFF)
+    key;
+  !h
+
+let key_at k proc slot =
+  match Kernel.load_u32 k proc slot with
+  | 0 | 1 -> None
+  | ptr -> Some (Kernel.read_cstring k proc ptr)
+
+(* Find the slot holding [key], or the first insertable slot. *)
+let probe k proc ~table ~key =
+  let cap = capacity k proc ~table in
+  let start = hash key mod cap in
+  let rec go i first_free =
+    if i = cap then (None, first_free)
+    else
+      let slot = slot_addr table ((start + i) mod cap) in
+      match Kernel.load_u32 k proc slot with
+      | 0 -> (None, (match first_free with None -> Some slot | s -> s))
+      | 1 ->
+        go (i + 1) (match first_free with None -> Some slot | s -> s)
+      | ptr ->
+        if String.equal (Kernel.read_cstring k proc ptr) key then (Some slot, first_free)
+        else go (i + 1) first_free
+  in
+  go 0 None
+
+let put k proc ~table ~key v =
+  check k proc table;
+  match probe k proc ~table ~key with
+  | Some slot, _ -> Kernel.store_u32 k proc (slot + 4) v
+  | None, Some slot ->
+    let key_ptr = Shared_list.alloc_string k proc ~near:table key in
+    Kernel.store_u32 k proc slot key_ptr;
+    Kernel.store_u32 k proc (slot + 4) v;
+    Kernel.store_u32 k proc (table + off_count)
+      (Kernel.load_u32 k proc (table + off_count) + 1)
+  | None, None -> raise Table_full
+
+let get k proc ~table ~key =
+  check k proc table;
+  match probe k proc ~table ~key with
+  | Some slot, _ -> Some (Kernel.load_u32 k proc (slot + 4))
+  | None, _ -> None
+
+let remove k proc ~table ~key =
+  check k proc table;
+  match probe k proc ~table ~key with
+  | Some slot, _ ->
+    let key_ptr = Kernel.load_u32 k proc slot in
+    Shm_heap.free k proc ~heap:(Shm_heap.heap_base k table) key_ptr;
+    Kernel.store_u32 k proc slot 1 (* tombstone *);
+    Kernel.store_u32 k proc (table + off_count)
+      (Kernel.load_u32 k proc (table + off_count) - 1);
+    true
+  | None, _ -> false
+
+let iter k proc ~table f =
+  check k proc table;
+  let cap = capacity k proc ~table in
+  for i = 0 to cap - 1 do
+    let slot = slot_addr table i in
+    match key_at k proc slot with
+    | Some key -> f key (Kernel.load_u32 k proc (slot + 4))
+    | None -> ()
+  done

@@ -1,0 +1,38 @@
+(** A string-keyed hash table living in shared memory.
+
+    Like {!Shared_list}, the entire structure — bucket array, keys,
+    everything — lives inside a segment's own heap, so any process can
+    use it by address and it persists with the segment.  Open
+    addressing with linear probing; fixed capacity chosen at creation
+    (a segment is at most 1 MB, so tables are sized up front, as the
+    paper's fixed-format administrative structures were).
+
+    Values are single words (typically pointers to records in the same
+    segment). *)
+
+module Kernel = Hemlock_os.Kernel
+module Proc = Hemlock_os.Proc
+
+exception Table_full
+
+(** [create k proc ~heap ~capacity] allocates and initialises a table;
+    returns its address. *)
+val create : Kernel.t -> Proc.t -> heap:int -> capacity:int -> int
+
+(** [put k proc ~table ~key v] inserts or updates.
+    @raise Table_full when every slot is occupied. *)
+val put : Kernel.t -> Proc.t -> table:int -> key:string -> int -> unit
+
+val get : Kernel.t -> Proc.t -> table:int -> key:string -> int option
+
+(** [remove k proc ~table ~key] deletes the binding (tombstoning the
+    slot); returns whether it existed.  The key string itself is freed. *)
+val remove : Kernel.t -> Proc.t -> table:int -> key:string -> bool
+
+val length : Kernel.t -> Proc.t -> table:int -> int
+
+val capacity : Kernel.t -> Proc.t -> table:int -> int
+
+(** [iter k proc ~table f] calls [f key value] for each binding, in
+    unspecified order. *)
+val iter : Kernel.t -> Proc.t -> table:int -> (string -> int -> unit) -> unit

@@ -1,0 +1,116 @@
+module Kernel = Hemlock_os.Kernel
+module Proc = Hemlock_os.Proc
+module Layout = Hemlock_vm.Layout
+module Prot = Hemlock_vm.Prot
+
+exception Heap_error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Heap_error s)) fmt
+
+let magic = 0x48454150 (* "HEAP" *)
+
+(* Header word offsets from the heap base. *)
+let off_magic = 0
+let off_limit = 4
+let off_brk = 8
+let off_free = 12
+let off_live = 16
+let header_bytes = 20
+
+let align4 n = (n + 3) land lnot 3
+
+let check_heap k proc ~heap =
+  if Kernel.load_u32 k proc (heap + off_magic) <> magic then
+    errf "0x%08x is not a formatted heap" heap
+
+let format k proc ~base ~limit =
+  if limit - base < header_bytes + 8 then errf "heap range too small";
+  Kernel.store_u32 k proc (base + off_magic) magic;
+  Kernel.store_u32 k proc (base + off_limit) limit;
+  Kernel.store_u32 k proc (base + off_brk) (base + header_bytes);
+  Kernel.store_u32 k proc (base + off_free) 0;
+  Kernel.store_u32 k proc (base + off_live) 0
+
+let create k proc ~path =
+  let fs = Kernel.fs k in
+  if not (Hemlock_sfs.Fs.exists fs ~cwd:proc.Proc.cwd path) then
+    Hemlock_sfs.Fs.create_file fs ~cwd:proc.Proc.cwd path;
+  let base = Kernel.map_shared_file k proc ~path ~prot:Prot.Read_write in
+  format k proc ~base ~limit:(base + Layout.shared_slot_size);
+  base
+
+let heap_base k addr =
+  ignore k;
+  if not (Layout.is_public addr) then errf "0x%08x is not a shared address" addr;
+  Layout.addr_of_slot (Layout.slot_of_addr addr)
+
+(* Blocks: [u32 payload_size][payload].  Free blocks keep the next-free
+   pointer in payload word 0. *)
+
+let block_size k proc addr = Kernel.load_u32 k proc (addr - 4)
+
+let alloc k proc ~heap bytes =
+  check_heap k proc ~heap;
+  let want = max 4 (align4 bytes) in
+  (* First fit on the free list. *)
+  let rec scan prev cur =
+    if cur = 0 then None
+    else
+      let size = block_size k proc cur in
+      if size >= want then Some (prev, cur)
+      else scan cur (Kernel.load_u32 k proc cur)
+  in
+  let found = scan 0 (Kernel.load_u32 k proc (heap + off_free)) in
+  let addr =
+    match found with
+    | Some (prev, cur) ->
+      let next = Kernel.load_u32 k proc cur in
+      if prev = 0 then Kernel.store_u32 k proc (heap + off_free) next
+      else Kernel.store_u32 k proc prev next;
+      cur
+    | None ->
+      let brk = Kernel.load_u32 k proc (heap + off_brk) in
+      let limit = Kernel.load_u32 k proc (heap + off_limit) in
+      if brk + 4 + want > limit then
+        errf "heap at 0x%08x full (want %d bytes)" heap want;
+      Kernel.store_u32 k proc brk want;
+      Kernel.store_u32 k proc (heap + off_brk) (brk + 4 + want);
+      brk + 4
+  in
+  Kernel.store_u32 k proc (heap + off_live)
+    (Kernel.load_u32 k proc (heap + off_live) + block_size k proc addr);
+  (* Zero the payload so re-used blocks read like fresh ones. *)
+  let size = block_size k proc addr in
+  let rec zero i =
+    if i < size then begin
+      Kernel.store_u32 k proc (addr + i) 0;
+      zero (i + 4)
+    end
+  in
+  zero 0;
+  addr
+
+let free k proc ~heap addr =
+  check_heap k proc ~heap;
+  let size = block_size k proc addr in
+  Kernel.store_u32 k proc (heap + off_live)
+    (max 0 (Kernel.load_u32 k proc (heap + off_live) - size));
+  Kernel.store_u32 k proc addr (Kernel.load_u32 k proc (heap + off_free));
+  Kernel.store_u32 k proc (heap + off_free) addr
+
+let live_bytes k proc ~heap =
+  check_heap k proc ~heap;
+  Kernel.load_u32 k proc (heap + off_live)
+
+let is_heap_segment seg =
+  Hemlock_vm.Segment.size seg >= header_bytes
+  && Hemlock_vm.Segment.get_u32 seg off_magic = magic
+
+let live_bytes_of_segment seg = Hemlock_vm.Segment.get_u32 seg off_live
+
+let free_blocks k proc ~heap =
+  check_heap k proc ~heap;
+  let rec count acc cur =
+    if cur = 0 then acc else count (acc + 1) (Kernel.load_u32 k proc cur)
+  in
+  count 0 (Kernel.load_u32 k proc (heap + off_free))

@@ -1,0 +1,54 @@
+(** Per-segment heap allocation (§5 "Dynamic Storage Management").
+
+    The paper's package "allocates space from the heaps associated with
+    individual segments, instead of a heap associated with the calling
+    program": every shared file can carry its own heap, so a data
+    structure and all the nodes it points to live in one segment and
+    survive the processes that built them.
+
+    The allocator state lives {e inside the segment} (a small header and
+    an in-band free list), so any process mapping the segment can
+    allocate and free.  All addresses are global addresses; all access
+    goes through the kernel's checked loads and stores, so touching a
+    heap that is not yet mapped faults it in via the Hemlock handler. *)
+
+module Kernel = Hemlock_os.Kernel
+module Proc = Hemlock_os.Proc
+
+exception Heap_error of string
+
+(** [create k proc ~path] creates a shared file at [path] (under
+    /shared), formats a heap in it, and returns the heap's base
+    address. *)
+val create : Kernel.t -> Proc.t -> path:string -> int
+
+(** [format k proc ~base ~limit] formats a heap over the given address
+    range (the range must lie in one mapped segment).  Used to put a
+    heap {e after} fixed data at the start of a segment. *)
+val format : Kernel.t -> Proc.t -> base:int -> limit:int -> unit
+
+(** [heap_base k addr] is the base of the heap owning [addr]: the start
+    of the shared slot containing it.  This is how "the heap associated
+    with a segment" is found from any pointer into it. *)
+val heap_base : Kernel.t -> int -> int
+
+(** [alloc k proc ~heap bytes] returns the address of a fresh block.
+    @raise Heap_error when the segment is full. *)
+val alloc : Kernel.t -> Proc.t -> heap:int -> int -> int
+
+(** [free k proc ~heap addr] returns a block to the heap's free list. *)
+val free : Kernel.t -> Proc.t -> heap:int -> int -> unit
+
+(** Live bytes currently allocated (excludes headers). *)
+val live_bytes : Kernel.t -> Proc.t -> heap:int -> int
+
+(** Number of blocks on the free list. *)
+val free_blocks : Kernel.t -> Proc.t -> heap:int -> int
+
+(** {1 Direct segment inspection} (for tooling like {!Janitor}) *)
+
+(** Does this segment start with a formatted heap? *)
+val is_heap_segment : Hemlock_vm.Segment.t -> bool
+
+(** Live allocation bytes, read straight from the segment's header. *)
+val live_bytes_of_segment : Hemlock_vm.Segment.t -> int

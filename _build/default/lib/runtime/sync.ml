@@ -1,0 +1,100 @@
+module Kernel = Hemlock_os.Kernel
+module Proc = Hemlock_os.Proc
+module As = Hemlock_vm.Address_space
+module Reg = Hemlock_isa.Reg
+module Cpu = Hemlock_isa.Cpu
+
+(* ----- native spin locks ----- *)
+
+let spin_init k proc addr = Kernel.store_u32 k proc addr 0
+
+let spin_try_acquire k proc addr =
+  (* The scheduler is cooperative, so load+store with no intervening
+     yield is atomic for native code. *)
+  if Kernel.load_u32 k proc addr = 0 then begin
+    Kernel.store_u32 k proc addr proc.Proc.pid;
+    true
+  end
+  else false
+
+let spin_acquire k proc addr =
+  let rec loop () =
+    if not (spin_try_acquire k proc addr) then begin
+      Proc.yield ();
+      loop ()
+    end
+  in
+  loop ()
+
+let spin_release k proc addr = Kernel.store_u32 k proc addr 0
+
+let with_spin k proc addr f =
+  spin_acquire k proc addr;
+  Fun.protect ~finally:(fun () -> spin_release k proc addr) f
+
+(* ----- kernel lock syscalls for ISA programs ----- *)
+
+let lock_sysno = Hemlock_os.Sysno.lock_acquire
+let unlock_sysno = Hemlock_os.Sysno.lock_release
+
+(* Read a user word from syscall context, resolving faults through the
+   SIGSEGV chain (the lock word may live in a not-yet-mapped shared
+   segment). *)
+let syscall_load k proc cpu addr =
+  let rec go fuel =
+    if fuel = 0 then raise (Kernel.Os_error "lock: fault loop")
+    else
+      try As.load_u32 proc.Proc.space addr with
+      | As.Fault { addr = a; access; reason } -> (
+        match
+          Kernel.deliver_segv k proc { Kernel.f_addr = a; f_access = access; f_reason = reason }
+        with
+        | Kernel.Resolved -> go (fuel - 1)
+        | Kernel.Retry_when cond -> Kernel.block_syscall cpu cond
+        | Kernel.Unhandled ->
+          raise (Kernel.Os_error (Printf.sprintf "lock: fault at 0x%08x" a)))
+  in
+  go 16
+
+let free_now proc addr () =
+  match As.load_u32 proc.Proc.space addr with
+  | 0 -> true
+  | _ -> false
+  | exception As.Fault _ -> false
+
+let install k =
+  Kernel.register_syscall k lock_sysno (fun k proc cpu ->
+      let addr = Cpu.reg cpu Reg.a0 in
+      match syscall_load k proc cpu addr with
+      | 0 ->
+        As.store_u32 proc.Proc.space addr proc.Proc.pid;
+        Cpu.set_reg cpu Reg.v0 0
+      | _ -> Kernel.block_syscall cpu (free_now proc addr));
+  Kernel.register_syscall k unlock_sysno (fun k proc cpu ->
+      let addr = Cpu.reg cpu Reg.a0 in
+      ignore (syscall_load k proc cpu addr);
+      As.store_u32 proc.Proc.space addr 0;
+      Cpu.set_reg cpu Reg.v0 0)
+
+(* ----- counting semaphores (native) ----- *)
+
+let sem_init k proc addr v = Kernel.store_u32 k proc addr v
+
+let sem_post k proc addr = Kernel.store_u32 k proc addr (Kernel.load_u32 k proc addr + 1)
+
+let sem_wait k proc addr =
+  (* Touch the word through the checked path first, so an unmapped
+     semaphore segment is faulted in before the raw polling below. *)
+  ignore (Kernel.load_u32 k proc addr);
+  let positive () =
+    match As.load_u32 proc.Proc.space addr with
+    | 0 -> false
+    | _ -> true
+    | exception As.Fault _ -> false
+  in
+  let rec loop () =
+    Proc.wait_until positive;
+    let v = Kernel.load_u32 k proc addr in
+    if v > 0 then Kernel.store_u32 k proc addr (v - 1) else loop ()
+  in
+  loop ()

@@ -1,0 +1,1 @@
+lib/sfs/addr_index.ml: Btree List

@@ -1,0 +1,1 @@
+lib/sfs/fs.ml: Array Bytes Hashtbl Hemlock_util Hemlock_vm List Option Path Printf String

@@ -1,0 +1,1 @@
+lib/sfs/fs.mli: Bytes Hemlock_vm Path

@@ -1,0 +1,1 @@
+lib/sfs/path.ml: Format List String

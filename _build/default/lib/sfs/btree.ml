@@ -1,0 +1,270 @@
+(* Cormen-Leiserson-Rivest-Stein B-tree with preemptive splitting on the
+   way down for insertion, and the borrow/merge discipline for deletion. *)
+
+let min_degree = 4
+
+let max_keys = (2 * min_degree) - 1
+let min_keys = min_degree - 1
+
+type 'a node = {
+  mutable keys : (int * 'a) array; (* sorted by key *)
+  mutable children : 'a node array; (* [||] for leaves, else |keys|+1 *)
+}
+
+type 'a t = { mutable root : 'a node; mutable size : int }
+
+let leaf node = Array.length node.children = 0
+
+let create () = { root = { keys = [||]; children = [||] }; size = 0 }
+
+let size t = t.size
+
+(* Index of the first key >= k, or |keys| if none. *)
+let lower_bound node k =
+  let n = Array.length node.keys in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if fst node.keys.(mid) < k then go (mid + 1) hi else go lo mid
+  in
+  go 0 n
+
+let rec find_in node k =
+  let i = lower_bound node k in
+  if i < Array.length node.keys && fst node.keys.(i) = k then Some (snd node.keys.(i))
+  else if leaf node then None
+  else find_in node.children.(i) k
+
+let find t k = find_in t.root k
+
+let mem t k = find t k <> None
+
+let rec find_leq_in node k best =
+  let i = lower_bound node k in
+  if i < Array.length node.keys && fst node.keys.(i) = k then Some node.keys.(i)
+  else
+    (* keys.(i-1) < k < keys.(i): the candidate is keys.(i-1); recurse
+       into child i for a closer one. *)
+    let best = if i > 0 then Some node.keys.(i - 1) else best in
+    if leaf node then best else find_leq_in node.children.(i) k best
+
+let find_leq t k = find_leq_in t.root k None
+
+(* ----- insertion ----- *)
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  Array.init (n + 1) (fun j -> if j < i then arr.(j) else if j = i then x else arr.(j - 1))
+
+let array_remove arr i =
+  let n = Array.length arr in
+  Array.init (n - 1) (fun j -> if j < i then arr.(j) else arr.(j + 1))
+
+(* Split the full child [child] of [parent] at child index [ci]. *)
+let split_child parent ci =
+  let child = parent.children.(ci) in
+  let mid = min_keys in
+  let median = child.keys.(mid) in
+  let right =
+    {
+      keys = Array.sub child.keys (mid + 1) (max_keys - mid - 1);
+      children =
+        (if leaf child then [||] else Array.sub child.children (mid + 1) (max_keys - mid));
+    }
+  in
+  child.keys <- Array.sub child.keys 0 mid;
+  if not (leaf child) then child.children <- Array.sub child.children 0 (mid + 1);
+  parent.keys <- array_insert parent.keys ci median;
+  parent.children <- array_insert parent.children (ci + 1) right
+
+let rec insert_nonfull node k v =
+  let i = lower_bound node k in
+  if i < Array.length node.keys && fst node.keys.(i) = k then begin
+    node.keys.(i) <- (k, v);
+    false (* replaced, no growth *)
+  end
+  else if leaf node then begin
+    node.keys <- array_insert node.keys i (k, v);
+    true
+  end
+  else begin
+    let i =
+      if Array.length node.children.(i).keys = max_keys then begin
+        split_child node i;
+        (* the median moved up into position i *)
+        if k = fst node.keys.(i) then i
+        else if k > fst node.keys.(i) then i + 1
+        else i
+      end
+      else i
+    in
+    if i < Array.length node.keys && fst node.keys.(i) = k then begin
+      node.keys.(i) <- (k, v);
+      false
+    end
+    else insert_nonfull node.children.(i) k v
+  end
+
+let insert t k v =
+  if Array.length t.root.keys = max_keys then begin
+    let old_root = t.root in
+    let new_root = { keys = [||]; children = [| old_root |] } in
+    split_child new_root 0;
+    t.root <- new_root
+  end;
+  if insert_nonfull t.root k v then t.size <- t.size + 1
+
+(* ----- deletion ----- *)
+
+let rec max_binding_of node =
+  if leaf node then node.keys.(Array.length node.keys - 1)
+  else max_binding_of node.children.(Array.length node.children - 1)
+
+let rec min_binding_of node =
+  if leaf node then node.keys.(0) else min_binding_of node.children.(0)
+
+(* Merge child ci, parent key ci, child ci+1 into one node. *)
+let merge_children node ci =
+  let left = node.children.(ci) in
+  let right = node.children.(ci + 1) in
+  left.keys <- Array.concat [ left.keys; [| node.keys.(ci) |]; right.keys ];
+  if not (leaf left) then left.children <- Array.append left.children right.children;
+  node.keys <- array_remove node.keys ci;
+  node.children <- array_remove node.children (ci + 1)
+
+(* Ensure child [ci] of [node] has > min_keys keys before descending. *)
+let fill_child node ci =
+  let child = node.children.(ci) in
+  if Array.length child.keys <= min_keys then begin
+    let borrow_left =
+      ci > 0 && Array.length node.children.(ci - 1).keys > min_keys
+    in
+    let borrow_right =
+      ci < Array.length node.children - 1
+      && Array.length node.children.(ci + 1).keys > min_keys
+    in
+    if borrow_left then begin
+      let left = node.children.(ci - 1) in
+      let n = Array.length left.keys in
+      child.keys <- array_insert child.keys 0 node.keys.(ci - 1);
+      node.keys.(ci - 1) <- left.keys.(n - 1);
+      left.keys <- Array.sub left.keys 0 (n - 1);
+      if not (leaf left) then begin
+        let moved = left.children.(Array.length left.children - 1) in
+        left.children <- Array.sub left.children 0 (Array.length left.children - 1);
+        child.children <- array_insert child.children 0 moved
+      end
+    end
+    else if borrow_right then begin
+      let right = node.children.(ci + 1) in
+      child.keys <- array_insert child.keys (Array.length child.keys) node.keys.(ci);
+      node.keys.(ci) <- right.keys.(0);
+      right.keys <- array_remove right.keys 0;
+      if not (leaf right) then begin
+        let moved = right.children.(0) in
+        right.children <- array_remove right.children 0;
+        child.children <- array_insert child.children (Array.length child.children) moved
+      end
+    end
+    else if ci > 0 then merge_children node (ci - 1)
+    else merge_children node ci
+  end
+
+let rec remove_from node k =
+  let i = lower_bound node k in
+  if i < Array.length node.keys && fst node.keys.(i) = k then
+    if leaf node then begin
+      node.keys <- array_remove node.keys i;
+      true
+    end
+    else if Array.length node.children.(i).keys > min_keys then begin
+      (* replace with predecessor from the left subtree *)
+      let pred = max_binding_of node.children.(i) in
+      node.keys.(i) <- pred;
+      ignore (remove_from node.children.(i) (fst pred));
+      true
+    end
+    else if Array.length node.children.(i + 1).keys > min_keys then begin
+      let succ = min_binding_of node.children.(i + 1) in
+      node.keys.(i) <- succ;
+      ignore (remove_from node.children.(i + 1) (fst succ));
+      true
+    end
+    else begin
+      merge_children node i;
+      remove_from node.children.(i) k
+    end
+  else if leaf node then false
+  else begin
+    fill_child node i;
+    (* fill may have shifted the structure: recompute the descent *)
+    let i = lower_bound node k in
+    if i < Array.length node.keys && fst node.keys.(i) = k then remove_from node k
+    else remove_from node.children.(min i (Array.length node.children - 1)) k
+  end
+
+let remove t k =
+  let removed = remove_from t.root k in
+  if removed then t.size <- t.size - 1;
+  (* The descent may restructure (merge the root's children) even when
+     the key turns out to be absent, so shrink unconditionally. *)
+  if Array.length t.root.keys = 0 && not (leaf t.root) then t.root <- t.root.children.(0);
+  removed
+
+(* ----- traversal ----- *)
+
+let rec iter_node f node =
+  let n = Array.length node.keys in
+  if leaf node then Array.iter (fun (k, v) -> f k v) node.keys
+  else begin
+    for i = 0 to n - 1 do
+      iter_node f node.children.(i);
+      let k, v = node.keys.(i) in
+      f k v
+    done;
+    iter_node f node.children.(n)
+  end
+
+let iter f t = iter_node f t.root
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun k v -> acc := (k, v) :: !acc) t;
+  List.rev !acc
+
+let min_binding t = if t.size = 0 then None else Some (min_binding_of t.root)
+let max_binding t = if t.size = 0 then None else Some (max_binding_of t.root)
+
+(* ----- invariants ----- *)
+
+let check_invariants t =
+  let rec depth node = if leaf node then 0 else 1 + depth node.children.(0) in
+  let d = depth t.root in
+  let rec check node ~is_root ~lo ~hi level =
+    let n = Array.length node.keys in
+    if (not is_root) && n < min_keys then failwith "btree: underfull node";
+    if n > max_keys then failwith "btree: overfull node";
+    if is_root && n = 0 && not (leaf node) then failwith "btree: empty internal root";
+    for i = 0 to n - 1 do
+      let k = fst node.keys.(i) in
+      (match lo with Some l when k <= l -> failwith "btree: key order (lo)" | _ -> ());
+      (match hi with Some h when k >= h -> failwith "btree: key order (hi)" | _ -> ());
+      if i > 0 && fst node.keys.(i - 1) >= k then failwith "btree: unsorted keys"
+    done;
+    if leaf node then begin
+      if level <> d then failwith "btree: leaves at different depths"
+    end
+    else begin
+      if Array.length node.children <> n + 1 then failwith "btree: child count";
+      for i = 0 to n do
+        let lo = if i = 0 then lo else Some (fst node.keys.(i - 1)) in
+        let hi = if i = n then hi else Some (fst node.keys.(i)) in
+        check node.children.(i) ~is_root:false ~lo ~hi (level + 1)
+      done
+    end
+  in
+  check t.root ~is_root:true ~lo:None ~hi:None 0;
+  let count = ref 0 in
+  iter (fun _ _ -> incr count) t;
+  if !count <> t.size then failwith "btree: size mismatch"

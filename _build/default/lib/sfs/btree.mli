@@ -1,0 +1,51 @@
+(** A B-tree keyed by integers, with predecessor search.
+
+    The paper's 32-bit prototype maps addresses to files with a linear
+    lookup table rebuilt at boot ("for the sake of simplicity").  For
+    the planned 64-bit system it says: "we will abandon the linear
+    lookup table ... we will add an address field to the on-disk version
+    of each inode, and will link these inodes into a lookup structure —
+    most likely a B-tree".  This module is that structure: segments of
+    arbitrary size are registered by base address, and translating a
+    faulting address means finding the greatest base <= the address —
+    the {!find_leq} operation — in O(log n) instead of O(slots).
+
+    Imperative, as an in-kernel index would be.  Classic Cormen-style
+    B-tree with minimum degree {!min_degree}. *)
+
+type 'a t
+
+(** Minimum degree: nodes hold between [min_degree - 1] and
+    [2 * min_degree - 1] keys (except the root). *)
+val min_degree : int
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+(** [insert t key v] adds or replaces the binding. *)
+val insert : 'a t -> int -> 'a -> unit
+
+val find : 'a t -> int -> 'a option
+
+(** [find_leq t key] is the binding with the greatest key [<= key] —
+    the address-translation query. *)
+val find_leq : 'a t -> int -> (int * 'a) option
+
+val mem : 'a t -> int -> bool
+
+(** [remove t key] deletes the binding if present; returns whether it
+    was. *)
+val remove : 'a t -> int -> bool
+
+(** In-order traversal. *)
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+
+val to_list : 'a t -> (int * 'a) list
+
+val min_binding : 'a t -> (int * 'a) option
+val max_binding : 'a t -> (int * 'a) option
+
+(** Structural invariants (key ordering, occupancy bounds, uniform leaf
+    depth) — used by the property tests.  @raise Failure on violation. *)
+val check_invariants : 'a t -> unit

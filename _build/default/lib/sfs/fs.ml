@@ -1,0 +1,385 @@
+module Segment = Hemlock_vm.Segment
+module Layout = Hemlock_vm.Layout
+module Stats = Hemlock_util.Stats
+
+type err_kind =
+  | Not_found
+  | Not_a_directory
+  | Is_a_directory
+  | Already_exists
+  | No_space
+  | Not_shared
+  | Hard_links_prohibited
+  | Symlink_loop
+  | Not_empty
+  | Cross_partition
+
+exception Error of { op : string; path : string; kind : err_kind }
+
+let err_kind_to_string = function
+  | Not_found -> "no such file or directory"
+  | Not_a_directory -> "not a directory"
+  | Is_a_directory -> "is a directory"
+  | Already_exists -> "file exists"
+  | No_space -> "no space left on shared partition"
+  | Not_shared -> "not on the shared partition"
+  | Hard_links_prohibited -> "hard links prohibited on shared partition"
+  | Symlink_loop -> "too many levels of symbolic links"
+  | Not_empty -> "directory not empty"
+  | Cross_partition -> "rename across the shared partition boundary"
+
+let error op path kind = raise (Error { op; path = Path.to_string path; kind })
+
+type file_kind = Regular | Directory | Symlink
+
+type stat = {
+  st_kind : file_kind;
+  st_size : int;
+  st_ino : int;
+  st_addr : int option;
+}
+
+type node = File of file | Dir of dir | Link of string
+
+and file = {
+  seg : Segment.t;
+  ino : int;
+  mutable slot : int option;
+  mutable nlink : int;
+}
+
+and dir = { entries : (string, node) Hashtbl.t; dir_ino : int }
+
+type t = {
+  root : dir;
+  mutable next_ino : int;
+  addr_table : string option array; (* the kernel's linear lookup table *)
+}
+
+let shared_prefix = [ "shared" ]
+
+let is_shared_path p = Path.is_prefix ~prefix:shared_prefix p
+
+let normal_file_max = 16 * 1024 * 1024
+
+let fresh_ino t =
+  let ino = t.next_ino in
+  t.next_ino <- ino + 1;
+  ino
+
+let new_dir t = Dir { entries = Hashtbl.create 8; dir_ino = fresh_ino t }
+
+let create () =
+  let t =
+    {
+      root = { entries = Hashtbl.create 8; dir_ino = 2 };
+      next_ino = 4096; (* normal-partition inodes; shared inodes are slots 0..1023 *)
+      addr_table = Array.make Layout.shared_slots None;
+    }
+  in
+  let add name = Hashtbl.replace t.root.entries name (new_dir t) in
+  List.iter add [ "shared"; "tmp"; "etc"; "home" ];
+  let usr = { entries = Hashtbl.create 8; dir_ino = fresh_ino t } in
+  Hashtbl.replace usr.entries "lib" (new_dir t);
+  Hashtbl.replace t.root.entries "usr" (Dir usr);
+  t
+
+(* Resolve [p] to (canonical_path, node).  [follow_last] controls whether
+   a symlink in the final component is chased.  Fuel bounds symlink
+   chains. *)
+let resolve_node t ~op ~follow_last p =
+  let rec walk fuel canon dir = function
+    | [] -> (canon, Dir dir)
+    | comp :: rest -> (
+      match Hashtbl.find_opt dir.entries comp with
+      | None -> error op (canon @ [ comp ]) Not_found
+      | Some (Dir d) -> walk fuel (canon @ [ comp ]) d rest
+      | Some (File _ as node) ->
+        if rest = [] then (canon @ [ comp ], node)
+        else error op (canon @ [ comp ]) Not_a_directory
+      | Some (Link target as node) ->
+        if rest = [] && not follow_last then (canon @ [ comp ], node)
+        else begin
+          if fuel = 0 then error op (canon @ [ comp ]) Symlink_loop;
+          let redirected = Path.of_string ~cwd:canon target @ rest in
+          walk (fuel - 1) [] t.root redirected
+        end)
+  in
+  walk 40 [] t.root p
+
+let resolve_opt t ~op ~follow_last p =
+  match resolve_node t ~op ~follow_last p with
+  | res -> Some res
+  | exception Error { kind = Not_found; _ } -> None
+
+let resolve_dir t ~op p =
+  match resolve_node t ~op ~follow_last:true p with
+  | canon, Dir d -> (canon, d)
+  | canon, (File _ | Link _) -> error op canon Not_a_directory
+
+let resolve_file t ~op p =
+  match resolve_node t ~op ~follow_last:true p with
+  | canon, File f -> (canon, f)
+  | canon, Dir _ -> error op canon Is_a_directory
+  | _, Link _ -> assert false (* follow_last chases links *)
+
+(* Shared-partition slot management. *)
+
+let alloc_slot t ~op path =
+  let rec scan i =
+    if i >= Layout.shared_slots then error op path No_space
+    else if t.addr_table.(i) = None then i
+    else scan (i + 1)
+  in
+  scan 0
+
+let free_slot t slot = t.addr_table.(slot) <- None
+
+(* Path-level API *)
+
+let parse t ?(cwd = Path.root) s =
+  ignore t;
+  Path.of_string ~cwd s
+
+let mkdir t ?cwd s =
+  let op = "mkdir" in
+  let p = parse t ?cwd s in
+  if p = [] then error op p Already_exists;
+  let canon, dir = resolve_dir t ~op (Path.parent p) in
+  let name = Path.basename p in
+  if Hashtbl.mem dir.entries name then error op (canon @ [ name ]) Already_exists;
+  Hashtbl.replace dir.entries name (new_dir t)
+
+let rec create_file t ?cwd s =
+  let op = "create" in
+  let p = parse t ?cwd s in
+  if p = [] then error op p Is_a_directory;
+  let canon, dir = resolve_dir t ~op (Path.parent p) in
+  let name = Path.basename p in
+  let full = canon @ [ name ] in
+  match Hashtbl.find_opt dir.entries name with
+  | Some (File f) -> Segment.resize f.seg 0 (* truncate; keeps slot+address *)
+  | Some (Dir _) -> error op full Is_a_directory
+  | Some (Link target) ->
+    (* Creating through a symlink creates the target. *)
+    let target_path = Path.of_string ~cwd:canon target in
+    create_file t ~cwd:Path.root (Path.to_string target_path)
+  | None ->
+    let file =
+      if is_shared_path full then begin
+        let slot = alloc_slot t ~op full in
+        t.addr_table.(slot) <- Some (Path.to_string full);
+        {
+          seg = Segment.create ~name:(Path.to_string full) ~max_size:Layout.shared_slot_size ();
+          ino = slot;
+          slot = Some slot;
+          nlink = 1;
+        }
+      end
+      else
+        {
+          seg = Segment.create ~name:(Path.to_string full) ~max_size:normal_file_max ();
+          ino = fresh_ino t;
+          slot = None;
+          nlink = 1;
+        }
+    in
+    Hashtbl.replace dir.entries name (File file)
+
+let exists t ?cwd s =
+  Option.is_some (resolve_opt t ~op:"exists" ~follow_last:true (parse t ?cwd s))
+
+let is_dir t ?cwd s =
+  match resolve_opt t ~op:"is_dir" ~follow_last:true (parse t ?cwd s) with
+  | Some (_, Dir _) -> true
+  | Some _ | None -> false
+
+let stat_of_node = function
+  | Dir d -> { st_kind = Directory; st_size = 0; st_ino = d.dir_ino; st_addr = None }
+  | Link target ->
+    { st_kind = Symlink; st_size = String.length target; st_ino = 0; st_addr = None }
+  | File f ->
+    {
+      st_kind = Regular;
+      st_size = Segment.size f.seg;
+      st_ino = f.ino;
+      st_addr = Option.map Layout.addr_of_slot f.slot;
+    }
+
+let stat t ?cwd s =
+  let _, node = resolve_node t ~op:"stat" ~follow_last:true (parse t ?cwd s) in
+  stat_of_node node
+
+let lstat t ?cwd s =
+  let _, node = resolve_node t ~op:"lstat" ~follow_last:false (parse t ?cwd s) in
+  stat_of_node node
+
+let segment_of t ?cwd s =
+  let _, f = resolve_file t ~op:"mmap" (parse t ?cwd s) in
+  f.seg
+
+let read_file t ?cwd s =
+  let _, f = resolve_file t ~op:"read" (parse t ?cwd s) in
+  let len = Segment.size f.seg in
+  Stats.global.bytes_copied <- Stats.global.bytes_copied + len;
+  Stats.global.files_opened <- Stats.global.files_opened + 1;
+  Segment.blit_out f.seg ~src_off:0 ~len
+
+let write_file t ?cwd s b =
+  let p = parse t ?cwd s in
+  if not (exists t (Path.to_string p)) then create_file t (Path.to_string p);
+  let _, f = resolve_file t ~op:"write" p in
+  Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
+  Stats.global.files_opened <- Stats.global.files_opened + 1;
+  Segment.resize f.seg 0;
+  Segment.blit_in f.seg ~dst_off:0 b
+
+let append_file t ?cwd s b =
+  let p = parse t ?cwd s in
+  if not (exists t (Path.to_string p)) then create_file t (Path.to_string p);
+  let _, f = resolve_file t ~op:"append" p in
+  Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
+  Segment.blit_in f.seg ~dst_off:(Segment.size f.seg) b
+
+let symlink t ?cwd ~target s =
+  let op = "symlink" in
+  let p = parse t ?cwd s in
+  if p = [] then error op p Already_exists;
+  let canon, dir = resolve_dir t ~op (Path.parent p) in
+  let name = Path.basename p in
+  if Hashtbl.mem dir.entries name then error op (canon @ [ name ]) Already_exists;
+  Hashtbl.replace dir.entries name (Link target)
+
+let hard_link t ?cwd ~existing s =
+  let op = "link" in
+  let src = parse t ?cwd existing in
+  let dst = parse t ?cwd s in
+  if dst = [] then error op dst Already_exists;
+  let src_canon, f = resolve_file t ~op src in
+  let canon, dir = resolve_dir t ~op (Path.parent dst) in
+  let name = Path.basename dst in
+  let full = canon @ [ name ] in
+  if is_shared_path src_canon || is_shared_path full then
+    error op full Hard_links_prohibited;
+  if Hashtbl.mem dir.entries name then error op full Already_exists;
+  f.nlink <- f.nlink + 1;
+  Hashtbl.replace dir.entries name (File f)
+
+let unlink t ?cwd s =
+  let op = "unlink" in
+  let p = parse t ?cwd s in
+  if p = [] then error op p Is_a_directory;
+  let canon, dir = resolve_dir t ~op (Path.parent p) in
+  let name = Path.basename p in
+  let full = canon @ [ name ] in
+  match Hashtbl.find_opt dir.entries name with
+  | None -> error op full Not_found
+  | Some (Dir _) -> error op full Is_a_directory
+  | Some (Link _) -> Hashtbl.remove dir.entries name
+  | Some (File f) ->
+    Hashtbl.remove dir.entries name;
+    f.nlink <- f.nlink - 1;
+    if f.nlink = 0 then Option.iter (free_slot t) f.slot
+
+let rmdir t ?cwd s =
+  let op = "rmdir" in
+  let p = parse t ?cwd s in
+  if p = [] then error op p Not_empty;
+  let canon, dir = resolve_dir t ~op (Path.parent p) in
+  let name = Path.basename p in
+  let full = canon @ [ name ] in
+  match Hashtbl.find_opt dir.entries name with
+  | None -> error op full Not_found
+  | Some (File _ | Link _) -> error op full Not_a_directory
+  | Some (Dir d) ->
+    if Hashtbl.length d.entries > 0 then error op full Not_empty;
+    Hashtbl.remove dir.entries name
+
+let rename t ?cwd ~src dst =
+  let op = "rename" in
+  let srcp = parse t ?cwd src in
+  let dstp = parse t ?cwd dst in
+  if srcp = [] || dstp = [] then error op srcp Is_a_directory;
+  if Path.is_prefix ~prefix:srcp dstp then error op dstp Already_exists;
+  let src_canon, src_dir = resolve_dir t ~op (Path.parent srcp) in
+  let src_name = Path.basename srcp in
+  let src_full = src_canon @ [ src_name ] in
+  let node =
+    match Hashtbl.find_opt src_dir.entries src_name with
+    | Some node -> node
+    | None -> error op src_full Not_found
+  in
+  let dst_canon, dst_dir = resolve_dir t ~op (Path.parent dstp) in
+  let dst_name = Path.basename dstp in
+  let dst_full = dst_canon @ [ dst_name ] in
+  if Hashtbl.mem dst_dir.entries dst_name then error op dst_full Already_exists;
+  if is_shared_path src_full <> is_shared_path dst_full then
+    error op dst_full Cross_partition;
+  Hashtbl.remove src_dir.entries src_name;
+  Hashtbl.replace dst_dir.entries dst_name node;
+  (* Addresses are permanent: fix the kernel's addr->path table for any
+     shared file whose path just changed (the moved file itself, or the
+     contents of a moved directory). *)
+  if is_shared_path dst_full then begin
+    let rec fix canon = function
+      | File f -> Option.iter (fun slot -> t.addr_table.(slot) <- Some (Path.to_string canon)) f.slot
+      | Link _ -> ()
+      | Dir d -> Hashtbl.iter (fun name child -> fix (canon @ [ name ]) child) d.entries
+    in
+    fix dst_full node
+  end
+
+let readdir t ?cwd s =
+  let _, dir = resolve_dir t ~op:"readdir" (parse t ?cwd s) in
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) dir.entries [])
+
+(* The paper's new kernel calls. *)
+
+let addr_of_path t ?cwd s =
+  let op = "addr_of_path" in
+  let canon, f = resolve_file t ~op (parse t ?cwd s) in
+  match f.slot with
+  | Some slot -> Layout.addr_of_slot slot
+  | None -> error op canon Not_shared
+
+let path_of_addr t a =
+  let op = "path_of_addr" in
+  if not (Layout.is_public a) then
+    raise (Error { op; path = Printf.sprintf "0x%08x" a; kind = Not_shared });
+  match t.addr_table.(Layout.slot_of_addr a) with
+  | Some p -> p
+  | None -> raise (Error { op; path = Printf.sprintf "0x%08x" a; kind = Not_found })
+
+let slot_owner t a =
+  if Layout.is_public a then t.addr_table.(Layout.slot_of_addr a) else None
+
+let rescan_shared t =
+  Array.fill t.addr_table 0 (Array.length t.addr_table) None;
+  let rec walk canon dir =
+    let names = List.sort String.compare (Hashtbl.fold (fun k _ a -> k :: a) dir.entries []) in
+    let visit name =
+      match Hashtbl.find_opt dir.entries name with
+      | Some (Dir d) -> walk (canon @ [ name ]) d
+      | Some (File f) ->
+        Option.iter
+          (fun slot -> t.addr_table.(slot) <- Some (Path.to_string (canon @ [ name ])))
+          f.slot
+      | Some (Link _) | None -> ()
+    in
+    List.iter visit names
+  in
+  match Hashtbl.find_opt t.root.entries "shared" with
+  | Some (Dir d) -> walk shared_prefix d
+  | Some (File _ | Link _) | None -> ()
+
+let shared_free_slots t =
+  Array.fold_left (fun acc e -> if e = None then acc + 1 else acc) 0 t.addr_table
+
+let shared_table t =
+  let acc = ref [] in
+  for i = Array.length t.addr_table - 1 downto 0 do
+    match t.addr_table.(i) with
+    | Some p -> acc := (i, p) :: !acc
+    | None -> ()
+  done;
+  !acc

@@ -1,0 +1,124 @@
+(** The simulated file system.
+
+    An ordinary in-memory Unix tree, plus the paper's dedicated shared
+    partition mounted at [/shared]:
+
+    - exactly 1024 inodes (slots), each file at most 1 MB;
+    - a kernel-maintained one-one mapping between inodes and path names
+      (hard links other than "." and ".." are prohibited there);
+    - file [i]'s data occupies the fixed global address range
+      [Layout.addr_of_slot i .. +1 MB), so {!addr_of_path} /
+      {!path_of_addr} translate back and forth and pointers into shared
+      files mean the same thing in every process.
+
+    Every regular file is backed by a {!Hemlock_vm.Segment.t}; mapping a
+    file and writing the mapped memory writes the file, which is what
+    makes Hemlock's sharing genuine. *)
+
+type t
+
+type err_kind =
+  | Not_found
+  | Not_a_directory
+  | Is_a_directory
+  | Already_exists
+  | No_space  (** shared partition out of inodes *)
+  | Not_shared  (** address/op requires the shared partition *)
+  | Hard_links_prohibited
+  | Symlink_loop
+  | Not_empty
+  | Cross_partition  (** rename between /shared and the normal partition *)
+
+exception Error of { op : string; path : string; kind : err_kind }
+
+val err_kind_to_string : err_kind -> string
+
+type file_kind = Regular | Directory | Symlink
+
+type stat = {
+  st_kind : file_kind;
+  st_size : int;
+  st_ino : int;
+  st_addr : int option;  (** base address when on the shared partition *)
+}
+
+(** A fresh file system containing [/], [/shared], [/tmp], [/usr/lib],
+    [/etc] and [/home]. *)
+val create : unit -> t
+
+(** {1 Path-level operations}
+
+    All take paths as strings resolved against [cwd] (default root).
+    Symlinks in intermediate components are always followed; final
+    components follow symlinks unless stated otherwise. *)
+
+val mkdir : t -> ?cwd:Path.t -> string -> unit
+
+(** [create_file t p] creates an empty regular file (truncates if it
+    already exists as a file).  Under [/shared] this allocates an inode
+    slot and hence a global address. *)
+val create_file : t -> ?cwd:Path.t -> string -> unit
+
+val exists : t -> ?cwd:Path.t -> string -> bool
+val is_dir : t -> ?cwd:Path.t -> string -> bool
+val stat : t -> ?cwd:Path.t -> string -> stat
+
+(** [lstat] does not follow a final symlink. *)
+val lstat : t -> ?cwd:Path.t -> string -> stat
+
+(** Backing segment of a regular file — the mmap interface. *)
+val segment_of : t -> ?cwd:Path.t -> string -> Hemlock_vm.Segment.t
+
+val read_file : t -> ?cwd:Path.t -> string -> Bytes.t
+val write_file : t -> ?cwd:Path.t -> string -> Bytes.t -> unit
+
+(** [append_file] appends at end of file. *)
+val append_file : t -> ?cwd:Path.t -> string -> Bytes.t -> unit
+
+val symlink : t -> ?cwd:Path.t -> target:string -> string -> unit
+
+(** [hard_link t ~existing p] — allowed on the normal partition,
+    rejected with [Hard_links_prohibited] when either side is under
+    [/shared] (preserving the one-one inode/path mapping). *)
+val hard_link : t -> ?cwd:Path.t -> existing:string -> string -> unit
+
+val unlink : t -> ?cwd:Path.t -> string -> unit
+
+(** [rmdir] removes an empty directory. *)
+val rmdir : t -> ?cwd:Path.t -> string -> unit
+
+(** [rename t ~src dst] moves a file, symlink or directory.  The
+    destination must not exist.  Renames may not cross the shared
+    partition boundary (a shared file's identity {e is} its slot
+    address; a normal file has none), but within [/shared] the
+    kernel's addr->path table is updated, preserving every file's
+    address. *)
+val rename : t -> ?cwd:Path.t -> src:string -> string -> unit
+
+(** Directory entries, sorted. *)
+val readdir : t -> ?cwd:Path.t -> string -> string list
+
+(** {1 The new kernel calls of the paper} *)
+
+(** [addr_of_path t p] is the global base address of a shared file.
+    Raises [Error {kind = Not_shared}] for files outside [/shared]. *)
+val addr_of_path : t -> ?cwd:Path.t -> string -> int
+
+(** [path_of_addr t a] is the path of the shared file whose address
+    range contains [a] — the new syscall used by the SIGSEGV handler. *)
+val path_of_addr : t -> int -> string
+
+(** [slot_of_addr_checked t a] is the (slot, in-file offset) for a
+    mapped shared address, if any file occupies that slot. *)
+val slot_owner : t -> int -> string option
+
+(** Rebuild the in-kernel linear addr->path lookup table by scanning the
+    whole shared partition, as done at boot time.  Idempotent; used to
+    show the mapping survives "crashes". *)
+val rescan_shared : t -> unit
+
+(** Number of free inode slots on the shared partition. *)
+val shared_free_slots : t -> int
+
+(** All live (slot, path) pairs, in slot order. *)
+val shared_table : t -> (int * string) list

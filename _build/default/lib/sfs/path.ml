@@ -1,0 +1,33 @@
+type t = string list
+
+let root = []
+
+let of_string ~cwd s =
+  let parts = String.split_on_char '/' s in
+  let start = if String.length s > 0 && s.[0] = '/' then [] else cwd in
+  let step acc = function
+    | "" | "." -> acc
+    | ".." -> ( match acc with [] -> [] | _ :: rest -> rest)
+    | comp -> comp :: acc
+  in
+  List.rev (List.fold_left step (List.rev start) parts)
+
+let to_string = function [] -> "/" | comps -> "/" ^ String.concat "/" comps
+
+let basename = function
+  | [] -> invalid_arg "Path.basename: root has no basename"
+  | comps -> List.nth comps (List.length comps - 1)
+
+let parent = function
+  | [] -> invalid_arg "Path.parent: root has no parent"
+  | comps -> List.filteri (fun i _ -> i < List.length comps - 1) comps
+
+let append p name = p @ [ name ]
+
+let rec is_prefix ~prefix p =
+  match (prefix, p) with
+  | [], _ -> true
+  | _, [] -> false
+  | a :: pre, b :: rest -> String.equal a b && is_prefix ~prefix:pre rest
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

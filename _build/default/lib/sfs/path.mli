@@ -1,0 +1,26 @@
+(** Unix-style path strings.  A path is absolute ("/a/b") or relative
+    ("a/b", resolved against a supplied working directory).  Components
+    "." and ".." are normalised lexically. *)
+
+type t = string list
+(** Normalised absolute path as a component list; [\[\]] is the root. *)
+
+(** [of_string ~cwd s] parses and normalises [s]; relative paths are
+    resolved against [cwd] (itself absolute). *)
+val of_string : cwd:t -> string -> t
+
+val to_string : t -> string
+
+(** [basename p] is the final component. @raise Invalid_argument on root. *)
+val basename : t -> string
+
+(** [parent p] drops the final component. @raise Invalid_argument on root. *)
+val parent : t -> t
+
+val append : t -> string -> t
+
+(** [is_prefix ~prefix p] is true when [p] lies at or under [prefix]. *)
+val is_prefix : prefix:t -> t -> bool
+
+val root : t
+val pp : Format.formatter -> t -> unit

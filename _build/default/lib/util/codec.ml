@@ -1,0 +1,89 @@
+let mask32 v = v land 0xFFFF_FFFF
+
+let sext16 v =
+  let v = v land 0xFFFF in
+  if v land 0x8000 <> 0 then v - 0x1_0000 else v
+
+let sext32 v =
+  let v = mask32 v in
+  if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v
+
+let get_u8 b off = Char.code (Bytes.get b off)
+let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xFF))
+
+let get_u16 b off = get_u8 b off lor (get_u8 b (off + 1) lsl 8)
+
+let set_u16 b off v =
+  set_u8 b off v;
+  set_u8 b (off + 1) (v lsr 8)
+
+let get_u32 b off = get_u16 b off lor (get_u16 b (off + 2) lsl 16)
+
+let set_u32 b off v =
+  set_u16 b off v;
+  set_u16 b (off + 2) (v lsr 16)
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+  let length = Buffer.length
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xFF))
+
+  let u16 t v =
+    u8 t v;
+    u8 t (v lsr 8)
+
+  let u32 t v =
+    u16 t v;
+    u16 t (v lsr 16)
+
+  let str t s =
+    u16 t (String.length s);
+    Buffer.add_string t s
+
+  let bytes t b = Buffer.add_bytes t b
+  let contents t = Buffer.to_bytes t
+end
+
+module Reader = struct
+  type t = { data : Bytes.t; mutable pos : int }
+
+  let create data = { data; pos = 0 }
+  let pos t = t.pos
+  let eof t = t.pos >= Bytes.length t.data
+
+  let check t n =
+    if t.pos + n > Bytes.length t.data then failwith "Codec.Reader: truncated input"
+
+  let u8 t =
+    check t 1;
+    let v = get_u8 t.data t.pos in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    check t 2;
+    let v = get_u16 t.data t.pos in
+    t.pos <- t.pos + 2;
+    v
+
+  let u32 t =
+    check t 4;
+    let v = get_u32 t.data t.pos in
+    t.pos <- t.pos + 4;
+    v
+
+  let str t =
+    let n = u16 t in
+    check t n;
+    let s = Bytes.sub_string t.data t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let bytes t n =
+    check t n;
+    let b = Bytes.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    b
+end

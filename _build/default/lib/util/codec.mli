@@ -1,0 +1,49 @@
+(** Little-endian byte-level codecs used by the object-file format, the
+    a.out format, and the simulated memory.  All 32-bit quantities are
+    stored as OCaml [int]s masked to 32 bits. *)
+
+val mask32 : int -> int
+
+(** Sign-extend the low 16 bits. *)
+val sext16 : int -> int
+
+(** Sign-extend the low 32 bits (for arithmetic in the simulated CPU). *)
+val sext32 : int -> int
+
+val get_u8 : Bytes.t -> int -> int
+val set_u8 : Bytes.t -> int -> int -> unit
+val get_u16 : Bytes.t -> int -> int
+val set_u16 : Bytes.t -> int -> int -> unit
+val get_u32 : Bytes.t -> int -> int
+val set_u32 : Bytes.t -> int -> int -> unit
+
+(** Growable byte buffer with primitive emitters. *)
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+
+  (** Length-prefixed (u16) string. *)
+  val str : t -> string -> unit
+
+  val bytes : t -> Bytes.t -> unit
+  val contents : t -> Bytes.t
+end
+
+(** Sequential reader over bytes; raises [Failure] on truncation. *)
+module Reader : sig
+  type t
+
+  val create : Bytes.t -> t
+  val pos : t -> int
+  val eof : t -> bool
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val str : t -> string
+  val bytes : t -> int -> Bytes.t
+end

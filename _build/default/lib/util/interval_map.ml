@@ -1,0 +1,65 @@
+module M = Map.Make (Int)
+
+(* Keyed by [lo]; the value carries [hi] (exclusive).  The non-overlap
+   invariant is enforced by [add], so stabbing queries only need to look
+   at the binding with the greatest [lo <= p]. *)
+type 'a t = (int * 'a) M.t
+
+let empty = M.empty
+
+let is_empty = M.is_empty
+
+let cardinal = M.cardinal
+
+let pred_binding p t = M.find_last_opt (fun lo -> lo <= p) t
+
+let find p t =
+  match pred_binding p t with
+  | Some (lo, (hi, v)) when p < hi -> Some (lo, hi, v)
+  | Some _ | None -> None
+
+let find_exn p t =
+  match find p t with
+  | Some b -> b
+  | None -> raise Not_found
+
+let mem p t = Option.is_some (find p t)
+
+let overlaps ~lo ~hi t =
+  if lo >= hi then false
+  else
+    match pred_binding (hi - 1) t with
+    | Some (_, (bhi, _)) when bhi > lo -> true
+    | Some _ | None -> false
+
+let add ~lo ~hi v t =
+  if lo >= hi then invalid_arg "Interval_map.add: empty interval";
+  if overlaps ~lo ~hi t then invalid_arg "Interval_map.add: overlap";
+  M.add lo (hi, v) t
+
+let remove p t =
+  match find p t with
+  | Some (lo, _, _) -> M.remove lo t
+  | None -> t
+
+let update p f t =
+  match find p t with
+  | Some (lo, hi, v) -> M.add lo (hi, f v) t
+  | None -> raise Not_found
+
+let iter f t = M.iter (fun lo (hi, v) -> f lo hi v) t
+
+let fold f t init = M.fold (fun lo (hi, v) acc -> f lo hi v acc) t init
+
+let to_list t = List.rev (fold (fun lo hi v acc -> (lo, hi, v) :: acc) t [])
+
+let first_gap ~lo ~hi ~size t =
+  let rec scan base = function
+    | [] -> if base + size <= hi then Some base else None
+    | (blo, bhi, _) :: rest ->
+      if bhi <= base then scan base rest
+      else if base + size <= blo then Some base
+      else scan (max base bhi) rest
+  in
+  if size <= 0 then invalid_arg "Interval_map.first_gap: size <= 0";
+  scan lo (to_list t)

@@ -1,0 +1,26 @@
+(** Deterministic splitmix64 PRNG.  Workload generators use this rather
+    than [Random] so every experiment is exactly reproducible. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Next raw 64-bit value (as a non-negative 62-bit OCaml int). *)
+val next : t -> int
+
+(** [int t n] is uniform in [\[0, n)]. @raise Invalid_argument if [n <= 0]. *)
+val int : t -> int -> int
+
+(** [range t lo hi] is uniform in [\[lo, hi)]. *)
+val range : t -> int -> int -> int
+
+val bool : t -> bool
+
+(** [float t] is uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** Uniform choice from a non-empty array. *)
+val choose : t -> 'a array -> 'a
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

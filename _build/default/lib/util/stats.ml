@@ -1,0 +1,99 @@
+type t = {
+  mutable instructions : int;
+  mutable syscalls : int;
+  mutable bytes_copied : int;
+  mutable faults : int;
+  mutable pages_mapped : int;
+  mutable modules_linked : int;
+  mutable relocs_applied : int;
+  mutable symbols_resolved : int;
+  mutable files_opened : int;
+  mutable messages_sent : int;
+  mutable context_switches : int;
+}
+
+let zero () =
+  {
+    instructions = 0;
+    syscalls = 0;
+    bytes_copied = 0;
+    faults = 0;
+    pages_mapped = 0;
+    modules_linked = 0;
+    relocs_applied = 0;
+    symbols_resolved = 0;
+    files_opened = 0;
+    messages_sent = 0;
+    context_switches = 0;
+  }
+
+let global = zero ()
+
+let reset () =
+  global.instructions <- 0;
+  global.syscalls <- 0;
+  global.bytes_copied <- 0;
+  global.faults <- 0;
+  global.pages_mapped <- 0;
+  global.modules_linked <- 0;
+  global.relocs_applied <- 0;
+  global.symbols_resolved <- 0;
+  global.files_opened <- 0;
+  global.messages_sent <- 0;
+  global.context_switches <- 0
+
+let snapshot () = { global with instructions = global.instructions }
+
+let diff ~before ~after =
+  {
+    instructions = after.instructions - before.instructions;
+    syscalls = after.syscalls - before.syscalls;
+    bytes_copied = after.bytes_copied - before.bytes_copied;
+    faults = after.faults - before.faults;
+    pages_mapped = after.pages_mapped - before.pages_mapped;
+    modules_linked = after.modules_linked - before.modules_linked;
+    relocs_applied = after.relocs_applied - before.relocs_applied;
+    symbols_resolved = after.symbols_resolved - before.symbols_resolved;
+    files_opened = after.files_opened - before.files_opened;
+    messages_sent = after.messages_sent - before.messages_sent;
+    context_switches = after.context_switches - before.context_switches;
+  }
+
+(* Cost model, in simulated cycles.  The weights are the conventional
+   order-of-magnitude ratios for early-90s RISC workstations: a syscall
+   trap costs ~hundreds of instructions, a page fault delivered to a
+   user-level handler ~a thousand, copies run at ~1 cycle/byte, and a
+   mapping costs a VMA update (pages are populated lazily, so the
+   per-page cost is small). *)
+let cycles t =
+  t.instructions + (400 * t.syscalls) + t.bytes_copied + (1200 * t.faults)
+  + (2 * t.pages_mapped)
+  + (30 * t.relocs_applied)
+  + (60 * t.symbols_resolved)
+  + (250 * t.files_opened)
+  + (500 * t.messages_sent)
+  + (150 * t.context_switches)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>instructions      %8d@,\
+     syscalls          %8d@,\
+     bytes copied      %8d@,\
+     faults            %8d@,\
+     pages mapped      %8d@,\
+     modules linked    %8d@,\
+     relocs applied    %8d@,\
+     symbols resolved  %8d@,\
+     files opened      %8d@,\
+     messages sent     %8d@,\
+     context switches  %8d@,\
+     ~cycles           %8d@]"
+    t.instructions t.syscalls t.bytes_copied t.faults t.pages_mapped
+    t.modules_linked t.relocs_applied t.symbols_resolved t.files_opened
+    t.messages_sent t.context_switches (cycles t)
+
+let measure f =
+  let before = snapshot () in
+  let result = f () in
+  let after = snapshot () in
+  (result, diff ~before ~after)

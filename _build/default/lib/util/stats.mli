@@ -1,0 +1,43 @@
+(** Deterministic cost accounting for the simulator.
+
+    The paper reports wall-clock effects of replacing files and messages
+    with shared memory; our substrate is an interpreter, so experiments
+    report these deterministic counters (plus Bechamel wall times of the
+    simulator itself).  Counters are global; the benchmark harness resets
+    them around each measured region. *)
+
+type t = {
+  mutable instructions : int;  (** ISA instructions retired *)
+  mutable syscalls : int;  (** kernel traps *)
+  mutable bytes_copied : int;  (** memcpy work: file I/O, messages, fork *)
+  mutable faults : int;  (** access faults delivered to handlers *)
+  mutable pages_mapped : int;  (** pages added to an address space *)
+  mutable modules_linked : int;  (** modules relocated+resolved *)
+  mutable relocs_applied : int;
+  mutable symbols_resolved : int;
+  mutable files_opened : int;
+  mutable messages_sent : int;
+  mutable context_switches : int;
+}
+
+(** The single global counter set. *)
+val global : t
+
+val reset : unit -> unit
+
+(** An independent snapshot of the current totals. *)
+val snapshot : unit -> t
+
+(** [diff ~before ~after] is the per-field difference. *)
+val diff : before:t -> after:t -> t
+
+(** Abstract "simulated time" of a snapshot: a fixed linear cost model
+    over the counters (instructions + weighted syscall/copy/fault costs),
+    in simulated cycles.  Used to compare alternatives on one axis. *)
+val cycles : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** [measure f] runs [f ()] and returns its result together with the
+    counter deltas it produced. *)
+val measure : (unit -> 'a) -> 'a * t

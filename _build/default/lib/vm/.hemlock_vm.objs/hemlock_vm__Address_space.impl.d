@@ -1,0 +1,1 @@
+lib/vm/address_space.ml: Buffer Bytes Char Format Hemlock_util Layout List Printf Prot Segment

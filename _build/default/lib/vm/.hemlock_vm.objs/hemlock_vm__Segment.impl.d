@@ -1,0 +1,1 @@
+lib/vm/segment.ml: Bytes Format Hemlock_util Printf

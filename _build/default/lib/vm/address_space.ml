@@ -1,0 +1,121 @@
+module Interval_map = Hemlock_util.Interval_map
+module Stats = Hemlock_util.Stats
+
+type fault_reason = Unmapped | Protection
+
+exception Fault of { addr : int; access : Prot.access; reason : fault_reason }
+
+type share = Private | Public
+
+type mapping = {
+  seg : Segment.t;
+  seg_off : int;
+  prot : Prot.t;
+  share : share;
+  label : string;
+}
+
+type t = { mutable table : mapping Interval_map.t }
+
+let create () = { table = Interval_map.empty }
+
+let map t ~base ~len ~seg ?(seg_off = 0) ~prot ~share ~label () =
+  if not (Layout.is_page_aligned base && Layout.is_page_aligned len) then
+    invalid_arg "Address_space.map: unaligned base or length";
+  if len <= 0 then invalid_arg "Address_space.map: empty mapping";
+  if not (Layout.is_user base && Layout.is_user (base + len - 1)) then
+    invalid_arg "Address_space.map: outside user space";
+  if Interval_map.overlaps ~lo:base ~hi:(base + len) t.table then
+    invalid_arg (Printf.sprintf "Address_space.map: 0x%x+0x%x overlaps" base len);
+  t.table <- Interval_map.add ~lo:base ~hi:(base + len) { seg; seg_off; prot; share; label } t.table;
+  Stats.global.pages_mapped <- Stats.global.pages_mapped + (len / Layout.page_size)
+
+let unmap t addr = t.table <- Interval_map.remove addr t.table
+
+let protect t addr prot = t.table <- Interval_map.update addr (fun m -> { m with prot }) t.table
+
+let mapping_at t addr = Interval_map.find addr t.table
+
+let mappings t = Interval_map.to_list t.table
+
+let find_gap t ~lo ~hi ~size =
+  Interval_map.first_gap ~lo ~hi ~size:(Layout.page_up size) t.table
+
+let translate t addr access width =
+  match Interval_map.find addr t.table with
+  | None -> raise (Fault { addr; access; reason = Unmapped })
+  | Some (lo, hi, m) ->
+    if addr + width > hi then raise (Fault { addr; access; reason = Unmapped });
+    if not (Prot.allows m.prot access) then
+      raise (Fault { addr; access; reason = Protection });
+    (m.seg, m.seg_off + (addr - lo))
+
+let load_u8 t addr =
+  let seg, off = translate t addr Prot.Read 1 in
+  Segment.get_u8 seg off
+
+let load_u32 t addr =
+  let seg, off = translate t addr Prot.Read 4 in
+  Segment.get_u32 seg off
+
+let store_u8 t addr v =
+  let seg, off = translate t addr Prot.Write 1 in
+  Segment.set_u8 seg off v
+
+let store_u32 t addr v =
+  let seg, off = translate t addr Prot.Write 4 in
+  Segment.set_u32 seg off v
+
+let fetch t addr =
+  let seg, off = translate t addr Prot.Exec 4 in
+  Segment.get_u32 seg off
+
+let read_bytes t addr len =
+  let out = Bytes.make len '\000' in
+  for i = 0 to len - 1 do
+    Bytes.set out i (Char.chr (load_u8 t (addr + i)))
+  done;
+  out
+
+let write_bytes t addr b =
+  Bytes.iteri (fun i c -> store_u8 t (addr + i) (Char.code c)) b
+
+let read_cstring t addr =
+  let buf = Buffer.create 32 in
+  let rec go i =
+    if i >= 0x1_0000 then failwith "Address_space.read_cstring: unterminated";
+    let c = load_u8 t (addr + i) in
+    if c = 0 then Buffer.contents buf
+    else begin
+      Buffer.add_char buf (Char.chr c);
+      go (i + 1)
+    end
+  in
+  go 0
+
+let clone t =
+  let clone_mapping m =
+    match m.share with
+    | Public -> m
+    | Private ->
+      let seg = Segment.copy m.seg in
+      Stats.global.bytes_copied <- Stats.global.bytes_copied + Segment.size seg;
+      { m with seg }
+  in
+  let table =
+    Interval_map.fold
+      (fun lo hi m acc -> Interval_map.add ~lo ~hi (clone_mapping m) acc)
+      t.table Interval_map.empty
+  in
+  { table }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (lo, hi, m) ->
+      Format.fprintf ppf "%a-%a %a %s %-8s %s@,"
+        Layout.pp_addr lo Layout.pp_addr hi Prot.pp m.prot
+        (match m.share with Private -> "priv" | Public -> "pub ")
+        (Layout.region_name lo) m.label)
+    (mappings t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,85 @@
+(** A per-process virtual address space: a page-granular table mapping
+    address ranges to {!Segment.t} windows with protections.
+
+    Accesses that touch an unmapped address or violate protection raise
+    {!Fault}; the kernel turns that into SIGSEGV delivery, which is the
+    engine behind both of Hemlock's fault-handler duties (lazy linking
+    and mapping shared segments on pointer dereference). *)
+
+type t
+
+(** Why an access faulted: the address had no mapping at all, or the
+    mapping's protection forbade the access. *)
+type fault_reason = Unmapped | Protection
+
+exception Fault of { addr : int; access : Prot.access; reason : fault_reason }
+
+(** Whether a mapping is copied or shared across [fork]; private-region
+    addresses are overloaded per process, public ones globally unique. *)
+type share = Private | Public
+
+type mapping = {
+  seg : Segment.t;
+  seg_off : int;  (** segment offset backing the mapping's base *)
+  prot : Prot.t;
+  share : share;
+  label : string;  (** human-readable provenance, e.g. a module path *)
+}
+
+val create : unit -> t
+
+(** [map t ~base ~len ~seg ~prot ~share ~label] installs a mapping.
+    [base] and [len] must be page-aligned; the range must be unmapped
+    user space.  @raise Invalid_argument otherwise. *)
+val map :
+  t ->
+  base:int ->
+  len:int ->
+  seg:Segment.t ->
+  ?seg_off:int ->
+  prot:Prot.t ->
+  share:share ->
+  label:string ->
+  unit ->
+  unit
+
+(** [unmap t addr] removes the mapping containing [addr] (no-op if none). *)
+val unmap : t -> int -> unit
+
+(** [protect t addr prot] changes the protection of the whole mapping
+    containing [addr].  @raise Not_found if unmapped. *)
+val protect : t -> int -> Prot.t -> unit
+
+(** The mapping containing [addr], with its [(lo, hi)] range. *)
+val mapping_at : t -> int -> (int * int * mapping) option
+
+(** All mappings in address order. *)
+val mappings : t -> (int * int * mapping) list
+
+(** [find_gap t ~lo ~hi ~size] finds a free page-aligned range. *)
+val find_gap : t -> lo:int -> hi:int -> size:int -> int option
+
+(** Checked accesses; raise {!Fault}. *)
+
+val load_u8 : t -> int -> int
+val load_u32 : t -> int -> int
+val store_u8 : t -> int -> int -> unit
+val store_u32 : t -> int -> int -> unit
+
+(** Instruction fetch: a 32-bit load requiring execute permission. *)
+val fetch : t -> int -> int
+
+(** [read_bytes t addr len] performs [len] checked byte reads. *)
+val read_bytes : t -> int -> int -> Bytes.t
+
+(** [write_bytes t addr b] performs checked byte writes. *)
+val write_bytes : t -> int -> Bytes.t -> unit
+
+(** Read a NUL-terminated string (bounded at 64 KB). *)
+val read_cstring : t -> int -> string
+
+(** [clone t] implements the memory half of fork: private mappings get
+    fresh copied segments, public mappings alias the originals. *)
+val clone : t -> t
+
+val pp : Format.formatter -> t -> unit

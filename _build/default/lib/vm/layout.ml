@@ -1,0 +1,43 @@
+let page_shift = 12
+let page_size = 1 lsl page_shift
+
+let text_base = 0x0000_0000
+let text_limit = 0x1000_0000
+let heap_base = 0x1000_0000
+let heap_limit = 0x3000_0000
+let shared_base = 0x3000_0000
+let shared_limit = 0x7000_0000
+let stack_base = 0x7000_0000
+let stack_limit = 0x7FFF_0000
+let kernel_base = 0x8000_0000
+
+let shared_slot_size = 0x10_0000 (* 1 MB *)
+let shared_slots = (shared_limit - shared_base) / shared_slot_size
+
+let () = assert (shared_slots = 1024)
+
+let is_page_aligned a = a land (page_size - 1) = 0
+let page_down a = a land lnot (page_size - 1)
+let page_up a = page_down (a + page_size - 1)
+
+let is_public a = a >= shared_base && a < shared_limit
+let is_user a = a >= 0 && a < kernel_base
+
+let slot_of_addr a =
+  if not (is_public a) then invalid_arg "Layout.slot_of_addr: not a public address";
+  (a - shared_base) / shared_slot_size
+
+let addr_of_slot i =
+  if i < 0 || i >= shared_slots then invalid_arg "Layout.addr_of_slot: bad slot";
+  shared_base + (i * shared_slot_size)
+
+let pp_addr ppf a = Format.fprintf ppf "0x%08x" a
+
+let region_name a =
+  if a < 0 then "invalid"
+  else if a < text_limit then "text"
+  else if a < heap_limit then "heap"
+  else if a < shared_limit then "shared"
+  else if a >= stack_base && a < stack_limit then "stack"
+  else if a >= kernel_base then "kernel"
+  else "unmapped-hole"

@@ -1,0 +1,55 @@
+(** The 32-bit Hemlock address-space layout of the paper's Figure 3.
+
+    {v
+      0x8000_0000 - 0xFFFF_FFFF   kernel
+      0x7000_0000 - 0x7FFF_0000   stack (grows down)
+      0x3000_0000 - 0x7000_0000   shared file system (1 GB, public)
+      0x1000_0000 - 0x3000_0000   heap, bss/data (private)
+      0x0000_0000 - 0x1000_0000   program text, shared libraries (private)
+    v}
+
+    Addresses in the public region mean the same thing in every process;
+    addresses in the private regions are overloaded per process. *)
+
+val page_size : int
+val page_shift : int
+
+val text_base : int
+val text_limit : int
+val heap_base : int
+val heap_limit : int
+val shared_base : int
+val shared_limit : int
+val stack_base : int
+val stack_limit : int
+val kernel_base : int
+
+(** Size of each shared-file-system slot: the 1 MB per-file limit. *)
+val shared_slot_size : int
+
+(** Number of slots in the shared region (the 1024-inode limit). *)
+val shared_slots : int
+
+val is_page_aligned : int -> bool
+val page_down : int -> int
+
+(** Round up to a page boundary. *)
+val page_up : int -> int
+
+(** [true] iff the address lies in the globally-consistent public region. *)
+val is_public : int -> bool
+
+(** [true] iff the address is in a user-accessible region at all. *)
+val is_user : int -> bool
+
+(** Slot index of a public address, i.e. which shared file it falls in. *)
+val slot_of_addr : int -> int
+
+(** Base address of shared slot [i]. *)
+val addr_of_slot : int -> int
+
+val pp_addr : Format.formatter -> int -> unit
+
+(** Name of the region an address falls in ("text", "heap", "shared",
+    "stack", "kernel", or "unmapped-hole"). *)
+val region_name : int -> string

@@ -1,0 +1,28 @@
+type t = No_access | Read_only | Read_write | Read_exec | Read_write_exec
+
+type access = Read | Write | Exec
+
+let allows prot access =
+  match (prot, access) with
+  | No_access, (Read | Write | Exec) -> false
+  | Read_only, Read -> true
+  | Read_only, (Write | Exec) -> false
+  | Read_write, (Read | Write) -> true
+  | Read_write, Exec -> false
+  | Read_exec, (Read | Exec) -> true
+  | Read_exec, Write -> false
+  | Read_write_exec, (Read | Write | Exec) -> true
+
+let to_string = function
+  | No_access -> "---"
+  | Read_only -> "r--"
+  | Read_write -> "rw-"
+  | Read_exec -> "r-x"
+  | Read_write_exec -> "rwx"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let pp_access ppf = function
+  | Read -> Format.pp_print_string ppf "read"
+  | Write -> Format.pp_print_string ppf "write"
+  | Exec -> Format.pp_print_string ppf "exec"

@@ -1,0 +1,12 @@
+(** Page protections.  [No_access] is how ldl maps a module whose
+    references are not yet resolved, so that the first touch faults into
+    the lazy linker. *)
+
+type t = No_access | Read_only | Read_write | Read_exec | Read_write_exec
+
+type access = Read | Write | Exec
+
+val allows : t -> access -> bool
+val pp : Format.formatter -> t -> unit
+val pp_access : Format.formatter -> access -> unit
+val to_string : t -> string

@@ -1,0 +1,93 @@
+module Codec = Hemlock_util.Codec
+
+type t = {
+  id : int;
+  name : string;
+  max_size : int;
+  mutable data : Bytes.t; (* capacity; logical size tracked separately *)
+  mutable size : int;
+}
+
+let next_id = ref 0
+
+let create ~name ~max_size () =
+  if max_size <= 0 then invalid_arg "Segment.create: max_size <= 0";
+  incr next_id;
+  { id = !next_id; name; max_size; data = Bytes.empty; size = 0 }
+
+let id t = t.id
+let name t = t.name
+let max_size t = t.max_size
+let size t = t.size
+
+let check_off t off len =
+  if off < 0 || off + len > t.max_size then
+    invalid_arg
+      (Printf.sprintf "Segment %s: offset %d+%d out of bounds (max %d)" t.name off
+         len t.max_size)
+
+let ensure_capacity t n =
+  if Bytes.length t.data < n then begin
+    let cap = max 256 (max n (2 * Bytes.length t.data)) in
+    let cap = min cap t.max_size in
+    let data = Bytes.make cap '\000' in
+    Bytes.blit t.data 0 data 0 (Bytes.length t.data);
+    t.data <- data
+  end
+
+let resize t n =
+  if n < 0 || n > t.max_size then invalid_arg "Segment.resize: bad size";
+  if n < t.size then
+    (* Clear the dropped suffix so re-growth reads zeroes. *)
+    Bytes.fill t.data n (Bytes.length t.data - n) '\000'
+  else ensure_capacity t n;
+  t.size <- n
+
+let get_u8 t off =
+  check_off t off 1;
+  if off >= Bytes.length t.data then 0 else Codec.get_u8 t.data off
+
+let set_u8 t off v =
+  check_off t off 1;
+  ensure_capacity t (off + 1);
+  Codec.set_u8 t.data off v;
+  if off + 1 > t.size then t.size <- off + 1
+
+let get_u32 t off =
+  check_off t off 4;
+  if off + 4 <= Bytes.length t.data then Codec.get_u32 t.data off
+  else
+    get_u8 t off
+    lor (get_u8 t (off + 1) lsl 8)
+    lor (get_u8 t (off + 2) lsl 16)
+    lor (get_u8 t (off + 3) lsl 24)
+
+let set_u32 t off v =
+  check_off t off 4;
+  ensure_capacity t (off + 4);
+  Codec.set_u32 t.data off v;
+  if off + 4 > t.size then t.size <- off + 4
+
+let blit_in t ~dst_off src =
+  let len = Bytes.length src in
+  if len > 0 then begin
+    check_off t dst_off len;
+    ensure_capacity t (dst_off + len);
+    Bytes.blit src 0 t.data dst_off len;
+    if dst_off + len > t.size then t.size <- dst_off + len
+  end
+
+let blit_out t ~src_off ~len =
+  check_off t src_off len;
+  let out = Bytes.make len '\000' in
+  let avail = min len (max 0 (Bytes.length t.data - src_off)) in
+  if avail > 0 then Bytes.blit t.data src_off out 0 avail;
+  out
+
+let contents t = blit_out t ~src_off:0 ~len:t.size
+
+let copy t =
+  incr next_id;
+  { t with id = !next_id; data = Bytes.copy t.data }
+
+let pp ppf t = Format.fprintf ppf "segment#%d(%s, %d/%d bytes)" t.id t.name t.size t.max_size

@@ -1,0 +1,44 @@
+(** A physical memory object — what the paper (following Mach) calls a
+    segment.  Segments back both mapped memory and files; a shared file
+    and the memory mapped from it are the {e same} segment, which is what
+    makes Hemlock's write sharing genuine rather than copy-based.
+
+    Storage grows on demand up to [max_size] and is zero-filled. *)
+
+type t
+
+(** [create ~name ~max_size ()] makes an empty segment. *)
+val create : name:string -> max_size:int -> unit -> t
+
+val id : t -> int
+val name : t -> string
+val max_size : t -> int
+
+(** Current logical size in bytes (high-water mark of writes/resizes). *)
+val size : t -> int
+
+(** [resize t n] sets the logical size (zero-extends; truncation clears
+    the dropped bytes so re-growth reads zeroes).
+    @raise Invalid_argument if [n < 0] or [n > max_size t]. *)
+val resize : t -> int -> unit
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u32 : t -> int -> int
+val set_u32 : t -> int -> int -> unit
+
+(** [blit_in t ~dst_off src] copies [src] into the segment, growing it. *)
+val blit_in : t -> dst_off:int -> Bytes.t -> unit
+
+(** [blit_out t ~src_off ~len] copies bytes out (reads beyond [size] are
+    zeroes, up to [max_size]). *)
+val blit_out : t -> src_off:int -> len:int -> Bytes.t
+
+(** [copy t] is a snapshot with identical contents and a fresh identity —
+    the private half of fork. *)
+val copy : t -> t
+
+(** Whole current contents (length = [size t]). *)
+val contents : t -> Bytes.t
+
+val pp : Format.formatter -> t -> unit

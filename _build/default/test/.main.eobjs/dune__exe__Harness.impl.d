@@ -1,0 +1,1 @@
+test/harness.ml: Alcotest Filename Hemlock_cc Hemlock_isa Hemlock_linker Hemlock_obj Hemlock_os Hemlock_runtime Hemlock_sfs List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Fs Harness Hemlock_apps Hemlock_baseline Hemlock_linker Hemlock_util Kernel List String

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Cc Fs Harness Hemlock_baseline Hemlock_obj Hemlock_util Kernel List Option QCheck2

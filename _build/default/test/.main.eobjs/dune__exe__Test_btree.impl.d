@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Harness Hemlock_sfs Hemlock_util Int List Map Option Printf QCheck2

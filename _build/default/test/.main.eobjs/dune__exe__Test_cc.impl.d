@@ -1,0 +1,1 @@
+test/test_cc.ml: Alcotest Fs Harness Hemlock_cc Hemlock_obj Kernel List Sharing

@@ -1,0 +1,1 @@
+test/test_diff.ml: Fs Harness Hemlock_apps Hemlock_baseline Hemlock_util Kernel Ldl Printf QCheck2

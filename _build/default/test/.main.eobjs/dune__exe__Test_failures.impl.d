@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Bytes Fs Harness Hemlock_linker Hemlock_runtime Hemlock_util Hemlock_vm Kernel Ldl List Option Proc Sharing

@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Bytes Fs Harness Hemlock_vm List Path Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Bytes Format Harness Hemlock_isa Hemlock_obj Hemlock_util Hemlock_vm List QCheck2

@@ -1,0 +1,1 @@
+test/test_ldl.ml: Alcotest Fs Harness Hemlock_apps Hemlock_linker Hemlock_obj Hemlock_util Hemlock_vm Kernel Ldl Lds List Printf Proc Sharing String

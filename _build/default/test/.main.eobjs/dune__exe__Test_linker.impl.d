@@ -1,0 +1,1 @@
+test/test_linker.ml: Alcotest Bytes Cc Fs Harness Hemlock_isa Hemlock_linker Hemlock_obj Hemlock_util Hemlock_vm Kernel Lds List Option Search Sharing

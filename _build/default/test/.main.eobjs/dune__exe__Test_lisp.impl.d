@@ -1,0 +1,1 @@
+test/test_lisp.ml: Alcotest Filename Fs Harness Hemlock_lisp Hemlock_obj Kernel List Sharing

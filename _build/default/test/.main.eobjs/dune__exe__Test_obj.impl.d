@@ -1,0 +1,1 @@
+test/test_obj.ml: Alcotest Bytes Harness Hemlock_linker Hemlock_obj List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Buffer Bytes Format Fs Harness Hemlock_linker Hemlock_util Hemlock_vm Kernel List Printf Proc Sharing

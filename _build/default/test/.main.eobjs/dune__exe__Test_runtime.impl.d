@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Fs Harness Hashtbl Hemlock_linker Hemlock_runtime Hemlock_vm Kernel List Option Printf Proc QCheck2 Search Sharing

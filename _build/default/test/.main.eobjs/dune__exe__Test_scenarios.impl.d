@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Fs Harness Hemlock_apps Hemlock_linker Hemlock_runtime Hemlock_util Hemlock_vm Kernel Ldl Lds List Printf Sharing String

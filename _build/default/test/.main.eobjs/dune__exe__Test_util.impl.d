@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Fun Harness Hemlock_util List QCheck2

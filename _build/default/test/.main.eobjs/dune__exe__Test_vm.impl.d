@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Bytes Harness Hashtbl Hemlock_vm List QCheck2

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "hemlock"
+    [
+      ("util", Test_util.suite);
+      ("vm", Test_vm.suite);
+      ("fs", Test_fs.suite);
+      ("btree", Test_btree.suite);
+      ("isa", Test_isa.suite);
+      ("obj", Test_obj.suite);
+      ("cc", Test_cc.suite);
+      ("os", Test_os.suite);
+      ("linker", Test_linker.suite);
+      ("ldl", Test_ldl.suite);
+      ("runtime", Test_runtime.suite);
+      ("baseline", Test_baseline.suite);
+      ("apps", Test_apps.suite);
+      ("failures", Test_failures.suite);
+      ("differential", Test_diff.suite);
+      ("scenarios", Test_scenarios.suite);
+      ("lisp", Test_lisp.suite);
+    ]

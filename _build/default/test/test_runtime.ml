@@ -1,0 +1,418 @@
+open Harness
+module Shm_heap = Hemlock_runtime.Shm_heap
+module Sync = Hemlock_runtime.Sync
+module Shared_list = Hemlock_runtime.Shared_list
+module Layout = Hemlock_vm.Layout
+
+let with_heap f =
+  let k, ldl = boot () in
+  run_native k (fun k proc ->
+      Hemlock_linker.Ldl.attach ldl proc;
+      let heap = Shm_heap.create k proc ~path:"/shared/heap" in
+      f k proc heap)
+
+(* ----- heap ----- *)
+
+let heap_alloc_basics () =
+  with_heap (fun k proc heap ->
+      let a = Shm_heap.alloc k proc ~heap 16 in
+      let b = Shm_heap.alloc k proc ~heap 16 in
+      check_bool "distinct" true (a <> b);
+      check_bool "within segment" true
+        (Layout.slot_of_addr a = Layout.slot_of_addr heap);
+      Kernel.store_u32 k proc a 1;
+      Kernel.store_u32 k proc b 2;
+      check_int "no aliasing" 1 (Kernel.load_u32 k proc a);
+      check_int "live accounting" 32 (Shm_heap.live_bytes k proc ~heap))
+
+let heap_free_reuse () =
+  with_heap (fun k proc heap ->
+      let a = Shm_heap.alloc k proc ~heap 24 in
+      Shm_heap.free k proc ~heap a;
+      check_int "one free block" 1 (Shm_heap.free_blocks k proc ~heap);
+      let b = Shm_heap.alloc k proc ~heap 24 in
+      check_int "first fit reuses" a b;
+      check_int "free list drained" 0 (Shm_heap.free_blocks k proc ~heap);
+      (* freed-then-reallocated memory reads as zero *)
+      Kernel.store_u32 k proc b 99;
+      Shm_heap.free k proc ~heap b;
+      let c = Shm_heap.alloc k proc ~heap 24 in
+      check_int "zeroed on alloc" 0 (Kernel.load_u32 k proc c))
+
+let heap_alignment_and_min () =
+  with_heap (fun k proc heap ->
+      let a = Shm_heap.alloc k proc ~heap 1 in
+      let b = Shm_heap.alloc k proc ~heap 3 in
+      check_bool "aligned" true (a land 3 = 0 && b land 3 = 0);
+      check_int "rounded up" 8 (Shm_heap.live_bytes k proc ~heap))
+
+let heap_exhaustion () =
+  with_heap (fun k proc heap ->
+      match Shm_heap.alloc k proc ~heap (2 * Layout.shared_slot_size) with
+      | _ -> Alcotest.fail "expected full heap"
+      | exception Shm_heap.Heap_error msg ->
+        check_bool "message" true (contains msg "full");
+        0)
+  |> ignore
+
+let heap_by_pointer () =
+  with_heap (fun k proc heap ->
+      let a = Shm_heap.alloc k proc ~heap 8 in
+      check_int "heap found from interior pointer" heap (Shm_heap.heap_base k (a + 4));
+      match Shm_heap.heap_base k 0x1000 with
+      | _ -> Alcotest.fail "private address has no segment heap"
+      | exception Shm_heap.Heap_error _ -> 0)
+  |> ignore
+
+let heap_unformatted_detected () =
+  let k, ldl = boot () in
+  ignore
+    (run_native k (fun k proc ->
+         Hemlock_linker.Ldl.attach ldl proc;
+         Fs.create_file (Kernel.fs k) "/shared/raw";
+         let base = Fs.addr_of_path (Kernel.fs k) "/shared/raw" in
+         match Shm_heap.alloc k proc ~heap:base 8 with
+         | _ -> Alcotest.fail "expected unformatted error"
+         | exception Shm_heap.Heap_error msg ->
+           check_bool "says not formatted" true (contains msg "not a formatted heap");
+           0))
+
+let heap_shared_between_processes () =
+  let k, ldl = boot () in
+  let addr = ref 0 in
+  ignore
+    (run_native k (fun k proc ->
+         Hemlock_linker.Ldl.attach ldl proc;
+         let heap = Shm_heap.create k proc ~path:"/shared/h2" in
+         let a = Shm_heap.alloc k proc ~heap 8 in
+         Kernel.store_u32 k proc a 4242;
+         addr := a;
+         0));
+  let v =
+    run_native k (fun k proc ->
+        Hemlock_linker.Ldl.attach ldl proc;
+        (* A different process follows the pointer; the handler maps the
+           segment and the heap is usable in place. *)
+        let v = Kernel.load_u32 k proc !addr in
+        let heap = Shm_heap.heap_base k !addr in
+        let b = Shm_heap.alloc k proc ~heap 8 in
+        check_bool "allocates from the same heap" true
+          (Layout.slot_of_addr b = Layout.slot_of_addr !addr);
+        v)
+  in
+  check_int "value visible across processes" 4242 v
+
+let prop_heap_model =
+  prop "shm_heap: random alloc/free sequences keep blocks disjoint" ~count:60
+    QCheck2.Gen.(list_size (int_range 1 40) (pair bool (int_range 1 64)))
+    (fun ops ->
+      let k, ldl = boot () in
+      run_native k (fun k proc ->
+          Hemlock_linker.Ldl.attach ldl proc;
+          let heap = Shm_heap.create k proc ~path:"/shared/prop" in
+          let live = ref [] in
+          let ok = ref true in
+          List.iter
+            (fun (free_one, size) ->
+              match (free_one, !live) with
+              | true, (a, _) :: rest ->
+                Shm_heap.free k proc ~heap a;
+                live := rest
+              | _, _ ->
+                let a = Shm_heap.alloc k proc ~heap size in
+                (* no overlap with any live block *)
+                List.iter
+                  (fun (b, bsize) ->
+                    if a < b + bsize && b < a + size then ok := false)
+                  !live;
+                live := (a, size) :: !live)
+            ops;
+          !ok))
+
+(* ----- sync ----- *)
+
+let spinlock_mutual_exclusion () =
+  let k, ldl = boot () in
+  let lock_addr = ref 0 in
+  ignore
+    (run_native k (fun k proc ->
+         Hemlock_linker.Ldl.attach ldl proc;
+         let heap = Shm_heap.create k proc ~path:"/shared/locks" in
+         lock_addr := Shm_heap.alloc k proc ~heap 8;
+         Sync.spin_init k proc !lock_addr;
+         0));
+  let counter_addr = !lock_addr + 4 in
+  let spawn_worker () =
+    Kernel.spawn_native k (fun k proc ->
+        Hemlock_linker.Ldl.attach ldl proc;
+        for _ = 1 to 50 do
+          Sync.spin_acquire k proc !lock_addr;
+          (* read-modify-write with deliberate yields inside the
+             critical section: only the lock keeps it atomic *)
+          let v = Kernel.load_u32 k proc counter_addr in
+          Proc.yield ();
+          Kernel.store_u32 k proc counter_addr (v + 1);
+          Sync.spin_release k proc !lock_addr
+        done;
+        0)
+  in
+  let workers = List.init 4 (fun _ -> spawn_worker ()) in
+  Kernel.run k;
+  List.iter (fun p -> check_int "worker ok" 0 (exit_code p)) workers;
+  let v =
+    run_native k (fun k proc ->
+        Hemlock_linker.Ldl.attach ldl proc;
+        Kernel.load_u32 k proc counter_addr)
+  in
+  check_int "200 increments survived" 200 v
+
+let spin_try_and_release () =
+  let k, ldl = boot () in
+  ignore
+    (run_native k (fun k proc ->
+         Hemlock_linker.Ldl.attach ldl proc;
+         let heap = Shm_heap.create k proc ~path:"/shared/l2" in
+         let l = Shm_heap.alloc k proc ~heap 4 in
+         Sync.spin_init k proc l;
+         check_bool "acquire" true (Sync.spin_try_acquire k proc l);
+         check_bool "holder recorded" true (Kernel.load_u32 k proc l = proc.Proc.pid);
+         Sync.spin_release k proc l;
+         check_bool "free again" true (Sync.spin_try_acquire k proc l);
+         0))
+
+let semaphore_producer_consumer () =
+  let k, ldl = boot () in
+  let sem = ref 0 in
+  let consumed = ref 0 in
+  ignore
+    (run_native k (fun k proc ->
+         Hemlock_linker.Ldl.attach ldl proc;
+         let heap = Shm_heap.create k proc ~path:"/shared/sem" in
+         sem := Shm_heap.alloc k proc ~heap 4;
+         Sync.sem_init k proc !sem 0;
+         0));
+  ignore
+    (Kernel.spawn_native k (fun k proc ->
+         Hemlock_linker.Ldl.attach ldl proc;
+         for _ = 1 to 5 do
+           Sync.sem_wait k proc !sem;
+           incr consumed
+         done;
+         0));
+  ignore
+    (Kernel.spawn_native k (fun k proc ->
+         Hemlock_linker.Ldl.attach ldl proc;
+         for _ = 1 to 5 do
+           Sync.sem_post k proc !sem;
+           Proc.yield ()
+         done;
+         0));
+  Kernel.run k;
+  check_int "all consumed" 5 !consumed
+
+let isa_lock_syscalls () =
+  (* Two ISA workers bump a shared counter under the kernel lock. *)
+  let k, ldl = boot () in
+  ignore ldl;
+  let fs = Kernel.fs k in
+  Fs.mkdir fs "/shared/lib";
+  install_c k "/shared/lib/shared_data.o" "int the_lock; int total;";
+  Fs.mkdir fs "/home/t";
+  install_c k "/home/t/main.o"
+    {|
+extern int the_lock;
+extern int total;
+int main() {
+  int i;
+  int v;
+  i = 0;
+  while (i < 25) {
+    lock_acquire(&the_lock);
+    v = total;
+    yield();
+    total = v + 1;
+    lock_release(&the_lock);
+    i = i + 1;
+  }
+  return 0;
+}|};
+  ignore
+    (link k ~dir:"/home/t"
+       ~specs:
+         [
+           ("main.o", Sharing.Static_private);
+           ("/shared/lib/shared_data.o", Sharing.Dynamic_public);
+         ]
+       "prog");
+  let a = Kernel.spawn_exec k "/home/t/prog" in
+  let b = Kernel.spawn_exec k "/home/t/prog" in
+  Kernel.run k;
+  check_int "a ok" 0 (exit_code a);
+  check_int "b ok" 0 (exit_code b);
+  let total =
+    run_native k (fun k proc ->
+        Hemlock_linker.Ldl.attach ldl proc;
+        let base = Kernel.sys_path_to_addr k proc "/shared/lib/shared_data" in
+        ignore base;
+        let inst =
+          Hemlock_linker.Modinst.public_instance
+            { Search.fs = Kernel.fs k; cwd = proc.Proc.cwd; env = [] }
+            ~module_path:"/shared/lib/shared_data"
+            ~scope:
+              { Hemlock_linker.Modinst.sc_label = "t"; sc_modules = []; sc_search = []; sc_parent = None }
+        in
+        Kernel.load_u32 k proc
+          (Option.get (Hemlock_linker.Modinst.find_export inst "total")))
+  in
+  check_int "interleaved increments all kept" 50 total
+
+(* ----- shared lists ----- *)
+
+let list_push_pop () =
+  with_heap (fun k proc heap ->
+      let head = Shm_heap.alloc k proc ~heap 4 in
+      Shared_list.init k proc ~head;
+      check_int "empty" 0 (Shared_list.length k proc ~head);
+      ignore (Shared_list.push k proc ~head ~fields:[ 1; 10 ]);
+      ignore (Shared_list.push k proc ~head ~fields:[ 2; 20 ]);
+      check_int "two" 2 (Shared_list.length k proc ~head);
+      (match Shared_list.pop k proc ~head ~n_fields:2 with
+      | Some [ 2; 20 ] -> ()
+      | _ -> Alcotest.fail "LIFO pop");
+      check_int "one left" 1 (Shared_list.length k proc ~head);
+      check_bool "pop to empty" true
+        (Shared_list.pop k proc ~head ~n_fields:2 = Some [ 1; 10 ]);
+      check_bool "empty pop" true (Shared_list.pop k proc ~head ~n_fields:2 = None))
+
+let list_find_fields () =
+  with_heap (fun k proc heap ->
+      let head = Shm_heap.alloc k proc ~heap 4 in
+      Shared_list.init k proc ~head;
+      List.iter (fun v -> ignore (Shared_list.push k proc ~head ~fields:[ v; v * v ])) [ 1; 2; 3 ];
+      (match Shared_list.find k proc ~head ~f:(fun n -> Shared_list.field k proc n 0 = 2) with
+      | Some node ->
+        check_int "field read" 4 (Shared_list.field k proc node 1);
+        Shared_list.set_field k proc node 1 99;
+        check_int "field write" 99 (Shared_list.field k proc node 1)
+      | None -> Alcotest.fail "find");
+      check_bool "miss" true
+        (Shared_list.find k proc ~head ~f:(fun _ -> false) = None))
+
+let list_copy_preserves_order () =
+  with_heap (fun k proc heap ->
+      let head = Shm_heap.alloc k proc ~heap 4 in
+      let dst = Shm_heap.alloc k proc ~heap 4 in
+      Shared_list.init k proc ~head;
+      Shared_list.init k proc ~head:dst;
+      List.iter (fun v -> ignore (Shared_list.push k proc ~head ~fields:[ v ])) [ 3; 2; 1 ];
+      Shared_list.copy k proc ~head ~dst_head:dst ~n_fields:1;
+      let collect h =
+        let acc = ref [] in
+        Shared_list.iter k proc ~head:h (fun n -> acc := Shared_list.field k proc n 0 :: !acc);
+        List.rev !acc
+      in
+      Alcotest.(check (list int)) "same order" (collect head) (collect dst);
+      Alcotest.(check (list int)) "content" [ 1; 2; 3 ] (collect dst))
+
+let list_strings () =
+  with_heap (fun k proc heap ->
+      ignore heap;
+      let addr = Shared_list.alloc_string k proc ~near:heap "hello hemlock" in
+      check_string "string roundtrip" "hello hemlock" (Shared_list.read_string k proc addr))
+
+(* ----- shared hash table ----- *)
+
+module Shared_table = Hemlock_runtime.Shared_table
+
+let table_basics () =
+  with_heap (fun k proc heap ->
+      let table = Shared_table.create k proc ~heap ~capacity:16 in
+      check_int "empty" 0 (Shared_table.length k proc ~table);
+      Shared_table.put k proc ~table ~key:"alpha" 1;
+      Shared_table.put k proc ~table ~key:"beta" 2;
+      check_bool "get hit" true (Shared_table.get k proc ~table ~key:"alpha" = Some 1);
+      check_bool "get miss" true (Shared_table.get k proc ~table ~key:"gamma" = None);
+      Shared_table.put k proc ~table ~key:"alpha" 10;
+      check_bool "update in place" true (Shared_table.get k proc ~table ~key:"alpha" = Some 10);
+      check_int "two keys" 2 (Shared_table.length k proc ~table);
+      check_bool "remove" true (Shared_table.remove k proc ~table ~key:"alpha");
+      check_bool "remove again" false (Shared_table.remove k proc ~table ~key:"alpha");
+      check_int "one left" 1 (Shared_table.length k proc ~table);
+      (* tombstoned slot is reusable and probing still finds beta *)
+      Shared_table.put k proc ~table ~key:"delta" 4;
+      check_bool "after tombstone" true (Shared_table.get k proc ~table ~key:"beta" = Some 2))
+
+let table_capacity () =
+  with_heap (fun k proc heap ->
+      let table = Shared_table.create k proc ~heap ~capacity:4 in
+      List.iteri (fun i key -> Shared_table.put k proc ~table ~key i) [ "a"; "b"; "c"; "d" ];
+      check_int "full" 4 (Shared_table.length k proc ~table);
+      (match Shared_table.put k proc ~table ~key:"e" 5 with
+      | _ -> Alcotest.fail "expected Table_full"
+      | exception Shared_table.Table_full -> ());
+      (* updates still work when full *)
+      Shared_table.put k proc ~table ~key:"a" 100;
+      check_bool "update when full" true (Shared_table.get k proc ~table ~key:"a" = Some 100))
+
+let table_iter () =
+  with_heap (fun k proc heap ->
+      let table = Shared_table.create k proc ~heap ~capacity:32 in
+      List.iteri (fun i key -> Shared_table.put k proc ~table ~key i)
+        [ "one"; "two"; "three" ];
+      let seen = ref [] in
+      Shared_table.iter k proc ~table (fun key v -> seen := (key, v) :: !seen);
+      Alcotest.(check (list (pair string int))) "all bindings"
+        [ ("one", 0); ("three", 2); ("two", 1) ]
+        (List.sort compare !seen))
+
+let prop_table_model =
+  prop "shared_table: agrees with Hashtbl under random ops" ~count:40
+    QCheck2.Gen.(list_size (int_range 1 80) (pair (int_range 0 2) (int_bound 15)))
+    (fun ops ->
+      let k, ldl = boot () in
+      run_native k (fun k proc ->
+          Hemlock_linker.Ldl.attach ldl proc;
+          let heap = Shm_heap.create k proc ~path:"/shared/tblprop" in
+          let table = Shared_table.create k proc ~heap ~capacity:64 in
+          let model : (string, int) Hashtbl.t = Hashtbl.create 16 in
+          let ok = ref true in
+          List.iter
+            (fun (op, n) ->
+              let key = Printf.sprintf "key%d" n in
+              match op with
+              | 0 ->
+                Shared_table.put k proc ~table ~key n;
+                Hashtbl.replace model key n
+              | 1 ->
+                let expected = Hashtbl.mem model key in
+                if Shared_table.remove k proc ~table ~key <> expected then ok := false;
+                Hashtbl.remove model key
+              | _ ->
+                if Shared_table.get k proc ~table ~key <> Hashtbl.find_opt model key then
+                  ok := false)
+            ops;
+          !ok && Shared_table.length k proc ~table = Hashtbl.length model))
+
+let suite =
+  [
+    test "shm_heap: alloc basics" heap_alloc_basics;
+    test "shm_heap: free and first-fit reuse" heap_free_reuse;
+    test "shm_heap: alignment and minimum size" heap_alignment_and_min;
+    test "shm_heap: exhaustion error" heap_exhaustion;
+    test "shm_heap: heap found from any pointer" heap_by_pointer;
+    test "shm_heap: unformatted segment detected" heap_unformatted_detected;
+    test "shm_heap: shared between processes" heap_shared_between_processes;
+    prop_heap_model;
+    test "sync: spinlock mutual exclusion" spinlock_mutual_exclusion;
+    test "sync: try/release" spin_try_and_release;
+    test "sync: semaphore producer/consumer" semaphore_producer_consumer;
+    test "sync: ISA lock syscalls serialise ISA programs" isa_lock_syscalls;
+    test "shared_list: push/pop" list_push_pop;
+    test "shared_list: find and fields" list_find_fields;
+    test "shared_list: structural copy" list_copy_preserves_order;
+    test "shared_list: strings" list_strings;
+    test "shared_table: basics" table_basics;
+    test "shared_table: capacity and tombstones" table_capacity;
+    test "shared_table: iteration" table_iter;
+    prop_table_model;
+  ]

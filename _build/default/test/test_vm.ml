@@ -1,0 +1,212 @@
+open Harness
+module Layout = Hemlock_vm.Layout
+module Prot = Hemlock_vm.Prot
+module Segment = Hemlock_vm.Segment
+module As = Hemlock_vm.Address_space
+
+(* ----- layout ----- *)
+
+let layout_regions () =
+  check_bool "shared region is 1GB of 1MB slots" true (Layout.shared_slots = 1024);
+  check_int "slot 0" 0x3000_0000 (Layout.addr_of_slot 0);
+  check_int "slot 1023" (0x7000_0000 - 0x10_0000) (Layout.addr_of_slot 1023);
+  check_int "roundtrip" 77 (Layout.slot_of_addr (Layout.addr_of_slot 77));
+  check_int "mid-slot" 77 (Layout.slot_of_addr (Layout.addr_of_slot 77 + 1234));
+  check_bool "public" true (Layout.is_public 0x3000_0000);
+  check_bool "heap not public" false (Layout.is_public 0x2FFF_FFFF);
+  check_bool "stack not public" false (Layout.is_public 0x7000_0000);
+  check_string "region names" "text" (Layout.region_name 0x100);
+  check_string "heap name" "heap" (Layout.region_name 0x1000_0000);
+  check_string "shared name" "shared" (Layout.region_name 0x4000_0000);
+  check_string "stack name" "stack" (Layout.region_name 0x7000_1000);
+  check_string "kernel name" "kernel" (Layout.region_name 0x8000_0000)
+
+let layout_pages () =
+  check_bool "aligned" true (Layout.is_page_aligned 0x2000);
+  check_bool "unaligned" false (Layout.is_page_aligned 0x2001);
+  check_int "page_down" 0x2000 (Layout.page_down 0x2FFF);
+  check_int "page_up exact" 0x2000 (Layout.page_up 0x2000);
+  check_int "page_up" 0x3000 (Layout.page_up 0x2001)
+
+(* ----- prot ----- *)
+
+let prot_matrix () =
+  check_bool "no_access read" false (Prot.allows Prot.No_access Prot.Read);
+  check_bool "ro read" true (Prot.allows Prot.Read_only Prot.Read);
+  check_bool "ro write" false (Prot.allows Prot.Read_only Prot.Write);
+  check_bool "rw exec" false (Prot.allows Prot.Read_write Prot.Exec);
+  check_bool "rx exec" true (Prot.allows Prot.Read_exec Prot.Exec);
+  check_bool "rx write" false (Prot.allows Prot.Read_exec Prot.Write);
+  check_bool "rwx all" true
+    (List.for_all (Prot.allows Prot.Read_write_exec) [ Prot.Read; Prot.Write; Prot.Exec ])
+
+(* ----- segment ----- *)
+
+let segment_grow_zero () =
+  let s = Segment.create ~name:"t" ~max_size:4096 () in
+  check_int "fresh size" 0 (Segment.size s);
+  check_int "read beyond size is zero" 0 (Segment.get_u32 s 100);
+  Segment.set_u32 s 256 0xCAFEBABE;
+  check_int "sparse write read back" 0xCAFEBABE (Segment.get_u32 s 256);
+  check_int "size tracks high water" 260 (Segment.size s);
+  check_int "hole reads zero" 0 (Segment.get_u8 s 10)
+
+let segment_truncate_clears () =
+  let s = Segment.create ~name:"t" ~max_size:4096 () in
+  Segment.set_u32 s 0 0x12345678;
+  Segment.resize s 0;
+  Segment.resize s 4;
+  check_int "truncated data cleared" 0 (Segment.get_u32 s 0)
+
+let segment_bounds () =
+  let s = Segment.create ~name:"t" ~max_size:64 () in
+  Alcotest.check_raises "oob write"
+    (Invalid_argument "Segment t: offset 64+1 out of bounds (max 64)") (fun () ->
+      Segment.set_u8 s 64 1);
+  Alcotest.check_raises "oob resize" (Invalid_argument "Segment.resize: bad size")
+    (fun () -> Segment.resize s 65)
+
+let segment_copy_independent () =
+  let s = Segment.create ~name:"t" ~max_size:4096 () in
+  Segment.set_u32 s 0 111;
+  let c = Segment.copy s in
+  Segment.set_u32 s 0 222;
+  check_int "copy unchanged" 111 (Segment.get_u32 c 0);
+  check_bool "fresh identity" true (Segment.id c <> Segment.id s)
+
+let segment_blit () =
+  let s = Segment.create ~name:"t" ~max_size:4096 () in
+  Segment.blit_in s ~dst_off:8 (Bytes.of_string "hello");
+  check_string "blit roundtrip" "hello"
+    (Bytes.to_string (Segment.blit_out s ~src_off:8 ~len:5));
+  check_string "blit_out pads zeroes" "hello\000\000"
+    (Bytes.to_string (Segment.blit_out s ~src_off:8 ~len:7))
+
+(* ----- address space ----- *)
+
+let seg n = Segment.create ~name:n ~max_size:0x10000 ()
+
+let map_space () =
+  let sp = As.create () in
+  As.map sp ~base:0x1000 ~len:0x2000 ~seg:(seg "a") ~prot:Prot.Read_write
+    ~share:As.Private ~label:"a" ();
+  As.store_u32 sp 0x1000 42;
+  check_int "load back" 42 (As.load_u32 sp 0x1000);
+  As.store_u8 sp 0x2FFF 7;
+  check_int "last byte" 7 (As.load_u8 sp 0x2FFF)
+
+let map_faults () =
+  let sp = As.create () in
+  As.map sp ~base:0x1000 ~len:0x1000 ~seg:(seg "a") ~prot:Prot.Read_only
+    ~share:As.Private ~label:"a" ();
+  (match As.load_u32 sp 0x5000 with
+  | exception As.Fault { addr = 0x5000; access = Prot.Read; reason = As.Unmapped } -> ()
+  | _ -> Alcotest.fail "expected unmapped fault");
+  (match As.store_u32 sp 0x1000 1 with
+  | exception As.Fault { access = Prot.Write; reason = As.Protection; _ } -> ()
+  | _ -> Alcotest.fail "expected protection fault");
+  (match As.fetch sp 0x1000 with
+  | exception As.Fault { access = Prot.Exec; reason = As.Protection; _ } -> ()
+  | _ -> Alcotest.fail "expected exec fault");
+  (* A 4-byte access straddling the end of a mapping faults. *)
+  match As.load_u32 sp 0x1FFE with
+  | exception As.Fault { reason = As.Unmapped; _ } -> ()
+  | _ -> Alcotest.fail "expected straddle fault"
+
+let map_rejects () =
+  let sp = As.create () in
+  As.map sp ~base:0x1000 ~len:0x1000 ~seg:(seg "a") ~prot:Prot.Read_write
+    ~share:As.Private ~label:"a" ();
+  check_bool "overlap rejected" true
+    (try
+       As.map sp ~base:0x1000 ~len:0x1000 ~seg:(seg "b") ~prot:Prot.Read_write
+         ~share:As.Private ~label:"b" ();
+       false
+     with Invalid_argument _ -> true);
+  check_bool "unaligned rejected" true
+    (try
+       As.map sp ~base:0x1001 ~len:0x1000 ~seg:(seg "b") ~prot:Prot.Read_write
+         ~share:As.Private ~label:"b" ();
+       false
+     with Invalid_argument _ -> true);
+  check_bool "kernel range rejected" true
+    (try
+       As.map sp ~base:0x8000_0000 ~len:0x1000 ~seg:(seg "b") ~prot:Prot.Read_write
+         ~share:As.Private ~label:"b" ();
+       false
+     with Invalid_argument _ -> true)
+
+let protect_unmap () =
+  let sp = As.create () in
+  As.map sp ~base:0x1000 ~len:0x1000 ~seg:(seg "a") ~prot:Prot.No_access
+    ~share:As.Private ~label:"a" ();
+  (match As.load_u8 sp 0x1000 with
+  | exception As.Fault { reason = As.Protection; _ } -> ()
+  | _ -> Alcotest.fail "no_access should fault");
+  As.protect sp 0x1000 Prot.Read_write;
+  As.store_u8 sp 0x1000 9;
+  check_int "after protect" 9 (As.load_u8 sp 0x1000);
+  As.unmap sp 0x1000;
+  match As.load_u8 sp 0x1000 with
+  | exception As.Fault { reason = As.Unmapped; _ } -> ()
+  | _ -> Alcotest.fail "unmapped after unmap"
+
+let clone_fork_semantics () =
+  let sp = As.create () in
+  let priv = seg "priv" and pub = seg "pub" in
+  As.map sp ~base:0x1000 ~len:0x1000 ~seg:priv ~prot:Prot.Read_write ~share:As.Private
+    ~label:"priv" ();
+  As.map sp ~base:0x3000_0000 ~len:0x1000 ~seg:pub ~prot:Prot.Read_write ~share:As.Public
+    ~label:"pub" ();
+  As.store_u32 sp 0x1000 1;
+  As.store_u32 sp 0x3000_0000 1;
+  let child = As.clone sp in
+  (* Private divergence. *)
+  As.store_u32 sp 0x1000 2;
+  check_int "parent private" 2 (As.load_u32 sp 0x1000);
+  check_int "child private copy unchanged" 1 (As.load_u32 child 0x1000);
+  (* Public sharing. *)
+  As.store_u32 child 0x3000_0000 99;
+  check_int "public shared both ways" 99 (As.load_u32 sp 0x3000_0000)
+
+let gap_and_strings () =
+  let sp = As.create () in
+  As.map sp ~base:0x1000 ~len:0x1000 ~seg:(seg "a") ~prot:Prot.Read_write
+    ~share:As.Private ~label:"a" ();
+  check_bool "find_gap skips mapping" true
+    (As.find_gap sp ~lo:0x1000 ~hi:0x10000 ~size:0x1000 = Some 0x2000);
+  As.write_bytes sp 0x1100 (Bytes.of_string "abc\000");
+  check_string "cstring" "abc" (As.read_cstring sp 0x1100);
+  check_string "read_bytes" "abc" (Bytes.to_string (As.read_bytes sp 0x1100 3))
+
+let prop_segment_io =
+  prop "segment: random u8 writes read back"
+    QCheck2.Gen.(list_size (int_range 1 60) (pair (int_range 0 1023) (int_bound 255)))
+    (fun writes ->
+      let s = Segment.create ~name:"p" ~max_size:1024 () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (off, v) ->
+          Segment.set_u8 s off v;
+          Hashtbl.replace model off v)
+        writes;
+      Hashtbl.fold (fun off v ok -> ok && Segment.get_u8 s off = v) model true)
+
+let suite =
+  [
+    test "layout: regions and slots" layout_regions;
+    test "layout: page arithmetic" layout_pages;
+    test "prot: access matrix" prot_matrix;
+    test "segment: grows and zero-fills" segment_grow_zero;
+    test "segment: truncation clears" segment_truncate_clears;
+    test "segment: bounds enforced" segment_bounds;
+    test "segment: copy is independent" segment_copy_independent;
+    test "segment: blit in/out" segment_blit;
+    test "address_space: map and access" map_space;
+    test "address_space: faults carry cause" map_faults;
+    test "address_space: bad mappings rejected" map_rejects;
+    test "address_space: protect and unmap" protect_unmap;
+    test "address_space: clone = fork memory semantics" clone_fork_semantics;
+    test "address_space: gaps and strings" gap_and_strings;
+    prop_segment_io;
+  ]
