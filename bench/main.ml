@@ -4,10 +4,13 @@
    Usage:
      bench/main.exe            run every experiment
      bench/main.exe e5 e8      run selected experiments
-     bench/main.exe bechamel   also run the wall-time micro-bench suite *)
+     bench/main.exe bechamel   also run the wall-time micro-bench suite
+     bench/main.exe perf       interpreter-throughput bench; writes
+                               BENCH_interp.json *)
 
 module Kernel = Hemlock_os.Kernel
 module Proc = Hemlock_os.Proc
+module Cpu = Hemlock_isa.Cpu
 module Fs = Hemlock_sfs.Fs
 module Path = Hemlock_sfs.Path
 module Layout = Hemlock_vm.Layout
@@ -720,6 +723,140 @@ let bechamel_suite () =
     tests
 
 (* ---------------------------------------------------------------------- *)
+(* perf: interpreter throughput with/without the memory-system fast path   *)
+(* ---------------------------------------------------------------------- *)
+
+(* The hot loop calls into two dynamically linked public modules, so
+   every iteration crosses mapping boundaries — the access pattern the
+   fast path is for: instruction fetch from three code mappings plus
+   stack loads/stores for the locals (the +i/-i runs cancel, leaving
+   s = 16000 * 7 = 112000). *)
+let perf_inc_a = "int inc_a() { return 3; }"
+
+let perf_inc_b = "int inc_b() { return 4; }"
+
+let perf_workload =
+  {|
+extern int inc_a();
+extern int inc_b();
+int main() {
+  int i;
+  int s;
+  s = 0;
+  i = 0;
+  while (i < 16000) {
+    s = s + inc_a();
+    s = s + i; s = s + i; s = s + i; s = s + i;
+    s = s + i; s = s + i; s = s + i; s = s + i;
+    s = s - i; s = s - i; s = s - i; s = s - i;
+    s = s - i; s = s - i; s = s - i; s = s - i;
+    s = s + inc_b();
+    i = i + 1;
+  }
+  return s - 111958;
+}
+|}
+
+let with_caches enabled f =
+  let tlb = !As.caching_default and dc = !Cpu.decode_cache_enabled in
+  As.caching_default := enabled;
+  Cpu.decode_cache_enabled := enabled;
+  Fun.protect
+    ~finally:(fun () ->
+      As.caching_default := tlb;
+      Cpu.decode_cache_enabled := dc)
+    f
+
+let measure_ns f =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let test = Test.make ~name:"run" (Staged.stage f) in
+  let cfg = Benchmark.cfg ~limit:30 ~quota:(Time.second 0.5) ~kde:None () in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+  let est = Analyze.all ols Instance.monotonic_clock raw in
+  let out = ref nan in
+  Hashtbl.iter
+    (fun _ o ->
+      match Analyze.OLS.estimates o with Some [ e ] -> out := e | Some _ | None -> ())
+    est;
+  !out
+
+let perf () =
+  header "PERF: interpreter throughput — software TLB + decoded-insn cache";
+  (* One profile per cache setting, each on a fresh kernel: the address
+     space captures the caching flag when it is created. *)
+  let profile enabled =
+    with_caches enabled (fun () ->
+        let k, _ldl = boot () in
+        let fs = Kernel.fs k in
+        Fs.mkdir fs "/shared/lib";
+        install_c k "/shared/lib/inc_a.o" perf_inc_a;
+        install_c k "/shared/lib/inc_b.o" perf_inc_b;
+        Fs.mkdir fs "/home/perf";
+        install_c k "/home/perf/main.o" perf_workload;
+        ignore
+          (link k ~dir:"/home/perf"
+             ~specs:
+               [
+                 ("main.o", Sharing.Static_private);
+                 ("/shared/lib/inc_a.o", Sharing.Dynamic_public);
+                 ("/shared/lib/inc_b.o", Sharing.Dynamic_public);
+               ]
+             "prog");
+        let run_once () =
+          let p = Kernel.spawn_exec k "/home/perf/prog" in
+          Kernel.run k;
+          match p.Proc.state with
+          | Proc.Zombie 42 -> ()
+          | _ -> failwith "perf: workload did not exit 42"
+        in
+        run_once ();
+        (* warm caches/allocator *)
+        let (), d = Stats.measure run_once in
+        let ns = measure_ns run_once in
+        (d, ns))
+  in
+  let d_on, ns_on = profile true in
+  let d_off, ns_off = profile false in
+  (* The fast path must be invisible to the simulated cost model. *)
+  if
+    d_on.Stats.instructions <> d_off.Stats.instructions
+    || d_on.Stats.faults <> d_off.Stats.faults
+    || d_on.Stats.syscalls <> d_off.Stats.syscalls
+    || Stats.cycles d_on <> Stats.cycles d_off
+  then failwith "perf: simulated costs differ with caches on vs off";
+  let insns = d_on.Stats.instructions in
+  let ips ns = float_of_int insns /. (ns *. 1e-9) in
+  let speedup = ns_off /. ns_on in
+  Printf.printf "workload: %d simulated instructions per run (deterministic both ways)\n\n"
+    insns;
+  Printf.printf "%-12s | %14s | %16s | %s\n" "caches" "ns/run" "insns/sec" "cache hits";
+  Printf.printf "-------------+----------------+------------------+---------------------------\n";
+  Printf.printf "%-12s | %14.0f | %16.0f | tlb %d, decode %d\n" "on" ns_on (ips ns_on)
+    d_on.Stats.tlb_hits d_on.Stats.decode_hits;
+  Printf.printf "%-12s | %14.0f | %16.0f | tlb %d, decode %d\n" "off" ns_off (ips ns_off)
+    d_off.Stats.tlb_hits d_off.Stats.decode_hits;
+  Printf.printf "\nspeedup: %.2fx\n" speedup;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"interp_throughput\",\n\
+      \  \"workload_instructions\": %d,\n\
+      \  \"cached\": { \"ns_per_run\": %.0f, \"insns_per_sec\": %.0f },\n\
+      \  \"uncached\": { \"ns_per_run\": %.0f, \"insns_per_sec\": %.0f },\n\
+      \  \"speedup\": %.2f,\n\
+      \  \"simulated_costs_identical\": true\n\
+       }\n"
+      insns ns_on (ips ns_on) ns_off (ips ns_off) speedup
+  in
+  let path = Filename.concat (Sys.getcwd ()) "BENCH_interp.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* ---------------------------------------------------------------------- *)
 
 let experiments =
   [
@@ -729,10 +866,13 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let wanted = List.filter (fun a -> a <> "bechamel") args in
+  let wanted = List.filter (fun a -> a <> "bechamel" && a <> "perf") args in
   let run_bechamel = List.mem "bechamel" args in
+  let run_perf = List.mem "perf" args in
   let selected =
-    if wanted = [] then experiments
+    (* `perf` alone runs just the throughput bench, not every experiment *)
+    if wanted = [] && run_perf then []
+    else if wanted = [] then experiments
     else
       List.filter_map
         (fun name ->
@@ -746,4 +886,5 @@ let () =
   in
   List.iter (fun (_, f) -> f ()) selected;
   if run_bechamel then bechamel_suite ();
+  if run_perf then perf ();
   Printf.printf "\nAll experiments completed.\n"

@@ -1,8 +1,56 @@
 module As = Hemlock_vm.Address_space
+module Layout = Hemlock_vm.Layout
+module Segment = Hemlock_vm.Segment
 module Codec = Hemlock_util.Codec
 module Stats = Hemlock_util.Stats
 
-type t = { regs : int array; mutable pc : int }
+(* --- Decoded-instruction cache --------------------------------------
+
+   Straight-line code decodes each word once.  A [dpage] caches the
+   decode of one executable page, pinned to the mapping geometry
+   [As.exec_view] reported when it was filled.  A cached decode is
+   reused only while two counters stand still:
+
+   - the address space [epoch] — any map/unmap/protect bumps it, so a
+     remapped or protection-flipped page can never serve stale decodes
+     (lazy linking's no-access trick stays sound);
+   - the backing segment's [Segment.version] — {e every} content write
+     bumps it, whichever component performs it: this CPU's stores,
+     another process sharing the segment, relocation patching that goes
+     straight to the segment.
+
+   While both match, the page provably holds the bytes it held at
+   decode time and the hit path touches neither the address space nor
+   the segment.  When the version has moved (e.g. code and mutated data
+   share a segment), the cache degrades to {e word verification}: it
+   re-reads the current word and reuses the decode only on an exact
+   match — still correct against every writer, just one segment read
+   per fetch. *)
+
+type dpage = {
+  mutable dp_page : int;  (* page base address; -1 = invalid *)
+  mutable dp_epoch : int;  (* address-space epoch the page was filled under *)
+  mutable dp_hi : int;  (* mapping's exclusive bound, from [As.exec_view] *)
+  mutable dp_delta : int;  (* segment offset delta for this mapping *)
+  mutable dp_seg : Segment.t;
+  mutable dp_version : int;  (* [Segment.version dp_seg] at fill time *)
+  dp_words : int array;  (* raw words; -1 = slot empty *)
+  dp_insns : Insn.t array;
+}
+
+(* Flipped off by setting HEMLOCK_NO_DCACHE (mirrors HEMLOCK_NO_TLB). *)
+let decode_cache_enabled = ref (Sys.getenv_opt "HEMLOCK_NO_DCACHE" = None)
+
+let icache_slots = 16
+let insns_per_page = Layout.page_size / 4
+
+(* Public modules sit at 1 MB boundaries, so their base pages share low
+   page-number bits; fold in higher bits to spread them over the slots. *)
+let icache_slot pc =
+  let p = pc lsr Layout.page_shift in
+  (p lxor (p lsr 8)) land (icache_slots - 1)
+
+type t = { regs : int array; mutable pc : int; icache : dpage option array }
 
 type status = Running | Halted of int
 
@@ -11,124 +59,238 @@ exception Cpu_error of { pc : int; msg : string }
 let create ~entry ~sp =
   let regs = Array.make 32 0 in
   regs.(Reg.sp) <- sp;
-  { regs; pc = entry }
+  { regs; pc = entry; icache = Array.make icache_slots None }
 
-let reg t r = t.regs.(r)
+let fork t =
+  { regs = Array.copy t.regs; pc = t.pc; icache = Array.make icache_slots None }
 
-let set_reg t r v = if r <> 0 then t.regs.(r) <- Codec.mask32 v
+(* Register indices come from 5-bit decode fields, so the 32-element
+   array can skip bounds checks on the interpreter's hottest loads. *)
+let reg t r = Array.unsafe_get t.regs r
 
-let signed t r = Codec.sext32 t.regs.(r)
+let set_reg t r v = if r <> 0 then Array.unsafe_set t.regs r (Codec.mask32 v)
+
+let signed t r = Codec.sext32 (Array.unsafe_get t.regs r)
 
 let error t msg = raise (Cpu_error { pc = t.pc; msg })
 
-let step t space ~syscall =
-  let pc = t.pc in
-  let word = As.fetch space pc in
-  let insn =
+let decode_into t dp word idx =
+  match Insn.decode word with
+  | insn ->
+    Array.unsafe_set dp.dp_words idx word;
+    Array.unsafe_set dp.dp_insns idx insn;
+    insn
+  | exception Failure msg -> error t msg
+
+(* Slot invalid for this page/epoch: validate the fetch through the
+   address space (raising the precise fault if it must) and re-pin the
+   page to the current mapping geometry. *)
+let refill t space pc slot =
+  let seg, delta, hi = As.exec_view space pc in
+  let dp =
+    match t.icache.(slot) with
+    | Some dp ->
+      Array.fill dp.dp_words 0 insns_per_page (-1);
+      dp
+    | None ->
+      let dp =
+        {
+          dp_page = 0;
+          dp_epoch = 0;
+          dp_hi = 0;
+          dp_delta = 0;
+          dp_seg = seg;
+          dp_version = 0;
+          dp_words = Array.make insns_per_page (-1);
+          dp_insns = Array.make insns_per_page Insn.Break;
+        }
+      in
+      t.icache.(slot) <- Some dp;
+      dp
+  in
+  dp.dp_page <- Layout.page_down pc;
+  dp.dp_epoch <- As.epoch space;
+  dp.dp_hi <- hi;
+  dp.dp_delta <- delta;
+  dp.dp_seg <- seg;
+  dp.dp_version <- Segment.version seg;
+  decode_into t dp (Segment.get_u32 seg (pc + delta)) ((pc land (Layout.page_size - 1)) lsr 2)
+
+let fetch_insn t space pc =
+  if not !decode_cache_enabled then begin
+    let word = As.fetch space pc in
     match Insn.decode word with
     | insn -> insn
     | exception Failure msg -> error t msg
-  in
+  end
+  else begin
+    let slot = icache_slot pc in
+    match t.icache.(slot) with
+    | Some dp
+      when dp.dp_page = pc land lnot (Layout.page_size - 1)
+           && dp.dp_epoch = As.epoch space
+           && pc + 4 <= dp.dp_hi ->
+      (* idx is masked to the page, so it always indexes the 1024-slot
+         arrays in bounds. *)
+      let idx = (pc land (Layout.page_size - 1)) lsr 2 in
+      if Segment.version dp.dp_seg = dp.dp_version then
+        (* Untouched since fill: the cached word is the current word. *)
+        if Array.unsafe_get dp.dp_words idx >= 0 then begin
+          Stats.global.decode_hits <- Stats.global.decode_hits + 1;
+          Array.unsafe_get dp.dp_insns idx
+        end
+        else decode_into t dp (Segment.get_u32 dp.dp_seg (pc + dp.dp_delta)) idx
+      else begin
+        (* Segment written since fill: verify the word before reuse. *)
+        let word = Segment.get_u32 dp.dp_seg (pc + dp.dp_delta) in
+        if Array.unsafe_get dp.dp_words idx = word then begin
+          Stats.global.decode_hits <- Stats.global.decode_hits + 1;
+          Array.unsafe_get dp.dp_insns idx
+        end
+        else decode_into t dp word idx
+      end
+    | Some _ | None -> refill t space pc slot
+  end
+
+let step t space ~syscall =
+  let pc = t.pc in
+  let insn = fetch_insn t space pc in
   Stats.global.instructions <- Stats.global.instructions + 1;
   let next = pc + 4 in
-  let branch off taken = if taken then next + (off * 4) else next in
+  (* Single-dispatch: every arm finishes the instruction itself, so the
+     interpreter pays one tag switch per step. *)
   match insn with
-  | Insn.Break -> Halted (Codec.sext32 t.regs.(Reg.a0))
+  | Insn.Break -> Halted (Codec.sext32 (Array.unsafe_get t.regs Reg.a0))
   | Insn.Syscall ->
     t.pc <- next;
     Stats.global.syscalls <- Stats.global.syscalls + 1;
     syscall t;
     Running
-  | insn ->
-    let next =
-      match insn with
-      | Insn.Sll (rd, rt, sh) ->
-        set_reg t rd (t.regs.(rt) lsl sh);
-        next
-      | Insn.Srl (rd, rt, sh) ->
-        set_reg t rd (t.regs.(rt) lsr sh);
-        next
-      | Insn.Sra (rd, rt, sh) ->
-        set_reg t rd (Codec.sext32 t.regs.(rt) asr sh);
-        next
-      | Insn.Add (rd, rs, rt) ->
-        set_reg t rd (t.regs.(rs) + t.regs.(rt));
-        next
-      | Insn.Sub (rd, rs, rt) ->
-        set_reg t rd (t.regs.(rs) - t.regs.(rt));
-        next
-      | Insn.Mul (rd, rs, rt) ->
-        set_reg t rd (signed t rs * signed t rt);
-        next
-      | Insn.Div (rd, rs, rt) ->
-        if t.regs.(rt) = 0 then error t "division by zero";
-        set_reg t rd (signed t rs / signed t rt);
-        next
-      | Insn.Rem (rd, rs, rt) ->
-        if t.regs.(rt) = 0 then error t "remainder by zero";
-        set_reg t rd (signed t rs mod signed t rt);
-        next
-      | Insn.And (rd, rs, rt) ->
-        set_reg t rd (t.regs.(rs) land t.regs.(rt));
-        next
-      | Insn.Or (rd, rs, rt) ->
-        set_reg t rd (t.regs.(rs) lor t.regs.(rt));
-        next
-      | Insn.Xor (rd, rs, rt) ->
-        set_reg t rd (t.regs.(rs) lxor t.regs.(rt));
-        next
-      | Insn.Slt (rd, rs, rt) ->
-        set_reg t rd (if signed t rs < signed t rt then 1 else 0);
-        next
-      | Insn.Sltu (rd, rs, rt) ->
-        set_reg t rd (if t.regs.(rs) < t.regs.(rt) then 1 else 0);
-        next
-      | Insn.Addi (rt, rs, imm) ->
-        set_reg t rt (t.regs.(rs) + imm);
-        next
-      | Insn.Slti (rt, rs, imm) ->
-        set_reg t rt (if signed t rs < imm then 1 else 0);
-        next
-      | Insn.Andi (rt, rs, imm) ->
-        set_reg t rt (t.regs.(rs) land imm);
-        next
-      | Insn.Ori (rt, rs, imm) ->
-        set_reg t rt (t.regs.(rs) lor imm);
-        next
-      | Insn.Xori (rt, rs, imm) ->
-        set_reg t rt (t.regs.(rs) lxor imm);
-        next
-      | Insn.Lui (rt, imm) ->
-        set_reg t rt (imm lsl 16);
-        next
-      | Insn.Lw (rt, base, off) ->
-        set_reg t rt (As.load_u32 space (Codec.mask32 (t.regs.(base) + off)));
-        next
-      | Insn.Lb (rt, base, off) ->
-        set_reg t rt (As.load_u8 space (Codec.mask32 (t.regs.(base) + off)));
-        next
-      | Insn.Sw (rt, base, off) ->
-        As.store_u32 space (Codec.mask32 (t.regs.(base) + off)) t.regs.(rt);
-        next
-      | Insn.Sb (rt, base, off) ->
-        As.store_u8 space (Codec.mask32 (t.regs.(base) + off)) (t.regs.(rt) land 0xFF);
-        next
-      | Insn.Beq (rs, rt, off) -> branch off (t.regs.(rs) = t.regs.(rt))
-      | Insn.Bne (rs, rt, off) -> branch off (t.regs.(rs) <> t.regs.(rt))
-      | Insn.Blez (rs, off) -> branch off (signed t rs <= 0)
-      | Insn.Bgtz (rs, off) -> branch off (signed t rs > 0)
-      | Insn.J field -> Insn.jump_target ~pc field
-      | Insn.Jal field ->
-        set_reg t Reg.ra next;
-        Insn.jump_target ~pc field
-      | Insn.Jr rs -> t.regs.(rs)
-      | Insn.Jalr (rd, rs) ->
-        let target = t.regs.(rs) in
-        set_reg t rd next;
-        target
-      | Insn.Syscall | Insn.Break -> assert false
-    in
+  | Insn.Sll (rd, rt, sh) ->
+    set_reg t rd ((Array.unsafe_get t.regs rt) lsl sh);
     t.pc <- next;
+    Running
+  | Insn.Srl (rd, rt, sh) ->
+    set_reg t rd ((Array.unsafe_get t.regs rt) lsr sh);
+    t.pc <- next;
+    Running
+  | Insn.Sra (rd, rt, sh) ->
+    set_reg t rd (Codec.sext32 (Array.unsafe_get t.regs rt) asr sh);
+    t.pc <- next;
+    Running
+  | Insn.Add (rd, rs, rt) ->
+    set_reg t rd ((Array.unsafe_get t.regs rs) + (Array.unsafe_get t.regs rt));
+    t.pc <- next;
+    Running
+  | Insn.Sub (rd, rs, rt) ->
+    set_reg t rd ((Array.unsafe_get t.regs rs) - (Array.unsafe_get t.regs rt));
+    t.pc <- next;
+    Running
+  | Insn.Mul (rd, rs, rt) ->
+    set_reg t rd (signed t rs * signed t rt);
+    t.pc <- next;
+    Running
+  | Insn.Div (rd, rs, rt) ->
+    if (Array.unsafe_get t.regs rt) = 0 then error t "division by zero";
+    set_reg t rd (signed t rs / signed t rt);
+    t.pc <- next;
+    Running
+  | Insn.Rem (rd, rs, rt) ->
+    if (Array.unsafe_get t.regs rt) = 0 then error t "remainder by zero";
+    set_reg t rd (signed t rs mod signed t rt);
+    t.pc <- next;
+    Running
+  | Insn.And (rd, rs, rt) ->
+    set_reg t rd ((Array.unsafe_get t.regs rs) land (Array.unsafe_get t.regs rt));
+    t.pc <- next;
+    Running
+  | Insn.Or (rd, rs, rt) ->
+    set_reg t rd ((Array.unsafe_get t.regs rs) lor (Array.unsafe_get t.regs rt));
+    t.pc <- next;
+    Running
+  | Insn.Xor (rd, rs, rt) ->
+    set_reg t rd ((Array.unsafe_get t.regs rs) lxor (Array.unsafe_get t.regs rt));
+    t.pc <- next;
+    Running
+  | Insn.Slt (rd, rs, rt) ->
+    set_reg t rd (if signed t rs < signed t rt then 1 else 0);
+    t.pc <- next;
+    Running
+  | Insn.Sltu (rd, rs, rt) ->
+    set_reg t rd (if (Array.unsafe_get t.regs rs) < (Array.unsafe_get t.regs rt) then 1 else 0);
+    t.pc <- next;
+    Running
+  | Insn.Addi (rt, rs, imm) ->
+    set_reg t rt ((Array.unsafe_get t.regs rs) + imm);
+    t.pc <- next;
+    Running
+  | Insn.Slti (rt, rs, imm) ->
+    set_reg t rt (if signed t rs < imm then 1 else 0);
+    t.pc <- next;
+    Running
+  | Insn.Andi (rt, rs, imm) ->
+    set_reg t rt ((Array.unsafe_get t.regs rs) land imm);
+    t.pc <- next;
+    Running
+  | Insn.Ori (rt, rs, imm) ->
+    set_reg t rt ((Array.unsafe_get t.regs rs) lor imm);
+    t.pc <- next;
+    Running
+  | Insn.Xori (rt, rs, imm) ->
+    set_reg t rt ((Array.unsafe_get t.regs rs) lxor imm);
+    t.pc <- next;
+    Running
+  | Insn.Lui (rt, imm) ->
+    set_reg t rt (imm lsl 16);
+    t.pc <- next;
+    Running
+  | Insn.Lw (rt, base, off) ->
+    set_reg t rt (As.load_u32 space (Codec.mask32 ((Array.unsafe_get t.regs base) + off)));
+    t.pc <- next;
+    Running
+  | Insn.Lb (rt, base, off) ->
+    set_reg t rt (As.load_u8 space (Codec.mask32 ((Array.unsafe_get t.regs base) + off)));
+    t.pc <- next;
+    Running
+  | Insn.Sw (rt, base, off) ->
+    (* No explicit icache invalidation needed: the store bumps the
+       segment's version, which gates decode-cache reuse. *)
+    As.store_u32 space (Codec.mask32 ((Array.unsafe_get t.regs base) + off))
+      (Array.unsafe_get t.regs rt);
+    t.pc <- next;
+    Running
+  | Insn.Sb (rt, base, off) ->
+    As.store_u8 space
+      (Codec.mask32 ((Array.unsafe_get t.regs base) + off))
+      ((Array.unsafe_get t.regs rt) land 0xFF);
+    t.pc <- next;
+    Running
+  | Insn.Beq (rs, rt, off) ->
+    t.pc <- (if (Array.unsafe_get t.regs rs) = (Array.unsafe_get t.regs rt) then next + (off * 4) else next);
+    Running
+  | Insn.Bne (rs, rt, off) ->
+    t.pc <- (if (Array.unsafe_get t.regs rs) <> (Array.unsafe_get t.regs rt) then next + (off * 4) else next);
+    Running
+  | Insn.Blez (rs, off) ->
+    t.pc <- (if signed t rs <= 0 then next + (off * 4) else next);
+    Running
+  | Insn.Bgtz (rs, off) ->
+    t.pc <- (if signed t rs > 0 then next + (off * 4) else next);
+    Running
+  | Insn.J field ->
+    t.pc <- Insn.jump_target ~pc field;
+    Running
+  | Insn.Jal field ->
+    set_reg t Reg.ra next;
+    t.pc <- Insn.jump_target ~pc field;
+    Running
+  | Insn.Jr rs ->
+    t.pc <- Array.unsafe_get t.regs rs;
+    Running
+  | Insn.Jalr (rd, rs) ->
+    let target = Array.unsafe_get t.regs rs in
+    set_reg t rd next;
+    t.pc <- target;
     Running
 
 let run ~fuel t space ~syscall =

@@ -5,7 +5,17 @@
     after the kernel runs the process's SIGSEGV handler the instruction
     restarts, exactly the behaviour Hemlock's lazy linker relies on. *)
 
-type t = { regs : int array; mutable pc : int }
+(** One page's worth of decoded instructions (see [decode_cache_enabled]). *)
+type dpage
+
+type t = { regs : int array; mutable pc : int; icache : dpage option array }
+
+(** Per-page decoded-instruction cache switch; defaults to [true] unless
+    the [HEMLOCK_NO_DCACHE] environment variable is set.  Reuse of a
+    cached decode is gated on re-reading the backing word through the
+    address space, so the cache is observability-only: execution,
+    faults, and simulated costs are identical either way. *)
+val decode_cache_enabled : bool ref
 
 type status =
   | Running
@@ -15,6 +25,9 @@ type status =
 exception Cpu_error of { pc : int; msg : string }
 
 val create : entry:int -> sp:int -> t
+
+(** [fork t] copies registers and pc; the decode cache starts empty. *)
+val fork : t -> t
 
 val reg : t -> Reg.t -> int
 

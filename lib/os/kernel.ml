@@ -480,7 +480,7 @@ let fork_isa t proc =
   | Proc.Isa cpu ->
     Stats.global.syscalls <- Stats.global.syscalls + 1;
     let pid = fresh_pid t in
-    let child_cpu = { Cpu.regs = Array.copy cpu.Cpu.regs; pc = cpu.Cpu.pc } in
+    let child_cpu = Cpu.fork cpu in
     let child =
       {
         Proc.pid;

@@ -11,17 +11,15 @@ let sext32 v =
 let get_u8 b off = Char.code (Bytes.get b off)
 let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xFF))
 
-let get_u16 b off = get_u8 b off lor (get_u8 b (off + 1) lsl 8)
+(* Single bounds-checked machine accesses rather than byte-at-a-time
+   assembly: these sit under every memory access the interpreter makes. *)
+let get_u16 b off = Bytes.get_uint16_le b off
 
-let set_u16 b off v =
-  set_u8 b off v;
-  set_u8 b (off + 1) (v lsr 8)
+let set_u16 b off v = Bytes.set_uint16_le b off (v land 0xFFFF)
 
-let get_u32 b off = get_u16 b off lor (get_u16 b (off + 2) lsl 16)
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFF_FFFF
 
-let set_u32 b off v =
-  set_u16 b off v;
-  set_u16 b (off + 2) (v lsr 16)
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
 
 module Writer = struct
   type t = Buffer.t

@@ -53,13 +53,19 @@ let fold f t init = M.fold (fun lo (hi, v) acc -> f lo hi v acc) t init
 
 let to_list t = List.rev (fold (fun lo hi v acc -> (lo, hi, v) :: acc) t [])
 
+(* Walks the underlying map in key order without materialising it as a
+   list; [Found] short-circuits as soon as a gap fits before a binding. *)
+exception Found of int
+
 let first_gap ~lo ~hi ~size t =
-  let rec scan base = function
-    | [] -> if base + size <= hi then Some base else None
-    | (blo, bhi, _) :: rest ->
-      if bhi <= base then scan base rest
-      else if base + size <= blo then Some base
-      else scan (max base bhi) rest
-  in
   if size <= 0 then invalid_arg "Interval_map.first_gap: size <= 0";
-  scan lo (to_list t)
+  match
+    M.fold
+      (fun blo (bhi, _) base ->
+        if bhi <= base then base
+        else if base + size <= blo then raise (Found base)
+        else max base bhi)
+      t lo
+  with
+  | base -> if base + size <= hi then Some base else None
+  | exception Found base -> Some base

@@ -10,6 +10,13 @@ type t = {
   mutable files_opened : int;
   mutable messages_sent : int;
   mutable context_switches : int;
+  (* Fast-path observability.  These count host-side cache behaviour of
+     the simulator itself and are deliberately excluded from [cycles]:
+     the simulated cost model must be byte-identical with the caches on
+     or off. *)
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+  mutable decode_hits : int;
 }
 
 let zero () =
@@ -25,6 +32,9 @@ let zero () =
     files_opened = 0;
     messages_sent = 0;
     context_switches = 0;
+    tlb_hits = 0;
+    tlb_misses = 0;
+    decode_hits = 0;
   }
 
 let global = zero ()
@@ -40,7 +50,10 @@ let reset () =
   global.symbols_resolved <- 0;
   global.files_opened <- 0;
   global.messages_sent <- 0;
-  global.context_switches <- 0
+  global.context_switches <- 0;
+  global.tlb_hits <- 0;
+  global.tlb_misses <- 0;
+  global.decode_hits <- 0
 
 let snapshot () = { global with instructions = global.instructions }
 
@@ -57,6 +70,9 @@ let diff ~before ~after =
     files_opened = after.files_opened - before.files_opened;
     messages_sent = after.messages_sent - before.messages_sent;
     context_switches = after.context_switches - before.context_switches;
+    tlb_hits = after.tlb_hits - before.tlb_hits;
+    tlb_misses = after.tlb_misses - before.tlb_misses;
+    decode_hits = after.decode_hits - before.decode_hits;
   }
 
 (* Cost model, in simulated cycles.  The weights are the conventional

@@ -18,6 +18,12 @@ type t = {
   mutable files_opened : int;
   mutable messages_sent : int;
   mutable context_switches : int;
+  mutable tlb_hits : int;
+      (** software-TLB hits in [Address_space] (observability only) *)
+  mutable tlb_misses : int;
+      (** software-TLB misses, i.e. full interval-map lookups *)
+  mutable decode_hits : int;
+      (** decoded-instruction cache hits in [Cpu] (observability only) *)
 }
 
 (** The single global counter set. *)

@@ -15,9 +15,67 @@ type mapping = {
   label : string;
 }
 
-type t = { mutable table : mapping Interval_map.t }
+(* --- Software TLB ---------------------------------------------------
 
-let create () = { table = Interval_map.empty }
+   A direct-mapped translation cache in front of [Interval_map.find].
+   Each entry caches one page's mapping: its page base, the mapping's
+   [hi] bound (accesses never straddle mapping boundaries), the constant
+   [seg_off - lo] delta, and the protection.  Protection is re-checked
+   on every hit, so a cached no-access page still faults — the entry is
+   a cached {e translation}, not a cached {e permission}.
+
+   Invalidation is epoch-based and conservative: [map], [unmap] and
+   [protect] bump [epoch] and flush every entry.  [clone] builds a
+   child with a fresh (empty) TLB.  The [epoch] is exported so the
+   CPU's decoded-instruction cache can ride the same protocol. *)
+
+let tlb_bits = 8
+let tlb_size = 1 lsl tlb_bits
+
+type tlb_entry = {
+  mutable te_page : int;  (* page base address; -1 = invalid *)
+  mutable te_hi : int;  (* mapping's exclusive upper bound *)
+  mutable te_delta : int;  (* seg_off - lo; offset = addr + delta *)
+  mutable te_prot : Prot.t;
+  mutable te_mask : int;  (* te_prot as bits (1 r / 2 w / 4 x): branch-free guard *)
+  mutable te_seg : Segment.t option;  (* None = invalid (no seg pinned) *)
+}
+
+type t = {
+  mutable table : mapping Interval_map.t;
+  tlb : tlb_entry array;
+  mutable epoch : int;
+  caching : bool;
+}
+
+(* Flipped off by setting HEMLOCK_NO_TLB, which keeps the slow path
+   testable and lets the determinism tests compare both. *)
+let caching_default = ref (Sys.getenv_opt "HEMLOCK_NO_TLB" = None)
+
+let fresh_tlb () =
+  Array.init tlb_size (fun _ ->
+      {
+        te_page = -1;
+        te_hi = 0;
+        te_delta = 0;
+        te_prot = Prot.No_access;
+        te_mask = 0;
+        te_seg = None;
+      })
+
+let create ?caching () =
+  let caching = match caching with Some c -> c | None -> !caching_default in
+  { table = Interval_map.empty; tlb = fresh_tlb (); epoch = 0; caching }
+
+let epoch t = t.epoch
+
+let invalidate t =
+  t.epoch <- t.epoch + 1;
+  Array.iter
+    (fun e ->
+      e.te_page <- -1;
+      e.te_seg <- None)
+    t.tlb
 
 let map t ~base ~len ~seg ?(seg_off = 0) ~prot ~share ~label () =
   if not (Layout.is_page_aligned base && Layout.is_page_aligned len) then
@@ -28,11 +86,16 @@ let map t ~base ~len ~seg ?(seg_off = 0) ~prot ~share ~label () =
   if Interval_map.overlaps ~lo:base ~hi:(base + len) t.table then
     invalid_arg (Printf.sprintf "Address_space.map: 0x%x+0x%x overlaps" base len);
   t.table <- Interval_map.add ~lo:base ~hi:(base + len) { seg; seg_off; prot; share; label } t.table;
+  invalidate t;
   Stats.global.pages_mapped <- Stats.global.pages_mapped + (len / Layout.page_size)
 
-let unmap t addr = t.table <- Interval_map.remove addr t.table
+let unmap t addr =
+  t.table <- Interval_map.remove addr t.table;
+  invalidate t
 
-let protect t addr prot = t.table <- Interval_map.update addr (fun m -> { m with prot }) t.table
+let protect t addr prot =
+  t.table <- Interval_map.update addr (fun m -> { m with prot }) t.table;
+  invalidate t
 
 let mapping_at t addr = Interval_map.find addr t.table
 
@@ -41,55 +104,209 @@ let mappings t = Interval_map.to_list t.table
 let find_gap t ~lo ~hi ~size =
   Interval_map.first_gap ~lo ~hi ~size:(Layout.page_up size) t.table
 
-let translate t addr access width =
+(* [lookup] resolves the mapping covering [addr] and returns
+   [(seg, off, run, prot)] where [run] is the number of mapped bytes
+   from [addr] to the mapping's end.  It fills the TLB but performs no
+   protection check — callers check in the same order as the historical
+   slow path (bounds before protection) so fault reasons are stable. *)
+
+(* Public-region mappings are 1 MB-aligned, so their base pages all share
+   the same low page-number bits; folding in higher bits keeps a working
+   set of shared modules from colliding on one TLB entry. *)
+let tlb_entry t addr =
+  let p = addr lsr Layout.page_shift in
+  (* the mask keeps the index in bounds, so skip the array check *)
+  Array.unsafe_get t.tlb ((p lxor (p lsr 8)) land (tlb_size - 1))
+
+let prot_mask p =
+  (if Prot.allows p Prot.Read then 1 else 0)
+  lor (if Prot.allows p Prot.Write then 2 else 0)
+  lor (if Prot.allows p Prot.Exec then 4 else 0)
+
+let lookup_slow t addr access =
   match Interval_map.find addr t.table with
   | None -> raise (Fault { addr; access; reason = Unmapped })
   | Some (lo, hi, m) ->
-    if addr + width > hi then raise (Fault { addr; access; reason = Unmapped });
-    if not (Prot.allows m.prot access) then
-      raise (Fault { addr; access; reason = Protection });
-    (m.seg, m.seg_off + (addr - lo))
+    if t.caching then begin
+      let e = tlb_entry t addr in
+      e.te_page <- Layout.page_down addr;
+      e.te_hi <- hi;
+      e.te_delta <- m.seg_off - lo;
+      e.te_prot <- m.prot;
+      e.te_mask <- prot_mask m.prot;
+      e.te_seg <- Some m.seg
+    end;
+    (m.seg, m.seg_off + (addr - lo), hi - addr, m.prot)
+
+let lookup t addr access =
+  if not t.caching then lookup_slow t addr access
+  else begin
+    let e = tlb_entry t addr in
+    match e.te_seg with
+    | Some seg when e.te_page = Layout.page_down addr ->
+      Stats.global.tlb_hits <- Stats.global.tlb_hits + 1;
+      (seg, addr + e.te_delta, e.te_hi - addr, e.te_prot)
+    | Some _ | None ->
+      Stats.global.tlb_misses <- Stats.global.tlb_misses + 1;
+      lookup_slow t addr access
+  end
+
+let translate t addr access width =
+  let seg, off, run, prot = lookup t addr access in
+  if width > run then raise (Fault { addr; access; reason = Unmapped });
+  if not (Prot.allows prot access) then
+    raise (Fault { addr; access; reason = Protection });
+  (seg, off)
+
+(* The mapping geometry behind a (validated) 4-byte exec access at
+   [addr]: [(seg, delta, hi)] with [delta = off - addr].  The CPU's
+   decode cache pins these per page. *)
+let exec_view t addr =
+  let seg, off, run, prot = lookup t addr Prot.Exec in
+  if 4 > run then raise (Fault { addr; access = Prot.Exec; reason = Unmapped });
+  if not (Prot.allows prot Prot.Exec) then
+    raise (Fault { addr; access = Prot.Exec; reason = Protection });
+  (seg, off - addr, addr + run)
+
+(* Single-access entry points.  Each checks the TLB inline and, on a
+   full hit (right page, in bounds, access allowed), goes straight to
+   the segment — no intermediate tuples on the hot path.  Everything
+   else (miss, fault, caching off) falls back to [translate], which
+   re-resolves and raises the precise fault. *)
 
 let load_u8 t addr =
-  let seg, off = translate t addr Prot.Read 1 in
-  Segment.get_u8 seg off
+  let e = tlb_entry t addr in
+  match e.te_seg with
+  | Some seg
+    when t.caching
+         && e.te_page = Layout.page_down addr
+         && addr < e.te_hi
+         && e.te_mask land 1 <> 0 ->
+    Stats.global.tlb_hits <- Stats.global.tlb_hits + 1;
+    Segment.get_u8 seg (addr + e.te_delta)
+  | _ ->
+    let seg, off = translate t addr Prot.Read 1 in
+    Segment.get_u8 seg off
 
 let load_u32 t addr =
-  let seg, off = translate t addr Prot.Read 4 in
-  Segment.get_u32 seg off
+  let e = tlb_entry t addr in
+  match e.te_seg with
+  | Some seg
+    when t.caching
+         && e.te_page = Layout.page_down addr
+         && addr + 4 <= e.te_hi
+         && e.te_mask land 1 <> 0 ->
+    Stats.global.tlb_hits <- Stats.global.tlb_hits + 1;
+    Segment.get_u32 seg (addr + e.te_delta)
+  | _ ->
+    let seg, off = translate t addr Prot.Read 4 in
+    Segment.get_u32 seg off
 
 let store_u8 t addr v =
-  let seg, off = translate t addr Prot.Write 1 in
-  Segment.set_u8 seg off v
+  let e = tlb_entry t addr in
+  match e.te_seg with
+  | Some seg
+    when t.caching
+         && e.te_page = Layout.page_down addr
+         && addr < e.te_hi
+         && e.te_mask land 2 <> 0 ->
+    Stats.global.tlb_hits <- Stats.global.tlb_hits + 1;
+    Segment.set_u8 seg (addr + e.te_delta) v
+  | _ ->
+    let seg, off = translate t addr Prot.Write 1 in
+    Segment.set_u8 seg off v
 
 let store_u32 t addr v =
-  let seg, off = translate t addr Prot.Write 4 in
-  Segment.set_u32 seg off v
+  let e = tlb_entry t addr in
+  match e.te_seg with
+  | Some seg
+    when t.caching
+         && e.te_page = Layout.page_down addr
+         && addr + 4 <= e.te_hi
+         && e.te_mask land 2 <> 0 ->
+    Stats.global.tlb_hits <- Stats.global.tlb_hits + 1;
+    Segment.set_u32 seg (addr + e.te_delta) v
+  | _ ->
+    let seg, off = translate t addr Prot.Write 4 in
+    Segment.set_u32 seg off v
 
 let fetch t addr =
-  let seg, off = translate t addr Prot.Exec 4 in
-  Segment.get_u32 seg off
+  let e = tlb_entry t addr in
+  match e.te_seg with
+  | Some seg
+    when t.caching
+         && e.te_page = Layout.page_down addr
+         && addr + 4 <= e.te_hi
+         && e.te_mask land 4 <> 0 ->
+    Stats.global.tlb_hits <- Stats.global.tlb_hits + 1;
+    Segment.get_u32 seg (addr + e.te_delta)
+  | _ ->
+    let seg, off = translate t addr Prot.Exec 4 in
+    Segment.get_u32 seg off
+
+(* --- Bulk fast paths ------------------------------------------------
+
+   The byte-at-a-time loops translated every single byte.  These
+   translate once per mapping run and blit within the segment.  The
+   observable behaviour — partial effects before a fault, fault
+   addresses, and the [Invalid_argument] raised when a run crosses the
+   backing segment's [max_size] — matches the byte loops exactly: runs
+   are clamped to segment capacity, and a zero-capacity run performs a
+   single byte access to raise the identical exception. *)
+
+(* Returns the usable run length at [addr] for [access] ([>= 1]), after
+   the same bounds-then-protection checks a 1-byte [translate] does. *)
+let bulk_run t addr access ~want =
+  let seg, off, run, prot = lookup t addr access in
+  if not (Prot.allows prot access) then
+    raise (Fault { addr; access; reason = Protection });
+  let cap = Segment.max_size seg - off in
+  if cap <= 0 then begin
+    (* Out of backing capacity: raise the same [Invalid_argument] the
+       equivalent single-byte access would. *)
+    (match access with
+    | Prot.Write -> Segment.set_u8 seg off 0
+    | Prot.Read | Prot.Exec -> ignore (Segment.get_u8 seg off));
+    assert false
+  end;
+  (seg, off, min want (min run cap))
 
 let read_bytes t addr len =
   let out = Bytes.make len '\000' in
-  for i = 0 to len - 1 do
-    Bytes.set out i (Char.chr (load_u8 t (addr + i)))
+  let i = ref 0 in
+  while !i < len do
+    let seg, off, n = bulk_run t (addr + !i) Prot.Read ~want:(len - !i) in
+    Segment.read_into seg ~src_off:off out ~dst_off:!i ~len:n;
+    i := !i + n
   done;
   out
 
 let write_bytes t addr b =
-  Bytes.iteri (fun i c -> store_u8 t (addr + i) (Char.code c)) b
+  let len = Bytes.length b in
+  let i = ref 0 in
+  while !i < len do
+    let seg, off, n = bulk_run t (addr + !i) Prot.Write ~want:(len - !i) in
+    Segment.write_from seg ~dst_off:off b ~src_off:!i ~len:n;
+    i := !i + n
+  done
 
 let read_cstring t addr =
+  let limit = 0x1_0000 in
   let buf = Buffer.create 32 in
+  let chunk = Bytes.create 256 in
   let rec go i =
-    if i >= 0x1_0000 then failwith "Address_space.read_cstring: unterminated";
-    let c = load_u8 t (addr + i) in
-    if c = 0 then Buffer.contents buf
-    else begin
-      Buffer.add_char buf (Char.chr c);
-      go (i + 1)
-    end
+    if i >= limit then failwith "Address_space.read_cstring: unterminated";
+    let seg, off, n =
+      bulk_run t (addr + i) Prot.Read ~want:(min 256 (limit - i))
+    in
+    Segment.read_into seg ~src_off:off chunk ~dst_off:0 ~len:n;
+    match Bytes.index_from_opt chunk 0 '\000' with
+    | Some j when j < n ->
+      Buffer.add_subbytes buf chunk 0 j;
+      Buffer.contents buf
+    | Some _ | None ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go (i + n)
   in
   go 0
 
@@ -107,7 +324,7 @@ let clone t =
       (fun lo hi m acc -> Interval_map.add ~lo ~hi (clone_mapping m) acc)
       t.table Interval_map.empty
   in
-  { table }
+  { table; tlb = fresh_tlb (); epoch = 0; caching = t.caching }
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";

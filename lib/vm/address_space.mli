@@ -26,7 +26,22 @@ type mapping = {
   label : string;  (** human-readable provenance, e.g. a module path *)
 }
 
-val create : unit -> t
+(** Default for {!create}'s [?caching]: [true] unless the
+    [HEMLOCK_NO_TLB] environment variable is set.  The TLB and the
+    bulk-copy fast paths are observability-only — simulated costs are
+    identical either way; the switch exists so the slow path stays
+    testable. *)
+val caching_default : bool ref
+
+(** [create ()] makes an empty space.  [~caching:false] disables the
+    software TLB for this space (every access takes the interval-map
+    slow path). *)
+val create : ?caching:bool -> unit -> t
+
+(** Invalidation epoch: bumped by every [map]/[unmap]/[protect].
+    Derived caches (e.g. the CPU's decoded-instruction cache) must be
+    discarded when it changes. *)
+val epoch : t -> int
 
 (** [map t ~base ~len ~seg ~prot ~share ~label] installs a mapping.
     [base] and [len] must be page-aligned; the range must be unmapped
@@ -68,6 +83,14 @@ val store_u32 : t -> int -> int -> unit
 
 (** Instruction fetch: a 32-bit load requiring execute permission. *)
 val fetch : t -> int -> int
+
+(** [exec_view t addr] validates a 4-byte exec access at [addr] exactly
+    like {!fetch} (raising the same faults) and returns the mapping
+    geometry [(seg, delta, hi)], where [addr' + delta] is the segment
+    offset of any [addr'] in the same mapping and [hi] is its exclusive
+    bound.  The result is valid until {!epoch} changes.  Used by the
+    CPU's decoded-instruction cache. *)
+val exec_view : t -> int -> Segment.t * int * int
 
 (** [read_bytes t addr len] performs [len] checked byte reads. *)
 val read_bytes : t -> int -> int -> Bytes.t

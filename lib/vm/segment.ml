@@ -6,6 +6,7 @@ type t = {
   max_size : int;
   mutable data : Bytes.t; (* capacity; logical size tracked separately *)
   mutable size : int;
+  mutable version : int; (* bumped by every content write; see [version] *)
 }
 
 let next_id = ref 0
@@ -13,12 +14,13 @@ let next_id = ref 0
 let create ~name ~max_size () =
   if max_size <= 0 then invalid_arg "Segment.create: max_size <= 0";
   incr next_id;
-  { id = !next_id; name; max_size; data = Bytes.empty; size = 0 }
+  { id = !next_id; name; max_size; data = Bytes.empty; size = 0; version = 0 }
 
 let id t = t.id
 let name t = t.name
 let max_size t = t.max_size
 let size t = t.size
+let version t = t.version
 
 let check_off t off len =
   if off < 0 || off + len > t.max_size then
@@ -41,7 +43,8 @@ let resize t n =
     (* Clear the dropped suffix so re-growth reads zeroes. *)
     Bytes.fill t.data n (Bytes.length t.data - n) '\000'
   else ensure_capacity t n;
-  t.size <- n
+  t.size <- n;
+  t.version <- t.version + 1
 
 let get_u8 t off =
   check_off t off 1;
@@ -51,6 +54,7 @@ let set_u8 t off v =
   check_off t off 1;
   ensure_capacity t (off + 1);
   Codec.set_u8 t.data off v;
+  t.version <- t.version + 1;
   if off + 1 > t.size then t.size <- off + 1
 
 let get_u32 t off =
@@ -66,6 +70,7 @@ let set_u32 t off v =
   check_off t off 4;
   ensure_capacity t (off + 4);
   Codec.set_u32 t.data off v;
+  t.version <- t.version + 1;
   if off + 4 > t.size then t.size <- off + 4
 
 let blit_in t ~dst_off src =
@@ -74,6 +79,7 @@ let blit_in t ~dst_off src =
     check_off t dst_off len;
     ensure_capacity t (dst_off + len);
     Bytes.blit src 0 t.data dst_off len;
+    t.version <- t.version + 1;
     if dst_off + len > t.size then t.size <- dst_off + len
   end
 
@@ -83,6 +89,23 @@ let blit_out t ~src_off ~len =
   let avail = min len (max 0 (Bytes.length t.data - src_off)) in
   if avail > 0 then Bytes.blit t.data src_off out 0 avail;
   out
+
+let read_into t ~src_off dst ~dst_off ~len =
+  if len > 0 then begin
+    check_off t src_off len;
+    let avail = min len (max 0 (Bytes.length t.data - src_off)) in
+    if avail > 0 then Bytes.blit t.data src_off dst dst_off avail;
+    if avail < len then Bytes.fill dst (dst_off + avail) (len - avail) '\000'
+  end
+
+let write_from t ~dst_off src ~src_off ~len =
+  if len > 0 then begin
+    check_off t dst_off len;
+    ensure_capacity t (dst_off + len);
+    Bytes.blit src src_off t.data dst_off len;
+    t.version <- t.version + 1;
+    if dst_off + len > t.size then t.size <- dst_off + len
+  end
 
 let contents t = blit_out t ~src_off:0 ~len:t.size
 

@@ -17,6 +17,13 @@ val max_size : t -> int
 (** Current logical size in bytes (high-water mark of writes/resizes). *)
 val size : t -> int
 
+(** Monotonic write counter: bumped by every content mutation
+    ([set_u8]/[set_u32]/[blit_in]/[write_from]/[resize]), whichever
+    component performs it.  Caches of derived data (the CPU's
+    decoded-instruction cache) compare it to detect staleness without
+    re-reading the bytes. *)
+val version : t -> int
+
 (** [resize t n] sets the logical size (zero-extends; truncation clears
     the dropped bytes so re-growth reads zeroes).
     @raise Invalid_argument if [n < 0] or [n > max_size t]. *)
@@ -33,6 +40,14 @@ val blit_in : t -> dst_off:int -> Bytes.t -> unit
 (** [blit_out t ~src_off ~len] copies bytes out (reads beyond [size] are
     zeroes, up to [max_size]). *)
 val blit_out : t -> src_off:int -> len:int -> Bytes.t
+
+(** [read_into t ~src_off dst ~dst_off ~len] copies [len] bytes out into
+    [dst] (reads beyond [size] are zeroes, same as repeated [get_u8]). *)
+val read_into : t -> src_off:int -> Bytes.t -> dst_off:int -> len:int -> unit
+
+(** [write_from t ~dst_off src ~src_off ~len] copies [len] bytes from
+    [src] into the segment, growing it (same as repeated [set_u8]). *)
+val write_from : t -> dst_off:int -> Bytes.t -> src_off:int -> len:int -> unit
 
 (** [copy t] is a snapshot with identical contents and a fresh identity —
     the private half of fork. *)

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 gate: build, the full test suite with the memory-system fast
+# path on and off, and the interpreter-throughput benchmark (which
+# itself asserts the simulated cost model is cache-independent and
+# writes BENCH_interp.json).
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build
+
+echo "== tests (caches on) =="
+dune runtest --force
+
+echo "== tests (caches off: HEMLOCK_NO_TLB + HEMLOCK_NO_DCACHE) =="
+HEMLOCK_NO_TLB=1 HEMLOCK_NO_DCACHE=1 dune runtest --force
+
+echo "== perf =="
+dune exec bench/main.exe -- perf

@@ -111,6 +111,42 @@ let lazy_faults_counted () =
   check_bool "at least one lazy-link fault" true (d.Stats.faults >= 1);
   check_bool "module linked" true (d.Stats.modules_linked >= 1)
 
+let lazy_linking_with_tlb () =
+  (* Regression for the software TLB: ldl maps unlinked modules
+     no-access, and the first touch must fault into the linker even
+     when earlier accesses populated the TLB.  The second call then
+     runs entirely on warm translations taken after the protection
+     flip. *)
+  let old = !As.caching_default in
+  As.caching_default := true;
+  Fun.protect
+    ~finally:(fun () -> As.caching_default := old)
+    (fun () ->
+      let k, ldl = boot () in
+      ignore ldl;
+      let fs = Kernel.fs k in
+      Fs.mkdir fs "/shared/lib";
+      install_c k "/shared/lib/ext.o" "extern int base; int get() { return base + 1; }";
+      install_c k "/shared/lib/basemod.o" "int base = 41;";
+      Fs.mkdir fs "/home/t";
+      install_c k "/home/t/main.o"
+        "extern int get(); int main() { print_int(get() + get()); return 0; }";
+      ignore
+        (link k ~dir:"/home/t"
+           ~specs:
+             [
+               ("main.o", Sharing.Static_private);
+               ("/shared/lib/ext.o", Sharing.Dynamic_public);
+               ("/shared/lib/basemod.o", Sharing.Dynamic_public);
+             ]
+           "prog");
+      Stats.reset ();
+      let before = Stats.snapshot () in
+      let _, out = run_program k "/home/t/prog" in
+      check_string "no-access module linked on first touch" "84" out;
+      let d = Stats.diff ~before ~after:(Stats.snapshot ()) in
+      check_bool "fault-driven even with TLB on" true (d.Stats.faults >= 1))
+
 let unused_module_never_linked () =
   (* Two dynamic modules; main only calls one. The other is mapped
      no-access and stays unlinked. *)
@@ -534,6 +570,7 @@ let suite =
     test "ldl: public modules persist across reboot" persistence_across_reboot;
     test "ldl: lazy prot flip on first touch" lazy_prot_flip;
     test "ldl: lazy linking is fault-driven" lazy_faults_counted;
+    test "ldl: lazy linking fault-driven with TLB enabled" lazy_linking_with_tlb;
     test "ldl: unused modules stay unlinked" unused_module_never_linked;
     test "ldl: lazy chase through data references" lazy_data_chain;
     test "ldl: scoped linking isolates name conflicts (fig 2)" scoped_conflicting_symbols;

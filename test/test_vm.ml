@@ -179,6 +179,92 @@ let gap_and_strings () =
   check_string "cstring" "abc" (As.read_cstring sp 0x1100);
   check_string "read_bytes" "abc" (Bytes.to_string (As.read_bytes sp 0x1100 3))
 
+(* ----- software TLB ----- *)
+
+(* The paper's lazy-linking trick depends on no-access mappings and
+   protection flips faulting even after the address was translated (and
+   so cached).  These pin the epoch-invalidation behaviour directly. *)
+let tlb_invalidation () =
+  let sp = As.create ~caching:true () in
+  As.map sp ~base:0x1000 ~len:0x1000 ~seg:(seg "a") ~prot:Prot.Read_write
+    ~share:As.Private ~label:"a" ();
+  As.store_u32 sp 0x1000 7;
+  check_int "cached read" 7 (As.load_u32 sp 0x1000);
+  As.protect sp 0x1000 Prot.No_access;
+  (match As.load_u32 sp 0x1000 with
+  | exception As.Fault { reason = As.Protection; _ } -> ()
+  | _ -> Alcotest.fail "no-access after cached translation must fault");
+  As.protect sp 0x1000 Prot.Read_write;
+  check_int "readable again" 7 (As.load_u32 sp 0x1000);
+  As.unmap sp 0x1000;
+  match As.load_u8 sp 0x1000 with
+  | exception As.Fault { reason = As.Unmapped; _ } -> ()
+  | _ -> Alcotest.fail "unmap after cached translation must fault"
+
+let tlb_clone_isolation () =
+  let sp = As.create ~caching:true () in
+  As.map sp ~base:0x1000 ~len:0x1000 ~seg:(seg "a") ~prot:Prot.Read_write
+    ~share:As.Private ~label:"a" ();
+  As.store_u32 sp 0x1000 5;
+  check_int "warm parent TLB" 5 (As.load_u32 sp 0x1000);
+  let child = As.clone sp in
+  (* The child's fresh TLB must re-resolve to its own copied segment,
+     not serve the parent's cached translation. *)
+  As.store_u32 sp 0x1000 6;
+  check_int "child sees its copy" 5 (As.load_u32 child 0x1000);
+  As.unmap child 0x1000;
+  check_int "parent unaffected by child unmap" 6 (As.load_u32 sp 0x1000)
+
+(* Drive a TLB'd and a TLB-less space through the same random sequence
+   of map / unmap / protect / access / clone operations: every
+   observable — values, fault payloads, argument errors — must agree. *)
+let prop_tlb_coherence =
+  prop "address_space: TLB'd and TLB-less spaces observe identically" ~count:300
+    QCheck2.Gen.(
+      list_size (int_range 1 80) (triple (int_bound 6) (int_bound 7) (int_bound 5)))
+    (fun ops ->
+      let prots =
+        [| Prot.No_access; Prot.Read_only; Prot.Read_write; Prot.Read_exec; Prot.Read_write_exec |]
+      in
+      let mk caching =
+        ( ref (As.create ~caching ()),
+          Array.init 8 (fun i ->
+              Segment.create ~name:(Printf.sprintf "s%d" i) ~max_size:0x2000 ()) )
+      in
+      let obs (spr, segs) (tag, a, b) =
+        let sp = !spr in
+        let base = 0x1000 + (a land 7) * 0x1000 in
+        try
+          match tag with
+          | 0 ->
+            As.map sp ~base ~len:0x1000 ~seg:segs.(a land 7) ~prot:prots.(b mod 5)
+              ~share:As.Private ~label:"t" ();
+            "mapped"
+          | 1 ->
+            As.unmap sp base;
+            "unmapped"
+          | 2 ->
+            As.protect sp base prots.(b mod 5);
+            "protected"
+          | 3 -> string_of_int (As.load_u32 sp (base + (b * 4)))
+          | 4 ->
+            As.store_u32 sp (base + (b * 4)) ((a * 1000) + b);
+            "stored"
+          | 5 -> string_of_int (As.fetch sp (base + (b * 4)))
+          | _ ->
+            spr := As.clone sp;
+            "cloned"
+        with
+        | As.Fault { addr; access; reason } ->
+          Printf.sprintf "fault %x %s %s" addr
+            (match access with Prot.Read -> "r" | Prot.Write -> "w" | Prot.Exec -> "x")
+            (match reason with As.Unmapped -> "unmapped" | As.Protection -> "protection")
+        | Invalid_argument _ -> "invalid"
+        | Not_found -> "notfound"
+      in
+      let w_on = mk true and w_off = mk false in
+      List.for_all (fun op -> obs w_on op = obs w_off op) ops)
+
 let prop_segment_io =
   prop "segment: random u8 writes read back"
     QCheck2.Gen.(list_size (int_range 1 60) (pair (int_range 0 1023) (int_bound 255)))
@@ -207,6 +293,9 @@ let suite =
     test "address_space: bad mappings rejected" map_rejects;
     test "address_space: protect and unmap" protect_unmap;
     test "address_space: clone = fork memory semantics" clone_fork_semantics;
+    test "address_space: TLB invalidated by protect/unmap" tlb_invalidation;
+    test "address_space: clone gets a cold TLB" tlb_clone_isolation;
     test "address_space: gaps and strings" gap_and_strings;
     prop_segment_io;
+    prop_tlb_coherence;
   ]
