@@ -8,7 +8,8 @@ let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 let builtins =
   [
     "print_int"; "print_str"; "getpid"; "yield"; "sbrk"; "fork"; "wait";
-    "path_to_addr"; "addr_to_path"; "exit"; "lock_acquire"; "lock_release";
+    "path_to_addr"; "addr_to_path"; "open"; "close"; "read"; "write"; "lseek";
+    "exit"; "lock_acquire"; "lock_release";
   ]
 
 type var_info =
@@ -251,6 +252,11 @@ and gen_call env fn args =
   | "wait" -> syscall_with_args Sysno.wait
   | "path_to_addr" -> syscall_with_args Sysno.path_to_addr
   | "addr_to_path" -> syscall_with_args Sysno.addr_to_path
+  | "open" -> syscall_with_args Sysno.open_
+  | "close" -> syscall_with_args Sysno.close
+  | "read" -> syscall_with_args Sysno.read
+  | "write" -> syscall_with_args Sysno.write
+  | "lseek" -> syscall_with_args Sysno.lseek
   | "exit" -> syscall_with_args Sysno.exit
   | "lock_acquire" -> syscall_with_args Sysno.lock_acquire
   | "lock_release" -> syscall_with_args Sysno.lock_release

@@ -471,7 +471,7 @@ let install k =
       | Some ps -> (
         if not ps.ps_started then
           try ldl_startup t proc ps with
-          | Would_block cond -> Kernel.block_syscall cpu cond
+          | Would_block cond -> Kernel.block_syscall ~why:"ldl: a creation lock" cpu cond
           | Link_error msg -> warn t "ldl: %s" msg));
   Kernel.add_fork_hook k (fun ~parent ~child -> clone_for_fork t ~parent ~child);
   t
@@ -503,7 +503,7 @@ let rec retry_native f =
   match f () with
   | v -> v
   | exception Would_block cond ->
-    Proc.wait_until cond;
+    Proc.wait_until ~why:"ldl: a creation lock" cond;
     retry_native f
 
 let dlopen t proc name =

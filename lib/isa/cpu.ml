@@ -54,6 +54,8 @@ type t = { regs : int array; mutable pc : int; icache : dpage option array }
 
 type status = Running | Halted of int
 
+type run_result = Out_of_fuel | Trapped of Trap.t
+
 exception Cpu_error of { pc : int; msg : string }
 
 let create ~entry ~sp =
@@ -298,6 +300,32 @@ let run ~fuel t space ~syscall =
     match step t space ~syscall with
     | Running -> go (n - 1)
     | Halted code -> Halted code
+  in
+  go fuel
+
+(* --- trap-returning execution ----------------------------------------
+
+   [run_trap] drives the same [step] interpreter but reifies every exit
+   from user mode as a [Trap.t] instead of spreading them over a status
+   value, a callback and two exceptions.  The SYSCALL arm still pays its
+   one instruction of fuel and bumps the syscall counter inside [step],
+   so the cost model is identical to [run] with a dispatching callback;
+   a fault consumes no fuel (the instruction did not complete and will
+   restart), matching the exception path it replaces. *)
+
+exception Syscall_trap
+
+let run_trap ~fuel t space =
+  let rec go n =
+    if n = 0 then (Out_of_fuel, 0)
+    else
+      match step t space ~syscall:(fun _ -> raise_notrace Syscall_trap) with
+      | Running -> go (n - 1)
+      | Halted code -> (Trapped (Trap.Halt code), n - 1)
+      | exception Syscall_trap -> (Trapped Trap.Syscall, n - 1)
+      | exception As.Fault { addr; access; reason } ->
+        ( Trapped (Trap.Fault { f_addr = addr; f_access = access; f_reason = reason }),
+          n )
   in
   go fuel
 

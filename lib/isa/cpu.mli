@@ -44,4 +44,19 @@ val step : t -> Hemlock_vm.Address_space.t -> syscall:(t -> unit) -> status
 (** [run ~fuel t as_ ~syscall] steps until halt or fuel runs out. *)
 val run : fuel:int -> t -> Hemlock_vm.Address_space.t -> syscall:(t -> unit) -> status
 
+(** Result of a {!run_trap} burst: the quantum's fuel ran dry, or the
+    program trapped (syscall, fault, or halt — see {!Trap.t}). *)
+type run_result = Out_of_fuel | Trapped of Trap.t
+
+(** [run_trap ~fuel t as_] steps until the program traps or the fuel
+    runs out, returning the trap (if any) and the fuel remaining, so the
+    kernel can dispatch the trap and resume the same quantum.  Unlike
+    {!run} no callback is involved: a SYSCALL returns [Trapped Syscall]
+    with the pc past the instruction and one unit of fuel consumed, a
+    memory fault returns [Trapped (Fault _)] with the pc unmoved and no
+    fuel consumed, BREAK returns [Trapped (Halt code)].  Decode failures
+    and arithmetic traps still raise [Cpu_error]. *)
+val run_trap :
+  fuel:int -> t -> Hemlock_vm.Address_space.t -> run_result * int
+
 val pp : Format.formatter -> t -> unit

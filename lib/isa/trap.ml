@@ -1,0 +1,22 @@
+type fault = {
+  f_addr : int;
+  f_access : Hemlock_vm.Prot.access;
+  f_reason : Hemlock_vm.Address_space.fault_reason;
+}
+
+type t =
+  | Syscall
+  | Fault of fault
+  | Halt of int
+
+let pp_fault ppf f =
+  Format.fprintf ppf "%a fault at 0x%08x (%s)" Hemlock_vm.Prot.pp_access
+    f.f_access f.f_addr
+    (match f.f_reason with
+    | Hemlock_vm.Address_space.Unmapped -> "unmapped"
+    | Hemlock_vm.Address_space.Protection -> "protection")
+
+let pp ppf = function
+  | Syscall -> Format.pp_print_string ppf "syscall"
+  | Fault f -> pp_fault ppf f
+  | Halt code -> Format.fprintf ppf "halt (%d)" code

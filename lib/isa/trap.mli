@@ -1,0 +1,29 @@
+(** The one way out of user mode.
+
+    Everything that transfers control from an executing ISA program to
+    the kernel — a memory fault, a SYSCALL instruction, a BREAK halt —
+    is reified as a value of {!t} and returned from {!Cpu.run_trap}, so
+    the kernel has a single dispatch point instead of a different
+    ad-hoc path (exception, callback, status) per event.  Signal
+    (SIGSEGV) delivery is the kernel's response to a [Fault] trap; it
+    happens on the kernel side of this boundary, never inside the
+    interpreter. *)
+
+type fault = {
+  f_addr : int;
+  f_access : Hemlock_vm.Prot.access;
+  f_reason : Hemlock_vm.Address_space.fault_reason;
+}
+
+type t =
+  | Syscall
+      (** SYSCALL executed; the pc is already past the instruction and
+          the registers carry the number and arguments. *)
+  | Fault of fault
+      (** A load, store or fetch touched unmapped or protected memory;
+          the pc still points at the faulting instruction, so resolving
+          the fault and resuming restarts it. *)
+  | Halt of int  (** BREAK: the program exited with this code. *)
+
+val pp_fault : Format.formatter -> fault -> unit
+val pp : Format.formatter -> t -> unit

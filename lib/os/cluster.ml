@@ -50,9 +50,16 @@ let run ?(max_rounds = 1_000_000) t =
       t.kernels;
     if !progress then loop (rounds - 1)
     else if !idle <> [] then
+      (* No machine can move and no network traffic is pending: report
+         every stuck process, tagged with its machine. *)
       raise
         (Kernel.Deadlock
-           (Printf.sprintf "machines %s blocked with no network traffic pending"
-              (String.concat ", " (List.map string_of_int !idle))))
+           (List.concat_map
+              (fun i ->
+                List.map
+                  (fun b ->
+                    { b with Kernel.b_comm = Printf.sprintf "m%d:%s" i b.Kernel.b_comm })
+                  (Kernel.blocked_processes t.kernels.(i)))
+              (List.rev !idle)))
   in
   loop max_rounds

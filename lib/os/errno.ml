@@ -1,0 +1,132 @@
+module Fs = Hemlock_sfs.Fs
+
+type t =
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | ENOEXEC
+  | ENXIO
+  | EBADF
+  | ECHILD
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EBUSY
+  | EEXIST
+  | EXDEV
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | EMFILE
+  | ENOSPC
+  | ESPIPE
+  | EDEADLK
+  | ENOSYS
+  | ENOTEMPTY
+  | ELOOP
+
+(* Linux numbering, so the negative-v0 values ISA programs observe match
+   what a Unix programmer expects. *)
+let code = function
+  | EPERM -> 1
+  | ENOENT -> 2
+  | ESRCH -> 3
+  | ENOEXEC -> 8
+  | ENXIO -> 6
+  | EBADF -> 9
+  | ECHILD -> 10
+  | EAGAIN -> 11
+  | ENOMEM -> 12
+  | EACCES -> 13
+  | EFAULT -> 14
+  | EBUSY -> 16
+  | EEXIST -> 17
+  | EXDEV -> 18
+  | ENOTDIR -> 20
+  | EISDIR -> 21
+  | EINVAL -> 22
+  | EMFILE -> 24
+  | ENOSPC -> 28
+  | ESPIPE -> 29
+  | EDEADLK -> 35
+  | ENOSYS -> 38
+  | ENOTEMPTY -> 39
+  | ELOOP -> 40
+
+let all =
+  [
+    EPERM; ENOENT; ESRCH; ENXIO; ENOEXEC; EBADF; ECHILD; EAGAIN; ENOMEM; EACCES;
+    EFAULT; EBUSY; EEXIST; EXDEV; ENOTDIR; EISDIR; EINVAL; EMFILE; ENOSPC;
+    ESPIPE; EDEADLK; ENOSYS; ENOTEMPTY; ELOOP;
+  ]
+
+let name = function
+  | EPERM -> "EPERM"
+  | ENOENT -> "ENOENT"
+  | ESRCH -> "ESRCH"
+  | ENOEXEC -> "ENOEXEC"
+  | ENXIO -> "ENXIO"
+  | EBADF -> "EBADF"
+  | ECHILD -> "ECHILD"
+  | EAGAIN -> "EAGAIN"
+  | ENOMEM -> "ENOMEM"
+  | EACCES -> "EACCES"
+  | EFAULT -> "EFAULT"
+  | EBUSY -> "EBUSY"
+  | EEXIST -> "EEXIST"
+  | EXDEV -> "EXDEV"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | EINVAL -> "EINVAL"
+  | EMFILE -> "EMFILE"
+  | ENOSPC -> "ENOSPC"
+  | ESPIPE -> "ESPIPE"
+  | EDEADLK -> "EDEADLK"
+  | ENOSYS -> "ENOSYS"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | ELOOP -> "ELOOP"
+
+let message = function
+  | EPERM -> "operation not permitted"
+  | ENOENT -> "no such file or directory"
+  | ESRCH -> "no such process"
+  | ENOEXEC -> "exec format error"
+  | ENXIO -> "no such device or address"
+  | EBADF -> "bad file descriptor"
+  | ECHILD -> "no child processes"
+  | EAGAIN -> "resource temporarily unavailable"
+  | ENOMEM -> "cannot allocate memory"
+  | EACCES -> "permission denied"
+  | EFAULT -> "bad address"
+  | EBUSY -> "device or resource busy"
+  | EEXIST -> "file exists"
+  | EXDEV -> "invalid cross-device link"
+  | ENOTDIR -> "not a directory"
+  | EISDIR -> "is a directory"
+  | EINVAL -> "invalid argument"
+  | EMFILE -> "too many open files"
+  | ENOSPC -> "no space left on device"
+  | ESPIPE -> "illegal seek"
+  | EDEADLK -> "resource deadlock avoided"
+  | ENOSYS -> "function not implemented"
+  | ENOTEMPTY -> "directory not empty"
+  | ELOOP -> "too many levels of symbolic links"
+
+let of_code n = List.find_opt (fun e -> code e = n) all
+
+let of_fs_kind = function
+  | Fs.Not_found -> ENOENT
+  | Fs.Not_a_directory -> ENOTDIR
+  | Fs.Is_a_directory -> EISDIR
+  | Fs.Already_exists -> EEXIST
+  | Fs.No_space -> ENOSPC
+  | Fs.Not_shared -> ENXIO
+  | Fs.Hard_links_prohibited -> EPERM
+  | Fs.Symlink_loop -> ELOOP
+  | Fs.Not_empty -> ENOTEMPTY
+  | Fs.Cross_partition -> EXDEV
+
+let to_string e = Printf.sprintf "%s: %s" (name e) (message e)
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

@@ -1,0 +1,59 @@
+(** POSIX-style error numbers — the kernel's internal error currency.
+
+    Every kernel-boundary failure carries one of these; the compat
+    wrappers in {!Kernel} turn them into [Os_error] exceptions for
+    native callers, and the ISA syscall dispatcher reports them to user
+    programs as negative [$v0] values (the Linux convention), so
+    cc/Lisp code can test for and recover from [ENOENT], [ENOSPC],
+    [EBADF], … instead of being killed. *)
+
+type t =
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | ENOEXEC
+  | ENXIO
+  | EBADF
+  | ECHILD
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EBUSY
+  | EEXIST
+  | EXDEV
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | EMFILE
+  | ENOSPC
+  | ESPIPE
+  | EDEADLK
+  | ENOSYS
+  | ENOTEMPTY
+  | ELOOP
+
+(** The Linux numeric code (e.g. [ENOENT] = 2); ISA programs see the
+    negated code in [$v0]. *)
+val code : t -> int
+
+(** Every errno, in [code] order. *)
+val all : t list
+
+(** The conventional symbolic name, e.g. ["ENOENT"]. *)
+val name : t -> string
+
+(** The [strerror]-style text, e.g. ["no such file or directory"]. *)
+val message : t -> string
+
+val of_code : int -> t option
+
+(** How file-system failures surface across the syscall boundary
+    ([Not_found] → [ENOENT], [No_space] → [ENOSPC], [Not_shared] →
+    [ENXIO], …). *)
+val of_fs_kind : Hemlock_sfs.Fs.err_kind -> t
+
+(** ["ENOENT: no such file or directory"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

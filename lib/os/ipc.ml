@@ -1,0 +1,92 @@
+module Stats = Hemlock_util.Stats
+
+type msgq = { mq_queue : Bytes.t Queue.t; mq_capacity : int }
+
+(* The service entry runs against the kernel, so the table is parametric
+   over the kernel type ('k = Kernel.t) to keep this layer below it. *)
+type 'k pd_service = { pd_owner : Proc.t; pd_entry : 'k -> Proc.t -> int -> int }
+
+type 'k t = {
+  msgqs : (string, msgq) Hashtbl.t;
+  pd_services : (string, 'k pd_service) Hashtbl.t;
+}
+
+let create () = { msgqs = Hashtbl.create 8; pd_services = Hashtbl.create 8 }
+
+(* --- message queues ---------------------------------------------------- *)
+
+let msgq_create t name ~capacity =
+  if Hashtbl.mem t.msgqs name then Error Errno.EEXIST
+  else begin
+    Hashtbl.replace t.msgqs name { mq_queue = Queue.create (); mq_capacity = capacity };
+    Ok ()
+  end
+
+let msgq_exists t name = Hashtbl.mem t.msgqs name
+
+let find_msgq t name =
+  match Hashtbl.find_opt t.msgqs name with
+  | Some q -> Ok q
+  | None -> Error Errno.ENOENT
+
+let msgq_length t name = Result.map (fun q -> Queue.length q.mq_queue) (find_msgq t name)
+
+(* Blocking send/recv: native processes only (they wait through the
+   scheduler's effect). *)
+
+let msg_send t name b =
+  match find_msgq t name with
+  | Error err -> Error err
+  | Ok q ->
+    Proc.wait_until
+      ~why:(Printf.sprintf "msgq %s not full" name)
+      (fun () -> Queue.length q.mq_queue < q.mq_capacity);
+    Stats.global.syscalls <- Stats.global.syscalls + 1;
+    Stats.global.messages_sent <- Stats.global.messages_sent + 1;
+    Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
+    Queue.add (Bytes.copy b) q.mq_queue;
+    Ok ()
+
+let msg_recv t name =
+  match find_msgq t name with
+  | Error err -> Error err
+  | Ok q ->
+    Proc.wait_until
+      ~why:(Printf.sprintf "msgq %s non-empty" name)
+      (fun () -> not (Queue.is_empty q.mq_queue));
+    Stats.global.syscalls <- Stats.global.syscalls + 1;
+    let b = Queue.take q.mq_queue in
+    Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
+    Ok b
+
+let msg_try_recv t name =
+  match find_msgq t name with
+  | Error err -> Error err
+  | Ok q ->
+    Stats.global.syscalls <- Stats.global.syscalls + 1;
+    if Queue.is_empty q.mq_queue then Ok None
+    else begin
+      let b = Queue.take q.mq_queue in
+      Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
+      Ok (Some b)
+    end
+
+(* --- protection-domain calls ------------------------------------------- *)
+
+let register_pd_service t ~name ~owner pd_entry =
+  if Hashtbl.mem t.pd_services name then Error Errno.EEXIST
+  else begin
+    Hashtbl.replace t.pd_services name { pd_owner = owner; pd_entry };
+    Ok ()
+  end
+
+let pd_call t kernel ~service arg =
+  match Hashtbl.find_opt t.pd_services service with
+  | None -> Error Errno.ENOENT
+  | Some { pd_owner; pd_entry } ->
+    (* One trap, two domain switches (in and out), no copying: the
+       handler runs against the server's address space while the caller
+       is suspended. *)
+    Stats.global.syscalls <- Stats.global.syscalls + 1;
+    Stats.global.context_switches <- Stats.global.context_switches + 2;
+    Ok (pd_entry kernel pd_owner arg)

@@ -6,14 +6,23 @@ module Fs = Hemlock_sfs.Fs
 module Path = Hemlock_sfs.Path
 module Cpu = Hemlock_isa.Cpu
 module Reg = Hemlock_isa.Reg
+module Trap = Hemlock_isa.Trap
 module Codec = Hemlock_util.Codec
 module Stats = Hemlock_util.Stats
 
-exception Deadlock of string
+type blocked = Sched.blocked = { b_pid : int; b_comm : string; b_why : string }
+
+exception Deadlock = Sched.Deadlock
 exception Os_error of string
 exception Wrong_format
 
-type fault = {
+(* The compat face of the errno ABI: result-returning calls have an
+   exception-raising wrapper whose message carries the errno. *)
+let os_error ctx e = Os_error (Printf.sprintf "%s: %s (%s)" ctx (Errno.message e) (Errno.name e))
+
+let ok_exn ctx = function Ok v -> v | Error e -> raise (os_error ctx e)
+
+type fault = Trap.fault = {
   f_addr : int;
   f_access : Prot.access;
   f_reason : As.fault_reason;
@@ -21,31 +30,19 @@ type fault = {
 
 type segv_result = Resolved | Retry_when of (unit -> bool) | Unhandled
 
-type fd = int
-
-type fd_entry = { fe_seg : Segment.t; mutable fe_pos : int }
-
-type msgq = { mq_queue : Bytes.t Queue.t; mq_capacity : int }
+type fd = Vfs.fd
 
 type t = {
   fs : Fs.t;
-  proc_table : (int, Proc.t) Hashtbl.t;
-  mutable next_pid : int;
+  sched : Sched.t;
+  vfs : Vfs.t;
+  ipc : t Ipc.t;
   console_buf : Buffer.t;
   segv_handlers : (int, (string * handler) list) Hashtbl.t;
   ext_syscalls : (int, t -> Proc.t -> Cpu.t -> unit) Hashtbl.t;
   mutable binfmts : (string * (t -> Proc.t -> Bytes.t -> path:string -> int)) list;
-  fd_entries : (int * int, fd_entry) Hashtbl.t;
-  next_fds : (int, int) Hashtbl.t;
-  locks : (string, int) Hashtbl.t;
-  msgqs : (string, msgq) Hashtbl.t;
-  daemons : (int, unit) Hashtbl.t;
-  mutable tick_count : int;
   mutable fork_hooks : (parent:Proc.t -> child:Proc.t -> unit) list;
-  pd_services : (string, pd_service) Hashtbl.t;
 }
-
-and pd_service = { pd_owner : Proc.t; pd_entry : t -> Proc.t -> int -> int }
 
 and handler = t -> Proc.t -> fault -> segv_result
 
@@ -54,7 +51,7 @@ type segv_handler = handler
 (* Internal control-flow exceptions for ISA syscall dispatch. *)
 exception Isa_exit of int
 exception Isa_yield
-exception Isa_blocked of (unit -> bool)
+exception Isa_blocked of { cond : unit -> bool; why : string }
 exception Isa_fatal of string
 
 let create () =
@@ -62,20 +59,14 @@ let create () =
   Fs.rescan_shared fs;
   {
     fs;
-    proc_table = Hashtbl.create 32;
-    next_pid = 1;
+    sched = Sched.create ();
+    vfs = Vfs.create ();
+    ipc = Ipc.create ();
     console_buf = Buffer.create 256;
     segv_handlers = Hashtbl.create 32;
     ext_syscalls = Hashtbl.create 8;
     binfmts = [];
-    fd_entries = Hashtbl.create 32;
-    next_fds = Hashtbl.create 32;
-    locks = Hashtbl.create 8;
-    msgqs = Hashtbl.create 8;
-    daemons = Hashtbl.create 8;
-    tick_count = 0;
     fork_hooks = [];
-    pd_services = Hashtbl.create 8;
   }
 
 let add_fork_hook t hook = t.fork_hooks <- t.fork_hooks @ [ hook ]
@@ -87,26 +78,27 @@ let reboot t = Fs.rescan_shared t.fs
 let console t = Buffer.contents t.console_buf
 let console_clear t = Buffer.clear t.console_buf
 
-let ticks t = t.tick_count
+let ticks t = Sched.ticks t.sched
+
+(* Fs failures stop leaking out of kernel calls as Fs.Error: anything
+   the file system raises on the far side of the syscall boundary comes
+   back as an errno. *)
+let fs_result f =
+  match f () with
+  | v -> Ok v
+  | exception Fs.Error { kind; _ } -> Error (Errno.of_fs_kind kind)
 
 (* --- protection-domain calls (the paper's future-work syscall) -------- *)
 
 let register_pd_service t ~name ~owner pd_entry =
-  if Hashtbl.mem t.pd_services name then
-    raise (Os_error ("pd service exists: " ^ name));
-  Hashtbl.replace t.pd_services name { pd_owner = owner; pd_entry }
+  ok_exn ("pd service " ^ name) (Ipc.register_pd_service t.ipc ~name ~owner pd_entry)
+
+let pd_call_r t proc ~service arg =
+  ignore proc;
+  Ipc.pd_call t.ipc t ~service arg
 
 let pd_call t proc ~service arg =
-  match Hashtbl.find_opt t.pd_services service with
-  | None -> raise (Os_error ("no such pd service: " ^ service))
-  | Some { pd_owner; pd_entry } ->
-    (* One trap, two domain switches (in and out), no copying: the
-       handler runs against the server's address space while the caller
-       is suspended. *)
-    Stats.global.syscalls <- Stats.global.syscalls + 1;
-    Stats.global.context_switches <- Stats.global.context_switches + 2;
-    ignore proc;
-    pd_entry t pd_owner arg
+  ok_exn ("pd_call " ^ service) (pd_call_r t proc ~service arg)
 
 (* --- signals ----------------------------------------------------------- *)
 
@@ -136,50 +128,30 @@ let register_syscall t num f =
 
 let register_binfmt t ~name loader = t.binfmts <- t.binfmts @ [ (name, loader) ]
 
-let block_syscall cpu cond =
+let block_syscall ?(why = "syscall retry") cpu cond =
   cpu.Cpu.pc <- cpu.Cpu.pc - 4;
-  raise (Isa_blocked cond)
+  raise (Isa_blocked { cond; why })
 
 (* --- process table ------------------------------------------------------ *)
 
-let find_proc t pid = Hashtbl.find_opt t.proc_table pid
+let find_proc t pid = Sched.find t.sched pid
 
-let processes t =
-  List.sort
-    (fun a b -> compare a.Proc.pid b.Proc.pid)
-    (Hashtbl.fold (fun _ p acc -> p :: acc) t.proc_table [])
+let processes t = Sched.processes t.sched
 
-let set_daemon t proc = Hashtbl.replace t.daemons proc.Proc.pid ()
-
-let close_fds t pid =
-  let doomed =
-    Hashtbl.fold
-      (fun (p, fd) _ acc -> if p = pid then (p, fd) :: acc else acc)
-      t.fd_entries []
-  in
-  List.iter (Hashtbl.remove t.fd_entries) doomed
-
-let release_locks t pid =
-  let held = Hashtbl.fold (fun k holder acc -> if holder = pid then k :: acc else acc) t.locks [] in
-  List.iter (Hashtbl.remove t.locks) held
+let set_daemon t proc = Sched.set_daemon t.sched proc
 
 let exit_proc t proc code =
   proc.Proc.state <- Proc.Zombie code;
-  close_fds t proc.Proc.pid;
-  release_locks t proc.Proc.pid
+  Vfs.close_all t.vfs ~pid:proc.Proc.pid;
+  Vfs.release_locks t.vfs ~pid:proc.Proc.pid
 
 let kill t proc ~reason =
   Buffer.add_string t.console_buf
     (Printf.sprintf "[kernel] pid %d (%s) killed: %s\n" proc.Proc.pid proc.Proc.comm reason);
   exit_proc t proc (-1)
 
-let fresh_pid t =
-  let pid = t.next_pid in
-  t.next_pid <- pid + 1;
-  pid
-
 let spawn_native t ?(name = "native") ?(env = []) ?(cwd = Path.root) body =
-  let pid = fresh_pid t in
+  let pid = Sched.fresh_pid t.sched in
   let proc =
     {
       Proc.pid;
@@ -196,7 +168,7 @@ let spawn_native t ?(name = "native") ?(env = []) ?(cwd = Path.root) body =
   (match proc.Proc.body with
   | Proc.Native n -> n.Proc.nstate <- Proc.Not_started (fun () -> body t proc)
   | Proc.Isa _ -> assert false);
-  Hashtbl.replace t.proc_table pid proc;
+  Sched.add t.sched proc;
   proc
 
 (* --- memory helpers ----------------------------------------------------- *)
@@ -206,11 +178,7 @@ let fault_of_exn = function
     Some { f_addr = addr; f_access = access; f_reason = reason }
   | _ -> None
 
-let pp_fault f =
-  Printf.sprintf "%s fault at 0x%08x (%s)"
-    (Format.asprintf "%a" Prot.pp_access f.f_access)
-    f.f_addr
-    (match f.f_reason with As.Unmapped -> "unmapped" | As.Protection -> "protection")
+let pp_fault f = Format.asprintf "%a" Trap.pp_fault f
 
 (* Checked access for native process code: retries through SIGSEGV
    delivery, blocking on Retry_when conditions. *)
@@ -222,7 +190,7 @@ let rec native_access : 'a. t -> Proc.t -> (unit -> 'a) -> 'a =
     match deliver_segv t proc fault with
     | Resolved -> native_access t proc f
     | Retry_when cond ->
-      Proc.wait_until cond;
+      Proc.wait_until ~why:(pp_fault fault) cond;
       native_access t proc f
     | Unhandled ->
       raise (Proc.Killed { pid = proc.Proc.pid; reason = pp_fault fault }))
@@ -271,87 +239,101 @@ let isa_access t proc f =
 
 (* --- the new kernel calls ------------------------------------------------ *)
 
-let sys_path_to_addr t proc path =
+let sys_path_to_addr_r t proc path =
   Stats.global.syscalls <- Stats.global.syscalls + 1;
-  Fs.addr_of_path t.fs ~cwd:proc.Proc.cwd path
+  fs_result (fun () -> Fs.addr_of_path t.fs ~cwd:proc.Proc.cwd path)
 
-let sys_addr_to_path t _proc addr =
+let sys_path_to_addr t proc path =
+  ok_exn ("path_to_addr " ^ path) (sys_path_to_addr_r t proc path)
+
+let sys_addr_to_path_r t _proc addr =
   Stats.global.syscalls <- Stats.global.syscalls + 1;
-  Fs.path_of_addr t.fs addr
+  fs_result (fun () -> Fs.path_of_addr t.fs addr)
+
+let sys_addr_to_path t proc addr =
+  ok_exn (Printf.sprintf "addr_to_path 0x%08x" addr) (sys_addr_to_path_r t proc addr)
+
+let map_shared_file_r t proc ~path ~prot =
+  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  fs_result (fun () ->
+      let base = Fs.addr_of_path t.fs ~cwd:proc.Proc.cwd path in
+      let canonical = Fs.path_of_addr t.fs base in
+      match As.mapping_at proc.Proc.space base with
+      | Some _ -> base
+      | None ->
+        let seg = Fs.segment_of t.fs canonical in
+        As.map proc.Proc.space ~base ~len:Layout.shared_slot_size ~seg ~prot
+          ~share:As.Public ~label:canonical ();
+        base)
 
 let map_shared_file t proc ~path ~prot =
-  Stats.global.syscalls <- Stats.global.syscalls + 1;
-  let base = Fs.addr_of_path t.fs ~cwd:proc.Proc.cwd path in
-  let canonical = Fs.path_of_addr t.fs base in
-  match As.mapping_at proc.Proc.space base with
-  | Some _ -> base
-  | None ->
-    let seg = Fs.segment_of t.fs canonical in
-    As.map proc.Proc.space ~base ~len:Layout.shared_slot_size ~seg ~prot
-      ~share:As.Public ~label:canonical ();
-    base
+  ok_exn ("map_shared_file " ^ path) (map_shared_file_r t proc ~path ~prot)
 
 (* --- file descriptors ----------------------------------------------------- *)
 
-let next_fd t pid =
-  let n = Option.value ~default:3 (Hashtbl.find_opt t.next_fds pid) in
-  Hashtbl.replace t.next_fds pid (n + 1);
-  n
-
-let sys_open t proc ?(create = false) ?(trunc = false) path =
+let sys_open_r t proc ?(create = false) ?(trunc = false) path =
   Stats.global.syscalls <- Stats.global.syscalls + 1;
   Stats.global.files_opened <- Stats.global.files_opened + 1;
-  let cwd = proc.Proc.cwd in
-  if create && not (Fs.exists t.fs ~cwd path) then Fs.create_file t.fs ~cwd path;
-  let seg = Fs.segment_of t.fs ~cwd path in
-  if trunc then Segment.resize seg 0;
-  let fd = next_fd t proc.Proc.pid in
-  Hashtbl.replace t.fd_entries (proc.Proc.pid, fd) { fe_seg = seg; fe_pos = 0 };
-  fd
+  match
+    fs_result (fun () ->
+        let cwd = proc.Proc.cwd in
+        if create && not (Fs.exists t.fs ~cwd path) then Fs.create_file t.fs ~cwd path;
+        let seg = Fs.segment_of t.fs ~cwd path in
+        if trunc then Segment.resize seg 0;
+        seg)
+  with
+  | Ok seg -> Vfs.alloc t.vfs ~pid:proc.Proc.pid seg
+  | Error e -> Error e
+
+let sys_open t proc ?create ?trunc path =
+  ok_exn ("open " ^ path) (sys_open_r t proc ?create ?trunc path)
+
+let sys_open_by_addr_r t proc addr =
+  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  Stats.global.files_opened <- Stats.global.files_opened + 1;
+  match
+    fs_result (fun () ->
+        let path = Fs.path_of_addr t.fs addr in
+        Fs.segment_of t.fs path)
+  with
+  | Ok seg -> Vfs.alloc t.vfs ~pid:proc.Proc.pid seg
+  | Error e -> Error e
 
 let sys_open_by_addr t proc addr =
-  Stats.global.syscalls <- Stats.global.syscalls + 1;
-  Stats.global.files_opened <- Stats.global.files_opened + 1;
-  let path = Fs.path_of_addr t.fs addr in
-  let seg = Fs.segment_of t.fs path in
-  let fd = next_fd t proc.Proc.pid in
-  Hashtbl.replace t.fd_entries (proc.Proc.pid, fd) { fe_seg = seg; fe_pos = 0 };
-  fd
+  ok_exn (Printf.sprintf "open 0x%08x" addr) (sys_open_by_addr_r t proc addr)
 
-let fd_entry t proc fd =
-  match Hashtbl.find_opt t.fd_entries (proc.Proc.pid, fd) with
-  | Some e -> e
-  | None -> raise (Os_error (Printf.sprintf "bad file descriptor %d" fd))
-
-let sys_read t proc fd len =
+let sys_read_r t proc fd len =
   Stats.global.syscalls <- Stats.global.syscalls + 1;
-  let e = fd_entry t proc fd in
-  let avail = max 0 (Segment.size e.fe_seg - e.fe_pos) in
-  let n = min len avail in
-  let out = Segment.blit_out e.fe_seg ~src_off:e.fe_pos ~len:n in
-  e.fe_pos <- e.fe_pos + n;
-  Stats.global.bytes_copied <- Stats.global.bytes_copied + n;
-  out
+  match Vfs.read t.vfs ~pid:proc.Proc.pid fd len with
+  | Ok b ->
+    Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
+    Ok b
+  | Error e -> Error e
 
-let sys_write t proc fd b =
+let sys_read t proc fd len = ok_exn (Printf.sprintf "read fd %d" fd) (sys_read_r t proc fd len)
+
+let sys_write_r t proc fd b =
   Stats.global.syscalls <- Stats.global.syscalls + 1;
-  let e = fd_entry t proc fd in
-  Segment.blit_in e.fe_seg ~dst_off:e.fe_pos b;
-  e.fe_pos <- e.fe_pos + Bytes.length b;
-  Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
-  Bytes.length b
+  match Vfs.write t.vfs ~pid:proc.Proc.pid fd b with
+  | Ok n ->
+    Stats.global.bytes_copied <- Stats.global.bytes_copied + n;
+    Ok n
+  | Error e -> Error e
+
+let sys_write t proc fd b = ok_exn (Printf.sprintf "write fd %d" fd) (sys_write_r t proc fd b)
+
+let sys_lseek_r t proc fd pos =
+  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  Vfs.lseek t.vfs ~pid:proc.Proc.pid fd pos
 
 let sys_lseek t proc fd pos =
-  Stats.global.syscalls <- Stats.global.syscalls + 1;
-  let e = fd_entry t proc fd in
-  if pos < 0 then raise (Os_error "lseek: negative offset");
-  e.fe_pos <- pos
+  ok_exn (Printf.sprintf "lseek fd %d" fd) (sys_lseek_r t proc fd pos)
 
-let sys_close t proc fd =
+let sys_close_r t proc fd =
   Stats.global.syscalls <- Stats.global.syscalls + 1;
-  if not (Hashtbl.mem t.fd_entries (proc.Proc.pid, fd)) then
-    raise (Os_error (Printf.sprintf "bad file descriptor %d" fd));
-  Hashtbl.remove t.fd_entries (proc.Proc.pid, fd)
+  Vfs.close t.vfs ~pid:proc.Proc.pid fd
+
+let sys_close t proc fd = ok_exn (Printf.sprintf "close fd %d" fd) (sys_close_r t proc fd)
 
 (* --- file locks ------------------------------------------------------------ *)
 
@@ -359,69 +341,38 @@ let lock_key proc path = Path.to_string (Path.of_string ~cwd:proc.Proc.cwd path)
 
 let try_flock t proc path =
   Stats.global.syscalls <- Stats.global.syscalls + 1;
-  let key = lock_key proc path in
-  match Hashtbl.find_opt t.locks key with
-  | Some holder when holder <> proc.Proc.pid -> false
-  | Some _ -> true (* re-entrant *)
-  | None ->
-    Hashtbl.replace t.locks key proc.Proc.pid;
-    true
+  Vfs.try_lock t.vfs ~key:(lock_key proc path) ~pid:proc.Proc.pid
 
 let flock t proc path =
   let key = lock_key proc path in
-  Proc.wait_until (fun () -> not (Hashtbl.mem t.locks key));
+  Proc.wait_until ~why:("flock " ^ key) (fun () -> not (Vfs.locked t.vfs ~key));
   ignore (try_flock t proc path)
 
 let funlock t proc path =
   Stats.global.syscalls <- Stats.global.syscalls + 1;
-  let key = lock_key proc path in
-  match Hashtbl.find_opt t.locks key with
-  | Some holder when holder = proc.Proc.pid -> Hashtbl.remove t.locks key
-  | Some _ -> raise (Os_error "funlock: not the lock holder")
-  | None -> ()
+  match Vfs.unlock t.vfs ~key:(lock_key proc path) ~pid:proc.Proc.pid with
+  | Ok () -> ()
+  | Error _ -> raise (Os_error "funlock: not the lock holder")
 
-let flock_holder t path = Hashtbl.find_opt t.locks (Path.to_string (Path.of_string ~cwd:Path.root path))
+let flock_holder t path =
+  Vfs.lock_holder t.vfs ~key:(Path.to_string (Path.of_string ~cwd:Path.root path))
 
 (* --- message queues ---------------------------------------------------------- *)
 
 let msgq_create t name ~capacity =
-  if Hashtbl.mem t.msgqs name then raise (Os_error ("msgq exists: " ^ name));
-  Hashtbl.replace t.msgqs name { mq_queue = Queue.create (); mq_capacity = capacity }
+  match Ipc.msgq_create t.ipc name ~capacity with
+  | Ok () -> ()
+  | Error _ -> raise (Os_error ("msgq exists: " ^ name))
 
-let msgq_exists t name = Hashtbl.mem t.msgqs name
+let msgq_exists t name = Ipc.msgq_exists t.ipc name
 
-let get_msgq t name =
-  match Hashtbl.find_opt t.msgqs name with
-  | Some q -> q
-  | None -> raise (Os_error ("no such msgq: " ^ name))
+let msgq_length t name = ok_exn ("msgq " ^ name) (Ipc.msgq_length t.ipc name)
 
-let msgq_length t name = Queue.length (get_msgq t name).mq_queue
+let msg_send t _proc name b = ok_exn ("msgq " ^ name) (Ipc.msg_send t.ipc name b)
 
-let msg_send t _proc name b =
-  let q = get_msgq t name in
-  Proc.wait_until (fun () -> Queue.length q.mq_queue < q.mq_capacity);
-  Stats.global.syscalls <- Stats.global.syscalls + 1;
-  Stats.global.messages_sent <- Stats.global.messages_sent + 1;
-  Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
-  Queue.add (Bytes.copy b) q.mq_queue
+let msg_recv t _proc name = ok_exn ("msgq " ^ name) (Ipc.msg_recv t.ipc name)
 
-let msg_recv t _proc name =
-  let q = get_msgq t name in
-  Proc.wait_until (fun () -> not (Queue.is_empty q.mq_queue));
-  Stats.global.syscalls <- Stats.global.syscalls + 1;
-  let b = Queue.take q.mq_queue in
-  Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
-  b
-
-let msg_try_recv t _proc name =
-  Stats.global.syscalls <- Stats.global.syscalls + 1;
-  let q = get_msgq t name in
-  if Queue.is_empty q.mq_queue then None
-  else begin
-    let b = Queue.take q.mq_queue in
-    Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
-    Some b
-  end
+let msg_try_recv t _proc name = ok_exn ("msgq " ^ name) (Ipc.msg_try_recv t.ipc name)
 
 (* --- exec / fork -------------------------------------------------------------- *)
 
@@ -439,9 +390,14 @@ let exec t proc path =
   Stats.global.syscalls <- Stats.global.syscalls + 1;
   (* Signal dispositions are reset across exec, as in Unix. *)
   Hashtbl.remove t.segv_handlers proc.Proc.pid;
-  let image = Fs.read_file t.fs ~cwd:proc.Proc.cwd path in
+  let image =
+    ok_exn ("exec " ^ path)
+      (fs_result (fun () -> Fs.read_file t.fs ~cwd:proc.Proc.cwd path))
+  in
   let rec try_loaders = function
-    | [] -> raise (Os_error (Printf.sprintf "exec %s: unrecognised format" path))
+    | [] ->
+      raise
+        (os_error (Printf.sprintf "exec %s: unrecognised format" path) Errno.ENOEXEC)
     | (_, loader) :: rest -> (
       proc.Proc.space <- As.create ();
       match loader t proc image ~path with
@@ -458,7 +414,7 @@ let exec t proc path =
 
 let spawn_blank t ?(name = "blank") ?(env = []) ?(cwd = Path.root) () =
   let proc = spawn_native t ~name ~env ~cwd (fun _ _ -> 0) in
-  proc.Proc.state <- Proc.Blocked (fun () -> false);
+  proc.Proc.state <- Proc.Blocked { cond = (fun () -> false); why = "a body" };
   proc
 
 let set_isa_entry t proc ~entry =
@@ -479,7 +435,7 @@ let fork_isa t proc =
   | Proc.Native _ -> raise (Os_error "fork: only ISA processes can fork")
   | Proc.Isa cpu ->
     Stats.global.syscalls <- Stats.global.syscalls + 1;
-    let pid = fresh_pid t in
+    let pid = Sched.fresh_pid t.sched in
     let child_cpu = Cpu.fork cpu in
     let child =
       {
@@ -498,7 +454,7 @@ let fork_isa t proc =
     (match Hashtbl.find_opt t.segv_handlers proc.Proc.pid with
     | Some chain -> Hashtbl.replace t.segv_handlers pid chain
     | None -> ());
-    Hashtbl.replace t.proc_table pid child;
+    Sched.add t.sched child;
     List.iter (fun hook -> hook ~parent:proc ~child) t.fork_hooks;
     child
 
@@ -511,16 +467,16 @@ let reap t proc =
   | Some z -> (
     match z.Proc.state with
     | Proc.Zombie code ->
-      Hashtbl.remove t.proc_table z.Proc.pid;
+      Sched.remove t.sched z.Proc.pid;
       Hashtbl.remove t.segv_handlers z.Proc.pid;
-      Hashtbl.remove t.daemons z.Proc.pid;
       Some (z.Proc.pid, code)
     | Proc.Runnable | Proc.Blocked _ -> assert false)
   | None -> None
 
 let waitpid t proc =
-  if children t proc.Proc.pid = [] then raise (Os_error "waitpid: no children");
-  Proc.wait_until (fun () -> List.exists Proc.is_zombie (children t proc.Proc.pid));
+  if children t proc.Proc.pid = [] then raise (os_error "waitpid" Errno.ECHILD);
+  Proc.wait_until ~why:"waitpid: a child to exit" (fun () ->
+      List.exists Proc.is_zombie (children t proc.Proc.pid));
   Stats.global.syscalls <- Stats.global.syscalls + 1;
   Option.get (reap t proc)
 
@@ -530,17 +486,29 @@ let sbrk t proc bytes =
   let old = proc.Proc.brk in
   if bytes > 0 then begin
     let len = Layout.page_up bytes in
-    if proc.Proc.brk + len > Layout.heap_limit then raise (Os_error "sbrk: out of heap");
-    let seg =
-      Segment.create ~name:(Printf.sprintf "heap:%d:0x%x" proc.Proc.pid old) ~max_size:len ()
-    in
-    Segment.resize seg len;
-    As.map proc.Proc.space ~base:old ~len ~seg ~prot:Prot.Read_write ~share:As.Private
-      ~label:"heap" ();
-    proc.Proc.brk <- old + len
-  end;
-  ignore t;
-  old
+    if proc.Proc.brk + len > Layout.heap_limit then Error Errno.ENOMEM
+    else begin
+      let seg =
+        Segment.create ~name:(Printf.sprintf "heap:%d:0x%x" proc.Proc.pid old) ~max_size:len ()
+      in
+      Segment.resize seg len;
+      As.map proc.Proc.space ~base:old ~len ~seg ~prot:Prot.Read_write ~share:As.Private
+        ~label:"heap" ();
+      proc.Proc.brk <- old + len;
+      ignore t;
+      Ok old
+    end
+  end
+  else Ok old
+
+(* Failed syscalls answer with a negative errno in $v0 — the Linux
+   convention — so compiled programs observe and recover from ENOENT,
+   EBADF, ENOSPC, … instead of dying inside the kernel. *)
+let set_errno cpu e = Cpu.set_reg cpu Reg.v0 (Codec.mask32 (-Errno.code e))
+
+let set_result cpu = function
+  | Ok v -> Cpu.set_reg cpu Reg.v0 v
+  | Error e -> set_errno cpu e
 
 let dispatch t proc cpu =
   let v0 = Cpu.reg cpu Reg.v0 in
@@ -556,7 +524,7 @@ let dispatch t proc cpu =
     Cpu.set_reg cpu Reg.v0 child.Proc.pid
   end
   else if v0 = Sysno.wait then begin
-    if children t proc.Proc.pid = [] then Cpu.set_reg cpu Reg.v0 0xFFFF_FFFF
+    if children t proc.Proc.pid = [] then set_errno cpu Errno.ECHILD
     else
       match reap t proc with
       | Some (pid, code) ->
@@ -567,11 +535,14 @@ let dispatch t proc cpu =
         cpu.Cpu.pc <- cpu.Cpu.pc - 4;
         raise
           (Isa_blocked
-             (fun () -> List.exists Proc.is_zombie (children t proc.Proc.pid)))
+             {
+               cond = (fun () -> List.exists Proc.is_zombie (children t proc.Proc.pid));
+               why = "wait: a child to exit";
+             })
   end
   else if v0 = Sysno.getpid then Cpu.set_reg cpu Reg.v0 proc.Proc.pid
   else if v0 = Sysno.yield then raise Isa_yield
-  else if v0 = Sysno.sbrk then Cpu.set_reg cpu Reg.v0 (sbrk t proc a0)
+  else if v0 = Sysno.sbrk then set_result cpu (sbrk t proc a0)
   else if v0 = Sysno.print_int then
     Buffer.add_string t.console_buf (string_of_int (Codec.sext32 a0))
   else if v0 = Sysno.print_str then
@@ -579,13 +550,11 @@ let dispatch t proc cpu =
       (isa_access t proc (fun () -> As.read_cstring proc.Proc.space a0))
   else if v0 = Sysno.path_to_addr then begin
     let path = isa_access t proc (fun () -> As.read_cstring proc.Proc.space a0) in
-    match Fs.addr_of_path t.fs ~cwd:proc.Proc.cwd path with
-    | addr -> Cpu.set_reg cpu Reg.v0 addr
-    | exception Fs.Error _ -> Cpu.set_reg cpu Reg.v0 0
+    set_result cpu (sys_path_to_addr_r t proc path)
   end
   else if v0 = Sysno.addr_to_path then begin
-    match Fs.path_of_addr t.fs a0 with
-    | path ->
+    match sys_addr_to_path_r t proc a0 with
+    | Ok path ->
       let truncated = String.sub path 0 (min (String.length path) (max 0 (a2 - 1))) in
       isa_access t proc (fun () ->
           String.iteri
@@ -593,34 +562,102 @@ let dispatch t proc cpu =
             truncated;
           As.store_u8 proc.Proc.space (a1 + String.length truncated) 0);
       Cpu.set_reg cpu Reg.v0 (String.length truncated)
-    | exception Fs.Error _ -> Cpu.set_reg cpu Reg.v0 0xFFFF_FFFF
+    | Error e -> set_errno cpu e
   end
+  else if v0 = Sysno.open_ then begin
+    let path = isa_access t proc (fun () -> As.read_cstring proc.Proc.space a0) in
+    set_result cpu
+      (sys_open_r t proc
+         ~create:(a1 land Sysno.o_create <> 0)
+         ~trunc:(a1 land Sysno.o_trunc <> 0)
+         path)
+  end
+  else if v0 = Sysno.close then
+    set_result cpu (Result.map (fun () -> 0) (sys_close_r t proc a0))
+  else if v0 = Sysno.read then begin
+    match sys_read_r t proc a0 (Codec.sext32 a2) with
+    | Ok b ->
+      isa_access t proc (fun () ->
+          Bytes.iteri (fun i c -> As.store_u8 proc.Proc.space (a1 + i) (Char.code c)) b);
+      Cpu.set_reg cpu Reg.v0 (Bytes.length b)
+    | Error e -> set_errno cpu e
+  end
+  else if v0 = Sysno.write then begin
+    let len = Codec.sext32 a2 in
+    if len < 0 then set_errno cpu Errno.EINVAL
+    else begin
+      let b =
+        isa_access t proc (fun () ->
+            Bytes.init len (fun i -> Char.chr (As.load_u8 proc.Proc.space (a1 + i))))
+      in
+      set_result cpu (sys_write_r t proc a0 b)
+    end
+  end
+  else if v0 = Sysno.lseek then set_result cpu (sys_lseek_r t proc a0 (Codec.sext32 a1))
   else
     match Hashtbl.find_opt t.ext_syscalls v0 with
     | Some f -> f t proc cpu
-    | None -> raise (Isa_fatal (Printf.sprintf "bad syscall %d" v0))
+    | None ->
+      (* Unknown numbers are a recoverable error, not a kill: the one
+         deliberate hole programs can probe. *)
+      set_errno cpu Errno.ENOSYS
 
-(* --- scheduler --------------------------------------------------------------------- *)
+(* --- the trap pipeline ------------------------------------------------------------ *)
 
 let quantum = 4000
 
+(* Every exit from user mode arrives here as a Trap.t.  [`Stop] ends the
+   process's quantum (blocked, yielded, exited, or a fault that must be
+   retried from the top); [`Continue] resumes the interrupted burst. *)
+let handle_fault t proc fault =
+  match deliver_segv t proc fault with
+  | Resolved -> `Stop (* pc still points at the faulting instruction *)
+  | Retry_when cond ->
+    proc.Proc.state <- Proc.Blocked { cond; why = pp_fault fault };
+    `Stop
+  | Unhandled ->
+    kill t proc ~reason:(pp_fault fault);
+    `Stop
+
+let handle_trap t proc cpu = function
+  | Trap.Halt code ->
+    exit_proc t proc code;
+    `Stop
+  | Trap.Fault fault -> handle_fault t proc fault
+  | Trap.Syscall -> (
+    match dispatch t proc cpu with
+    | () -> `Continue
+    | exception Isa_exit code ->
+      exit_proc t proc code;
+      `Stop
+    | exception Isa_yield -> `Stop
+    | exception Isa_blocked { cond; why } ->
+      proc.Proc.state <- Proc.Blocked { cond; why };
+      `Stop
+    | exception Isa_fatal msg ->
+      kill t proc ~reason:msg;
+      `Stop
+    | exception Os_error msg ->
+      kill t proc ~reason:msg;
+      `Stop
+    | exception (As.Fault _ as e) ->
+      (* A registered syscall touched user memory raw; same treatment
+         as a fault trap from the interpreter. *)
+      handle_fault t proc (Option.get (fault_of_exn e)))
+
 let run_isa_quantum t proc cpu =
-  match Cpu.run ~fuel:quantum cpu proc.Proc.space ~syscall:(dispatch t proc) with
-  | Cpu.Halted code -> exit_proc t proc code
-  | Cpu.Running -> ()
-  | exception Isa_exit code -> exit_proc t proc code
-  | exception Isa_yield -> ()
-  | exception Isa_blocked cond -> proc.Proc.state <- Proc.Blocked cond
-  | exception Isa_fatal msg -> kill t proc ~reason:msg
-  | exception Cpu.Cpu_error { pc; msg } ->
+  let rec burst fuel =
+    if fuel > 0 then
+      match Cpu.run_trap ~fuel cpu proc.Proc.space with
+      | Cpu.Out_of_fuel, _ -> ()
+      | Cpu.Trapped trap, left -> (
+        match handle_trap t proc cpu trap with
+        | `Continue -> burst left
+        | `Stop -> ())
+  in
+  try burst quantum with
+  | Cpu.Cpu_error { pc; msg } ->
     kill t proc ~reason:(Printf.sprintf "cpu error at 0x%08x: %s" pc msg)
-  | exception Os_error msg -> kill t proc ~reason:msg
-  | exception (As.Fault _ as e) -> (
-    let fault = Option.get (fault_of_exn e) in
-    match deliver_segv t proc fault with
-    | Resolved -> () (* pc still points at the faulting instruction *)
-    | Retry_when cond -> proc.Proc.state <- Proc.Blocked cond
-    | Unhandled -> kill t proc ~reason:(pp_fault fault))
 
 let resume_native t proc n =
   let handler =
@@ -637,11 +674,11 @@ let resume_native t proc n =
               (fun (k : (a, Proc.outcome) Effect.Deep.continuation) ->
                 n.Proc.nstate <- Proc.Suspended k;
                 Proc.Paused)
-          | Proc.Wait_until cond ->
+          | Proc.Wait_until { cond; why } ->
             Some
               (fun (k : (a, Proc.outcome) Effect.Deep.continuation) ->
                 n.Proc.nstate <- Proc.Suspended k;
-                proc.Proc.state <- Proc.Blocked cond;
+                proc.Proc.state <- Proc.Blocked { cond; why };
                 Proc.Paused)
           | _ -> None);
     }
@@ -663,49 +700,14 @@ let resume_native t proc n =
   | Proc.Paused -> ()
 
 let run_one t proc =
-  t.tick_count <- t.tick_count + 1;
-  Stats.global.context_switches <- Stats.global.context_switches + 1;
   match proc.Proc.body with
   | Proc.Isa cpu -> run_isa_quantum t proc cpu
   | Proc.Native n -> resume_native t proc n
 
-let unblock_pass t =
-  List.iter
-    (fun p ->
-      match p.Proc.state with
-      | Proc.Blocked cond when cond () -> p.Proc.state <- Proc.Runnable
-      | Proc.Blocked _ | Proc.Runnable | Proc.Zombie _ -> ())
-    (processes t)
+let step t = Sched.step t.sched ~run_one:(run_one t)
 
-let blocked_nondaemons t =
-  List.filter
-    (fun p ->
-      (match p.Proc.state with Proc.Blocked _ -> true | Proc.Runnable | Proc.Zombie _ -> false)
-      && not (Hashtbl.mem t.daemons p.Proc.pid))
-    (processes t)
+let blocked_processes t = Sched.blocked_nondaemons t.sched
 
-let step t =
-  unblock_pass t;
-  let runnable = List.filter (fun p -> p.Proc.state = Proc.Runnable) (processes t) in
-  match runnable with
-  | [] -> if blocked_nondaemons t = [] then `Done else `Idle
-  | ps ->
-    List.iter (fun p -> if p.Proc.state = Proc.Runnable then run_one t p) ps;
-    `Progress
-
-let run ?(max_ticks = 2_000_000) t =
-  let deadline = t.tick_count + max_ticks in
-  let rec loop () =
-    if t.tick_count > deadline then raise (Os_error "Kernel.run: tick budget exhausted");
-    match step t with
-    | `Progress -> loop ()
-    | `Done -> ()
-    | `Idle ->
-      raise
-        (Deadlock
-           (String.concat ", "
-              (List.map
-                 (fun p -> Printf.sprintf "pid %d (%s)" p.Proc.pid p.Proc.comm)
-                 (blocked_nondaemons t))))
-  in
-  loop ()
+let run ?max_ticks t =
+  Sched.run ?max_ticks t.sched ~run_one:(run_one t) ~on_budget:(fun () ->
+      raise (Os_error "Kernel.run: tick budget exhausted"))

@@ -1,18 +1,33 @@
-(** The simulated Unix kernel.
+(** The simulated Unix kernel — a thin facade over the layered pieces.
 
     One [t] is one machine: a file system (with the shared partition), a
-    process table with a round-robin scheduler, signal (SIGSEGV)
-    delivery, file descriptors, file locks, System-V-style message
-    queues, and a console.  The kernel knows nothing about objects or
-    linking (§2: "Objects have no meaning to the kernel"); the linkers
-    live in a separate library and hook in through {!register_syscall},
-    {!register_binfmt} and {!install_segv_handler}. *)
+    process table with a round-robin scheduler ({!Sched}), signal
+    (SIGSEGV) delivery, file descriptors and file locks ({!Vfs}),
+    System-V-style message queues and protection-domain calls ({!Ipc}),
+    and a console.  The kernel knows nothing about objects or linking
+    (§2: "Objects have no meaning to the kernel"); the linkers live in a
+    separate library and hook in through {!register_syscall},
+    {!register_binfmt} and {!install_segv_handler}.
+
+    Errors: internally every fallible kernel call returns
+    [('a, Errno.t) result] (the [_r] variants below); the classic names
+    are compat wrappers that raise {!Os_error} with the errno folded
+    into the message.  ISA programs get the same errnos as negative
+    [$v0] values and are never killed by a failed syscall. *)
 
 type t
 
-exception Deadlock of string
+(** One stuck process in a deadlock report (re-export of
+    {!Sched.blocked}). *)
+type blocked = Sched.blocked = { b_pid : int; b_comm : string; b_why : string }
 
-(** Raised out of kernel calls on OS-level errors (bad fd, etc.). *)
+(** Non-daemon processes blocked with no runnable process to unblock
+    them; the payload lists each with its wait reason (see
+    {!Sched.deadlock_message} for rendering). *)
+exception Deadlock of blocked list
+
+(** Raised out of kernel calls on OS-level errors (bad fd, etc.); the
+    message names the {!Errno.t}. *)
 exception Os_error of string
 
 (** {1 Construction} *)
@@ -34,7 +49,9 @@ val console_clear : t -> unit
 
 (** {1 Faults and signals} *)
 
-type fault = {
+(** Re-export of {!Hemlock_isa.Trap.fault}: the kernel's fault record
+    {e is} the trap pipeline's. *)
+type fault = Hemlock_isa.Trap.fault = {
   f_addr : int;
   f_access : Hemlock_vm.Prot.access;
   f_reason : Hemlock_vm.Address_space.fault_reason;
@@ -64,11 +81,12 @@ val deliver_segv : t -> Proc.t -> fault -> segv_result
     {!Sysno.first_extension}). *)
 val register_syscall : t -> int -> (t -> Proc.t -> Hemlock_isa.Cpu.t -> unit) -> unit
 
-(** [block_syscall cpu cond] aborts the current ISA syscall so that it
-    retries once [cond] holds: rewinds the pc past the trap and raises
-    the scheduler's internal blocking exception.  For use by registered
-    extension syscalls (e.g. ldl waiting on a file lock). *)
-val block_syscall : Hemlock_isa.Cpu.t -> (unit -> bool) -> 'a
+(** [block_syscall ?why cpu cond] aborts the current ISA syscall so that
+    it retries once [cond] holds: rewinds the pc past the trap and
+    raises the scheduler's internal blocking exception.  [why] labels
+    the wait in deadlock reports.  For use by registered extension
+    syscalls (e.g. ldl waiting on a file lock). *)
+val block_syscall : ?why:string -> Hemlock_isa.Cpu.t -> (unit -> bool) -> 'a
 
 (** A binfmt loader: given the raw image and its path, set up the
     process's address space and return the entry point.  Loaders are
@@ -98,7 +116,9 @@ val set_daemon : t -> Proc.t -> unit
 
 (** [exec t proc path] replaces the process image: fresh address space,
     image loaded by a registered binfmt, stack mapped, ISA body
-    installed.  Environment and cwd survive, as in Unix. *)
+    installed.  Environment and cwd survive, as in Unix.
+    @raise Os_error ([ENOENT]/[ENOEXEC]) on a missing file or when no
+    loader accepts the image. *)
 val exec : t -> Proc.t -> string -> unit
 
 (** [spawn_blank t ~name ()] creates a process that stays blocked until
@@ -140,14 +160,15 @@ val processes : t -> Proc.t list
 val kill : t -> Proc.t -> reason:string -> unit
 
 (** Native blocking wait; returns (pid, exit code).
-    @raise Os_error if the process has no children. *)
+    @raise Os_error ([ECHILD]) if the process has no children. *)
 val waitpid : t -> Proc.t -> (int * int)
 
 (** {1 Scheduling} *)
 
 (** Run until every process has exited (daemons may remain blocked).
     @raise Deadlock when non-daemon processes are blocked with no
-    runnable process to unblock them.
+    runnable process to unblock them; the payload names each stuck
+    process and what it is waiting on.
     @param max_ticks safety valve against runaway programs. *)
 val run : ?max_ticks:int -> t -> unit
 
@@ -158,6 +179,10 @@ val run : ?max_ticks:int -> t -> unit
     [`Done] — only zombies and blocked daemons remain.  {!Cluster} uses
     this to interleave several machines. *)
 val step : t -> [ `Progress | `Idle | `Done ]
+
+(** Blocked non-daemon processes with their wait reasons — the would-be
+    {!Deadlock} payload.  {!Cluster} aggregates these across machines. *)
+val blocked_processes : t -> blocked list
 
 (** {1 Checked user-memory access for native code}
 
@@ -177,29 +202,57 @@ val write_cstring : t -> Proc.t -> int -> string -> unit
 (** Global address of a shared file. *)
 val sys_path_to_addr : t -> Proc.t -> string -> int
 
+val sys_path_to_addr_r : t -> Proc.t -> string -> (int, Errno.t) result
+
 (** Path of the shared file containing a public address. *)
 val sys_addr_to_path : t -> Proc.t -> int -> string
+
+val sys_addr_to_path_r : t -> Proc.t -> int -> (string, Errno.t) result
 
 (** Map a shared file into the process at its global address; returns
     the base.  Idempotent when already mapped. *)
 val map_shared_file : t -> Proc.t -> path:string -> prot:Hemlock_vm.Prot.t -> int
 
-(** {1 File descriptors} *)
+val map_shared_file_r :
+  t -> Proc.t -> path:string -> prot:Hemlock_vm.Prot.t -> (int, Errno.t) result
+
+(** {1 File descriptors}
+
+    Descriptor numbers follow Unix: allocation picks the lowest free
+    slot from {!Vfs.first_fd}, so close-then-open reuses the number, and
+    a table past {!Vfs.max_fds} descriptors answers [EMFILE]. *)
 
 type fd = int
 
 (** [sys_open t proc ?create ?trunc path] opens a file; [create] makes
-    it when missing, [trunc] resets its length (O_TRUNC). *)
+    it when missing, [trunc] resets its length (O_TRUNC).
+    @raise Os_error ([ENOENT], [EISDIR], [EMFILE], …) on failure. *)
 val sys_open : t -> Proc.t -> ?create:bool -> ?trunc:bool -> string -> fd
+
+val sys_open_r :
+  t -> Proc.t -> ?create:bool -> ?trunc:bool -> string -> (fd, Errno.t) result
 
 (** [sys_open_by_addr] is the overloaded open: open a shared file by any
     address inside it. *)
 val sys_open_by_addr : t -> Proc.t -> int -> fd
 
+val sys_open_by_addr_r : t -> Proc.t -> int -> (fd, Errno.t) result
+
 val sys_read : t -> Proc.t -> fd -> int -> Bytes.t
+val sys_read_r : t -> Proc.t -> fd -> int -> (Bytes.t, Errno.t) result
 val sys_write : t -> Proc.t -> fd -> Bytes.t -> int
-val sys_lseek : t -> Proc.t -> fd -> int -> unit
+val sys_write_r : t -> Proc.t -> fd -> Bytes.t -> (int, Errno.t) result
+
+(** Absolute seek.  Returns the new offset (Unix semantics); negative
+    positions are [EINVAL]. *)
+val sys_lseek : t -> Proc.t -> fd -> int -> int
+
+val sys_lseek_r : t -> Proc.t -> fd -> int -> (int, Errno.t) result
+
+(** [EBADF] on double close. *)
 val sys_close : t -> Proc.t -> fd -> unit
+
+val sys_close_r : t -> Proc.t -> fd -> (unit, Errno.t) result
 
 (** {1 File locks} (ldl uses these to serialise shared-segment creation) *)
 
@@ -242,8 +295,10 @@ val register_pd_service : t -> name:string -> owner:Proc.t -> (t -> Proc.t -> in
 (** [pd_call t proc ~service arg] — synchronous cross-domain call.  The
     handler runs in the {e server's} protection domain (its address
     space), with the caller suspended, and the result word comes back.
-    @raise Os_error for unknown services. *)
+    @raise Os_error ([ENOENT]) for unknown services. *)
 val pd_call : t -> Proc.t -> service:string -> int -> int
+
+val pd_call_r : t -> Proc.t -> service:string -> int -> (int, Errno.t) result
 
 (** {1 Misc} *)
 

@@ -1,4 +1,7 @@
-type state = Runnable | Blocked of (unit -> bool) | Zombie of int
+type state =
+  | Runnable
+  | Blocked of { cond : unit -> bool; why : string }
+  | Zombie of int
 
 type outcome = Finished of int | Crashed of exn | Paused
 
@@ -24,14 +27,15 @@ type t = {
 }
 
 type _ Effect.t += Yield : unit Effect.t
-type _ Effect.t += Wait_until : (unit -> bool) -> unit Effect.t
+type _ Effect.t += Wait_until : { cond : unit -> bool; why : string } -> unit Effect.t
 
 exception Exit_proc of int
 exception Killed of { pid : int; reason : string }
 
 let yield () = Effect.perform Yield
 
-let wait_until cond = if not (cond ()) then Effect.perform (Wait_until cond)
+let wait_until ?(why = "wait_until") cond =
+  if not (cond ()) then Effect.perform (Wait_until { cond; why })
 
 let is_zombie t = match t.state with Zombie _ -> true | Runnable | Blocked _ -> false
 

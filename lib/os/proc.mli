@@ -13,7 +13,9 @@
 
 type state =
   | Runnable
-  | Blocked of (unit -> bool)  (** runnable again when the condition holds *)
+  | Blocked of { cond : unit -> bool; why : string }
+      (** runnable again when [cond] holds; [why] is the human-readable
+          wait reason surfaced by deadlock diagnostics *)
   | Zombie of int  (** exited with code, not yet reaped *)
 
 type outcome = Finished of int | Crashed of exn | Paused
@@ -42,8 +44,9 @@ type t = {
 (** Performed by native process code to let others run. *)
 type _ Effect.t += Yield : unit Effect.t
 
-(** Performed to block until a condition becomes true. *)
-type _ Effect.t += Wait_until : (unit -> bool) -> unit Effect.t
+(** Performed to block until a condition becomes true; [why] labels the
+    wait for deadlock reports. *)
+type _ Effect.t += Wait_until : { cond : unit -> bool; why : string } -> unit Effect.t
 
 (** Raised (or performed) by native bodies to terminate. *)
 exception Exit_proc of int
@@ -52,7 +55,11 @@ exception Exit_proc of int
 exception Killed of { pid : int; reason : string }
 
 val yield : unit -> unit
-val wait_until : (unit -> bool) -> unit
+
+(** [wait_until ?why cond] blocks the calling native process until
+    [cond] holds.  [why] (default ["wait_until"]) appears in
+    {!Sched.Deadlock} diagnostics if the wait never ends. *)
+val wait_until : ?why:string -> (unit -> bool) -> unit
 
 val is_zombie : t -> bool
 

@@ -18,10 +18,40 @@ val print_int : int  (** a0 = value, printed in decimal to the console *)
 
 val print_str : int  (** a0 = address of NUL-terminated string *)
 
-val path_to_addr : int  (** a0 = path cstring; v0 = addr or 0 *)
+val path_to_addr : int
+(** a0 = path cstring; v0 = addr, or -errno (not shared → -ENXIO) *)
 
 val addr_to_path : int
-(** a0 = addr, a1 = buffer, a2 = buflen; writes path, v0 = length or -1 *)
+(** a0 = addr, a1 = buffer, a2 = buflen; writes path, v0 = length or
+    -errno *)
+
+(** {2 File descriptors}
+
+    All five return a negative errno in [$v0] on failure (and never
+    kill the process), so compiled programs can test and recover. *)
+
+val open_ : int
+(** a0 = path cstring, a1 = flags ({!o_create} / {!o_trunc});
+    v0 = fd or -errno (missing → -ENOENT, table full → -EMFILE) *)
+
+val close : int  (** a0 = fd; v0 = 0 or -EBADF *)
+
+val read : int
+(** a0 = fd, a1 = buffer, a2 = len; v0 = bytes read (short at EOF) or
+    -errno *)
+
+val write : int
+(** a0 = fd, a1 = buffer, a2 = len; v0 = bytes written or -errno
+    (full slot → -ENOSPC) *)
+
+val lseek : int
+(** a0 = fd, a1 = absolute offset; v0 = new offset or -errno
+    (negative offset → -EINVAL) *)
+
+(** [open] flag bits for a1. *)
+val o_create : int
+
+val o_trunc : int
 
 (** Kernel lock-word syscalls (registered by the Hemlock runtime's
     [Sync.install]; numbers fixed here so the compiler can emit them). *)

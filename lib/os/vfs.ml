@@ -1,0 +1,112 @@
+module Segment = Hemlock_vm.Segment
+
+type fd = int
+
+type entry = { fe_seg : Segment.t; mutable fe_pos : int }
+
+type t = {
+  fd_entries : (int * fd, entry) Hashtbl.t;
+  locks : (string, int) Hashtbl.t;
+}
+
+let max_fds = 64
+let first_fd = 3
+
+let create () = { fd_entries = Hashtbl.create 32; locks = Hashtbl.create 8 }
+
+(* --- file descriptors -------------------------------------------------- *)
+
+let open_fds t ~pid =
+  List.sort compare
+    (Hashtbl.fold
+       (fun (p, fd) _ acc -> if p = pid then fd :: acc else acc)
+       t.fd_entries [])
+
+(* Unix allocation: the lowest descriptor not currently open, so a
+   close-then-open pair reuses the number. *)
+let alloc t ~pid seg =
+  let rec scan fd =
+    if fd >= first_fd + max_fds then Error Errno.EMFILE
+    else if Hashtbl.mem t.fd_entries (pid, fd) then scan (fd + 1)
+    else begin
+      Hashtbl.replace t.fd_entries (pid, fd) { fe_seg = seg; fe_pos = 0 };
+      Ok fd
+    end
+  in
+  scan first_fd
+
+let entry t ~pid fd =
+  match Hashtbl.find_opt t.fd_entries (pid, fd) with
+  | Some e -> Ok e
+  | None -> Error Errno.EBADF
+
+let close t ~pid fd =
+  if Hashtbl.mem t.fd_entries (pid, fd) then begin
+    Hashtbl.remove t.fd_entries (pid, fd);
+    Ok ()
+  end
+  else Error Errno.EBADF
+
+let close_all t ~pid =
+  List.iter (fun fd -> Hashtbl.remove t.fd_entries (pid, fd)) (open_fds t ~pid)
+
+let read t ~pid fd len =
+  if len < 0 then Error Errno.EINVAL
+  else
+    match entry t ~pid fd with
+    | Error err -> Error err
+    | Ok e ->
+      let avail = max 0 (Segment.size e.fe_seg - e.fe_pos) in
+      let n = min len avail in
+      let out = Segment.blit_out e.fe_seg ~src_off:e.fe_pos ~len:n in
+      e.fe_pos <- e.fe_pos + n;
+      Ok out
+
+let write t ~pid fd b =
+  match entry t ~pid fd with
+  | Error err -> Error err
+  | Ok e -> (
+    match Segment.blit_in e.fe_seg ~dst_off:e.fe_pos b with
+    | () ->
+      e.fe_pos <- e.fe_pos + Bytes.length b;
+      Ok (Bytes.length b)
+    | exception Invalid_argument _ ->
+      (* Growth past the segment's max_size: the backing slot is full. *)
+      Error Errno.ENOSPC)
+
+let lseek t ~pid fd pos =
+  if pos < 0 then Error Errno.EINVAL
+  else
+    match entry t ~pid fd with
+    | Error err -> Error err
+    | Ok e ->
+      e.fe_pos <- pos;
+      Ok pos
+
+(* --- file locks -------------------------------------------------------- *)
+
+let try_lock t ~key ~pid =
+  match Hashtbl.find_opt t.locks key with
+  | Some holder when holder <> pid -> false
+  | Some _ -> true (* re-entrant *)
+  | None ->
+    Hashtbl.replace t.locks key pid;
+    true
+
+let locked t ~key = Hashtbl.mem t.locks key
+
+let lock_holder t ~key = Hashtbl.find_opt t.locks key
+
+let unlock t ~key ~pid =
+  match Hashtbl.find_opt t.locks key with
+  | Some holder when holder = pid ->
+    Hashtbl.remove t.locks key;
+    Ok ()
+  | Some _ -> Error Errno.EPERM
+  | None -> Ok ()
+
+let release_locks t ~pid =
+  let held =
+    Hashtbl.fold (fun k holder acc -> if holder = pid then k :: acc else acc) t.locks []
+  in
+  List.iter (Hashtbl.remove t.locks) held

@@ -1,0 +1,71 @@
+(** The kernel's file layer: per-process descriptor tables, open-file
+    descriptions, and advisory file locks.
+
+    Pure bookkeeping over segments — no scheduling, no address spaces,
+    no console.  Every operation that can fail returns
+    [('a, Errno.t) result]; {!Kernel} decides whether an error becomes
+    an [Os_error] exception (native callers) or a negative [$v0]
+    (ISA programs). *)
+
+type fd = int
+
+(** An open-file description: the backing segment and the file offset. *)
+type entry = { fe_seg : Hemlock_vm.Segment.t; mutable fe_pos : int }
+
+type t
+
+val create : unit -> t
+
+(** Per-process descriptor cap; allocation past it is [EMFILE]. *)
+val max_fds : int
+
+(** Descriptors start here (0–2 are reserved, as in Unix). *)
+val first_fd : int
+
+(** {1 Descriptors} *)
+
+(** [alloc t ~pid seg] binds the lowest free descriptor (Unix
+    semantics: close-then-open reuses the number).
+    [EMFILE] at the table cap. *)
+val alloc : t -> pid:int -> Hemlock_vm.Segment.t -> (fd, Errno.t) result
+
+(** [EBADF] when the descriptor is not open. *)
+val entry : t -> pid:int -> fd -> (entry, Errno.t) result
+
+val close : t -> pid:int -> fd -> (unit, Errno.t) result
+
+(** Drop every descriptor of a process (process exit). *)
+val close_all : t -> pid:int -> unit
+
+(** The process's open descriptors, ascending. *)
+val open_fds : t -> pid:int -> fd list
+
+(** [read t ~pid fd len] — up to [len] bytes from the offset; short at
+    end of file.  [EBADF], or [EINVAL] for negative [len]. *)
+val read : t -> pid:int -> fd -> int -> (Bytes.t, Errno.t) result
+
+(** [write t ~pid fd b] appends at the offset, growing the file;
+    [ENOSPC] when growth exceeds the backing slot. *)
+val write : t -> pid:int -> fd -> Bytes.t -> (int, Errno.t) result
+
+(** Absolute seek; returns the new offset.  [EINVAL] for negative
+    positions. *)
+val lseek : t -> pid:int -> fd -> int -> (int, Errno.t) result
+
+(** {1 File locks}
+
+    Advisory whole-file locks keyed by canonical path, re-entrant for
+    the holder.  Blocking waits live in {!Kernel} (they need the
+    scheduler); this layer only records ownership. *)
+
+val try_lock : t -> key:string -> pid:int -> bool
+val locked : t -> key:string -> bool
+val lock_holder : t -> key:string -> int option
+
+(** [EPERM] when held by another process; unlocking an unheld lock is a
+    no-op. *)
+val unlock : t -> key:string -> pid:int -> (unit, Errno.t) result
+
+(** Drop every lock a process holds (process exit — crash recovery for
+    ldl's creation locks). *)
+val release_locks : t -> pid:int -> unit

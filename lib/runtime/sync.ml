@@ -50,7 +50,8 @@ let syscall_load k proc cpu addr =
           Kernel.deliver_segv k proc { Kernel.f_addr = a; f_access = access; f_reason = reason }
         with
         | Kernel.Resolved -> go (fuel - 1)
-        | Kernel.Retry_when cond -> Kernel.block_syscall cpu cond
+        | Kernel.Retry_when cond ->
+          Kernel.block_syscall ~why:(Printf.sprintf "mapping 0x%08x" addr) cpu cond
         | Kernel.Unhandled ->
           raise (Kernel.Os_error (Printf.sprintf "lock: fault at 0x%08x" a)))
   in
@@ -69,7 +70,10 @@ let install k =
       | 0 ->
         As.store_u32 proc.Proc.space addr proc.Proc.pid;
         Cpu.set_reg cpu Reg.v0 0
-      | _ -> Kernel.block_syscall cpu (free_now proc addr));
+      | _ ->
+        Kernel.block_syscall
+          ~why:(Printf.sprintf "lock word 0x%08x" addr)
+          cpu (free_now proc addr));
   Kernel.register_syscall k unlock_sysno (fun k proc cpu ->
       let addr = Cpu.reg cpu Reg.a0 in
       ignore (syscall_load k proc cpu addr);

@@ -83,5 +83,5 @@ let contains haystack needle =
   nn = 0 || go 0
 
 (** Register a QCheck property as an alcotest case. *)
-let prop name ?(count = 200) gen f =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+let prop name ?(count = 200) ?print gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ?print gen f)

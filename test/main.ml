@@ -9,6 +9,7 @@ let () =
       ("obj", Test_obj.suite);
       ("cc", Test_cc.suite);
       ("os", Test_os.suite);
+      ("errno", Test_errno.suite);
       ("linker", Test_linker.suite);
       ("ldl", Test_ldl.suite);
       ("runtime", Test_runtime.suite);

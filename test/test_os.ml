@@ -60,7 +60,14 @@ let deadlock_detected () =
       0));
   match Kernel.run k with
   | () -> Alcotest.fail "expected deadlock"
-  | exception Kernel.Deadlock msg -> check_bool "names pid" true (contains msg "stuck")
+  | exception Kernel.Deadlock blocked ->
+    check_int "one stuck process" 1 (List.length blocked);
+    let b = List.hd blocked in
+    check_string "names comm" "stuck" b.Kernel.b_comm;
+    check_bool "positive pid" true (b.Kernel.b_pid > 0);
+    check_bool "carries wait reason" true (contains b.Kernel.b_why "wait_until");
+    check_bool "message renders all of it" true
+      (contains (Hemlock_os.Sched.deadlock_message blocked) "stuck")
 
 let daemons_allowed_to_block () =
   let k = Kernel.create () in
@@ -119,10 +126,12 @@ let fd_layer () =
     (Kernel.spawn_native k ~name:"fds" (fun k proc ->
          let fd = Kernel.sys_open k proc ~create:true "/tmp/f" in
          check_int "write" 5 (Kernel.sys_write k proc fd (Bytes.of_string "hello"));
-         Kernel.sys_lseek k proc fd 0;
+         check_int "lseek returns offset" 0 (Kernel.sys_lseek k proc fd 0);
          check_string "read" "hello" (Bytes.to_string (Kernel.sys_read k proc fd 100));
          check_string "eof read" "" (Bytes.to_string (Kernel.sys_read k proc fd 10));
-         Kernel.sys_lseek k proc fd 1;
+         check_int "lseek returns new offset" 1 (Kernel.sys_lseek k proc fd 1);
+         check_bool "negative lseek is EINVAL" true
+           (Kernel.sys_lseek_r k proc fd (-3) = Error Hemlock_os.Errno.EINVAL);
          check_string "seek" "ello" (Bytes.to_string (Kernel.sys_read k proc fd 4));
          Kernel.sys_close k proc fd;
          (match Kernel.sys_read k proc fd 1 with
@@ -130,7 +139,8 @@ let fd_layer () =
          | exception Kernel.Os_error _ -> ());
          (match Kernel.sys_open k proc "/tmp/missing" with
          | _ -> Alcotest.fail "expected open failure"
-         | exception Fs.Error _ -> ());
+         | exception Kernel.Os_error msg ->
+           check_bool "carries ENOENT" true (contains msg "ENOENT"));
          0));
   Kernel.run k
 
@@ -282,7 +292,9 @@ int main() {
   return 0;
 }|}
   in
-  check_string "translations" (Printf.sprintf "%d /shared/blob 0" Layout.shared_base) out
+  (* /tmp is a directory, so the syscall now answers -EISDIR (-21)
+     instead of the old ambiguous 0. *)
+  check_string "translations" (Printf.sprintf "%d /shared/blob -21" Layout.shared_base) out
 
 let exec_resets_image () =
   let k, _ = boot () in
@@ -358,7 +370,10 @@ let open_by_addr () =
          Kernel.sys_close k proc fd;
          (match Kernel.sys_open_by_addr k proc (Layout.addr_of_slot 500) with
          | _ -> Alcotest.fail "expected no-file error"
-         | exception Fs.Error _ -> ());
+         | exception Kernel.Os_error _ -> ());
+         check_bool "errno-result variant agrees" true
+           (Kernel.sys_open_by_addr_r k proc (Layout.addr_of_slot 500)
+           = Error Hemlock_os.Errno.ENOENT);
          check_string "addr_to_path agrees" "/shared/seg"
            (Kernel.sys_addr_to_path k proc (addr + 3));
          0));
