@@ -25,6 +25,7 @@ module Search = Hemlock_linker.Search
 module Sharing = Hemlock_linker.Sharing
 module Modinst = Hemlock_linker.Modinst
 module Reloc_engine = Hemlock_linker.Reloc_engine
+module Link_plan = Hemlock_linker.Link_plan
 module Plt = Hemlock_baseline.Plt
 module Channels = Hemlock_baseline.Channels
 module Rwho = Hemlock_apps.Rwho
@@ -857,6 +858,114 @@ let perf () =
   Printf.printf "wrote %s\n" path
 
 (* ---------------------------------------------------------------------- *)
+(* perf-link: linker fast path — hashed symbols + memoized link plans      *)
+(* ---------------------------------------------------------------------- *)
+
+(* Deep-dependency Modgen workload: the driver names all N chain modules
+   as dynamic dependencies and every module's own list is empty, so each
+   of the ~2N unresolved references walks the root scope's full
+   N-module list — O(N^2) locate calls and export probes on the cold
+   path.  Repeated execs of the same program in one kernel are the
+   stable-linking scenario: the first exec records link plans, later
+   execs replay them. *)
+let link_modules = 96
+
+let with_link_caches enabled f =
+  let sh = !Objfile.sym_hash_enabled
+  and sc = !Search.cache_enabled
+  and pc = !Link_plan.enabled in
+  Objfile.sym_hash_enabled := enabled;
+  Search.cache_enabled := enabled;
+  Link_plan.enabled := enabled;
+  Fun.protect
+    ~finally:(fun () ->
+      Objfile.sym_hash_enabled := sh;
+      Search.cache_enabled := sc;
+      Link_plan.enabled := pc)
+    f
+
+let perf_link () =
+  header "PERF-LINK: link throughput — symbol hashing + memoized link plans";
+  let modules = link_modules in
+  let used = modules - 1 in
+  let want = Modgen.expected ~modules ~used in
+  (* One profile per setting, each on a fresh kernel (plan stores are
+     per-kernel).  Returns the Stats delta of the first (recording) and
+     a steady-state (replaying) exec, plus the steady-state host time. *)
+  let profile enabled =
+    with_link_caches enabled (fun () ->
+        let k, ldl = boot () in
+        let fs = Kernel.fs k in
+        Fs.mkdir fs "/home/lib";
+        ignore (Modgen.install ~deep:true ldl ~dir:"/home/lib" ~modules);
+        Modgen.link_driver ~deep:modules ldl ~dir:"/home/lib" ~out:"/home/perf/prog"
+          ~used;
+        let run_once () =
+          Kernel.console_clear k;
+          let p = Kernel.spawn_exec k "/home/perf/prog" in
+          Kernel.run k;
+          match p.Proc.state with
+          | Proc.Zombie 0 -> ()
+          | _ -> failwith "perf-link: driver did not exit 0"
+        in
+        let (), d_first = Stats.measure run_once in
+        if int_of_string_opt (String.trim (Kernel.console k)) <> Some want then
+          failwith "perf-link: wrong driver output";
+        let (), d_steady = Stats.measure run_once in
+        let ns = measure_ns run_once in
+        (d_first, d_steady, ns))
+  in
+  let f_on, s_on, ns_on = profile true in
+  let f_off, s_off, ns_off = profile false in
+  (* The fast path must be invisible to the simulated cost model — on
+     both the recording exec and the replaying one. *)
+  let same a b =
+    a.Stats.instructions = b.Stats.instructions
+    && a.Stats.faults = b.Stats.faults
+    && a.Stats.syscalls = b.Stats.syscalls
+    && a.Stats.bytes_copied = b.Stats.bytes_copied
+    && a.Stats.modules_linked = b.Stats.modules_linked
+    && a.Stats.symbols_resolved = b.Stats.symbols_resolved
+    && Stats.cycles a = Stats.cycles b
+  in
+  if not (same f_on f_off && same s_on s_off) then
+    failwith "perf-link: simulated costs differ with the fast path on vs off";
+  let speedup = ns_off /. ns_on in
+  Printf.printf
+    "workload: %d-module deep chain, %d faults / %d symbols per exec (deterministic both ways)\n\n"
+    modules s_on.Stats.faults s_on.Stats.symbols_resolved;
+  Printf.printf "%-12s | %14s | %s\n" "fast path" "ns/exec" "cache activity (first exec / steady exec)";
+  Printf.printf "-------------+----------------+---------------------------------------\n";
+  Printf.printf "%-12s | %14.0f | sym hash %d/%d, search %d/%d, plans %d/%d\n" "on" ns_on
+    f_on.Stats.sym_hash_hits s_on.Stats.sym_hash_hits f_on.Stats.search_cache_hits
+    s_on.Stats.search_cache_hits f_on.Stats.plan_hits s_on.Stats.plan_hits;
+  Printf.printf "%-12s | %14.0f | sym hash %d/%d, search %d/%d, plans %d/%d\n" "off" ns_off
+    f_off.Stats.sym_hash_hits s_off.Stats.sym_hash_hits f_off.Stats.search_cache_hits
+    s_off.Stats.search_cache_hits f_off.Stats.plan_hits s_off.Stats.plan_hits;
+  Printf.printf "\nspeedup (cold exec vs plan replay): %.2fx\n" speedup;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"link_throughput\",\n\
+      \  \"modules\": %d,\n\
+      \  \"faults_per_exec\": %d,\n\
+      \  \"symbols_resolved_per_exec\": %d,\n\
+      \  \"warm\": { \"ns_per_exec\": %.0f, \"plan_hits\": %d },\n\
+      \  \"cold\": { \"ns_per_exec\": %.0f },\n\
+      \  \"first_exec\": { \"sym_hash_hits\": %d, \"search_cache_hits\": %d },\n\
+      \  \"speedup\": %.2f,\n\
+      \  \"simulated_costs_identical\": true\n\
+       }\n"
+      modules s_on.Stats.faults s_on.Stats.symbols_resolved ns_on s_on.Stats.plan_hits
+      ns_off f_on.Stats.sym_hash_hits f_on.Stats.search_cache_hits speedup
+  in
+  let path = Filename.concat (Sys.getcwd ()) "BENCH_link.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* ---------------------------------------------------------------------- *)
 
 let experiments =
   [
@@ -866,12 +975,15 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let wanted = List.filter (fun a -> a <> "bechamel" && a <> "perf") args in
+  let wanted =
+    List.filter (fun a -> a <> "bechamel" && a <> "perf" && a <> "perf-link") args
+  in
   let run_bechamel = List.mem "bechamel" args in
   let run_perf = List.mem "perf" args in
+  let run_perf_link = List.mem "perf-link" args in
   let selected =
-    (* `perf` alone runs just the throughput bench, not every experiment *)
-    if wanted = [] && run_perf then []
+    (* `perf`/`perf-link` alone run just the benches, not every experiment *)
+    if wanted = [] && (run_perf || run_perf_link) then []
     else if wanted = [] then experiments
     else
       List.filter_map
@@ -887,4 +999,5 @@ let () =
   List.iter (fun (_, f) -> f ()) selected;
   if run_bechamel then bechamel_suite ();
   if run_perf then perf ();
+  if run_perf_link then perf_link ();
   Printf.printf "\nAll experiments completed.\n"

@@ -42,7 +42,7 @@ int f%d(int x) {
 |}
       (i + 1) (i + 1) i (datum i) i i (i + 1) i (i + 1)
 
-let install ldl ~dir ~modules =
+let install ?(deep = false) ldl ~dir ~modules =
   let k = Ldl.kernel ldl in
   let fs = Kernel.fs k in
   let ctx = { Search.fs; cwd = Path.root; env = [] } in
@@ -51,8 +51,13 @@ let install ldl ~dir ~modules =
       let obj = Cc.to_object ~name:(Filename.basename template) (module_source ~modules i) in
       Fs.write_file fs template (Objfile.serialize obj);
       (* Embed the successor in the module's own list: the reachability
-         graph the paper describes, one edge per module. *)
-      let own = if i = modules - 1 then [] else [ Printf.sprintf "mod%d.o" (i + 1) ] in
+         graph the paper describes, one edge per module.  In [deep] mode
+         the own lists stay empty and the driver names the whole chain
+         instead, so every inter-module reference walks the root scope's
+         full module list — the worst case for linear resolution. *)
+      let own =
+        if deep || i = modules - 1 then [] else [ Printf.sprintf "mod%d.o" (i + 1) ]
+      in
       Lds.embed_metadata ctx ~template ~modules:own ~search_path:[ dir ];
       template)
 
@@ -65,7 +70,7 @@ int main() {
 }
 |} used
 
-let link_driver ldl ~dir ~out ~used =
+let link_driver ?(deep = 0) ldl ~dir ~out ~used =
   let k = Ldl.kernel ldl in
   let fs = Kernel.fs k in
   let home = Filename.dirname out in
@@ -76,14 +81,18 @@ let link_driver ldl ~dir ~out ~used =
     if String.length dir >= 7 && String.sub dir 0 7 = "/shared" then Sharing.Dynamic_public
     else Sharing.Dynamic_private
   in
+  let chain =
+    if deep <= 0 then [ { Lds.sp_name = "mod0.o"; sp_class = cls } ]
+    else
+      (* Deep mode: the driver names every module in the chain, so the
+         root scope's module list is the whole workload. *)
+      List.init deep (fun i ->
+          { Lds.sp_name = Printf.sprintf "mod%d.o" i; sp_class = cls })
+  in
   let ctx = { Search.fs; cwd = Path.of_string ~cwd:Path.root home; env = [] } in
   ignore
     (Lds.link ctx ~cli_dirs:[ dir ]
-       ~specs:
-         [
-           { Lds.sp_name = "main.o"; sp_class = Sharing.Static_private };
-           { Lds.sp_name = "mod0.o"; sp_class = cls };
-         ]
+       ~specs:({ Lds.sp_name = "main.o"; sp_class = Sharing.Static_private } :: chain)
        ~output:out ())
 
 let run_driver ldl ~prog =

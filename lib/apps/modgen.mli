@@ -23,15 +23,21 @@ val expected : modules:int -> used:int -> int
 (** [install ldl ~dir ~modules] compiles the chain templates into [dir]
     (which must exist; use a directory under /shared for public
     modules), embedding each one's module-list metadata.  Returns the
-    template paths in chain order. *)
-val install : Ldl.t -> dir:string -> modules:int -> string list
+    template paths in chain order.
+
+    With [~deep:true] the per-module lists stay empty; pair it with
+    {!link_driver}'s [~deep] so the driver names the whole chain and
+    every inter-module reference walks the root scope's full module list
+    — the deep-dependency workload behind [bench/main.exe -- perf-link]. *)
+val install : ?deep:bool -> Ldl.t -> dir:string -> modules:int -> string list
 
 (** Driver program source calling [f0(used)] and printing the result. *)
 val driver_source : used:int -> string
 
-(** [link_driver ldl ~dir ~out ~first] links a driver program whose
-    only dynamic module is the chain head. *)
-val link_driver : Ldl.t -> dir:string -> out:string -> used:int -> unit
+(** [link_driver ldl ~dir ~out ~used] links a driver program whose only
+    dynamic module is the chain head; with [~deep:n > 0] the driver
+    instead names all [n] chain modules as dynamic dependencies. *)
+val link_driver : ?deep:int -> Ldl.t -> dir:string -> out:string -> used:int -> unit
 
 (** Run the driver under normal (lazy) Hemlock linking; returns
     (printed result, modules linked, modules mapped). *)

@@ -28,6 +28,20 @@ type pstate = {
   mutable ps_pending : Objfile.reloc list;
   mutable ps_veneer_next : int;
   mutable ps_started : bool;
+  (* program identity for link plans: path + load-image (segment id,
+     version), when this state came from an exec *)
+  mutable ps_prog : (string * int * int) option;
+  (* host-side indexes over ps_instances (always kept in sync):
+     by base for the fault path, by key for locate results, plus the
+     not-yet-linked worklist for LD_BIND_NOW *)
+  mutable ps_sorted : Modinst.t array;
+  ps_by_key : (string, Modinst.t) Hashtbl.t;
+  mutable ps_unlinked : Modinst.t list;
+  (* successful scoped resolutions, epoch-validated against the FS
+     generation (instances never move within a process, so a cached
+     success can only go stale through the namespace) *)
+  ps_symcache : (Modinst.scope * string, int) Hashtbl.t;
+  mutable ps_symcache_gen : int;
 }
 
 type t = {
@@ -35,6 +49,11 @@ type t = {
   states : (int, pstate) Hashtbl.t;
   mutable warn : string list;
   mutable bind_now : bool;
+  plans : Modinst.scope Link_plan.store;  (* kernel-wide memoized link plans *)
+  mutable plan_rec : Modinst.scope Link_plan.dep list ref option;
+  (* regions that raised mid-recording: a retried region would record an
+     incomplete instantiation list, so never plan these again *)
+  poisoned : (string, unit) Hashtbl.t;
 }
 
 let kernel t = t.k
@@ -53,21 +72,64 @@ let state t proc = Hashtbl.find_opt t.states proc.Proc.pid
 let instances t proc =
   match state t proc with Some ps -> List.rev ps.ps_instances | None -> []
 
+(* Binary search the sorted-by-base index for the instance whose range
+   contains [addr]: instances never overlap (distinct shared slots or
+   disjoint arena gaps), so the rightmost base <= addr is the only
+   candidate. *)
+let instance_covering ps addr =
+  let arr = ps.ps_sorted in
+  let rec go lo hi =
+    if lo >= hi then lo - 1
+    else
+      let mid = (lo + hi) / 2 in
+      if arr.(mid).Modinst.inst_base <= addr then go (mid + 1) hi else go lo mid
+  in
+  let i = go 0 (Array.length arr) in
+  if i >= 0 && Modinst.contains arr.(i) addr then Some arr.(i) else None
+
 let instance_at t proc addr =
   match state t proc with
   | None -> None
-  | Some ps -> List.find_opt (fun i -> Modinst.contains i addr) ps.ps_instances
+  | Some ps -> instance_covering ps addr
 
 let pending_image_relocs t proc =
   match state t proc with Some ps -> ps.ps_pending | None -> []
 
-let find_instance ps located =
-  List.find_opt (fun i -> String.equal i.Modinst.inst_key located) ps.ps_instances
+let find_instance ps located = Hashtbl.find_opt ps.ps_by_key located
+
+(* Register a fresh instance in the list and every index. *)
+let add_instance ps inst =
+  ps.ps_instances <- inst :: ps.ps_instances;
+  Hashtbl.replace ps.ps_by_key inst.Modinst.inst_key inst;
+  let n = Array.length ps.ps_sorted in
+  let arr = Array.make (n + 1) inst in
+  let rec ins i =
+    if i < n && ps.ps_sorted.(i).Modinst.inst_base < inst.Modinst.inst_base then begin
+      arr.(i) <- ps.ps_sorted.(i);
+      ins (i + 1)
+    end
+    else
+      for j = i to n - 1 do
+        arr.(j + 1) <- ps.ps_sorted.(j)
+      done
+  in
+  ins 0;
+  ps.ps_sorted <- arr;
+  if not inst.Modinst.inst_linked then ps.ps_unlinked <- inst :: ps.ps_unlinked
+
+let rebuild_indexes ps =
+  Hashtbl.reset ps.ps_by_key;
+  List.iter (fun i -> Hashtbl.replace ps.ps_by_key i.Modinst.inst_key i) ps.ps_instances;
+  let arr = Array.of_list ps.ps_instances in
+  Array.sort (fun a b -> compare a.Modinst.inst_base b.Modinst.inst_base) arr;
+  ps.ps_sorted <- arr;
+  ps.ps_unlinked <- List.filter (fun i -> not i.Modinst.inst_linked) ps.ps_instances
 
 let load_template ctx path =
   match Fs.read_file ctx.Search.fs ~cwd:ctx.Search.cwd path with
   | bytes -> (
-    match Objfile.parse bytes with
+    let seg = Fs.segment_of ctx.Search.fs ~cwd:ctx.Search.cwd path in
+    match Link_plan.parse_obj ~seg bytes with
     | obj -> obj
     | exception Failure msg -> errf "bad template %s: %s" path msg)
   | exception Fs.Error { kind; _ } ->
@@ -171,7 +233,18 @@ let instantiate t proc ps ~located ~public ~parent_scope =
       inst
     end
   in
-  ps.ps_instances <- inst :: ps.ps_instances;
+  add_instance ps inst;
+  (match t.plan_rec with
+  | Some acc ->
+    acc :=
+      {
+        Link_plan.dep_located = located;
+        dep_public = public;
+        dep_base = inst.Modinst.inst_base;
+        dep_parent = parent_scope;
+      }
+      :: !acc
+  | None -> ());
   inst
 
 (* Locate a module by name through a scope's effective directories and
@@ -188,7 +261,7 @@ let ensure_instance_by_name t proc ps ~scope name =
 
 (* Scoped symbol resolution: this scope's module list, then the parent
    chain; at the root, also the main image's exports. *)
-let rec resolve_scoped t proc ps scope name =
+let rec resolve_scoped_cold t proc ps scope name =
   let try_module mname =
     match ensure_instance_by_name t proc ps ~scope mname with
     | Some inst -> Modinst.find_export inst name
@@ -198,12 +271,141 @@ let rec resolve_scoped t proc ps scope name =
   | Some addr -> Some addr
   | None -> (
     match scope.Modinst.sc_parent with
-    | Some parent -> resolve_scoped t proc ps parent name
+    | Some parent -> resolve_scoped_cold t proc ps parent name
     | None -> (
       match ps.ps_aout with
       | Some aout ->
         Option.map (fun off -> Aout.image_base + off) (Aout.find_symbol aout name)
       | None -> None))
+
+(* Per-scope symbol cache.  Only successes are cached: a failed walk may
+   instantiate modules next time the world changes, whereas a success
+   already instantiated everything up to the exporter, so re-serving it
+   has no simulated side effects to skip. *)
+let resolve_scoped t proc ps scope name =
+  if not !Objfile.sym_hash_enabled then resolve_scoped_cold t proc ps scope name
+  else begin
+    let gen = Fs.generation (Kernel.fs t.k) in
+    if gen <> ps.ps_symcache_gen then begin
+      Hashtbl.reset ps.ps_symcache;
+      ps.ps_symcache_gen <- gen
+    end;
+    match Hashtbl.find_opt ps.ps_symcache (scope, name) with
+    | Some addr ->
+      Stats.global.sym_hash_hits <- Stats.global.sym_hash_hits + 1;
+      Some addr
+    | None -> (
+      match resolve_scoped_cold t proc ps scope name with
+      | Some addr ->
+        Hashtbl.replace ps.ps_symcache (scope, name) addr;
+        Some addr
+      | None -> None)
+  end
+
+(* ----- memoized link plans ------------------------------------------------ *)
+
+let scope_sig scope =
+  let b = Buffer.create 64 in
+  let rec go s =
+    Buffer.add_string b s.Modinst.sc_label;
+    Buffer.add_char b '\x02';
+    List.iter
+      (fun m ->
+        Buffer.add_string b m;
+        Buffer.add_char b '\x03')
+      s.Modinst.sc_modules;
+    Buffer.add_char b '\x02';
+    List.iter
+      (fun d ->
+        Buffer.add_string b d;
+        Buffer.add_char b '\x03')
+      s.Modinst.sc_search;
+    match s.Modinst.sc_parent with
+    | Some p ->
+      Buffer.add_char b '\x04';
+      go p
+    | None -> ()
+  in
+  go scope;
+  Buffer.contents b
+
+(* Program identity: path, load-image segment id+version, cwd, exec-time
+   LD_LIBRARY_PATH, and the bind mode. *)
+let prog_key t proc ps =
+  match ps.ps_prog with
+  | None -> None
+  | Some (path, segid, segver) ->
+    let llp = Option.value ~default:"" (List.assoc_opt "LD_LIBRARY_PATH" proc.Proc.env) in
+    Some
+      (Printf.sprintf "%s\x01%d\x01%d\x01%s\x01%s\x01%b" path segid segver
+         (Path.to_string proc.Proc.cwd) llp t.bind_now)
+
+(* Replay a plan's instantiations through the ordinary path — every
+   simulated cost (reads, mappings, creation locks) recurs exactly —
+   verifying each recorded base.  On mismatch the plan is rejected;
+   whatever was instantiated so far is exactly what the cold path would
+   have instantiated, so falling back is safe. *)
+let replay_deps t proc ps plan =
+  List.for_all
+    (fun d ->
+      let inst =
+        match find_instance ps d.Link_plan.dep_located with
+        | Some inst -> inst
+        | None ->
+          instantiate t proc ps ~located:d.Link_plan.dep_located
+            ~public:d.Link_plan.dep_public ~parent_scope:d.Link_plan.dep_parent
+      in
+      inst.Modinst.inst_base = d.Link_plan.dep_base)
+    plan.Link_plan.plan_deps
+
+(* Run the cold region while capturing its instantiations and resolved
+   addresses, then memoize.  If the region raises (a creation lock, a
+   link error) the key is poisoned: a retry would record only the
+   leftover instantiations and the incomplete plan could strand a
+   private module unmapped in some later process. *)
+let record_plan t ~fs key cold =
+  let addrs = Hashtbl.create 16 in
+  let acc = ref [] in
+  let saved = t.plan_rec in
+  t.plan_rec <- Some acc;
+  match cold ~record:(fun sym addr -> Hashtbl.replace addrs sym addr) with
+  | () ->
+    t.plan_rec <- saved;
+    Link_plan.record t.plans ~fs key
+      { Link_plan.plan_deps = List.rev !acc; plan_addrs = addrs }
+  | exception e ->
+    t.plan_rec <- saved;
+    Hashtbl.replace t.poisoned key ();
+    raise e
+
+(* The shared plan-or-cold driver: [run] performs the relocation work
+   given a resolve function; [cold_resolve] is the scope walk. *)
+let planned t proc ps ~key ~cold_resolve ~run =
+  let fs = Kernel.fs t.k in
+  match if !Link_plan.enabled then key else None with
+  | None -> run cold_resolve
+  | Some key -> (
+    match Link_plan.lookup t.plans ~fs key with
+    | Some plan ->
+      if replay_deps t proc ps plan then begin
+        Link_plan.hit ();
+        run (fun name -> Hashtbl.find_opt plan.Link_plan.plan_addrs name)
+      end
+      else begin
+        Link_plan.miss ();
+        run cold_resolve
+      end
+    | None ->
+      Link_plan.miss ();
+      if Hashtbl.mem t.poisoned key then run cold_resolve
+      else
+        record_plan t ~fs key (fun ~record ->
+            run (fun name ->
+                match cold_resolve name with
+                | Some addr ->
+                  record name addr;
+                  Some addr
+                | None -> None)))
 
 (* ----- the lazy link pass ------------------------------------------------- *)
 
@@ -217,7 +419,7 @@ let link_instance t proc ps inst =
       | Objfile.Data -> image + data_b
       | Objfile.Bss -> image + bss_b
     in
-    let resolve name =
+    let cold_resolve name =
       match Modinst.find_own inst name with
       | Some addr -> Some addr
       | None -> resolve_scoped t proc ps inst.Modinst.inst_scope name
@@ -231,13 +433,24 @@ let link_instance t proc ps inst =
           fun i -> inst.Modinst.inst_applied.(i) <- true )
     in
     let sink = Modinst.sink_of_segment inst.Modinst.inst_seg ~vaddr_base:inst.Modinst.inst_base in
-    let left =
-      Reloc_engine.link_pass ~obj ~bases ~resolve ~already ~mark sink ~gp:None
-        ~veneer:(Some (Modinst.veneer_pool inst))
+    let run resolve =
+      let left =
+        Reloc_engine.link_pass ~obj ~bases ~resolve ~already ~mark sink ~gp:None
+          ~veneer:(Some (Modinst.veneer_pool inst))
+      in
+      if left <> [] then
+        warn t "module %s: %d reference(s) unresolved at the root (left to fault)"
+          inst.Modinst.inst_key (List.length left)
     in
-    if left <> [] then
-      warn t "module %s: %d reference(s) unresolved at the root (left to fault)"
-        inst.Modinst.inst_key (List.length left);
+    let key =
+      Option.map
+        (fun pk ->
+          Printf.sprintf "mod\x01%s\x01%s\x01%b\x01%d\x01%s" pk inst.Modinst.inst_key
+            inst.Modinst.inst_public inst.Modinst.inst_base
+            (scope_sig inst.Modinst.inst_scope))
+        (prog_key t proc ps)
+    in
+    planned t proc ps ~key ~cold_resolve ~run;
     As.protect proc.Proc.space inst.Modinst.inst_base Prot.Read_write_exec;
     inst.Modinst.inst_linked <- true;
     Stats.global.modules_linked <- Stats.global.modules_linked + 1
@@ -264,20 +477,25 @@ let resolve_image_pending t proc ps =
       }
     in
     let gp = Option.map (fun off -> Aout.image_base + off) aout.Aout.gp_base_off in
-    let still = ref [] in
-    List.iter
-      (fun r ->
-        match resolve_scoped t proc ps ps.ps_root r.Objfile.rel_symbol with
-        | Some addr ->
-          Stats.global.symbols_resolved <- Stats.global.symbols_resolved + 1;
-          Reloc_engine.apply sink
-            ~at:(Aout.image_base + r.Objfile.rel_offset)
-            ~kind:r.Objfile.rel_kind
-            ~value:(addr + r.Objfile.rel_addend)
-            ~gp ~veneer:(Some pool)
-        | None -> still := r :: !still)
-      ps.ps_pending;
-    ps.ps_pending <- List.rev !still
+    let run resolve =
+      let still = ref [] in
+      List.iter
+        (fun r ->
+          match resolve r.Objfile.rel_symbol with
+          | Some addr ->
+            Stats.global.symbols_resolved <- Stats.global.symbols_resolved + 1;
+            Reloc_engine.apply sink
+              ~at:(Aout.image_base + r.Objfile.rel_offset)
+              ~kind:r.Objfile.rel_kind
+              ~value:(addr + r.Objfile.rel_addend)
+              ~gp ~veneer:(Some pool)
+          | None -> still := r :: !still)
+        ps.ps_pending;
+      ps.ps_pending <- List.rev !still
+    in
+    let cold_resolve name = resolve_scoped t proc ps ps.ps_root name in
+    let key = Option.map (fun pk -> "rip\x01" ^ pk) (prog_key t proc ps) in
+    planned t proc ps ~key ~cold_resolve ~run
 
 let ldl_startup t proc ps =
   match ps.ps_aout with
@@ -325,11 +543,14 @@ let ldl_startup t proc ps =
     (* LD_BIND_NOW: chase the whole reachability graph up front. *)
     if t.bind_now then begin
       let rec fixpoint () =
-        match List.find_opt (fun i -> not i.Modinst.inst_linked) ps.ps_instances with
-        | Some inst ->
-          link_instance t proc ps inst;
+        (* ps_unlinked is a worklist: linking can instantiate more
+           modules, which add_instance appends to it. *)
+        match ps.ps_unlinked with
+        | [] -> ()
+        | inst :: rest ->
+          ps.ps_unlinked <- rest;
+          if not inst.Modinst.inst_linked then link_instance t proc ps inst;
           fixpoint ()
-        | None -> ()
       in
       fixpoint ()
     end;
@@ -350,7 +571,7 @@ let handle_fault t _k proc fault =
         warn t "fault at 0x%08x: %s" addr msg;
         Kernel.Unhandled
     in
-    match List.find_opt (fun i -> Modinst.contains i addr) ps.ps_instances with
+    match instance_covering ps addr with
     | Some inst when not inst.Modinst.inst_linked ->
       (* Lazy linking: resolve all of the touched module's references,
          mapping in (possibly inaccessibly) any modules they need. *)
@@ -379,7 +600,7 @@ let handle_fault t _k proc fault =
                   As.map proc.Proc.space ~base:inst.Modinst.inst_base
                     ~len:Layout.shared_slot_size ~seg:inst.Modinst.inst_seg
                     ~prot:Prot.No_access ~share:As.Public ~label:path ());
-                ps.ps_instances <- inst :: ps.ps_instances;
+                add_instance ps inst;
                 link_instance t proc ps inst)
           else
             (* An ordinary shared file: map it so the pointer chase can
@@ -407,7 +628,21 @@ let empty_root proc =
 
 let loader t _k proc bytes ~path =
   if not (Aout.looks_like bytes) then raise Kernel.Wrong_format;
-  let aout = Aout.parse bytes in
+  (* Identify the backing file so the decode can be memoized and link
+     plans keyed; an image that is somehow not addressable by path just
+     skips both. *)
+  let prog =
+    match Fs.segment_of (Kernel.fs t.k) ~cwd:proc.Proc.cwd path with
+    | fseg -> Some (path, Segment.id fseg, Segment.version fseg)
+    | exception Fs.Error _ -> None
+  in
+  let aout =
+    match prog with
+    | Some _ ->
+      let fseg = Fs.segment_of (Kernel.fs t.k) ~cwd:proc.Proc.cwd path in
+      Link_plan.parse_aout ~seg:fseg bytes
+    | None -> Aout.parse bytes
+  in
   let size = Aout.image_size aout in
   let seg = Segment.create ~name:("image:" ^ path) ~max_size:(Layout.page_up size) () in
   Segment.blit_in seg ~dst_off:0 aout.Aout.text;
@@ -424,6 +659,12 @@ let loader t _k proc bytes ~path =
       ps_pending = aout.Aout.pending;
       ps_veneer_next = count_used_veneers aout;
       ps_started = false;
+      ps_prog = prog;
+      ps_sorted = [||];
+      ps_by_key = Hashtbl.create 16;
+      ps_unlinked = [];
+      ps_symcache = Hashtbl.create 64;
+      ps_symcache_gen = -1;
     };
   Kernel.install_segv_handler t.k proc ~name:"hemlock-ldl" (handle_fault t);
   Aout.image_base + aout.Aout.entry_off
@@ -448,7 +689,7 @@ let clone_for_fork t ~parent ~child =
           inst_applied = Array.copy inst.Modinst.inst_applied;
         }
     in
-    Hashtbl.replace t.states child.Proc.pid
+    let child_ps =
       {
         ps_aout = ps.ps_aout;
         ps_image_seg =
@@ -458,12 +699,31 @@ let clone_for_fork t ~parent ~child =
         ps_pending = ps.ps_pending;
         ps_veneer_next = ps.ps_veneer_next;
         ps_started = ps.ps_started;
+        ps_prog = ps.ps_prog;
+        ps_sorted = [||];
+        ps_by_key = Hashtbl.create 16;
+        ps_unlinked = [];
+        ps_symcache = Hashtbl.create 64;
+        ps_symcache_gen = -1;
       }
+    in
+    rebuild_indexes child_ps;
+    Hashtbl.replace t.states child.Proc.pid child_ps
 
 (* ----- public entry points ---------------------------------------------------------- *)
 
 let install k =
-  let t = { k; states = Hashtbl.create 16; warn = []; bind_now = false } in
+  let t =
+    {
+      k;
+      states = Hashtbl.create 16;
+      warn = [];
+      bind_now = false;
+      plans = Link_plan.create_store ();
+      plan_rec = None;
+      poisoned = Hashtbl.create 16;
+    }
+  in
   Kernel.register_binfmt k ~name:"hexe" (fun kk proc bytes ~path -> loader t kk proc bytes ~path);
   Kernel.register_syscall k Sysno.ldl_run (fun _k proc cpu ->
       match state t proc with
@@ -495,6 +755,12 @@ let attach t proc =
         ps_pending = [];
         ps_veneer_next = 0;
         ps_started = true;
+        ps_prog = None;
+        ps_sorted = [||];
+        ps_by_key = Hashtbl.create 16;
+        ps_unlinked = [];
+        ps_symcache = Hashtbl.create 64;
+        ps_symcache_gen = -1;
       };
     Kernel.install_segv_handler t.k proc ~name:"hemlock-ldl" (handle_fault t)
   end

@@ -1,0 +1,56 @@
+(** Memoized link plans and parse caches — the Hemlock analogue of
+    "stable linking": segments are linked into many programs repeatedly,
+    so the second process to exec a program replays the recorded
+    resolution outcome instead of re-walking scopes.
+
+    Coherence contract (all host-side; the simulated cost model is
+    unaffected):
+    - decode caches are keyed by the backing segment's
+      ([Segment.id], [Segment.version]) — a rewritten file gets a new
+      version and so a fresh decode;
+    - the plan store is validated against {!Hemlock_sfs.Fs.generation}
+      and cleared wholesale on any FS mutation;
+    - every plan dependency records the base address it was placed at,
+      and replay verifies each one, rejecting the plan on mismatch;
+    - replay re-performs instantiations through the ordinary path, so
+      reads, mappings and lock acquisitions (and their counters) recur
+      exactly; only symbol scope walks are replaced by the recorded
+      dictionary, fed to the same relocation engine. *)
+
+(** Kill switch (set from [HEMLOCK_NO_PLANCACHE] at start-up). *)
+val enabled : bool ref
+
+(** [parse_obj ~seg bytes] decodes a template, memoized against [seg]'s
+    identity and version.  [bytes] must be [seg]'s current contents. *)
+val parse_obj : seg:Hemlock_vm.Segment.t -> Bytes.t -> Hemlock_obj.Objfile.t
+
+(** Same for load images. *)
+val parse_aout : seg:Hemlock_vm.Segment.t -> Bytes.t -> Aout.t
+
+(** One instantiation performed during a recorded region. *)
+type 'scope dep = {
+  dep_located : string;
+  dep_public : bool;
+  dep_base : int;
+  dep_parent : 'scope;
+}
+
+type 'scope plan = {
+  plan_deps : 'scope dep list;  (** in cold-path chronological order *)
+  plan_addrs : (string, int) Hashtbl.t;  (** resolved symbol addresses *)
+}
+
+type 'scope store
+
+val create_store : unit -> 'scope store
+
+(** [lookup store ~fs key] returns a live plan, clearing the store first
+    if [fs] has mutated since the plans were recorded. *)
+val lookup : 'scope store -> fs:Hemlock_sfs.Fs.t -> string -> 'scope plan option
+
+val record : 'scope store -> fs:Hemlock_sfs.Fs.t -> string -> 'scope plan -> unit
+
+(** Bump the plan observability counters. *)
+val hit : unit -> unit
+
+val miss : unit -> unit

@@ -222,7 +222,8 @@ let create_public_file ctx ~template_path ~obj ~module_path =
 let load_template ctx path =
   match Fs.read_file ctx.Search.fs ~cwd:ctx.Search.cwd path with
   | bytes -> (
-    match Objfile.parse bytes with
+    let seg = Fs.segment_of ctx.Search.fs ~cwd:ctx.Search.cwd path in
+    match Link_plan.parse_obj ~seg bytes with
     | obj -> obj
     | exception Failure msg -> errf "bad template %s: %s" path msg)
   | exception Fs.Error _ -> errf "cannot read template %s" path

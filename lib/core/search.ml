@@ -9,10 +9,27 @@ type ctx = {
 
 let default_dirs = [ "/usr/lib"; "/shared/lib" ]
 
+let cache_enabled = ref (Sys.getenv_opt "HEMLOCK_NO_SYMHASH" = None)
+
+(* Splitting is a pure function of the raw string, so parse each
+   distinct LD_LIBRARY_PATH value once per process lifetime. *)
+let llp_memo : (string, string list) Hashtbl.t = Hashtbl.create 8
+
+let split_llp v = List.filter (fun d -> d <> "") (String.split_on_char ':' v)
+
 let ld_library_path env =
   match List.assoc_opt "LD_LIBRARY_PATH" env with
   | None | Some "" -> []
-  | Some v -> List.filter (fun d -> d <> "") (String.split_on_char ':' v)
+  | Some v ->
+    if not !cache_enabled then split_llp v
+    else (
+      match Hashtbl.find_opt llp_memo v with
+      | Some dirs -> dirs
+      | None ->
+        if Hashtbl.length llp_memo > 256 then Hashtbl.reset llp_memo;
+        let dirs = split_llp v in
+        Hashtbl.add llp_memo v dirs;
+        dirs)
 
 let static_dirs ctx ~cli_dirs =
   (Path.to_string ctx.cwd :: cli_dirs) @ ld_library_path ctx.env @ default_dirs
@@ -21,7 +38,16 @@ let runtime_dirs ctx ~recorded = ld_library_path ctx.env @ recorded
 
 let has_slash name = String.contains name '/'
 
-let locate ctx ~dirs name =
+(* Path-resolution cache.  [locate] is a pure function of the FS
+   namespace, the cwd, the directory list and the name: nothing in it
+   touches the cost counters, so serving a memoized answer (including a
+   negative one) is invisible to the simulated machine.  Entries are
+   validated against the owning FS's mutation generation — any
+   write/create/rename anywhere invalidates conservatively. *)
+let locate_cache : (int * string * string * string, int * string option) Hashtbl.t =
+  Hashtbl.create 256
+
+let locate_uncached ctx ~dirs name =
   let exists_file p =
     Fs.exists ctx.fs ~cwd:ctx.cwd p
     &&
@@ -42,3 +68,20 @@ let locate ctx ~dirs name =
       else None
     in
     List.find_map try_dir dirs
+
+let locate ctx ~dirs name =
+  if not !cache_enabled then locate_uncached ctx ~dirs name
+  else begin
+    let gen = Fs.generation ctx.fs in
+    let key = (Fs.uid ctx.fs, Path.to_string ctx.cwd, String.concat ":" dirs, name) in
+    match Hashtbl.find_opt locate_cache key with
+    | Some (g, result) when g = gen ->
+      Hemlock_util.Stats.global.search_cache_hits <-
+        Hemlock_util.Stats.global.search_cache_hits + 1;
+      result
+    | Some _ | None ->
+      if Hashtbl.length locate_cache > 8192 then Hashtbl.reset locate_cache;
+      let result = locate_uncached ctx ~dirs name in
+      Hashtbl.replace locate_cache key (gen, result);
+      result
+  end

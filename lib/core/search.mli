@@ -18,6 +18,12 @@ type ctx = {
 
 val default_dirs : string list
 
+(** Kill switch for the LD_LIBRARY_PATH memo and the {!locate} cache
+    (set from [HEMLOCK_NO_SYMHASH] at start-up).  Results are identical
+    either way; both caches are epoch-validated against
+    {!Hemlock_sfs.Fs.generation}. *)
+val cache_enabled : bool ref
+
 (** Split a colon-separated LD_LIBRARY_PATH value from [env]. *)
 val ld_library_path : (string * string) list -> string list
 

@@ -65,7 +65,20 @@ val load_size : t -> int
     data, then bss), each aligned to 4. *)
 val section_bases : t -> int * int * int
 
+(** Kill switch for the hashed export index (set from the
+    [HEMLOCK_NO_SYMHASH] environment variable at start-up).  Lookup
+    results are identical either way; only host-side speed and the
+    [sym_hash_*] observability counters change. *)
+val sym_hash_enabled : bool ref
+
+(** First defined symbol with this name, in declaration order (so a
+    Local can shadow a later Global).  Served by a GNU-hash-style
+    bloom-filter + bucket index when {!sym_hash_enabled}; the index is
+    memoized per symbol table and never observable in results. *)
 val find_symbol : t -> string -> symbol option
+
+(** The always-linear reference implementation of {!find_symbol}. *)
+val find_symbol_linear : t -> string -> symbol option
 
 (** Global defined symbols, i.e. this module's exports. *)
 val exports : t -> symbol list
@@ -74,9 +87,16 @@ val exports : t -> symbol list
     undefined external references. *)
 val undefined : t -> string list
 
-val serialize : t -> Bytes.t
+(** [serialize t] emits the v1 ["HOBJ"] encoding, byte-identical to
+    every earlier release.  [~with_index:true] emits the v2 ["HOB2"]
+    encoding instead, appending the precomputed export index (bloom
+    filter + buckets of symbol-table positions) after the v1 payload. *)
+val serialize : ?with_index:bool -> t -> Bytes.t
 
-(** @raise Failure on bad magic or truncation. *)
+(** Accepts both versions; a v2 object's persisted index is reloaded
+    (and validated) rather than rebuilt, while v1 objects fall back to
+    an in-memory index built on first lookup.
+    @raise Failure on bad magic or truncation. *)
 val parse : Bytes.t -> t
 
 val pp : Format.formatter -> t -> unit

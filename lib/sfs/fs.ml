@@ -54,7 +54,17 @@ type t = {
   root : dir;
   mutable next_ino : int;
   addr_table : string option array; (* the kernel's linear lookup table *)
+  uid : int; (* distinguishes file systems in cross-kernel caches *)
+  mutable generation : int; (* bumped by every namespace/content mutation *)
 }
+
+let next_uid = ref 0
+
+let uid t = t.uid
+
+let generation t = t.generation
+
+let touch t = t.generation <- t.generation + 1
 
 let shared_prefix = [ "shared" ]
 
@@ -70,11 +80,14 @@ let fresh_ino t =
 let new_dir t = Dir { entries = Hashtbl.create 8; dir_ino = fresh_ino t }
 
 let create () =
+  incr next_uid;
   let t =
     {
       root = { entries = Hashtbl.create 8; dir_ino = 2 };
       next_ino = 4096; (* normal-partition inodes; shared inodes are slots 0..1023 *)
       addr_table = Array.make Layout.shared_slots None;
+      uid = !next_uid;
+      generation = 0;
     }
   in
   let add name = Hashtbl.replace t.root.entries name (new_dir t) in
@@ -143,6 +156,7 @@ let parse t ?(cwd = Path.root) s =
 
 let mkdir t ?cwd s =
   let op = "mkdir" in
+  touch t;
   let p = parse t ?cwd s in
   if p = [] then error op p Already_exists;
   let canon, dir = resolve_dir t ~op (Path.parent p) in
@@ -152,6 +166,7 @@ let mkdir t ?cwd s =
 
 let rec create_file t ?cwd s =
   let op = "create" in
+  touch t;
   let p = parse t ?cwd s in
   if p = [] then error op p Is_a_directory;
   let canon, dir = resolve_dir t ~op (Path.parent p) in
@@ -226,6 +241,7 @@ let read_file t ?cwd s =
   Segment.blit_out f.seg ~src_off:0 ~len
 
 let write_file t ?cwd s b =
+  touch t;
   let p = parse t ?cwd s in
   if not (exists t (Path.to_string p)) then create_file t (Path.to_string p);
   let _, f = resolve_file t ~op:"write" p in
@@ -235,6 +251,7 @@ let write_file t ?cwd s b =
   Segment.blit_in f.seg ~dst_off:0 b
 
 let append_file t ?cwd s b =
+  touch t;
   let p = parse t ?cwd s in
   if not (exists t (Path.to_string p)) then create_file t (Path.to_string p);
   let _, f = resolve_file t ~op:"append" p in
@@ -243,6 +260,7 @@ let append_file t ?cwd s b =
 
 let symlink t ?cwd ~target s =
   let op = "symlink" in
+  touch t;
   let p = parse t ?cwd s in
   if p = [] then error op p Already_exists;
   let canon, dir = resolve_dir t ~op (Path.parent p) in
@@ -252,6 +270,7 @@ let symlink t ?cwd ~target s =
 
 let hard_link t ?cwd ~existing s =
   let op = "link" in
+  touch t;
   let src = parse t ?cwd existing in
   let dst = parse t ?cwd s in
   if dst = [] then error op dst Already_exists;
@@ -267,6 +286,7 @@ let hard_link t ?cwd ~existing s =
 
 let unlink t ?cwd s =
   let op = "unlink" in
+  touch t;
   let p = parse t ?cwd s in
   if p = [] then error op p Is_a_directory;
   let canon, dir = resolve_dir t ~op (Path.parent p) in
@@ -283,6 +303,7 @@ let unlink t ?cwd s =
 
 let rmdir t ?cwd s =
   let op = "rmdir" in
+  touch t;
   let p = parse t ?cwd s in
   if p = [] then error op p Not_empty;
   let canon, dir = resolve_dir t ~op (Path.parent p) in
@@ -297,6 +318,7 @@ let rmdir t ?cwd s =
 
 let rename t ?cwd ~src dst =
   let op = "rename" in
+  touch t;
   let srcp = parse t ?cwd src in
   let dstp = parse t ?cwd dst in
   if srcp = [] || dstp = [] then error op srcp Is_a_directory;

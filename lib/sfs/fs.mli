@@ -46,6 +46,19 @@ type stat = {
     [/etc] and [/home]. *)
 val create : unit -> t
 
+(** A process-wide unique id for this file system, so host-side caches
+    keyed on paths can tell one simulated machine's FS from another's. *)
+val uid : t -> int
+
+(** Mutation epoch: bumped by every path-level mutation ([mkdir],
+    [create_file], [write_file], [append_file], [symlink], [hard_link],
+    [unlink], [rmdir], [rename]).  Host-side caches of derived data
+    (search-path resolution, link plans) validate against it.  Writes to
+    a mapped file {e segment} deliberately do not bump it: mapped-memory
+    stores change file contents but never the namespace or the byte
+    ranges the linkers read via {!read_file} before mapping. *)
+val generation : t -> int
+
 (** {1 Path-level operations}
 
     All take paths as strings resolved against [cwd] (default root).

@@ -17,6 +17,11 @@ type t = {
   mutable tlb_hits : int;
   mutable tlb_misses : int;
   mutable decode_hits : int;
+  mutable sym_hash_hits : int;
+  mutable sym_hash_misses : int;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+  mutable search_cache_hits : int;
 }
 
 let zero () =
@@ -35,6 +40,11 @@ let zero () =
     tlb_hits = 0;
     tlb_misses = 0;
     decode_hits = 0;
+    sym_hash_hits = 0;
+    sym_hash_misses = 0;
+    plan_hits = 0;
+    plan_misses = 0;
+    search_cache_hits = 0;
   }
 
 let global = zero ()
@@ -53,7 +63,12 @@ let reset () =
   global.context_switches <- 0;
   global.tlb_hits <- 0;
   global.tlb_misses <- 0;
-  global.decode_hits <- 0
+  global.decode_hits <- 0;
+  global.sym_hash_hits <- 0;
+  global.sym_hash_misses <- 0;
+  global.plan_hits <- 0;
+  global.plan_misses <- 0;
+  global.search_cache_hits <- 0
 
 let snapshot () = { global with instructions = global.instructions }
 
@@ -73,6 +88,11 @@ let diff ~before ~after =
     tlb_hits = after.tlb_hits - before.tlb_hits;
     tlb_misses = after.tlb_misses - before.tlb_misses;
     decode_hits = after.decode_hits - before.decode_hits;
+    sym_hash_hits = after.sym_hash_hits - before.sym_hash_hits;
+    sym_hash_misses = after.sym_hash_misses - before.sym_hash_misses;
+    plan_hits = after.plan_hits - before.plan_hits;
+    plan_misses = after.plan_misses - before.plan_misses;
+    search_cache_hits = after.search_cache_hits - before.search_cache_hits;
   }
 
 (* Cost model, in simulated cycles.  The weights are the conventional

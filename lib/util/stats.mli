@@ -24,6 +24,17 @@ type t = {
       (** software-TLB misses, i.e. full interval-map lookups *)
   mutable decode_hits : int;
       (** decoded-instruction cache hits in [Cpu] (observability only) *)
+  mutable sym_hash_hits : int;
+      (** symbol lookups answered by a hashed export index or a
+          resolution cache (observability only) *)
+  mutable sym_hash_misses : int;
+      (** hashed lookups that found nothing (bloom reject or empty
+          bucket) and fell through to "undefined" *)
+  mutable plan_hits : int;  (** link passes replayed from a memoized plan *)
+  mutable plan_misses : int;
+      (** link passes that ran cold (no plan, or plan rejected) *)
+  mutable search_cache_hits : int;
+      (** [Search.locate] results served from the path-resolution cache *)
 }
 
 (** The single global counter set. *)

@@ -11,6 +11,7 @@ let () =
       ("os", Test_os.suite);
       ("errno", Test_errno.suite);
       ("linker", Test_linker.suite);
+      ("linkfast", Test_linkfast.suite);
       ("ldl", Test_ldl.suite);
       ("runtime", Test_runtime.suite);
       ("baseline", Test_baseline.suite);

@@ -120,16 +120,20 @@ module Oracle = struct
     match Hashtbl.find_opt t.fds fd with
     | None -> Error Errno.EBADF
     | Some (path, pos) ->
-      let data = Hashtbl.find t.contents path in
-      let need = !pos + Bytes.length b in
-      if Bytes.length !data < need then begin
-        let grown = Bytes.make need '\000' in
-        Bytes.blit !data 0 grown 0 (Bytes.length !data);
-        data := grown
+      let len = Bytes.length b in
+      (* A zero-length write never extends the file, even past EOF. *)
+      if len > 0 then begin
+        let data = Hashtbl.find t.contents path in
+        let need = !pos + len in
+        if Bytes.length !data < need then begin
+          let grown = Bytes.make need '\000' in
+          Bytes.blit !data 0 grown 0 (Bytes.length !data);
+          data := grown
+        end;
+        Bytes.blit b 0 !data !pos len
       end;
-      Bytes.blit b 0 !data !pos (Bytes.length b);
-      pos := !pos + Bytes.length b;
-      Ok (Bytes.length b)
+      pos := !pos + len;
+      Ok len
 
   let lseek t fd p =
     if p < 0 then Error Errno.EINVAL

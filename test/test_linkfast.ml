@@ -1,0 +1,142 @@
+(* Linker fast path: hashed symbol lookup vs the linear oracle, the
+   persisted v2 export index, and link-plan / search-cache coherence
+   under filesystem mutation. *)
+
+open Harness
+module Stats = Hemlock_util.Stats
+module Modgen = Hemlock_apps.Modgen
+
+(* ----- hashed lookup vs linear oracle ------------------------------------- *)
+
+(* A small name alphabet so duplicate definitions (and Local shadowing a
+   later Global) are common. *)
+let names = [ "a"; "b"; "ab"; "f0"; "f1"; "d0"; "longer_symbol_name"; "x" ]
+
+let gen_symtab =
+  QCheck2.Gen.(
+    let symbol =
+      map3
+        (fun name (sect, binding) off ->
+          {
+            Objfile.sym_name = name;
+            sym_section = sect;
+            sym_offset = off;
+            sym_binding = binding;
+          })
+        (oneofl names)
+        (pair
+           (oneofl [ Objfile.Text; Objfile.Data; Objfile.Bss ])
+           (oneofl [ Objfile.Local; Objfile.Global ]))
+        (int_bound 500)
+    in
+    list_size (int_bound 24) symbol)
+
+let obj_of_symbols symbols =
+  {
+    (Objfile.empty ~name:"linkfast.o") with
+    Objfile.text = Bytes.of_string "TEXT";
+    symbols;
+  }
+
+let agree obj =
+  List.for_all
+    (fun n -> Objfile.find_symbol obj n = Objfile.find_symbol_linear obj n)
+    ("missing" :: names)
+
+let prop_hash_oracle =
+  prop "hashed find_symbol matches the linear oracle" ~count:300 gen_symtab
+    (fun symbols -> agree (obj_of_symbols symbols))
+
+let prop_index_roundtrip =
+  prop "v2 index survives serialize/parse and still matches the oracle" ~count:300
+    gen_symtab (fun symbols ->
+      let obj = obj_of_symbols symbols in
+      let v2 = Objfile.parse (Objfile.serialize ~with_index:true obj) in
+      let v1 = Objfile.parse (Objfile.serialize obj) in
+      v2 = obj && v1 = obj && agree v2 && agree v1)
+
+let index_versioning () =
+  let obj = obj_of_symbols [] in
+  let v1 = Objfile.serialize obj and v2 = Objfile.serialize ~with_index:true obj in
+  check_string "v1 magic" "HOBJ" (Bytes.sub_string v1 0 4);
+  check_string "v2 magic" "HOB2" (Bytes.sub_string v2 0 4);
+  (* The default encoding must stay byte-identical to the pre-index
+     format: same bytes after the magic. *)
+  check_string "same payload"
+    (Bytes.sub_string v1 4 (Bytes.length v1 - 4))
+    (Bytes.sub_string v2 4 (Bytes.length v1 - 4))
+
+(* ----- link-plan memoization across execs --------------------------------- *)
+
+let exec_measured k prog =
+  let out = ref "" in
+  let (), d =
+    Stats.measure (fun () ->
+        let _, console = run_program k prog in
+        out := console)
+  in
+  (String.trim !out, d)
+
+let plan_cache_replay_and_invalidation () =
+  let k, ldl = boot () in
+  let fs = Kernel.fs k in
+  Fs.mkdir fs "/home/lib";
+  ignore (Modgen.install ldl ~dir:"/home/lib" ~modules:4);
+  Modgen.link_driver ldl ~dir:"/home/lib" ~out:"/home/d/prog" ~used:0;
+  let want = string_of_int (Modgen.expected ~modules:4 ~used:0) in
+  let out1, d1 = exec_measured k "/home/d/prog" in
+  check_string "cold exec output" want out1;
+  let out2, d2 = exec_measured k "/home/d/prog" in
+  check_string "warm exec output" want out2;
+  if !Hemlock_linker.Link_plan.enabled then begin
+    check_bool "first exec records, no hits" true (d1.Stats.plan_hits = 0);
+    check_bool "second exec replays plans" true (d2.Stats.plan_hits > 0);
+    (* Replay must leave the simulated cost model untouched. *)
+    check_int "same faults" d1.Stats.faults d2.Stats.faults;
+    check_int "same symbols resolved" d1.Stats.symbols_resolved d2.Stats.symbols_resolved;
+    check_int "same modules linked" d1.Stats.modules_linked d2.Stats.modules_linked
+  end;
+  (* Rewrite mod0's template in place: the FS generation bump must
+     reject every recorded plan, and the next exec must see the new
+     data, not a replay of the old resolution. *)
+  install_c k "/home/lib/mod0.o"
+    {|
+extern int f1(int x);
+extern int d1;
+int d0 = 999;
+int f0(int x) {
+  if (x < 1) { return d0; }
+  return f1(x - 1) + d0 + d1;
+}
+|};
+  Lds.embed_metadata (ctx_in k "/" ()) ~template:"/home/lib/mod0.o"
+    ~modules:[ "mod1.o" ] ~search_path:[ "/home/lib" ];
+  let out3, d3 = exec_measured k "/home/d/prog" in
+  check_string "rewritten template visible" "999" out3;
+  if !Hemlock_linker.Link_plan.enabled then
+    check_bool "stale plans rejected, not replayed" true (d3.Stats.plan_hits = 0)
+
+(* ----- search-cache coherence --------------------------------------------- *)
+
+let search_cache_sees_new_files () =
+  let k, _ldl = boot () in
+  let fs = Kernel.fs k in
+  Fs.mkdir fs "/home/lib";
+  let ctx = ctx_in k "/" () in
+  let dirs = [ "/home/lib" ] in
+  check_bool "absent" true (Search.locate ctx ~dirs "late.o" = None);
+  (* A cached negative result must not survive the file's creation. *)
+  Fs.write_file fs "/home/lib/late.o" (Bytes.of_string "x");
+  check_bool "appears after create" true
+    (Search.locate ctx ~dirs "late.o" = Some "/home/lib/late.o");
+  Fs.unlink fs "/home/lib/late.o";
+  check_bool "gone after unlink" true (Search.locate ctx ~dirs "late.o" = None)
+
+let suite =
+  [
+    prop_hash_oracle;
+    prop_index_roundtrip;
+    test "objfile: index is versioned and opt-in" index_versioning;
+    test "link plans: replay then invalidation on rewrite" plan_cache_replay_and_invalidation;
+    test "search cache: epoch-coherent with the FS" search_cache_sees_new_files;
+  ]
