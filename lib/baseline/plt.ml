@@ -145,7 +145,7 @@ let load t proc ~located =
           | Some base -> base
           | None -> errf "no arena space for %s" path
         in
-        let inst = Modinst.private_instance ~located:path ~obj ~base ~scope:dummy_scope in
+        let inst = Modinst.private_instance ~located:path ~obj ~base ~scope:dummy_scope () in
         As.map proc.Proc.space ~base ~len:size ~seg:inst.Modinst.inst_seg
           ~prot:Prot.Read_write_exec ~share:As.Private ~label:path ();
         inst)

@@ -42,6 +42,10 @@ type pstate = {
      success can only go stale through the namespace) *)
   ps_symcache : (Modinst.scope * string, int) Hashtbl.t;
   mutable ps_symcache_gen : int;
+  (* memoized [inst_digest] of ps_sorted; valid while the array is
+     physically unchanged (every insert/rebuild allocates a fresh one,
+     and the digest reads only immutable Modinst fields) *)
+  mutable ps_digest : (Modinst.t array * string) option;
 }
 
 type t = {
@@ -125,12 +129,15 @@ let rebuild_indexes ps =
   ps.ps_sorted <- arr;
   ps.ps_unlinked <- List.filter (fun i -> not i.Modinst.inst_linked) ps.ps_instances
 
+(* Returns the decoded template and its content identity — the backing
+   segment's (id, version) — so callers can tell two decodes of the same
+   path apart after an in-place rewrite. *)
 let load_template ctx path =
   match Fs.read_file ctx.Search.fs ~cwd:ctx.Search.cwd path with
   | bytes -> (
     let seg = Fs.segment_of ctx.Search.fs ~cwd:ctx.Search.cwd path in
     match Link_plan.parse_obj ~seg bytes with
-    | obj -> obj
+    | obj -> (obj, (Segment.id seg, Segment.version seg))
     | exception Failure msg -> errf "bad template %s: %s" path msg)
   | exception Fs.Error { kind; _ } ->
     errf "cannot read template %s: %s" path (Fs.err_kind_to_string kind)
@@ -180,7 +187,7 @@ let rec scope_dirs scope =
 
 let instantiate t proc ps ~located ~public ~parent_scope =
   let ctx = ctx_of t proc in
-  let obj = load_template ctx located in
+  let obj, src = load_template ctx located in
   if obj.Objfile.uses_gp then
     errf "module %s uses $gp: ldl requires modules compiled with gp disabled" located;
   let scope =
@@ -220,7 +227,7 @@ let instantiate t proc ps ~located ~public ~parent_scope =
         | Some base -> base
         | None -> errf "out of private arena space for %s" located
       in
-      let inst = Modinst.private_instance ~located ~obj ~base ~scope in
+      let inst = Modinst.private_instance ~src ~located ~obj ~base ~scope () in
       let prot =
         if obj.Objfile.relocs = [] then Prot.Read_write_exec else Prot.No_access
       in
@@ -241,6 +248,7 @@ let instantiate t proc ps ~located ~public ~parent_scope =
         Link_plan.dep_located = located;
         dep_public = public;
         dep_base = inst.Modinst.inst_base;
+        dep_src = inst.Modinst.inst_src;
         dep_parent = parent_scope;
       }
       :: !acc
@@ -281,7 +289,12 @@ let rec resolve_scoped_cold t proc ps scope name =
 (* Per-scope symbol cache.  Only successes are cached: a failed walk may
    instantiate modules next time the world changes, whereas a success
    already instantiated everything up to the exporter, so re-serving it
-   has no simulated side effects to skip. *)
+   has no simulated side effects to skip.  [Fs.generation] (namespace
+   mutations) is the only staleness vector: a success guarantees every
+   module the walk consults is already instantiated, and instances keep
+   the decode they were built from, so rewriting a template file — even
+   through a mapping, invisibly to the generation — cannot change what
+   a cold re-walk of this process would answer. *)
 let resolve_scoped t proc ps scope name =
   if not !Objfile.sym_hash_enabled then resolve_scoped_cold t proc ps scope name
   else begin
@@ -342,9 +355,13 @@ let prog_key t proc ps =
 
 (* Replay a plan's instantiations through the ordinary path — every
    simulated cost (reads, mappings, creation locks) recurs exactly —
-   verifying each recorded base.  On mismatch the plan is rejected;
-   whatever was instantiated so far is exactly what the cold path would
-   have instantiated, so falling back is safe. *)
+   verifying each recorded base and template content identity.  The
+   latter catches in-place rewrites that are invisible to
+   [Fs.generation] (stores through a read-write file mapping): the
+   fresh decode would differ from the one the addresses were computed
+   against.  On mismatch the plan is rejected; whatever was
+   instantiated so far is exactly what the cold path would have
+   instantiated, so falling back is safe. *)
 let replay_deps t proc ps plan =
   List.for_all
     (fun d ->
@@ -355,7 +372,8 @@ let replay_deps t proc ps plan =
           instantiate t proc ps ~located:d.Link_plan.dep_located
             ~public:d.Link_plan.dep_public ~parent_scope:d.Link_plan.dep_parent
       in
-      inst.Modinst.inst_base = d.Link_plan.dep_base)
+      inst.Modinst.inst_base = d.Link_plan.dep_base
+      && inst.Modinst.inst_src = d.Link_plan.dep_src)
     plan.Link_plan.plan_deps
 
 (* Run the cold region while capturing its instantiations and resolved
@@ -378,10 +396,37 @@ let record_plan t ~fs key cold =
     Hashtbl.replace t.poisoned key ();
     raise e
 
+(* Resolution may consult instances instantiated by *earlier* regions:
+   they appear in [plan_addrs] but, not being re-instantiated, leave no
+   dependency entry for replay to verify.  Key every plan on a digest of
+   the whole pre-existing instance set — identity, placement, publicness
+   and decode content identity — so a plan only replays into a process
+   whose already-instantiated modules make every recorded address valid.
+   Fault order is execution-dependent (and the program key cannot see
+   what drives it), so two execs of one program may well reach the same
+   region with different sets; they simply use distinct plan slots. *)
+let inst_digest ps =
+  match ps.ps_digest with
+  | Some (arr, d) when arr == ps.ps_sorted -> d
+  | Some _ | None ->
+    let b = Buffer.create 128 in
+    Array.iter
+      (fun i ->
+        let sid, sver = i.Modinst.inst_src in
+        Buffer.add_string b i.Modinst.inst_key;
+        Buffer.add_string b
+          (Printf.sprintf "\x01%d\x01%b\x01%d\x01%d\x02" i.Modinst.inst_base
+             i.Modinst.inst_public sid sver))
+      ps.ps_sorted;
+    let d = Digest.to_hex (Digest.string (Buffer.contents b)) in
+    ps.ps_digest <- Some (ps.ps_sorted, d);
+    d
+
 (* The shared plan-or-cold driver: [run] performs the relocation work
    given a resolve function; [cold_resolve] is the scope walk. *)
 let planned t proc ps ~key ~cold_resolve ~run =
   let fs = Kernel.fs t.k in
+  let key = Option.map (fun k -> k ^ "\x05" ^ inst_digest ps) key in
   match if !Link_plan.enabled then key else None with
   | None -> run cold_resolve
   | Some key -> (
@@ -665,6 +710,7 @@ let loader t _k proc bytes ~path =
       ps_unlinked = [];
       ps_symcache = Hashtbl.create 64;
       ps_symcache_gen = -1;
+      ps_digest = None;
     };
   Kernel.install_segv_handler t.k proc ~name:"hemlock-ldl" (handle_fault t);
   Aout.image_base + aout.Aout.entry_off
@@ -705,6 +751,7 @@ let clone_for_fork t ~parent ~child =
         ps_unlinked = [];
         ps_symcache = Hashtbl.create 64;
         ps_symcache_gen = -1;
+      ps_digest = None;
       }
     in
     rebuild_indexes child_ps;
@@ -761,6 +808,7 @@ let attach t proc =
         ps_unlinked = [];
         ps_symcache = Hashtbl.create 64;
         ps_symcache_gen = -1;
+      ps_digest = None;
       };
     Kernel.install_segv_handler t.k proc ~name:"hemlock-ldl" (handle_fault t)
   end

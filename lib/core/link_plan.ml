@@ -60,6 +60,7 @@ type 'scope dep = {
   dep_located : string;
   dep_public : bool;
   dep_base : int;  (* verified on replay; a mismatch rejects the plan *)
+  dep_src : int * int;  (* template (segment id, version) — also verified *)
   dep_parent : 'scope;
 }
 

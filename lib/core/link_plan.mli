@@ -9,9 +9,16 @@
       ([Segment.id], [Segment.version]) — a rewritten file gets a new
       version and so a fresh decode;
     - the plan store is validated against {!Hemlock_sfs.Fs.generation}
-      and cleared wholesale on any FS mutation;
-    - every plan dependency records the base address it was placed at,
-      and replay verifies each one, rejecting the plan on mismatch;
+      and cleared wholesale on any FS namespace/whole-file mutation;
+    - every plan dependency records the base address it was placed at
+      {e and} the content identity (segment id, version) of the template
+      it was decoded from, and replay verifies both, rejecting the plan
+      on mismatch — so a template rewritten in place through a mapping
+      (invisible to [Fs.generation]) can never be served a stale plan;
+    - the caller additionally keys each plan on a digest of the
+      already-instantiated module set, since recorded addresses may
+      point into modules that were instantiated by {e earlier} regions
+      and therefore appear in no dependency entry;
     - replay re-performs instantiations through the ordinary path, so
       reads, mappings and lock acquisitions (and their counters) recur
       exactly; only symbol scope walks are replaced by the recorded
@@ -32,6 +39,9 @@ type 'scope dep = {
   dep_located : string;
   dep_public : bool;
   dep_base : int;
+  dep_src : int * int;
+      (** template content identity at record time (see
+          {!Hemlock_linker.Modinst.t.inst_src}) *)
   dep_parent : 'scope;
 }
 

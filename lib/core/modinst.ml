@@ -19,6 +19,7 @@ type t = {
   inst_key : string;
   inst_module_file : string option;
   inst_obj : Objfile.t;
+  inst_src : int * int;
   inst_base : int;
   inst_image_off : int;
   inst_seg : Segment.t;
@@ -224,7 +225,7 @@ let load_template ctx path =
   | bytes -> (
     let seg = Fs.segment_of ctx.Search.fs ~cwd:ctx.Search.cwd path in
     match Link_plan.parse_obj ~seg bytes with
-    | obj -> obj
+    | obj -> (obj, (Segment.id seg, Segment.version seg))
     | exception Failure msg -> errf "bad template %s: %s" path msg)
   | exception Fs.Error _ -> errf "cannot read template %s" path
 
@@ -236,11 +237,12 @@ let public_instance ctx ~module_path ~scope =
   if not (Header.is_module_file seg) then
     errf "%s is not a created Hemlock module" module_path;
   let template_path = Header.template seg in
-  let obj = load_template ctx template_path in
+  let obj, src = load_template ctx template_path in
   {
     inst_key = template_path;
     inst_module_file = Some canonical;
     inst_obj = obj;
+    inst_src = src;
     inst_base = base;
     inst_image_off = Header.size;
     inst_seg = seg;
@@ -253,7 +255,7 @@ let public_instance ctx ~module_path ~scope =
     inst_applied = [||];
   }
 
-let private_instance ~located ~obj ~base ~scope =
+let private_instance ?(src = (-1, -1)) ~located ~obj ~base ~scope () =
   let size = placed_size obj in
   let seg = Segment.create ~name:("module:" ^ located) ~max_size:(Layout.page_up size) () in
   place_sections seg ~image_off:0 obj;
@@ -261,6 +263,7 @@ let private_instance ~located ~obj ~base ~scope =
     inst_key = located;
     inst_module_file = None;
     inst_obj = obj;
+    inst_src = src;
     inst_base = base;
     inst_image_off = 0;
     inst_seg = seg;

@@ -29,6 +29,13 @@ type t = {
   inst_key : string;  (** located template path — the instance identity *)
   inst_module_file : string option;  (** public module file, if public *)
   inst_obj : Objfile.t;
+  inst_src : int * int;
+      (** content identity of [inst_obj]: ([Segment.id], [Segment.version])
+          of the template file at decode time, or [(-1, -1)] when the
+          object did not come from the file system.  Two instances with
+          equal [inst_src] decoded identical template bytes, even if the
+          file was later rewritten through a mapping (which bumps the
+          segment version but not {!Hemlock_sfs.Fs.generation}). *)
   inst_base : int;  (** mapping base (slot base when public) *)
   inst_image_off : int;  (** header page for public modules, 0 private *)
   inst_seg : Segment.t;
@@ -102,6 +109,9 @@ val create_public_file :
     symbol table). *)
 val public_instance : Search.ctx -> module_path:string -> scope:scope -> t
 
-(** [private_instance ~located ~obj ~base ~scope] copies the template
-    into a fresh segment placed at [base] (caller maps it). *)
-val private_instance : located:string -> obj:Objfile.t -> base:int -> scope:scope -> t
+(** [private_instance ~located ~obj ~base ~scope ()] copies the template
+    into a fresh segment placed at [base] (caller maps it).  [src] is the
+    template's content identity (see [inst_src]); callers that resolve
+    symbols through link plans must supply it. *)
+val private_instance :
+  ?src:int * int -> located:string -> obj:Objfile.t -> base:int -> scope:scope -> unit -> t

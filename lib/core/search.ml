@@ -69,11 +69,18 @@ let locate_uncached ctx ~dirs name =
     in
     List.find_map try_dir dirs
 
+(* Length-prefixed join: [dirs] components may themselves contain ':'
+   (cli_dirs, a template's own search path), so a separator-based
+   encoding would let ["a:b"] and ["a"; "b"] alias one cache entry. *)
+let dirs_key dirs =
+  String.concat ""
+    (List.map (fun d -> string_of_int (String.length d) ^ ":" ^ d) dirs)
+
 let locate ctx ~dirs name =
   if not !cache_enabled then locate_uncached ctx ~dirs name
   else begin
     let gen = Fs.generation ctx.fs in
-    let key = (Fs.uid ctx.fs, Path.to_string ctx.cwd, String.concat ":" dirs, name) in
+    let key = (Fs.uid ctx.fs, Path.to_string ctx.cwd, dirs_key dirs, name) in
     match Hashtbl.find_opt locate_cache key with
     | Some (g, result) when g = gen ->
       Hemlock_util.Stats.global.search_cache_hits <-

@@ -291,9 +291,15 @@ let parse bytes =
        every symbol position so a corrupt trailer cannot alias. *)
     let syms = Array.of_list symbols in
     let buckets = Codec.Reader.u32 r in
-    if buckets < 1 || buckets land (buckets - 1) <> 0 then
+    if buckets < 1 || buckets > 65536 || buckets land (buckets - 1) <> 0 then
       failwith "Objfile.parse: bad index bucket count";
+    (* [build_index] emits (nsyms/16)+1 bloom words; anything outside
+       [1, nsyms+1] is a corrupt trailer.  In particular 0 must be
+       rejected here: it would parse fine and then divide by zero on the
+       first lookup, escaping the parse-time Failure contract. *)
     let nwords = Codec.Reader.u32 r in
+    if nwords < 1 || nwords > nsyms + 1 then
+      failwith "Objfile.parse: bad index bloom word count";
     let bloom =
       Array.init nwords (fun _ ->
           let lo = Codec.Reader.u32 r in

@@ -53,10 +53,18 @@ val uid : t -> int
 (** Mutation epoch: bumped by every path-level mutation ([mkdir],
     [create_file], [write_file], [append_file], [symlink], [hard_link],
     [unlink], [rmdir], [rename]).  Host-side caches of derived data
-    (search-path resolution, link plans) validate against it.  Writes to
-    a mapped file {e segment} deliberately do not bump it: mapped-memory
-    stores change file contents but never the namespace or the byte
-    ranges the linkers read via {!read_file} before mapping. *)
+    (search-path resolution, link plans) validate against it.
+
+    Writes to a mapped file {e segment} deliberately do not bump it —
+    mapped stores into shared data are the paper's common case, and
+    bumping here would invalidate every link cache on every store (the
+    linkers themselves write relocations through module-file segments).
+    The consequence is a contract, not an exemption: the generation
+    witnesses only the {e namespace}, so any cache whose value depends
+    on file {e contents} (decoded templates, recorded symbol addresses)
+    must additionally key on or verify the backing segment's
+    ([Segment.id], [Segment.version]), which every content write does
+    bump.  See {!Hemlock_linker.Link_plan} for the discipline. *)
 val generation : t -> int
 
 (** {1 Path-level operations}

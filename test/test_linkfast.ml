@@ -4,7 +4,11 @@
 
 open Harness
 module Stats = Hemlock_util.Stats
+module Codec = Hemlock_util.Codec
+module Segment = Hemlock_vm.Segment
 module Modgen = Hemlock_apps.Modgen
+module Modinst = Hemlock_linker.Modinst
+module Link_plan = Hemlock_linker.Link_plan
 
 (* ----- hashed lookup vs linear oracle ------------------------------------- *)
 
@@ -116,7 +120,189 @@ int f0(int x) {
   if !Hemlock_linker.Link_plan.enabled then
     check_bool "stale plans rejected, not replayed" true (d3.Stats.plan_hits = 0)
 
+(* A rewrite that goes through the file's backing segment — the way a
+   store through a read-write mapping does — bumps Segment.version but
+   not Fs.generation.  Plans must still never serve the old resolution:
+   each dependency's recorded (segment id, version) no longer matches
+   the fresh decode, and every pre-existing-instance digest moves. *)
+let mapped_template_rewrite_rejects_plans () =
+  let k, ldl = boot () in
+  let fs = Kernel.fs k in
+  Fs.mkdir fs "/home/lib";
+  ignore (Modgen.install ldl ~dir:"/home/lib" ~modules:4);
+  Modgen.link_driver ldl ~dir:"/home/lib" ~out:"/home/d/prog" ~used:0;
+  let want = string_of_int (Modgen.expected ~modules:4 ~used:0) in
+  let out1, _ = exec_measured k "/home/d/prog" in
+  check_string "cold exec output" want out1;
+  let out2, _ = exec_measured k "/home/d/prog" in
+  check_string "warm exec output" want out2;
+  let obj =
+    {
+      (Cc.to_object ~name:"mod0.o"
+         {|
+extern int f1(int x);
+extern int d1;
+int d0 = 999;
+int f0(int x) {
+  if (x < 1) { return d0; }
+  return f1(x - 1) + d0 + d1;
+}
+|})
+      with
+      Objfile.own_modules = [ "mod1.o" ];
+      own_search_path = [ "/home/lib" ];
+    }
+  in
+  let gen0 = Fs.generation fs in
+  let seg = Fs.segment_of fs "/home/lib/mod0.o" in
+  Segment.resize seg 0;
+  Segment.blit_in seg ~dst_off:0 (Objfile.serialize obj);
+  check_int "mapped rewrite is invisible to the FS generation" gen0 (Fs.generation fs);
+  let out3, d3 = exec_measured k "/home/d/prog" in
+  check_string "exec after mapped rewrite sees the new data" "999" out3;
+  if !Link_plan.enabled then
+    check_bool "stale plans rejected, not replayed" true (d3.Stats.plan_hits = 0);
+  (* And the fallback agrees with the plan machinery switched off. *)
+  let saved = !Link_plan.enabled in
+  Link_plan.enabled := false;
+  let out4, d4 =
+    Fun.protect
+      ~finally:(fun () -> Link_plan.enabled := saved)
+      (fun () -> exec_measured k "/home/d/prog")
+  in
+  check_string "cold path agrees" out3 out4;
+  check_int "same faults" d4.Stats.faults d3.Stats.faults;
+  check_int "same symbols resolved" d4.Stats.symbols_resolved d3.Stats.symbols_resolved;
+  check_int "same modules linked" d4.Stats.modules_linked d3.Stats.modules_linked
+
+(* Lazy-link fault order is execution-dependent, and the plan key's
+   program identity cannot see what drives it (here: a byte of public
+   module data flipped between execs, invisibly to Fs.generation).  A
+   region recorded when a module was already instantiated bakes that
+   module's addresses into the plan without a dependency entry; the
+   same region reached first in a later exec must not replay them. *)
+let fault_order_independence () =
+  let k, _ldl = boot () in
+  let fs = Kernel.fs k in
+  Fs.mkdir fs "/home/lib";
+  if not (Fs.exists fs "/shared/lib") then Fs.mkdir fs "/shared/lib";
+  install_c k "/home/lib/a.o" {|
+extern int c(int x);
+int fa(int x) { return c(x) + 1; }
+|};
+  install_c k "/home/lib/b.o" {|
+extern int c(int x);
+int fb(int x) { return c(x) + 2; }
+|};
+  install_c k "/home/lib/c.o" {|
+int c(int x) { return 40; }
+|};
+  let ctx = ctx_in k "/" () in
+  Lds.embed_metadata ctx ~template:"/home/lib/a.o" ~modules:[ "c.o" ]
+    ~search_path:[ "/home/lib" ];
+  Lds.embed_metadata ctx ~template:"/home/lib/b.o" ~modules:[ "c.o" ]
+    ~search_path:[ "/home/lib" ];
+  install_c k "/shared/lib/flag.o" {|
+int flagv = 0;
+|};
+  Fs.mkdir fs "/home/t";
+  install_c k "/home/t/main.o"
+    {|
+extern int fa(int x);
+extern int fb(int x);
+extern int flagv;
+int main() {
+  if (flagv < 1) {
+    print_int(fb(0) + fa(0));
+  } else {
+    print_int(fa(0) + fb(0));
+  }
+  return 0;
+}
+|};
+  ignore
+    (link k ~dir:"/home/t" ~cli_dirs:[ "/home/lib" ]
+       ~specs:
+         [
+           ("main.o", Sharing.Static_private);
+           ("a.o", Sharing.Dynamic_private);
+           ("b.o", Sharing.Dynamic_private);
+           ("/shared/lib/flag.o", Sharing.Dynamic_public);
+         ]
+       "prog");
+  (* fb and fa each pull in c on their first call: whichever links first
+     instantiates it, the other finds it pre-existing. *)
+  let out1, _ = exec_measured k "/home/t/prog" in
+  check_string "first order links" "83" out1;
+  (* Flip the flag through the module file's segment: module data, so
+     neither Fs.generation nor any template decode changes. *)
+  let set_flag v =
+    let obj = Objfile.parse (Fs.read_file fs "/shared/lib/flag.o") in
+    let off =
+      match Objfile.find_symbol_linear obj "flagv" with
+      | None -> Alcotest.fail "flagv not exported"
+      | Some s ->
+        let _, data_b, bss_b = Objfile.section_bases obj in
+        let base =
+          match s.Objfile.sym_section with
+          | Objfile.Text -> 0
+          | Objfile.Data -> data_b
+          | Objfile.Bss -> bss_b
+        in
+        Modinst.Header.size + base + s.Objfile.sym_offset
+    in
+    let gen0 = Fs.generation fs in
+    Segment.set_u32 (Fs.segment_of fs "/shared/lib/flag") off v;
+    check_int "flag flip is invisible to the FS generation" gen0 (Fs.generation fs)
+  in
+  set_flag 1;
+  let out2, _ = exec_measured k "/home/t/prog" in
+  check_string "reversed fault order still links correctly" "83" out2;
+  (* Back to the original order: the first exec's plans replay. *)
+  set_flag 0;
+  let out3, d3 = exec_measured k "/home/t/prog" in
+  check_string "original order again" "83" out3;
+  if !Link_plan.enabled then
+    check_bool "matching fault order replays plans" true (d3.Stats.plan_hits > 0)
+
+(* ----- corrupt persisted index --------------------------------------------- *)
+
+let corrupt_index_word_count () =
+  let obj =
+    obj_of_symbols
+      [
+        {
+          Objfile.sym_name = "a";
+          sym_section = Objfile.Text;
+          sym_offset = 0;
+          sym_binding = Objfile.Global;
+        };
+      ]
+  in
+  let v1 = Objfile.serialize obj in
+  let v2 = Objfile.serialize ~with_index:true obj in
+  (* The trailer follows the v1 payload: u32 bucket count, then the u32
+     bloom word count we zero out. *)
+  let bad = Bytes.copy v2 in
+  Codec.set_u32 bad (Bytes.length v1 + 4) 0;
+  match Objfile.parse bad with
+  | _ -> Alcotest.fail "zero bloom word count accepted"
+  | exception Failure _ -> ()
+
 (* ----- search-cache coherence --------------------------------------------- *)
+
+let search_dirs_do_not_alias () =
+  let k, _ldl = boot () in
+  let fs = Kernel.fs k in
+  Fs.mkdir fs "/home/a:b";
+  Fs.write_file fs "/home/a:b/x.o" (Bytes.of_string "x");
+  let ctx = ctx_in k "/" () in
+  check_bool "found via the literal directory" true
+    (Search.locate ctx ~dirs:[ "/home/a:b" ] "x.o" = Some "/home/a:b/x.o");
+  (* A directory list that happens to concatenate to the same string
+     must not be served the cached entry. *)
+  check_bool "split directory list misses" true
+    (Search.locate ctx ~dirs:[ "/home/a"; "b" ] "x.o" = None)
 
 let search_cache_sees_new_files () =
   let k, _ldl = boot () in
@@ -138,5 +324,11 @@ let suite =
     prop_index_roundtrip;
     test "objfile: index is versioned and opt-in" index_versioning;
     test "link plans: replay then invalidation on rewrite" plan_cache_replay_and_invalidation;
+    test "link plans: mapped template rewrite rejects stale plans"
+      mapped_template_rewrite_rejects_plans;
+    test "link plans: correct under execution-dependent fault order"
+      fault_order_independence;
+    test "objfile: corrupt index word count fails at parse time" corrupt_index_word_count;
     test "search cache: epoch-coherent with the FS" search_cache_sees_new_files;
+    test "search cache: directory lists do not alias" search_dirs_do_not_alias;
   ]
