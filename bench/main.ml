@@ -6,7 +6,12 @@
      bench/main.exe e5 e8      run selected experiments
      bench/main.exe bechamel   also run the wall-time micro-bench suite
      bench/main.exe perf       interpreter-throughput bench; writes
-                               BENCH_interp.json *)
+                               BENCH_interp.json
+     bench/main.exe crash-sweep [seeds]
+                               deterministic fault sweep: per seed, drive
+                               /shared op traffic under a PRNG fault plan
+                               and require every recovery fsck to come
+                               back clean *)
 
 module Kernel = Hemlock_os.Kernel
 module Proc = Hemlock_os.Proc
@@ -966,6 +971,73 @@ let perf_link () =
   Printf.printf "wrote %s\n" path
 
 (* ---------------------------------------------------------------------- *)
+(* crash-sweep: deterministic fault plans over /shared op traffic         *)
+(* ---------------------------------------------------------------------- *)
+
+module Fault = Hemlock_util.Fault
+module Prng = Hemlock_util.Prng
+
+let sweep_pool = [| "/shared/a"; "/shared/b"; "/shared/d/c"; "/shared/d/e"; "/shared/f" |]
+
+(* One seed = one reproducible run: the seed derives both the op stream
+   and the fault plan (Fault.configure_random).  A simulated crash is
+   recovered with rescan + fsck; the gate is that a second fsck is
+   always clean — recovery converged, nothing left half-done. *)
+let crash_sweep seeds =
+  header "CRASH-SWEEP: deterministic fault plans over /shared op traffic";
+  Printf.printf "%6s | %4s | %7s | %7s | %8s | %8s | %s\n" "seed" "ops" "faults"
+    "crashes" "replayed" "rolled" "verdict";
+  Printf.printf "-------+------+---------+---------+----------+----------+--------\n";
+  let failures = ref 0 in
+  List.iter
+    (fun seed ->
+      let fs = Fs.create () in
+      Fs.mkdir fs "/shared/d";
+      let prng = Prng.create ~seed in
+      let nops = 12 + Prng.int prng 12 in
+      let payload () =
+        String.init (1 + Prng.int prng 12) (fun _ -> Char.chr (97 + Prng.int prng 26))
+      in
+      let pick () = Prng.choose prng sweep_pool in
+      let injected_before = Stats.global.Stats.faults_injected in
+      Fault.configure_random seed;
+      let crashes = ref 0 and replayed = ref 0 and rolled = ref 0 in
+      let ok = ref true in
+      for _ = 1 to nops do
+        let op () =
+          match Prng.int prng 5 with
+          | 0 -> Fs.create_file fs (pick ())
+          | 1 -> Fs.write_file fs (pick ()) (Bytes.of_string (payload ()))
+          | 2 -> Fs.append_file fs (pick ()) (Bytes.of_string (payload ()))
+          | 3 -> Fs.rename fs ~src:(pick ()) (pick ())
+          | _ -> Fs.unlink fs (pick ())
+        in
+        match op () with
+        | () | (exception Fs.Error _) | (exception Fault.Injected _) -> ()
+        | exception Fault.Crash _ ->
+          incr crashes;
+          Fault.clear ();
+          Fs.rescan_shared fs;
+          let r = Fs.fsck fs in
+          replayed := !replayed + r.Fs.fsck_replayed;
+          rolled := !rolled + r.Fs.fsck_rolled_back;
+          if not (Fs.fsck fs).Fs.fsck_clean then ok := false
+      done;
+      Fault.clear ();
+      if not (Fs.fsck fs).Fs.fsck_clean then ok := false;
+      if not !ok then incr failures;
+      Printf.printf "%6d | %4d | %7d | %7d | %8d | %8d | %s\n" seed nops
+        (Stats.global.Stats.faults_injected - injected_before)
+        !crashes !replayed !rolled
+        (if !ok then "clean" else "FSCK NOT CLEAN"))
+    seeds;
+  if !failures > 0 then begin
+    Printf.printf "\ncrash-sweep: %d seed(s) left the file system dirty\n" !failures;
+    exit 1
+  end;
+  Printf.printf "\ncrash-sweep: every recovery fsck came back clean\n"
+
+(* ---------------------------------------------------------------------- *)
 
 let experiments =
   [
@@ -975,15 +1047,22 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let sweep_seeds = List.filter_map int_of_string_opt args in
   let wanted =
-    List.filter (fun a -> a <> "bechamel" && a <> "perf" && a <> "perf-link") args
+    List.filter
+      (fun a ->
+        a <> "bechamel" && a <> "perf" && a <> "perf-link" && a <> "crash-sweep"
+        && int_of_string_opt a = None)
+      args
   in
   let run_bechamel = List.mem "bechamel" args in
   let run_perf = List.mem "perf" args in
   let run_perf_link = List.mem "perf-link" args in
+  let run_crash_sweep = List.mem "crash-sweep" args in
   let selected =
-    (* `perf`/`perf-link` alone run just the benches, not every experiment *)
-    if wanted = [] && (run_perf || run_perf_link) then []
+    (* `perf`/`perf-link`/`crash-sweep` alone run just those, not every
+       experiment *)
+    if wanted = [] && (run_perf || run_perf_link || run_crash_sweep) then []
     else if wanted = [] then experiments
     else
       List.filter_map
@@ -1000,4 +1079,6 @@ let () =
   if run_bechamel then bechamel_suite ();
   if run_perf then perf ();
   if run_perf_link then perf_link ();
+  if run_crash_sweep then
+    crash_sweep (if sweep_seeds = [] then List.init 10 (fun i -> i + 1) else sweep_seeds);
   Printf.printf "\nAll experiments completed.\n"

@@ -10,6 +10,7 @@ module Prot = Hemlock_vm.Prot
 module Segment = Hemlock_vm.Segment
 module Stats = Hemlock_util.Stats
 module Codec = Hemlock_util.Codec
+module Fault = Hemlock_util.Fault
 
 exception Link_error = Reloc_engine.Link_error
 
@@ -186,6 +187,7 @@ let rec scope_dirs scope =
 (* ----- instantiation ------------------------------------------------------ *)
 
 let instantiate t proc ps ~located ~public ~parent_scope =
+  Fault.hit "ldl.instantiate";
   let ctx = ctx_of t proc in
   let obj, src = load_template ctx located in
   if obj.Objfile.uses_gp then
@@ -198,47 +200,67 @@ let instantiate t proc ps ~located ~public ~parent_scope =
       sc_parent = Some parent_scope;
     }
   in
+  (* Mappings this call adds to the process; a failure after any of them
+     unwinds the lot, so a half-instantiated module never stays visible
+     in the instance set or the address space. *)
+  let mapped = ref [] in
+  let unwind () =
+    if !mapped <> [] then begin
+      List.iter (fun base -> As.unmap proc.Proc.space base) !mapped;
+      Stats.global.link_rollbacks <- Stats.global.link_rollbacks + 1
+    end
+  in
   let inst =
-    if public then begin
-      if not (is_shared_located located) then
-        errf "public module template %s must reside on the shared partition" located;
-      let module_path = ensure_public_created t proc ~located ~obj in
-      let inst = Modinst.public_instance ctx ~module_path ~scope in
-      let fully = Modinst.Header.fully_linked inst.Modinst.inst_seg in
-      let prot = if fully then Prot.Read_write_exec else Prot.No_access in
-      (match As.mapping_at proc.Proc.space inst.Modinst.inst_base with
-      | Some _ -> ()
-      | None ->
-        As.map proc.Proc.space ~base:inst.Modinst.inst_base ~len:Layout.shared_slot_size
-          ~seg:inst.Modinst.inst_seg ~prot ~share:As.Public ~label:module_path ());
-      if fully then begin
-        inst.Modinst.inst_linked <- true;
-        Stats.global.modules_linked <- Stats.global.modules_linked + 1
-      end;
-      inst
-    end
-    else begin
-      let size = Layout.page_up (Modinst.placed_size obj) in
-      let base =
-        match
-          As.find_gap proc.Proc.space ~lo:Aout.private_arena_lo ~hi:Aout.private_arena_hi
-            ~size
-        with
-        | Some base -> base
-        | None -> errf "out of private arena space for %s" located
-      in
-      let inst = Modinst.private_instance ~src ~located ~obj ~base ~scope () in
-      let prot =
-        if obj.Objfile.relocs = [] then Prot.Read_write_exec else Prot.No_access
-      in
-      As.map proc.Proc.space ~base ~len:size ~seg:inst.Modinst.inst_seg ~prot
-        ~share:As.Private ~label:located ();
-      if prot = Prot.Read_write_exec then begin
-        inst.Modinst.inst_linked <- true;
-        Stats.global.modules_linked <- Stats.global.modules_linked + 1
-      end;
-      inst
-    end
+    try
+      if public then begin
+        if not (is_shared_located located) then
+          errf "public module template %s must reside on the shared partition" located;
+        let module_path = ensure_public_created t proc ~located ~obj in
+        let inst = Modinst.public_instance ctx ~module_path ~scope in
+        let fully = Modinst.Header.fully_linked inst.Modinst.inst_seg in
+        let prot = if fully then Prot.Read_write_exec else Prot.No_access in
+        (match As.mapping_at proc.Proc.space inst.Modinst.inst_base with
+        | Some _ -> ()
+        | None ->
+          As.map proc.Proc.space ~base:inst.Modinst.inst_base ~len:Layout.shared_slot_size
+            ~seg:inst.Modinst.inst_seg ~prot ~share:As.Public ~label:module_path ();
+          mapped := inst.Modinst.inst_base :: !mapped);
+        Fault.hit "ldl.instantiate.mid";
+        if fully then begin
+          inst.Modinst.inst_linked <- true;
+          Stats.global.modules_linked <- Stats.global.modules_linked + 1
+        end;
+        inst
+      end
+      else begin
+        let size = Layout.page_up (Modinst.placed_size obj) in
+        let base =
+          match
+            As.find_gap proc.Proc.space ~lo:Aout.private_arena_lo ~hi:Aout.private_arena_hi
+              ~size
+          with
+          | Some base -> base
+          | None -> errf "out of private arena space for %s" located
+        in
+        let inst = Modinst.private_instance ~src ~located ~obj ~base ~scope () in
+        let prot =
+          if obj.Objfile.relocs = [] then Prot.Read_write_exec else Prot.No_access
+        in
+        As.map proc.Proc.space ~base ~len:size ~seg:inst.Modinst.inst_seg ~prot
+          ~share:As.Private ~label:located ();
+        mapped := base :: !mapped;
+        Fault.hit "ldl.instantiate.mid";
+        if prot = Prot.Read_write_exec then begin
+          inst.Modinst.inst_linked <- true;
+          Stats.global.modules_linked <- Stats.global.modules_linked + 1
+        end;
+        inst
+      end
+    with
+    | Fault.Crash _ as e -> raise e (* machine stopped: nothing unwinds *)
+    | e ->
+      unwind ();
+      raise e
   in
   add_instance ps inst;
   (match t.plan_rec with
@@ -431,15 +453,23 @@ let planned t proc ps ~key ~cold_resolve ~run =
   | None -> run cold_resolve
   | Some key -> (
     match Link_plan.lookup t.plans ~fs key with
-    | Some plan ->
-      if replay_deps t proc ps plan then begin
+    | Some plan -> (
+      (* Replay is an optimisation; an injected failure during it must
+         degrade to the cold path, never fail the exec. *)
+      match
+        Fault.hit "plan.replay";
+        replay_deps t proc ps plan
+      with
+      | true ->
         Link_plan.hit ();
         run (fun name -> Hashtbl.find_opt plan.Link_plan.plan_addrs name)
-      end
-      else begin
+      | false ->
         Link_plan.miss ();
         run cold_resolve
-      end
+      | exception Fault.Injected _ ->
+        Stats.global.plan_fallbacks <- Stats.global.plan_fallbacks + 1;
+        Link_plan.miss ();
+        run cold_resolve)
     | None ->
       Link_plan.miss ();
       if Hashtbl.mem t.poisoned key then run cold_resolve
@@ -614,6 +644,13 @@ let handle_fault t _k proc fault =
       | exception Would_block cond -> Kernel.Retry_when cond
       | exception Link_error msg ->
         warn t "fault at 0x%08x: %s" addr msg;
+        Kernel.Unhandled
+      | exception Fault.Injected { site; failure } ->
+        (* Injected failures must stay inside the trap pipeline: the
+           faulting process gets a segfault kill, not an OCaml
+           exception escaping the simulator. *)
+        warn t "fault at 0x%08x: injected %s at %s" addr
+          (Fault.failure_name failure) site;
         Kernel.Unhandled
     in
     match instance_covering ps addr with

@@ -3,6 +3,7 @@ module Segment = Hemlock_vm.Segment
 module Layout = Hemlock_vm.Layout
 module Fs = Hemlock_sfs.Fs
 module Path = Hemlock_sfs.Path
+module Fault = Hemlock_util.Fault
 
 exception Link_error of string
 
@@ -90,8 +91,11 @@ module Header = struct
   let off_template = 30
   let off_bitmap = 1024
 
+  (* [size] (not 4) is the floor: the magic is written last, so any
+     segment carrying it holds at least the full header page — and a
+     crash-truncated file can never carry it. *)
   let is_module_file seg =
-    Segment.size seg >= 4
+    Segment.size seg >= size
     && List.for_all
          (fun i -> Segment.get_u8 seg (off_magic + i) = Char.code magic.[i])
          [ 0; 1; 2; 3 ]
@@ -126,9 +130,12 @@ module Header = struct
 
   let fully_linked seg = applied_count seg >= nrelocs seg
 
+  (* [init] fills every header field EXCEPT the magic; [publish] writes
+     the magic as the commit point of module creation.  Until published,
+     [is_module_file] is false and fsck treats the file as a partial
+     creation to roll back. *)
   let init seg ~template_path ~nrelocs:n ~veneer_off ~veneer_cap =
     if n > (size - off_bitmap) * 8 then errf "too many relocations for module header";
-    write_magic seg;
     Segment.set_u32 seg off_image size;
     Segment.set_u32 seg off_veneer veneer_off;
     Segment.set_u32 seg off_veneer_next 0;
@@ -136,6 +143,8 @@ module Header = struct
     Segment.set_u32 seg off_nrelocs n;
     Segment.set_u32 seg off_applied_count 0;
     set_template seg template_path
+
+  let publish seg = write_magic seg
 
   let veneer_pool seg ~base =
     {
@@ -178,47 +187,66 @@ let create_public_file ctx ~template_path ~obj ~module_path =
   if obj.Objfile.uses_gp then
     errf "module %s uses the $gp register: public modules must be compiled with gp disabled"
       template_path;
-  let fs = ctx.Search.fs in
-  Fs.create_file fs module_path;
-  let base = Fs.addr_of_path fs module_path in
   if Header.size + placed_size obj > Layout.shared_slot_size then
     errf "module %s exceeds the %d-byte shared file limit" module_path
       Layout.shared_slot_size;
-  let seg = Fs.segment_of fs module_path in
-  let veneer_off = Header.size + align16 (Objfile.load_size obj) in
-  Header.init seg ~template_path ~nrelocs:(List.length obj.Objfile.relocs) ~veneer_off
-    ~veneer_cap:(veneer_capacity obj);
-  place_sections seg ~image_off:Header.size obj;
-  (* Apply internal relocations: those naming symbols the template itself
-     defines.  External references stay pending in the shared bitmap. *)
-  let text_b, data_b, bss_b = Objfile.section_bases obj in
-  let image = base + Header.size in
-  let bases = function
-    | Objfile.Text -> image + text_b
-    | Objfile.Data -> image + data_b
-    | Objfile.Bss -> image + bss_b
-  in
-  let sink = sink_of_segment seg ~vaddr_base:base in
-  let resolve name =
-    match Objfile.find_symbol obj name with
-    | Some sym ->
-      Some
-        (image
-        + (match sym.Objfile.sym_section with
-          | Objfile.Text -> text_b
-          | Objfile.Data -> data_b
-          | Objfile.Bss -> bss_b)
-        + sym.Objfile.sym_offset)
-    | None -> None
-  in
-  let pool = Header.veneer_pool seg ~base in
-  let _pending =
-    Reloc_engine.link_pass ~obj ~bases ~resolve
-      ~already:(Header.applied seg)
-      ~mark:(Header.set_applied seg)
-      sink ~gp:None ~veneer:(Some pool)
-  in
-  base
+  let fs = ctx.Search.fs in
+  Fault.hit "mod.create";
+  (* Module creation is multi-step (create → header/sections/relocs →
+     publish); the journal entry lets fsck tell an unpublished partial
+     from a completed module, and the magic — written by [publish],
+     last — is the commit point. *)
+  let canonical = Path.to_string (Path.of_string ~cwd:Path.root module_path) in
+  let jid = Fs.journal_begin fs (Fs.Intent_module { module_path = canonical }) in
+  try
+    Fs.create_file fs module_path;
+    let base = Fs.addr_of_path fs module_path in
+    let seg = Fs.segment_of fs module_path in
+    let veneer_off = Header.size + align16 (Objfile.load_size obj) in
+    Header.init seg ~template_path ~nrelocs:(List.length obj.Objfile.relocs) ~veneer_off
+      ~veneer_cap:(veneer_capacity obj);
+    place_sections seg ~image_off:Header.size obj;
+    (* Apply internal relocations: those naming symbols the template itself
+       defines.  External references stay pending in the shared bitmap. *)
+    let text_b, data_b, bss_b = Objfile.section_bases obj in
+    let image = base + Header.size in
+    let bases = function
+      | Objfile.Text -> image + text_b
+      | Objfile.Data -> image + data_b
+      | Objfile.Bss -> image + bss_b
+    in
+    let sink = sink_of_segment seg ~vaddr_base:base in
+    let resolve name =
+      match Objfile.find_symbol obj name with
+      | Some sym ->
+        Some
+          (image
+          + (match sym.Objfile.sym_section with
+            | Objfile.Text -> text_b
+            | Objfile.Data -> data_b
+            | Objfile.Bss -> bss_b)
+          + sym.Objfile.sym_offset)
+      | None -> None
+    in
+    let pool = Header.veneer_pool seg ~base in
+    let _pending =
+      Reloc_engine.link_pass ~obj ~bases ~resolve
+        ~already:(Header.applied seg)
+        ~mark:(Header.set_applied seg)
+        sink ~gp:None ~veneer:(Some pool)
+    in
+    Fault.hit "mod.create.mid";
+    Header.publish seg;
+    Fs.journal_end fs jid;
+    base
+  with
+  | Fault.Crash _ as e -> raise e (* the journal entry is fsck's evidence *)
+  | e ->
+    (* Injected failure or link error mid-creation: remove the partial
+       (unpublished) module so the failure is all-or-nothing. *)
+    (try Fs.unlink fs canonical with Fs.Error _ | Fault.Injected _ -> ());
+    Fs.journal_end fs jid;
+    raise e
 
 let load_template ctx path =
   match Fs.read_file ctx.Search.fs ~cwd:ctx.Search.cwd path with

@@ -99,6 +99,13 @@ end
     the module file, writes the header and the placed image, applies
     the template's {e internal} relocations (those whose symbol the
     template itself defines), and returns the module's base address.
+
+    Creation is transactional: the header magic is written {e last} (the
+    commit point — until then [Header.is_module_file] is false), the
+    whole sequence is bracketed by an [Fs.Intent_module] journal entry,
+    and a recoverable failure mid-way removes the partial file before
+    re-raising.  A simulated crash leaves the partial file plus the
+    pending intent for [Fs.fsck] to roll back.
     @raise Link_error if the paths are off the shared partition, the
     template uses $gp, or the image exceeds the 1 MB slot. *)
 val create_public_file :

@@ -6,6 +6,7 @@ type t =
   | ESRCH
   | ENOEXEC
   | ENXIO
+  | EIO
   | EBADF
   | ECHILD
   | EAGAIN
@@ -34,6 +35,7 @@ let code = function
   | ESRCH -> 3
   | ENOEXEC -> 8
   | ENXIO -> 6
+  | EIO -> 5
   | EBADF -> 9
   | ECHILD -> 10
   | EAGAIN -> 11
@@ -56,7 +58,7 @@ let code = function
 
 let all =
   [
-    EPERM; ENOENT; ESRCH; ENXIO; ENOEXEC; EBADF; ECHILD; EAGAIN; ENOMEM; EACCES;
+    EPERM; ENOENT; ESRCH; EIO; ENXIO; ENOEXEC; EBADF; ECHILD; EAGAIN; ENOMEM; EACCES;
     EFAULT; EBUSY; EEXIST; EXDEV; ENOTDIR; EISDIR; EINVAL; EMFILE; ENOSPC;
     ESPIPE; EDEADLK; ENOSYS; ENOTEMPTY; ELOOP;
   ]
@@ -67,6 +69,7 @@ let name = function
   | ESRCH -> "ESRCH"
   | ENOEXEC -> "ENOEXEC"
   | ENXIO -> "ENXIO"
+  | EIO -> "EIO"
   | EBADF -> "EBADF"
   | ECHILD -> "ECHILD"
   | EAGAIN -> "EAGAIN"
@@ -93,6 +96,7 @@ let message = function
   | ESRCH -> "no such process"
   | ENOEXEC -> "exec format error"
   | ENXIO -> "no such device or address"
+  | EIO -> "input/output error"
   | EBADF -> "bad file descriptor"
   | ECHILD -> "no child processes"
   | EAGAIN -> "resource temporarily unavailable"
@@ -114,6 +118,11 @@ let message = function
   | ELOOP -> "too many levels of symbolic links"
 
 let of_code n = List.find_opt (fun e -> code e = n) all
+
+let of_failure = function
+  | Hemlock_util.Fault.Eio -> EIO
+  | Hemlock_util.Fault.Enospc -> ENOSPC
+  | Hemlock_util.Fault.Eagain -> EAGAIN
 
 let of_fs_kind = function
   | Fs.Not_found -> ENOENT

@@ -13,6 +13,7 @@ type t =
   | ESRCH
   | ENOEXEC
   | ENXIO
+  | EIO
   | EBADF
   | ECHILD
   | EAGAIN
@@ -52,6 +53,10 @@ val of_code : int -> t option
     ([Not_found] → [ENOENT], [No_space] → [ENOSPC], [Not_shared] →
     [ENXIO], …). *)
 val of_fs_kind : Hemlock_sfs.Fs.err_kind -> t
+
+(** How injected faults surface: [Fault.Eio] → [EIO], [Enospc] →
+    [ENOSPC], [Eagain] → [EAGAIN]. *)
+val of_failure : Hemlock_util.Fault.failure -> t
 
 (** ["ENOENT: no such file or directory"]. *)
 val to_string : t -> string

@@ -1,4 +1,5 @@
 module Stats = Hemlock_util.Stats
+module Fault = Hemlock_util.Fault
 
 type msgq = { mq_queue : Bytes.t Queue.t; mq_capacity : int }
 
@@ -37,7 +38,10 @@ let msgq_length t name = Result.map (fun q -> Queue.length q.mq_queue) (find_msg
 let msg_send t name b =
   match find_msgq t name with
   | Error err -> Error err
-  | Ok q ->
+  | Ok q -> (
+    match Fault.hit "ipc.send" with
+    | exception Fault.Injected { failure; _ } -> Error (Errno.of_failure failure)
+    | () ->
     Proc.wait_until
       ~why:(Printf.sprintf "msgq %s not full" name)
       (fun () -> Queue.length q.mq_queue < q.mq_capacity);
@@ -45,7 +49,7 @@ let msg_send t name b =
     Stats.global.messages_sent <- Stats.global.messages_sent + 1;
     Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
     Queue.add (Bytes.copy b) q.mq_queue;
-    Ok ()
+    Ok ())
 
 let msg_recv t name =
   match find_msgq t name with
@@ -84,9 +88,25 @@ let pd_call t kernel ~service arg =
   match Hashtbl.find_opt t.pd_services service with
   | None -> Error Errno.ENOENT
   | Some { pd_owner; pd_entry } ->
-    (* One trap, two domain switches (in and out), no copying: the
-       handler runs against the server's address space while the caller
-       is suspended. *)
-    Stats.global.syscalls <- Stats.global.syscalls + 1;
-    Stats.global.context_switches <- Stats.global.context_switches + 2;
-    Ok (pd_entry kernel pd_owner arg)
+    (* Transient EAGAIN (only ever injected) gets a bounded, deterministic
+       retry: the backoff is billed as spin instructions so the cost is
+       visible in the simulated cycle count of faulted runs — and absent
+       from unfaulted ones. *)
+    let max_attempts = 4 in
+    let rec attempt n =
+      match Fault.hit "ipc.send" with
+      | exception Fault.Injected { failure = Hemlock_util.Fault.Eagain; _ }
+        when n < max_attempts - 1 ->
+        Stats.global.ipc_retries <- Stats.global.ipc_retries + 1;
+        Stats.global.instructions <- Stats.global.instructions + (50 lsl n);
+        attempt (n + 1)
+      | exception Fault.Injected { failure; _ } -> Error (Errno.of_failure failure)
+      | () ->
+        (* One trap, two domain switches (in and out), no copying: the
+           handler runs against the server's address space while the
+           caller is suspended. *)
+        Stats.global.syscalls <- Stats.global.syscalls + 1;
+        Stats.global.context_switches <- Stats.global.context_switches + 2;
+        Ok (pd_entry kernel pd_owner arg)
+    in
+    attempt 0

@@ -9,6 +9,7 @@ module Reg = Hemlock_isa.Reg
 module Trap = Hemlock_isa.Trap
 module Codec = Hemlock_util.Codec
 module Stats = Hemlock_util.Stats
+module Fault = Hemlock_util.Fault
 
 type blocked = Sched.blocked = { b_pid : int; b_comm : string; b_why : string }
 
@@ -87,6 +88,7 @@ let fs_result f =
   match f () with
   | v -> Ok v
   | exception Fs.Error { kind; _ } -> Error (Errno.of_fs_kind kind)
+  | exception Fault.Injected { failure; _ } -> Error (Errno.of_failure failure)
 
 (* --- protection-domain calls (the paper's future-work syscall) -------- *)
 
@@ -276,6 +278,7 @@ let sys_open_r t proc ?(create = false) ?(trunc = false) path =
   Stats.global.files_opened <- Stats.global.files_opened + 1;
   match
     fs_result (fun () ->
+        Fault.hit "vfs.open";
         let cwd = proc.Proc.cwd in
         if create && not (Fs.exists t.fs ~cwd path) then Fs.create_file t.fs ~cwd path;
         let seg = Fs.segment_of t.fs ~cwd path in

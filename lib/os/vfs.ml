@@ -1,4 +1,5 @@
 module Segment = Hemlock_vm.Segment
+module Fault = Hemlock_util.Fault
 
 type fd = int
 
@@ -42,8 +43,11 @@ let entry t ~pid fd =
 
 let close t ~pid fd =
   if Hashtbl.mem t.fd_entries (pid, fd) then begin
-    Hashtbl.remove t.fd_entries (pid, fd);
-    Ok ()
+    match Fault.hit "vfs.close" with
+    | exception Fault.Injected { failure; _ } -> Error (Errno.of_failure failure)
+    | () ->
+      Hashtbl.remove t.fd_entries (pid, fd);
+      Ok ()
   end
   else Error Errno.EBADF
 
@@ -55,33 +59,45 @@ let read t ~pid fd len =
   else
     match entry t ~pid fd with
     | Error err -> Error err
-    | Ok e ->
+    | Ok e -> (
+      match Fault.hit "vfs.read" with
+      | exception Fault.Injected { failure; _ } -> Error (Errno.of_failure failure)
+      | () ->
       let avail = max 0 (Segment.size e.fe_seg - e.fe_pos) in
       let n = min len avail in
       let out = Segment.blit_out e.fe_seg ~src_off:e.fe_pos ~len:n in
       e.fe_pos <- e.fe_pos + n;
-      Ok out
+      Ok out)
 
 let write t ~pid fd b =
   match entry t ~pid fd with
   | Error err -> Error err
   | Ok e -> (
-    match Segment.blit_in e.fe_seg ~dst_off:e.fe_pos b with
-    | () ->
-      e.fe_pos <- e.fe_pos + Bytes.length b;
-      Ok (Bytes.length b)
-    | exception Invalid_argument _ ->
-      (* Growth past the segment's max_size: the backing slot is full. *)
-      Error Errno.ENOSPC)
+    match
+      Fault.hit "vfs.write";
+      if e.fe_pos + Bytes.length b > Segment.size e.fe_seg then Fault.hit "seg.grow"
+    with
+    | exception Fault.Injected { failure; _ } -> Error (Errno.of_failure failure)
+    | () -> (
+      match Segment.blit_in e.fe_seg ~dst_off:e.fe_pos b with
+      | () ->
+        e.fe_pos <- e.fe_pos + Bytes.length b;
+        Ok (Bytes.length b)
+      | exception Invalid_argument _ ->
+        (* Growth past the segment's max_size: the backing slot is full. *)
+        Error Errno.ENOSPC))
 
 let lseek t ~pid fd pos =
   if pos < 0 then Error Errno.EINVAL
   else
     match entry t ~pid fd with
     | Error err -> Error err
-    | Ok e ->
-      e.fe_pos <- pos;
-      Ok pos
+    | Ok e -> (
+      match Fault.hit "vfs.lseek" with
+      | exception Fault.Injected { failure; _ } -> Error (Errno.of_failure failure)
+      | () ->
+        e.fe_pos <- pos;
+        Ok pos)
 
 (* --- file locks -------------------------------------------------------- *)
 

@@ -30,12 +30,17 @@ let starts_with seg s =
        (fun i -> Segment.get_u8 seg i = Char.code s.[i])
        (List.init (String.length s) Fun.id)
 
+(* Header sniffing must survive whatever a crash left behind: a
+   truncated or garbled segment is [Plain] data to be perused, never an
+   exception out of the survey. *)
 let classify seg =
-  if Modinst.Header.is_module_file seg then Module
-  else if Shm_heap.is_heap_segment seg then Heap
-  else if starts_with seg "HOBJ" then Template
-  else if starts_with seg "HEXE" then Executable
-  else Plain
+  try
+    if Modinst.Header.is_module_file seg then Module
+    else if Shm_heap.is_heap_segment seg then Heap
+    else if starts_with seg "HOBJ" then Template
+    else if starts_with seg "HEXE" then Executable
+    else Plain
+  with _ -> Plain
 
 let survey k =
   let fs = Kernel.fs k in
@@ -49,8 +54,13 @@ let survey k =
         j_addr = Layout.addr_of_slot slot;
         j_bytes = Segment.size seg;
         j_kind = kind;
-        j_heap_live = (if kind = Heap then Some (Shm_heap.live_bytes_of_segment seg) else None);
-        j_template = (if kind = Module then Some (Modinst.Header.template seg) else None);
+        j_heap_live =
+          (if kind = Heap then
+             try Some (Shm_heap.live_bytes_of_segment seg) with _ -> None
+           else None);
+        j_template =
+          (if kind = Module then try Some (Modinst.Header.template seg) with _ -> None
+           else None);
       })
     (Fs.shared_table fs)
 
@@ -64,6 +74,31 @@ let orphaned_modules k =
       | Some template -> not (Fs.exists fs template)
       | None -> false)
     (survey k)
+
+(* ----- reaping policy ----------------------------------------------------- *)
+
+type policy = entry -> bool
+
+let orphan_policy k ~flagged =
+  let fs = Kernel.fs k in
+  fun e ->
+    match e.j_kind with
+    | Module -> (
+      (* a module whose template is gone can never be re-verified *)
+      match e.j_template with
+      | Some template -> not (Fs.exists fs template)
+      | None -> true (* unreadable header: corrupt module *))
+    | Plain ->
+      (* Conservative: only reap plain files that fsck flagged as
+         unacknowledged creations — a published module whose creator
+         crashed after the commit point is left alone. *)
+      List.mem e.j_path flagged
+    | Heap | Template | Executable -> false
+
+let reap k ~policy =
+  let victims = List.filter policy (survey k) in
+  List.iter (fun e -> remove k e.j_path) victims;
+  victims
 
 let pp_entry ppf e =
   Format.fprintf ppf "slot %4d  0x%08x  %-10s %7dB  %s%s" e.j_slot e.j_addr

@@ -39,4 +39,23 @@ val remove : Kernel.t -> string -> unit
     orphaned by a deleted template; prime cleanup candidates. *)
 val orphaned_modules : Kernel.t -> entry list
 
+(** {1 Reaping policy}
+
+    The paper's "manual cleanup" gets a mechanical assistant: a policy
+    decides which surveyed entries to delete, and {!reap} applies it.
+    The janitor never decides on its own — callers choose the policy. *)
+
+type policy = entry -> bool
+
+(** The conservative default: modules whose template is missing (or
+    whose header is unreadable), plus [Plain] files in [flagged] —
+    typically {!Hemlock_sfs.Fs.fsck}'s [fsck_orphans], creations a crash
+    left unacknowledged.  Published modules are never flagged this way,
+    so a module whose creator crashed after the commit point survives. *)
+val orphan_policy : Kernel.t -> flagged:string list -> policy
+
+(** [reap k ~policy] removes every surveyed entry the policy selects and
+    returns the removed entries. *)
+val reap : Kernel.t -> policy:policy -> entry list
+
 val pp_entry : Format.formatter -> entry -> unit

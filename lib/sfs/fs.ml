@@ -1,6 +1,7 @@
 module Segment = Hemlock_vm.Segment
 module Layout = Hemlock_vm.Layout
 module Stats = Hemlock_util.Stats
+module Fault = Hemlock_util.Fault
 
 type err_kind =
   | Not_found
@@ -50,12 +51,20 @@ and file = {
 
 and dir = { entries : (string, node) Hashtbl.t; dir_ino : int }
 
+type intent =
+  | Intent_create of { path : string }
+  | Intent_rename of { src : string; dst : string }
+  | Intent_write of { path : string; digest : string }
+  | Intent_module of { module_path : string }
+
 type t = {
   root : dir;
   mutable next_ino : int;
   addr_table : string option array; (* the kernel's linear lookup table *)
   uid : int; (* distinguishes file systems in cross-kernel caches *)
   mutable generation : int; (* bumped by every namespace/content mutation *)
+  mutable journal : (int * intent) list; (* pending intents, newest first *)
+  mutable next_jid : int;
 }
 
 let next_uid = ref 0
@@ -88,6 +97,8 @@ let create () =
       addr_table = Array.make Layout.shared_slots None;
       uid = !next_uid;
       generation = 0;
+      journal = [];
+      next_jid = 1;
     }
   in
   let add name = Hashtbl.replace t.root.entries name (new_dir t) in
@@ -148,6 +159,23 @@ let alloc_slot t ~op path =
 
 let free_slot t slot = t.addr_table.(slot) <- None
 
+(* Intent journal.  The journal lives in [t] — the same place as the
+   "disk" — so it survives a simulated crash; an entry present at fsck
+   time is exactly an operation that began but never acknowledged.
+   Journal bookkeeping does not bump [generation]: intents carry no
+   namespace information of their own (the repairs fsck makes do
+   bump it, through the ordinary mutation helpers). *)
+
+let journal_begin t intent =
+  let jid = t.next_jid in
+  t.next_jid <- jid + 1;
+  t.journal <- (jid, intent) :: t.journal;
+  jid
+
+let journal_end t jid = t.journal <- List.filter (fun (j, _) -> j <> jid) t.journal
+
+let journal_pending t = List.rev t.journal
+
 (* Path-level API *)
 
 let parse t ?(cwd = Path.root) s =
@@ -173,33 +201,55 @@ let rec create_file t ?cwd s =
   let name = Path.basename p in
   let full = canon @ [ name ] in
   match Hashtbl.find_opt dir.entries name with
-  | Some (File f) -> Segment.resize f.seg 0 (* truncate; keeps slot+address *)
+  | Some (File f) ->
+    Fault.hit "fs.create";
+    Segment.resize f.seg 0 (* truncate; keeps slot+address *)
   | Some (Dir _) -> error op full Is_a_directory
   | Some (Link target) ->
     (* Creating through a symlink creates the target. *)
     let target_path = Path.of_string ~cwd:canon target in
     create_file t ~cwd:Path.root (Path.to_string target_path)
   | None ->
-    let file =
-      if is_shared_path full then begin
-        let slot = alloc_slot t ~op full in
-        t.addr_table.(slot) <- Some (Path.to_string full);
+    Fault.hit "fs.create";
+    if is_shared_path full then begin
+      (* Multi-step: publish the slot, then insert the directory entry.
+         A journal entry brackets the window so fsck can tell an
+         interrupted create from an acknowledged one. *)
+      let slot = alloc_slot t ~op full in
+      let jid = journal_begin t (Intent_create { path = Path.to_string full }) in
+      let file =
         {
           seg = Segment.create ~name:(Path.to_string full) ~max_size:Layout.shared_slot_size ();
           ino = slot;
           slot = Some slot;
           nlink = 1;
         }
-      end
-      else
+      in
+      try
+        t.addr_table.(slot) <- Some (Path.to_string full);
+        Fault.hit "fs.create.mid";
+        Hashtbl.replace dir.entries name (File file);
+        Fault.hit "fs.create.commit";
+        journal_end t jid
+      with Fault.Injected _ as e ->
+        (* Recoverable failure mid-create: undo both steps so the caller
+           observes an errno and an unchanged file system.  (A [Crash]
+           deliberately skips this — the machine stopped.) *)
+        t.addr_table.(slot) <- None;
+        Hashtbl.remove dir.entries name;
+        journal_end t jid;
+        raise e
+    end
+    else
+      let file =
         {
           seg = Segment.create ~name:(Path.to_string full) ~max_size:normal_file_max ();
           ino = fresh_ino t;
           slot = None;
           nlink = 1;
         }
-    in
-    Hashtbl.replace dir.entries name (File file)
+      in
+      Hashtbl.replace dir.entries name (File file)
 
 let exists t ?cwd s =
   Option.is_some (resolve_opt t ~op:"exists" ~follow_last:true (parse t ?cwd s))
@@ -240,23 +290,86 @@ let read_file t ?cwd s =
   Stats.global.files_opened <- Stats.global.files_opened + 1;
   Segment.blit_out f.seg ~src_off:0 ~len
 
-let write_file t ?cwd s b =
+(* Remove a canonical path's directory entry without passing through the
+   fault-sited [unlink] — undo and fsck repair paths must themselves be
+   injection-free. *)
+let drop_entry t canon =
+  match resolve_opt t ~op:"fsck" ~follow_last:false canon with
+  | Some (_, File f) -> (
+    match resolve_opt t ~op:"fsck" ~follow_last:true (Path.parent canon) with
+    | Some (_, Dir d) ->
+      Hashtbl.remove d.entries (Path.basename canon);
+      f.nlink <- f.nlink - 1;
+      if f.nlink = 0 then Option.iter (free_slot t) f.slot;
+      touch t;
+      true
+    | Some _ | None -> false)
+  | Some _ | None -> false
+
+(* Shared [write_file]/[append_file] body.  [content] is the full
+   contents the file will hold on success (for a fresh file this is all
+   of [b], so its digest lets fsck decide replay vs. roll back).
+   Ordering for a fresh file: journal the intended write, create, then
+   write — a crash anywhere inside resolves to the pre-state because the
+   digest cannot match a partial file. *)
+let write_like t ~op ~site p b ~apply ~would_overflow =
   touch t;
+  let fresh = not (exists t (Path.to_string p)) in
+  let canon_guess =
+    (* canonical path for journaling; for a fresh file the parent must
+       already exist, so canonicalise through it *)
+    if fresh then
+      let parent_canon, _ = resolve_dir t ~op (Path.parent p) in
+      parent_canon @ [ Path.basename p ]
+    else
+      let canon, _ = resolve_file t ~op p in
+      canon
+  in
+  let jid =
+    if fresh && is_shared_path canon_guess then
+      Some
+        (journal_begin t
+           (Intent_write { path = Path.to_string canon_guess; digest = Digest.bytes b }))
+    else None
+  in
+  let roll_back () =
+    if fresh then ignore (drop_entry t canon_guess);
+    Option.iter (journal_end t) jid
+  in
+  (try if fresh then create_file t (Path.to_string p)
+   with
+   | Fault.Crash _ as e -> raise e (* no cleanup: the journal entry is the evidence *)
+   | e ->
+     Option.iter (journal_end t) jid;
+     raise e);
+  let canon, f = resolve_file t ~op p in
+  (try Fault.hit site
+   with Fault.Injected _ as e ->
+     roll_back ();
+     raise e);
+  if would_overflow f then begin
+    roll_back ();
+    error op canon No_space
+  end;
+  apply f;
+  Option.iter (journal_end t) jid
+
+let write_file t ?cwd s b =
   let p = parse t ?cwd s in
-  if not (exists t (Path.to_string p)) then create_file t (Path.to_string p);
-  let _, f = resolve_file t ~op:"write" p in
-  Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
-  Stats.global.files_opened <- Stats.global.files_opened + 1;
-  Segment.resize f.seg 0;
-  Segment.blit_in f.seg ~dst_off:0 b
+  write_like t ~op:"write" ~site:"fs.write" p b
+    ~would_overflow:(fun f -> Bytes.length b > Segment.max_size f.seg)
+    ~apply:(fun f ->
+      Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
+      Stats.global.files_opened <- Stats.global.files_opened + 1;
+      Segment.replace f.seg b)
 
 let append_file t ?cwd s b =
-  touch t;
   let p = parse t ?cwd s in
-  if not (exists t (Path.to_string p)) then create_file t (Path.to_string p);
-  let _, f = resolve_file t ~op:"append" p in
-  Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
-  Segment.blit_in f.seg ~dst_off:(Segment.size f.seg) b
+  write_like t ~op:"append" ~site:"fs.append" p b
+    ~would_overflow:(fun f -> Segment.size f.seg + Bytes.length b > Segment.max_size f.seg)
+    ~apply:(fun f ->
+      Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
+      Segment.blit_in f.seg ~dst_off:(Segment.size f.seg) b)
 
 let symlink t ?cwd ~target s =
   let op = "symlink" in
@@ -295,9 +408,19 @@ let unlink t ?cwd s =
   match Hashtbl.find_opt dir.entries name with
   | None -> error op full Not_found
   | Some (Dir _) -> error op full Is_a_directory
-  | Some (Link _) -> Hashtbl.remove dir.entries name
+  | Some (Link _) ->
+    Fault.hit "fs.unlink";
+    Hashtbl.remove dir.entries name
   | Some (File f) ->
+    Fault.hit "fs.unlink";
     Hashtbl.remove dir.entries name;
+    (* Crash window: entry gone, slot still published.  No journal —
+       [rescan_shared] rebuilds the table from the tree, which clears
+       the dangling slot on its own. *)
+    (try Fault.hit "fs.unlink.mid"
+     with Fault.Injected _ as e ->
+       Hashtbl.replace dir.entries name (File f);
+       raise e);
     f.nlink <- f.nlink - 1;
     if f.nlink = 0 then Option.iter (free_slot t) f.slot
 
@@ -337,19 +460,41 @@ let rename t ?cwd ~src dst =
   if Hashtbl.mem dst_dir.entries dst_name then error op dst_full Already_exists;
   if is_shared_path src_full <> is_shared_path dst_full then
     error op dst_full Cross_partition;
-  Hashtbl.remove src_dir.entries src_name;
-  Hashtbl.replace dst_dir.entries dst_name node;
+  Fault.hit "fs.rename";
   (* Addresses are permanent: fix the kernel's addr->path table for any
      shared file whose path just changed (the moved file itself, or the
      contents of a moved directory). *)
-  if is_shared_path dst_full then begin
-    let rec fix canon = function
-      | File f -> Option.iter (fun slot -> t.addr_table.(slot) <- Some (Path.to_string canon)) f.slot
-      | Link _ -> ()
-      | Dir d -> Hashtbl.iter (fun name child -> fix (canon @ [ name ]) child) d.entries
-    in
-    fix dst_full node
-  end
+  let rec fix canon = function
+    | File f -> Option.iter (fun slot -> t.addr_table.(slot) <- Some (Path.to_string canon)) f.slot
+    | Link _ -> ()
+    | Dir d -> Hashtbl.iter (fun name child -> fix (canon @ [ name ]) child) d.entries
+  in
+  let shared = is_shared_path dst_full in
+  let jid =
+    if shared then
+      Some
+        (journal_begin t
+           (Intent_rename
+              { src = Path.to_string src_full; dst = Path.to_string dst_full }))
+    else None
+  in
+  (* Crash-safe ordering: insert at the destination first, remove the
+     source second.  A crash between the two leaves both names visible —
+     never zero — and fsck completes the rename from the journal. *)
+  try
+    Hashtbl.replace dst_dir.entries dst_name node;
+    Fault.hit "fs.rename.mid";
+    Hashtbl.remove src_dir.entries src_name;
+    if shared then fix dst_full node;
+    Fault.hit "fs.rename.commit";
+    Option.iter (journal_end t) jid
+  with Fault.Injected _ as e ->
+    (* undo: restore the source view of the world *)
+    Hashtbl.remove dst_dir.entries dst_name;
+    Hashtbl.replace src_dir.entries src_name node;
+    if shared then fix src_full node;
+    Option.iter (journal_end t) jid;
+    raise e
 
 let readdir t ?cwd s =
   let _, dir = resolve_dir t ~op:"readdir" (parse t ?cwd s) in
@@ -393,6 +538,142 @@ let rescan_shared t =
   match Hashtbl.find_opt t.root.entries "shared" with
   | Some (Dir d) -> walk shared_prefix d
   | Some (File _ | Link _) | None -> ()
+
+type fsck_report = {
+  fsck_replayed : int;
+  fsck_rolled_back : int;
+  fsck_repairs : string list;
+  fsck_orphans : string list;
+  fsck_clean : bool;
+}
+
+let fsck t =
+  (* Boot-time view first: rebuild the addr table from the tree, which
+     already clears dangling slots left by an interrupted unlink. *)
+  rescan_shared t;
+  let replayed = ref 0 and rolled = ref 0 in
+  let repairs = ref [] and orphans = ref [] in
+  let note msg = repairs := msg :: !repairs in
+  let entries = List.rev t.journal in
+  t.journal <- [];
+  let lookup path =
+    resolve_opt t ~op:"fsck" ~follow_last:false (Path.of_string ~cwd:Path.root path)
+  in
+  let process (_jid, intent) =
+    match intent with
+    | Intent_create { path } -> (
+      match lookup path with
+      | Some (_, File _) ->
+        (* The create finished but was never acknowledged: keep the file
+           (roll forward) and flag it so a reaping policy can decide. *)
+        incr replayed;
+        orphans := path :: !orphans
+      | Some _ | None -> incr rolled)
+    | Intent_rename { src; dst } -> (
+      match (lookup src, lookup dst) with
+      | Some _, Some _ ->
+        (* Insert happened, remove did not: finish the rename. *)
+        let srcp = Path.of_string ~cwd:Path.root src in
+        (match resolve_opt t ~op:"fsck" ~follow_last:true (Path.parent srcp) with
+        | Some (_, Dir d) ->
+          Hashtbl.remove d.entries (Path.basename srcp);
+          touch t
+        | Some _ | None -> ());
+        note (Printf.sprintf "completed rename %s -> %s" src dst);
+        incr replayed
+      | None, Some _ -> incr replayed (* already complete *)
+      | Some _, None | None, None -> incr rolled)
+    | Intent_write { path; digest } -> (
+      match lookup path with
+      | Some (_, File f) ->
+        if Digest.bytes (Segment.contents f.seg) = digest then incr replayed
+        else begin
+          ignore (drop_entry t (Path.of_string ~cwd:Path.root path));
+          note (Printf.sprintf "rolled back partial write of %s" path);
+          incr rolled
+        end
+      | Some _ | None -> incr rolled)
+    | Intent_module { module_path } -> (
+      match lookup module_path with
+      | Some (_, File f) ->
+        (* Published = the magic was written, which is the last step of
+           module creation; sniff it directly (the fs layer cannot see
+           [Modinst.Header]). *)
+        let published =
+          Segment.size f.seg >= 4
+          && Bytes.to_string (Segment.blit_out f.seg ~src_off:0 ~len:4) = "HMOD"
+        in
+        if published then incr replayed
+        else begin
+          ignore (drop_entry t (Path.of_string ~cwd:Path.root module_path));
+          note (Printf.sprintf "removed unpublished module %s" module_path);
+          incr rolled
+        end
+      | Some _ | None -> incr rolled)
+  in
+  List.iter process entries;
+  (* Invariant sweep over the shared tree: every file carries an
+     in-range slot and no slot is claimed by two paths. *)
+  let slot_paths : (int, string list) Hashtbl.t = Hashtbl.create 64 in
+  (match Hashtbl.find_opt t.root.entries "shared" with
+  | Some (Dir d0) ->
+    let rec walk canon dir =
+      let names =
+        List.sort String.compare (Hashtbl.fold (fun k _ a -> k :: a) dir.entries [])
+      in
+      List.iter
+        (fun name ->
+          let full = canon @ [ name ] in
+          match Hashtbl.find_opt dir.entries name with
+          | Some (Dir d) -> walk full d
+          | Some (File f) -> (
+            match f.slot with
+            | Some s when s >= 0 && s < Layout.shared_slots ->
+              let prev = Option.value ~default:[] (Hashtbl.find_opt slot_paths s) in
+              Hashtbl.replace slot_paths s (Path.to_string full :: prev)
+            | Some s ->
+              note
+                (Printf.sprintf "file %s has out-of-range slot %d"
+                   (Path.to_string full) s)
+            | None ->
+              note (Printf.sprintf "shared file %s has no slot" (Path.to_string full)))
+          | Some (Link _) | None -> ())
+        names
+    in
+    walk shared_prefix d0
+  | Some (File _ | Link _) | None -> ());
+  let remove_alias path =
+    (* the file stays live under its kept name: drop only the entry *)
+    let p = Path.of_string ~cwd:Path.root path in
+    match resolve_opt t ~op:"fsck" ~follow_last:true (Path.parent p) with
+    | Some (_, Dir d) ->
+      Hashtbl.remove d.entries (Path.basename p);
+      touch t
+    | Some _ | None -> ()
+  in
+  Hashtbl.iter
+    (fun slot paths ->
+      match List.sort String.compare paths with
+      | _keep :: (_ :: _ as extras) ->
+        List.iter
+          (fun extra ->
+            remove_alias extra;
+            note (Printf.sprintf "slot %d aliased; removed %s" slot extra))
+          extras
+      | _ -> ())
+    slot_paths;
+  (* Repairs may have changed the namespace: settle the table again. *)
+  rescan_shared t;
+  Stats.global.journal_replays <- Stats.global.journal_replays + !replayed;
+  Stats.global.journal_rollbacks <- Stats.global.journal_rollbacks + !rolled;
+  let repairs = List.rev !repairs in
+  {
+    fsck_replayed = !replayed;
+    fsck_rolled_back = !rolled;
+    fsck_repairs = repairs;
+    fsck_orphans = List.rev !orphans;
+    fsck_clean = !replayed = 0 && !rolled = 0 && repairs = [];
+  }
 
 let shared_free_slots t =
   Array.fold_left (fun acc e -> if e = None then acc + 1 else acc) 0 t.addr_table

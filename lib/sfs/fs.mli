@@ -138,6 +138,61 @@ val slot_owner : t -> int -> string option
     show the mapping survives "crashes". *)
 val rescan_shared : t -> unit
 
+(** {1 Crash consistency}
+
+    Multi-step [/shared] mutations (create = publish slot + insert
+    entry; rename = insert dst + remove src; a fresh-file write; module
+    creation over in {!Hemlock_linker.Modinst}) are bracketed by an
+    {e intent journal}.  The journal is part of [t] — the same place as
+    the simulated disk — so it survives a simulated {!Hemlock_util.Fault.Crash};
+    an entry still pending at recovery time is exactly an operation that
+    began and was never acknowledged.  {!fsck} rolls each pending intent
+    forward (when the visible state shows the operation completed) or
+    back (removing partial state), then sweeps the slot↔path invariants.
+
+    Interaction with the {!generation} contract: [journal_begin] and
+    [journal_end] do {e not} bump the generation — intents carry no
+    namespace content, so caches keyed on the generation need not
+    invalidate when an intent is filed or retired.  Every {e repair}
+    fsck makes goes through the ordinary mutation helpers and therefore
+    does bump it, exactly as if a program had performed the fix. *)
+
+type intent =
+  | Intent_create of { path : string }
+      (** shared file creation: slot published, entry inserted *)
+  | Intent_rename of { src : string; dst : string }
+      (** shared rename: dst inserted first, src removed second *)
+  | Intent_write of { path : string; digest : string }
+      (** fresh-file write: [digest] of the intended full contents
+          decides replay (contents match) vs. roll back (partial) *)
+  | Intent_module of { module_path : string }
+      (** module creation: create → sections/relocs → publish magic *)
+
+(** File an intent; returns a journal id to retire with {!journal_end}. *)
+val journal_begin : t -> intent -> int
+
+(** Retire (acknowledge) a journal entry.  Idempotent. *)
+val journal_end : t -> int -> unit
+
+(** Pending entries, oldest first (normally empty). *)
+val journal_pending : t -> (int * intent) list
+
+type fsck_report = {
+  fsck_replayed : int;  (** pending intents rolled forward *)
+  fsck_rolled_back : int;  (** pending intents rolled back *)
+  fsck_repairs : string list;  (** human-readable repair log *)
+  fsck_orphans : string list;
+      (** files whose creation was never acknowledged — candidates for
+          the janitor's reaping policy, not removed by fsck itself *)
+  fsck_clean : bool;  (** nothing replayed, rolled back or repaired *)
+}
+
+(** [fsck t] = {!rescan_shared} + journal recovery + invariant sweep
+    (every shared file has an in-range slot, no slot claimed by two
+    paths, no dangling table entries).  Idempotent: a second run on the
+    result always reports [fsck_clean = true]. *)
+val fsck : t -> fsck_report
+
 (** Number of free inode slots on the shared partition. *)
 val shared_free_slots : t -> int
 

@@ -22,6 +22,15 @@ type t = {
   mutable plan_hits : int;
   mutable plan_misses : int;
   mutable search_cache_hits : int;
+  (* Robustness observability.  Counted by the fault-injection engine
+     and the recovery machinery; all zero when no plan is armed, and —
+     like the fast-path counters — excluded from [cycles]. *)
+  mutable faults_injected : int;
+  mutable journal_replays : int;
+  mutable journal_rollbacks : int;
+  mutable link_rollbacks : int;
+  mutable plan_fallbacks : int;
+  mutable ipc_retries : int;
 }
 
 let zero () =
@@ -45,6 +54,12 @@ let zero () =
     plan_hits = 0;
     plan_misses = 0;
     search_cache_hits = 0;
+    faults_injected = 0;
+    journal_replays = 0;
+    journal_rollbacks = 0;
+    link_rollbacks = 0;
+    plan_fallbacks = 0;
+    ipc_retries = 0;
   }
 
 let global = zero ()
@@ -68,7 +83,13 @@ let reset () =
   global.sym_hash_misses <- 0;
   global.plan_hits <- 0;
   global.plan_misses <- 0;
-  global.search_cache_hits <- 0
+  global.search_cache_hits <- 0;
+  global.faults_injected <- 0;
+  global.journal_replays <- 0;
+  global.journal_rollbacks <- 0;
+  global.link_rollbacks <- 0;
+  global.plan_fallbacks <- 0;
+  global.ipc_retries <- 0
 
 let snapshot () = { global with instructions = global.instructions }
 
@@ -93,6 +114,12 @@ let diff ~before ~after =
     plan_hits = after.plan_hits - before.plan_hits;
     plan_misses = after.plan_misses - before.plan_misses;
     search_cache_hits = after.search_cache_hits - before.search_cache_hits;
+    faults_injected = after.faults_injected - before.faults_injected;
+    journal_replays = after.journal_replays - before.journal_replays;
+    journal_rollbacks = after.journal_rollbacks - before.journal_rollbacks;
+    link_rollbacks = after.link_rollbacks - before.link_rollbacks;
+    plan_fallbacks = after.plan_fallbacks - before.plan_fallbacks;
+    ipc_retries = after.ipc_retries - before.ipc_retries;
   }
 
 (* Cost model, in simulated cycles.  The weights are the conventional

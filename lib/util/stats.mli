@@ -35,6 +35,19 @@ type t = {
       (** link passes that ran cold (no plan, or plan rejected) *)
   mutable search_cache_hits : int;
       (** [Search.locate] results served from the path-resolution cache *)
+  mutable faults_injected : int;
+      (** {!Fault} firings (injected errors and simulated crashes);
+          zero unless a fault plan is armed *)
+  mutable journal_replays : int;
+      (** intent-journal entries [Fs.fsck] rolled forward at recovery *)
+  mutable journal_rollbacks : int;
+      (** intent-journal entries [Fs.fsck] rolled back at recovery *)
+  mutable link_rollbacks : int;
+      (** partial module instantiations the linker unwound after a
+          mid-instantiation failure *)
+  mutable plan_fallbacks : int;
+      (** link-plan replays abandoned mid-way for the cold path *)
+  mutable ipc_retries : int;  (** [pd_call] retries after transient EAGAIN *)
 }
 
 (** The single global counter set. *)

@@ -107,6 +107,16 @@ let write_from t ~dst_off src ~src_off ~len =
     if dst_off + len > t.size then t.size <- dst_off + len
   end
 
+let replace t b =
+  let len = Bytes.length b in
+  if len > t.max_size then invalid_arg "Segment.replace: larger than max_size";
+  ensure_capacity t len;
+  Bytes.blit b 0 t.data 0 len;
+  if Bytes.length t.data > len then
+    Bytes.fill t.data len (Bytes.length t.data - len) '\000';
+  t.size <- len;
+  t.version <- t.version + 1
+
 let contents t = blit_out t ~src_off:0 ~len:t.size
 
 let copy t =

@@ -49,6 +49,14 @@ val read_into : t -> src_off:int -> Bytes.t -> dst_off:int -> len:int -> unit
     [src] into the segment, growing it (same as repeated [set_u8]). *)
 val write_from : t -> dst_off:int -> Bytes.t -> src_off:int -> len:int -> unit
 
+(** [replace t b] swaps the whole contents for [b]: one content blit,
+    one size update, one version bump.  Unlike [resize 0] + [blit_in]
+    there is no intermediate state in which the segment is visibly empty
+    or half-written — existing mappings observe either the old contents
+    or the new.  Validation precedes any mutation.
+    @raise Invalid_argument if [Bytes.length b > max_size t]. *)
+val replace : t -> Bytes.t -> unit
+
 (** [copy t] is a snapshot with identical contents and a fresh identity —
     the private half of fork. *)
 val copy : t -> t

@@ -24,6 +24,12 @@ for ex in quickstart rwho_demo parallel_sum figure_editor lynx_tables editor_ser
   dune exec "examples/$ex.exe" > /dev/null
 done
 
+echo "== crash sweep (deterministic fault plans; gate: recovery fsck clean) =="
+dune exec bench/main.exe -- crash-sweep 1 2 3 4 5 6 7 8 9 10
+
+# The golden steps below double as the fault-layer-disabled check: the
+# injection engine is compiled into every one of these paths but no plan
+# is armed, and the transcripts must stay byte-identical to the seed.
 echo "== golden transcript (E1-E13) =="
 dune exec bench/main.exe -- e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 \
   > _build/e1_e13.txt

@@ -17,6 +17,7 @@ let () =
       ("baseline", Test_baseline.suite);
       ("apps", Test_apps.suite);
       ("failures", Test_failures.suite);
+      ("crash", Test_crash.suite);
       ("differential", Test_diff.suite);
       ("scenarios", Test_scenarios.suite);
       ("lisp", Test_lisp.suite);

@@ -1,0 +1,281 @@
+(* Crash consistency under deterministic fault injection: random op
+   traffic with injected errors and simulated crashes checked
+   all-or-nothing against an oracle, plus the graceful-degradation
+   paths (link-plan fallback, instantiate rollback, pd_call retry,
+   ENOSPC atomicity, fsck-driven reaping). *)
+
+open Harness
+module Fault = Hemlock_util.Fault
+module Prng = Hemlock_util.Prng
+module Stats = Hemlock_util.Stats
+module Segment = Hemlock_vm.Segment
+module Layout = Hemlock_vm.Layout
+module Janitor = Hemlock_runtime.Janitor
+module Modgen = Hemlock_apps.Modgen
+module Link_plan = Hemlock_linker.Link_plan
+module M = Map.Make (String)
+
+(* ----- random op traffic with crashes, vs an oracle ----------------------- *)
+
+(* A small closed path pool so renames and re-creates collide often. *)
+let pool = [| "/shared/a"; "/shared/b"; "/shared/d/c"; "/shared/d/e"; "/shared/f" |]
+
+type op =
+  | Create of string
+  | Write of string * string
+  | Append of string * string
+  | Rename of string * string
+  | Unlink of string
+
+let gen_op prng =
+  let p () = Prng.choose prng pool in
+  let payload () =
+    String.init (1 + Prng.int prng 12) (fun _ -> Char.chr (97 + Prng.int prng 26))
+  in
+  match Prng.int prng 5 with
+  | 0 -> Create (p ())
+  | 1 -> Write (p (), payload ())
+  | 2 -> Append (p (), payload ())
+  | 3 -> Rename (p (), p ())
+  | _ -> Unlink (p ())
+
+let apply_fs fs = function
+  | Create p -> Fs.create_file fs p
+  | Write (p, s) -> Fs.write_file fs p (Bytes.of_string s)
+  | Append (p, s) -> Fs.append_file fs p (Bytes.of_string s)
+  | Rename (src, dst) -> Fs.rename fs ~src dst
+  | Unlink p -> Fs.unlink fs p
+
+(* Oracle semantics of a {e successful} op (write/append create missing
+   files, just as the FS does). *)
+let apply_oracle m = function
+  | Create p -> M.add p "" m
+  | Write (p, s) -> M.add p s m
+  | Append (p, s) ->
+    M.add p ((match M.find_opt p m with Some v -> v | None -> "") ^ s) m
+  | Rename (src, dst) -> (
+    match M.find_opt src m with
+    | Some v -> M.add dst v (M.remove src m)
+    | None -> m)
+  | Unlink p -> M.remove p m
+
+let state_of fs =
+  Array.fold_left
+    (fun m p ->
+      if Fs.exists fs p then M.add p (Bytes.to_string (Fs.read_file fs p)) m else m)
+    M.empty pool
+
+(* The multi-step FS mutation sites: where a crash leaves real partial
+   state for fsck to resolve. *)
+let fs_sites =
+  [|
+    "fs.create"; "fs.create.mid"; "fs.create.commit"; "fs.write"; "fs.append";
+    "fs.rename"; "fs.rename.mid"; "fs.rename.commit"; "fs.unlink"; "fs.unlink.mid";
+  |]
+
+(* One (seed, plan) pair.  Every op must be all-or-nothing against the
+   oracle: a clean error or an injected failure leaves the pre-state, a
+   crash + recovery (rescan + fsck) leaves exactly the pre- or the
+   post-state — and a second fsck is always clean. *)
+let run_case seed =
+  let fs = Fs.create () in
+  Fs.mkdir fs "/shared/d";
+  let prng = Prng.create ~seed in
+  let nops = 6 + Prng.int prng 10 in
+  let ops = List.init nops (fun _ -> gen_op prng) in
+  Fault.configure_random ~sites:fs_sites seed;
+  Fun.protect ~finally:Fault.clear (fun () ->
+      let equal = M.equal String.equal in
+      let ok = ref true in
+      let oracle = ref M.empty in
+      List.iter
+        (fun op ->
+          if !ok then
+            let pre = !oracle in
+            match apply_fs fs op with
+            | () -> oracle := apply_oracle pre op
+            | exception Fs.Error _ ->
+              (* legitimately refused (missing source, existing
+                 destination, out of space): nothing may have changed *)
+              ok := equal (state_of fs) pre
+            | exception Fault.Injected _ ->
+              (* recoverable injection: the op must have unwound *)
+              ok := equal (state_of fs) pre
+            | exception Fault.Crash _ ->
+              (* reboot: recover, then demand all-or-nothing *)
+              Fault.clear ();
+              Fs.rescan_shared fs;
+              let (_ : Fs.fsck_report) = Fs.fsck fs in
+              let second = Fs.fsck fs in
+              ok := second.Fs.fsck_clean;
+              let post = apply_oracle pre op in
+              let st = state_of fs in
+              if equal st post then oracle := post
+              else ok := !ok && equal st pre)
+        ops;
+      !ok
+      && equal (state_of fs) !oracle
+      && (* a run is always left consistent: final fsck has nothing to do *)
+      (Fs.fsck fs).Fs.fsck_clean)
+
+let prop_all_or_nothing =
+  prop "crash: random traffic is all-or-nothing vs the oracle" ~count:250
+    ~print:string_of_int
+    QCheck2.Gen.(int_range 0 1_000_000)
+    run_case
+
+(* ----- graceful degradation ----------------------------------------------- *)
+
+let counter_template =
+  {|
+int counter;
+int bump() { counter = counter + 1; return counter; }
+|}
+
+(* Acceptance: an injected fault during link-plan replay degrades to the
+   cold resolution path; the exec still succeeds. *)
+let plan_replay_fault_falls_back () =
+  let k, ldl = boot () in
+  let fs = Kernel.fs k in
+  Fs.mkdir fs "/home/lib";
+  ignore (Modgen.install ldl ~dir:"/home/lib" ~modules:3);
+  Modgen.link_driver ldl ~dir:"/home/lib" ~out:"/home/d/prog" ~used:0;
+  let want = string_of_int (Modgen.expected ~modules:3 ~used:0) in
+  let run () = String.trim (snd (run_program k "/home/d/prog")) in
+  check_string "cold exec" want (run ());
+  check_string "warm exec replays" want (run ());
+  let before = Stats.global.Stats.plan_fallbacks in
+  Fault.configure "plan.replay@1=eio";
+  let out = Fun.protect ~finally:Fault.clear run in
+  check_string "faulted replay still executes correctly" want out;
+  if !Link_plan.enabled then
+    check_bool "cold-path fallback counted" true
+      (Stats.global.Stats.plan_fallbacks > before)
+
+(* A failure mid-instantiate unwinds the mappings it added; the retry
+   starts from a clean slate and succeeds. *)
+let instantiate_rolls_back_mappings () =
+  let k, ldl = boot () in
+  let fs = Kernel.fs k in
+  Fs.mkdir fs "/shared/lib";
+  install_c k "/shared/lib/counter.o" counter_template;
+  let before = Stats.global.Stats.link_rollbacks in
+  let symbol =
+    run_native k (fun _ proc ->
+        Fault.configure "ldl.instantiate.mid@1=eio";
+        (match Ldl.dlopen ldl proc "/shared/lib/counter.o" with
+        | _ -> Alcotest.fail "expected an injected failure"
+        | exception Fault.Injected _ -> ());
+        Fault.clear ();
+        let inst = Ldl.dlopen ldl proc "/shared/lib/counter.o" in
+        Ldl.link_now ldl proc inst;
+        Ldl.dlsym ldl proc "bump")
+  in
+  check_bool "retry resolved the module" true (Option.is_some symbol);
+  check_bool "rollback counted" true (Stats.global.Stats.link_rollbacks > before)
+
+(* Transient EAGAIN on a protection-domain call is retried with
+   deterministic backoff, invisibly to the caller. *)
+let pd_call_retries_transient_eagain () =
+  let k, _ = boot () in
+  let before = Stats.global.Stats.ipc_retries in
+  let got = ref 0 in
+  let srv =
+    Kernel.spawn_native k ~name:"server" (fun k proc ->
+        Kernel.register_pd_service k ~name:"double" ~owner:proc (fun _ _ arg -> arg * 2);
+        Proc.wait_until (fun () -> false);
+        0)
+  in
+  Kernel.set_daemon k srv;
+  ignore
+    (Kernel.spawn_native k ~name:"client" (fun k proc ->
+         Proc.yield ();
+         Fault.configure "ipc.send@1=eagain";
+         got := Kernel.pd_call k proc ~service:"double" 21;
+         Fault.clear ();
+         0));
+  Kernel.run k;
+  check_int "retried to success" 42 !got;
+  check_bool "retry counted" true (Stats.global.Stats.ipc_retries > before)
+
+(* An oversized write/append is refused up front: the backing segment —
+   and everyone mapping it — never sees a half-grown intermediate. *)
+let oversized_write_is_atomic () =
+  let k, _ = boot () in
+  let fs = Kernel.fs k in
+  Fs.write_file fs "/shared/blob" (Bytes.of_string "precious");
+  let seg = Fs.segment_of fs "/shared/blob" in
+  let v0 = Segment.version seg in
+  let huge = Bytes.make (Layout.shared_slot_size + 1) 'x' in
+  (match Fs.write_file fs "/shared/blob" huge with
+  | () -> Alcotest.fail "expected No_space"
+  | exception Fs.Error { kind = Fs.No_space; _ } -> ());
+  (match Fs.append_file fs "/shared/blob" huge with
+  | () -> Alcotest.fail "expected No_space"
+  | exception Fs.Error { kind = Fs.No_space; _ } -> ());
+  check_string "contents untouched" "precious"
+    (Bytes.to_string (Fs.read_file fs "/shared/blob"));
+  check_int "segment never mutated" v0 (Segment.version seg)
+
+(* A crash between a create's commit point and its acknowledgement:
+   fsck keeps the file (the create completed) but flags it for the
+   janitor's policy, which reaps it without touching anything else. *)
+let fsck_orphan_reaped_by_policy () =
+  let k, _ = boot () in
+  let fs = Kernel.fs k in
+  Fs.write_file fs "/shared/keep" (Bytes.of_string "published data");
+  Fault.configure "fs.create.commit@1=crash";
+  (match Fs.create_file fs "/shared/halfborn" with
+  | () -> Alcotest.fail "expected a crash"
+  | exception Fault.Crash _ -> ());
+  Fault.clear ();
+  Fs.rescan_shared fs;
+  let report = Fs.fsck fs in
+  check_bool "creation flagged as orphan" true
+    (List.mem "/shared/halfborn" report.Fs.fsck_orphans);
+  check_bool "fsck itself keeps the completed create" true
+    (Fs.exists fs "/shared/halfborn");
+  let victims =
+    Janitor.reap k ~policy:(Janitor.orphan_policy k ~flagged:report.Fs.fsck_orphans)
+  in
+  check_bool "orphan reaped" true
+    (List.exists (fun e -> e.Janitor.j_path = "/shared/halfborn") victims);
+  check_bool "unflagged plain file kept" true (Fs.exists fs "/shared/keep");
+  check_bool "orphan gone" false (Fs.exists fs "/shared/halfborn")
+
+(* A crash mid-module-creation leaves an unpublished file plus the
+   pending intent; fsck rolls it back and a fresh dlopen recreates the
+   module from scratch. *)
+let module_creation_crash_recovers () =
+  let k, ldl = boot () in
+  let fs = Kernel.fs k in
+  Fs.mkdir fs "/shared/lib";
+  install_c k "/shared/lib/counter.o" counter_template;
+  run_native k (fun _ proc ->
+      Fault.configure "mod.create.mid@1=crash";
+      match Ldl.dlopen ldl proc "/shared/lib/counter.o" with
+      | _ -> Alcotest.fail "expected a crash"
+      | exception Fault.Crash _ -> Fault.clear ());
+  Fs.rescan_shared fs;
+  let report = Fs.fsck fs in
+  check_bool "partial module rolled back" true (report.Fs.fsck_rolled_back >= 1);
+  check_bool "unpublished file removed" false (Fs.exists fs "/shared/lib/counter");
+  check_bool "second fsck clean" true (Fs.fsck fs).Fs.fsck_clean;
+  let resolved =
+    run_native k (fun _ proc ->
+        let inst = Ldl.dlopen ldl proc "/shared/lib/counter.o" in
+        Ldl.link_now ldl proc inst;
+        Ldl.dlsym ldl proc "bump")
+  in
+  check_bool "module recreated after recovery" true (Option.is_some resolved)
+
+let suite =
+  [
+    prop_all_or_nothing;
+    test "crash: plan-replay fault falls back to the cold path" plan_replay_fault_falls_back;
+    test "crash: instantiate rolls back its mappings" instantiate_rolls_back_mappings;
+    test "crash: pd_call retries transient EAGAIN" pd_call_retries_transient_eagain;
+    test "crash: oversized writes are atomic" oversized_write_is_atomic;
+    test "crash: fsck orphan reaped by janitor policy" fsck_orphan_reaped_by_policy;
+    test "crash: module creation crash recovers" module_creation_crash_recovers;
+  ]

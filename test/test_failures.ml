@@ -8,6 +8,8 @@ module Janitor = Hemlock_runtime.Janitor
 module Shm_heap = Hemlock_runtime.Shm_heap
 module Segment = Hemlock_vm.Segment
 module Stats = Hemlock_util.Stats
+module Fault = Hemlock_util.Fault
+module Errno = Hemlock_os.Errno
 
 let counter_template = {|
 int counter;
@@ -140,6 +142,71 @@ let truncated_aout_rejected () =
          | exception Failure _ -> 0));
   Kernel.run k
 
+(* ----- injected Vfs faults surface as mapped errnos ----- *)
+
+(* Every Vfs fault site, under every injectable failure: the syscall
+   answers with the mapped errno and no exception escapes the trap
+   pipeline.  After [Fault.clear] the same call succeeds. *)
+let vfs_fault_sweep () =
+  let failures =
+    [ ("eio", Errno.EIO); ("enospc", Errno.ENOSPC); ("eagain", Errno.EAGAIN) ]
+  in
+  let sites = [ "vfs.open"; "vfs.read"; "vfs.write"; "seg.grow"; "vfs.lseek"; "vfs.close" ] in
+  List.iter
+    (fun site ->
+      List.iter
+        (fun (kind, expected) ->
+          let k, _ = boot () in
+          let faulted, retried =
+            run_native k (fun k proc ->
+                let fd = Kernel.sys_open k proc ~create:true "/tmp/sweep" in
+                Fault.configure (Printf.sprintf "%s@1=%s" site kind);
+                let call () : (unit, Errno.t) result =
+                  match site with
+                  | "vfs.open" ->
+                    Result.map ignore (Kernel.sys_open_r k proc ~create:true "/tmp/other")
+                  | "vfs.read" -> Result.map ignore (Kernel.sys_read_r k proc fd 4)
+                  | "vfs.write" | "seg.grow" ->
+                    Result.map ignore (Kernel.sys_write_r k proc fd (Bytes.of_string "abc"))
+                  | "vfs.lseek" -> Result.map ignore (Kernel.sys_lseek_r k proc fd 0)
+                  | "vfs.close" -> Kernel.sys_close_r k proc fd
+                  | _ -> assert false
+                in
+                let faulted = call () in
+                Fault.clear ();
+                (faulted, call ()))
+          in
+          let label = Printf.sprintf "%s under %s" site kind in
+          check_bool (label ^ " maps to its errno") true (faulted = Error expected);
+          check_bool (label ^ " recovers once cleared") true (retried = Ok ()))
+        failures)
+    sites
+
+(* An ISA program sees the injection as a negative v0 and keeps
+   running — errno delivery, not a kill. *)
+let isa_injection_recovers () =
+  let kl = boot () in
+  Fault.configure "vfs.write@1=eio";
+  let out =
+    Fun.protect ~finally:Fault.clear (fun () ->
+        run_c_program kl
+          {|
+int main() {
+  int fd;
+  int n;
+  fd = open("/tmp/f", 1);
+  n = write(fd, "hi", 2);
+  print_str("w=");
+  print_int(n);
+  n = write(fd, "hi", 2);
+  print_str(" w2=");
+  print_int(n);
+  return 0;
+}
+|})
+  in
+  check_string "first write answers -EIO, second succeeds" "w=-5 w2=2" out
+
 (* ----- the janitor (§5 garbage collection) ----- *)
 
 let janitor_survey_classifies () =
@@ -217,6 +284,8 @@ let suite =
     test "failure: corrupted template rejected" corrupted_template_rejected;
     test "failure: corrupted module header tolerated" corrupted_module_header;
     test "failure: truncated a.out rejected" truncated_aout_rejected;
+    test "failure: Vfs fault sites map to errnos" vfs_fault_sweep;
+    test "failure: ISA program recovers from injected errno" isa_injection_recovers;
     test "janitor: survey classifies segments" janitor_survey_classifies;
     test "janitor: orphaned modules found and removed" janitor_finds_orphans;
     test "janitor: removal frees the slot" janitor_remove_frees_slot;
