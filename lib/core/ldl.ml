@@ -55,6 +55,11 @@ type t = {
   mutable warn : string list;
   mutable bind_now : bool;
   plans : Modinst.scope Link_plan.store;  (* kernel-wide memoized link plans *)
+  (* Zero-copy exec: the placed image of a program, built once per
+     backing-file content identity (segment id, version) and COW-copied
+     into every subsequent process.  The master is never mapped, so it
+     stays pristine however processes scribble on their images. *)
+  images : (int * int, Segment.t) Hashtbl.t;
   mutable plan_rec : Modinst.scope Link_plan.dep list ref option;
   (* regions that raised mid-recording: a retried region would record an
      incomplete instantiation list, so never plan these again *)
@@ -726,10 +731,30 @@ let loader t _k proc bytes ~path =
     | None -> Aout.parse bytes
   in
   let size = Aout.image_size aout in
-  let seg = Segment.create ~name:("image:" ^ path) ~max_size:(Layout.page_up size) () in
-  Segment.blit_in seg ~dst_off:0 aout.Aout.text;
-  Segment.blit_in seg ~dst_off:(Bytes.length aout.Aout.text) aout.Aout.data;
-  Segment.resize seg (Layout.page_up size);
+  let build_image name =
+    let seg = Segment.create ~name ~max_size:(Layout.page_up size) () in
+    Segment.blit_in seg ~dst_off:0 aout.Aout.text;
+    Segment.blit_in seg ~dst_off:(Bytes.length aout.Aout.text) aout.Aout.data;
+    Segment.resize seg (Layout.page_up size);
+    seg
+  in
+  let seg =
+    match prog with
+    | Some (_, fid, fver) when !Segment.cow_enabled ->
+      (* The serialized file layout differs from the placed image, so
+         the file segment itself cannot back the mapping; instead the
+         placed image is built once per file content and shared COW. *)
+      let master =
+        match Hashtbl.find_opt t.images (fid, fver) with
+        | Some master -> master
+        | None ->
+          let master = build_image ("image-master:" ^ path) in
+          Hashtbl.replace t.images (fid, fver) master;
+          master
+      in
+      Segment.copy master
+    | Some _ | None -> build_image ("image:" ^ path)
+  in
   As.map proc.Proc.space ~base:Aout.image_base ~len:(Layout.page_up size) ~seg
     ~prot:Prot.Read_write_exec ~share:As.Private ~label:path ();
   Hashtbl.replace t.states proc.Proc.pid
@@ -804,6 +829,7 @@ let install k =
       warn = [];
       bind_now = false;
       plans = Link_plan.create_store ();
+      images = Hashtbl.create 16;
       plan_rec = None;
       poisoned = Hashtbl.create 16;
     }

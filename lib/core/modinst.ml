@@ -283,10 +283,35 @@ let public_instance ctx ~module_path ~scope =
     inst_applied = [||];
   }
 
+(* Zero-copy private instantiation: the placed (sections laid out,
+   veneer area reserved) image of a template, built once per template
+   content identity [src = (file segment id, version)] and COW-copied
+   into every later instance.  Masters are never handed out directly —
+   relocation scribbles on instances, and those writes must not reach
+   the shared master. *)
+let placed_masters : (int * int, Segment.t) Hashtbl.t = Hashtbl.create 16
+
 let private_instance ?(src = (-1, -1)) ~located ~obj ~base ~scope () =
   let size = placed_size obj in
-  let seg = Segment.create ~name:("module:" ^ located) ~max_size:(Layout.page_up size) () in
-  place_sections seg ~image_off:0 obj;
+  let build name =
+    let seg = Segment.create ~name ~max_size:(Layout.page_up size) () in
+    place_sections seg ~image_off:0 obj;
+    seg
+  in
+  let seg =
+    if !Segment.cow_enabled && src <> (-1, -1) then begin
+      let master =
+        match Hashtbl.find_opt placed_masters src with
+        | Some master when Segment.max_size master = Layout.page_up size -> master
+        | Some _ | None ->
+          let master = build ("module-master:" ^ located) in
+          Hashtbl.replace placed_masters src master;
+          master
+      in
+      Segment.copy master
+    end
+    else build ("module:" ^ located)
+  in
   {
     inst_key = located;
     inst_module_file = None;

@@ -119,6 +119,12 @@ val public_instance : Search.ctx -> module_path:string -> scope:scope -> t
 (** [private_instance ~located ~obj ~base ~scope ()] copies the template
     into a fresh segment placed at [base] (caller maps it).  [src] is the
     template's content identity (see [inst_src]); callers that resolve
-    symbols through link plans must supply it. *)
+    symbols through link plans must supply it.
+
+    With [Segment.cow_enabled] and a known [src], the placed image is
+    built once per template identity and every instance gets a
+    refcount-sharing [Segment.copy] of that pristine master: O(pages)
+    instead of re-placing the sections, with relocation writes
+    diverging pages copy-on-write. *)
 val private_instance :
   ?src:int * int -> located:string -> obj:Objfile.t -> base:int -> scope:scope -> unit -> t

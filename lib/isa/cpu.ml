@@ -25,7 +25,16 @@ module Stats = Hemlock_util.Stats
    share a segment), the cache degrades to {e word verification}: it
    re-reads the current word and reuses the decode only on an exact
    match — still correct against every writer, just one segment read
-   per fetch. *)
+   per fetch.
+
+   Copy-on-write fork needs no extra machinery here: [As.clone] gives
+   the child a distinct [Segment.t] per private mapping (pages shared
+   by refcount underneath), so parent and child decodes are keyed by
+   different segments; a COW page copy happens inside a segment write,
+   which bumps that segment's [version] and invalidates only the
+   writing space's decodes, and [resolve_cow] bumps the faulting
+   space's [epoch].  The other space's cache entries stay valid, as
+   they should — its bytes did not change. *)
 
 type dpage = {
   mutable dp_page : int;  (* page base address; -1 = invalid *)

@@ -70,7 +70,9 @@ let create () =
     fork_hooks = [];
   }
 
-let add_fork_hook t hook = t.fork_hooks <- t.fork_hooks @ [ hook ]
+(* Hooks are kept newest-first (O(1) registration) and reversed into
+   registration order at each fork. *)
+let add_fork_hook t hook = t.fork_hooks <- hook :: t.fork_hooks
 
 let fs t = t.fs
 
@@ -182,6 +184,17 @@ let fault_of_exn = function
 
 let pp_fault f = Format.asprintf "%a" Trap.pp_fault f
 
+(* Copy-on-write faults are a kernel-internal protocol, resolved before
+   SIGSEGV delivery ever enters the picture: user-level handlers (the
+   lazy linker included) never see them, [Stats.faults] never counts
+   them, and an ISA process's quantum is not ended by one.  When this
+   returns true the mapping's write permission is restored and the
+   caller must simply retry the faulting access. *)
+let cow_fault proc fault =
+  fault.f_reason = As.Protection
+  && fault.f_access = Prot.Write
+  && As.resolve_cow proc.Proc.space fault.f_addr
+
 (* Checked access for native process code: retries through SIGSEGV
    delivery, blocking on Retry_when conditions. *)
 let rec native_access : 'a. t -> Proc.t -> (unit -> 'a) -> 'a =
@@ -189,13 +202,15 @@ let rec native_access : 'a. t -> Proc.t -> (unit -> 'a) -> 'a =
   try f () with
   | As.Fault _ as e -> (
     let fault = Option.get (fault_of_exn e) in
-    match deliver_segv t proc fault with
-    | Resolved -> native_access t proc f
-    | Retry_when cond ->
-      Proc.wait_until ~why:(pp_fault fault) cond;
-      native_access t proc f
-    | Unhandled ->
-      raise (Proc.Killed { pid = proc.Proc.pid; reason = pp_fault fault }))
+    if cow_fault proc fault then native_access t proc f
+    else
+      match deliver_segv t proc fault with
+      | Resolved -> native_access t proc f
+      | Retry_when cond ->
+        Proc.wait_until ~why:(pp_fault fault) cond;
+        native_access t proc f
+      | Unhandled ->
+        raise (Proc.Killed { pid = proc.Proc.pid; reason = pp_fault fault }))
 
 (* Each checked access bills one instruction, so native workload code
    and ISA code are accounted on the same scale. *)
@@ -216,7 +231,14 @@ let store_u8 t proc addr v =
 let store_u32 t proc addr v =
   tick ();
   native_access t proc (fun () -> As.store_u32 proc.Proc.space addr v)
-let read_cstring t proc addr = native_access t proc (fun () -> As.read_cstring proc.Proc.space addr)
+(* An unterminated string argument is a malformed *argument*, not a
+   simulator bug: surface it as EFAULT through the errno ABI instead of
+   letting the raw exception kill the whole simulation. *)
+let read_cstring t proc addr =
+  match native_access t proc (fun () -> As.read_cstring proc.Proc.space addr) with
+  | s -> s
+  | exception As.Cstring_unterminated _ ->
+    raise (os_error (Printf.sprintf "read_cstring 0x%08x" addr) Errno.EFAULT)
 
 let write_cstring t proc addr s =
   native_access t proc (fun () ->
@@ -232,10 +254,12 @@ let isa_access t proc f =
       try f () with
       | As.Fault _ as e -> (
         let fault = Option.get (fault_of_exn e) in
-        match deliver_segv t proc fault with
-        | Resolved -> go (fuel - 1)
-        | Retry_when _ | Unhandled ->
-          raise (Isa_fatal ("fault in syscall argument: " ^ pp_fault fault)))
+        if cow_fault proc fault then go (fuel - 1)
+        else
+          match deliver_segv t proc fault with
+          | Resolved -> go (fuel - 1)
+          | Retry_when _ | Unhandled ->
+            raise (Isa_fatal ("fault in syscall argument: " ^ pp_fault fault)))
   in
   go 64
 
@@ -458,7 +482,7 @@ let fork_isa t proc =
     | Some chain -> Hashtbl.replace t.segv_handlers pid chain
     | None -> ());
     Sched.add t.sched child;
-    List.iter (fun hook -> hook ~parent:proc ~child) t.fork_hooks;
+    List.iter (fun hook -> hook ~parent:proc ~child) (List.rev t.fork_hooks);
     child
 
 let children t pid =
@@ -513,6 +537,14 @@ let set_result cpu = function
   | Ok v -> Cpu.set_reg cpu Reg.v0 v
   | Error e -> set_errno cpu e
 
+(* Read a syscall's string argument; an unterminated string answers the
+   syscall with -EFAULT rather than killing the process (or, worse, the
+   simulator). *)
+let isa_cstring t proc addr =
+  match isa_access t proc (fun () -> As.read_cstring proc.Proc.space addr) with
+  | s -> Ok s
+  | exception As.Cstring_unterminated _ -> Error Errno.EFAULT
+
 let dispatch t proc cpu =
   let v0 = Cpu.reg cpu Reg.v0 in
   let a0 = Cpu.reg cpu Reg.a0 in
@@ -548,12 +580,15 @@ let dispatch t proc cpu =
   else if v0 = Sysno.sbrk then set_result cpu (sbrk t proc a0)
   else if v0 = Sysno.print_int then
     Buffer.add_string t.console_buf (string_of_int (Codec.sext32 a0))
-  else if v0 = Sysno.print_str then
-    Buffer.add_string t.console_buf
-      (isa_access t proc (fun () -> As.read_cstring proc.Proc.space a0))
+  else if v0 = Sysno.print_str then begin
+    match isa_cstring t proc a0 with
+    | Ok s -> Buffer.add_string t.console_buf s
+    | Error e -> set_errno cpu e
+  end
   else if v0 = Sysno.path_to_addr then begin
-    let path = isa_access t proc (fun () -> As.read_cstring proc.Proc.space a0) in
-    set_result cpu (sys_path_to_addr_r t proc path)
+    match isa_cstring t proc a0 with
+    | Ok path -> set_result cpu (sys_path_to_addr_r t proc path)
+    | Error e -> set_errno cpu e
   end
   else if v0 = Sysno.addr_to_path then begin
     match sys_addr_to_path_r t proc a0 with
@@ -568,12 +603,14 @@ let dispatch t proc cpu =
     | Error e -> set_errno cpu e
   end
   else if v0 = Sysno.open_ then begin
-    let path = isa_access t proc (fun () -> As.read_cstring proc.Proc.space a0) in
-    set_result cpu
-      (sys_open_r t proc
-         ~create:(a1 land Sysno.o_create <> 0)
-         ~trunc:(a1 land Sysno.o_trunc <> 0)
-         path)
+    match isa_cstring t proc a0 with
+    | Ok path ->
+      set_result cpu
+        (sys_open_r t proc
+           ~create:(a1 land Sysno.o_create <> 0)
+           ~trunc:(a1 land Sysno.o_trunc <> 0)
+           path)
+    | Error e -> set_errno cpu e
   end
   else if v0 = Sysno.close then
     set_result cpu (Result.map (fun () -> 0) (sys_close_r t proc a0))
@@ -613,6 +650,16 @@ let quantum = 4000
    process's quantum (blocked, yielded, exited, or a fault that must be
    retried from the top); [`Continue] resumes the interrupted burst. *)
 let handle_fault t proc fault =
+  if cow_fault proc fault then begin
+    (* The faulting store never completed and consumed no fuel; resume
+       the burst so the quantum (and [context_switches]) are exactly
+       what they would be without COW.  The store's [instructions] tick
+       already happened in [Cpu.step], so roll it back — the retried
+       store counts once, keeping the cost model COW-blind. *)
+    Stats.global.instructions <- Stats.global.instructions - 1;
+    `Continue
+  end
+  else
   match deliver_segv t proc fault with
   | Resolved -> `Stop (* pc still points at the faulting instruction *)
   | Retry_when cond ->

@@ -149,8 +149,9 @@ val spawn_exec :
     both continue at the same pc).  Returns the child. *)
 val fork_isa : t -> Proc.t -> Proc.t
 
-(** [add_fork_hook t h] runs [h] after every fork; the dynamic linker
-    uses this to clone its per-process link state. *)
+(** [add_fork_hook t h] runs [h] after every fork, in registration
+    order (registration itself is O(1)); the dynamic linker uses this
+    to clone its per-process link state. *)
 val add_fork_hook : t -> (parent:Proc.t -> child:Proc.t -> unit) -> unit
 
 val find_proc : t -> int -> Proc.t option
@@ -194,6 +195,11 @@ val load_u8 : t -> Proc.t -> int -> int
 val load_u32 : t -> Proc.t -> int -> int
 val store_u8 : t -> Proc.t -> int -> int -> unit
 val store_u32 : t -> Proc.t -> int -> int -> unit
+
+(** Read a NUL-terminated user string.  A missing terminator within the
+    64 KB bound raises {!Os_error} carrying [EFAULT] (the errno every
+    ISA syscall string argument also answers with), never a bare
+    failure. *)
 val read_cstring : t -> Proc.t -> int -> string
 val write_cstring : t -> Proc.t -> int -> string -> unit
 

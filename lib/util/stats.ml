@@ -31,6 +31,16 @@ type t = {
   mutable link_rollbacks : int;
   mutable plan_fallbacks : int;
   mutable ipc_retries : int;
+  (* Copy-on-write observability.  [pages_copied]/[bytes_saved] measure
+     how much copying COW actually performed vs avoided; [cow_faults]
+     counts the kernel-internal protection faults that break mapping-level
+     sharing.  All three are excluded from [cycles]: COW is a semantic
+     optimization whose *billed* costs show up as the bytes_copied and
+     faults it no longer incurs, and the golden transcripts must stay
+     byte-identical with HEMLOCK_NO_COW on or off. *)
+  mutable cow_faults : int;
+  mutable pages_copied : int;
+  mutable bytes_saved : int;
 }
 
 let zero () =
@@ -60,6 +70,9 @@ let zero () =
     link_rollbacks = 0;
     plan_fallbacks = 0;
     ipc_retries = 0;
+    cow_faults = 0;
+    pages_copied = 0;
+    bytes_saved = 0;
   }
 
 let global = zero ()
@@ -89,7 +102,10 @@ let reset () =
   global.journal_rollbacks <- 0;
   global.link_rollbacks <- 0;
   global.plan_fallbacks <- 0;
-  global.ipc_retries <- 0
+  global.ipc_retries <- 0;
+  global.cow_faults <- 0;
+  global.pages_copied <- 0;
+  global.bytes_saved <- 0
 
 let snapshot () = { global with instructions = global.instructions }
 
@@ -120,6 +136,9 @@ let diff ~before ~after =
     link_rollbacks = after.link_rollbacks - before.link_rollbacks;
     plan_fallbacks = after.plan_fallbacks - before.plan_fallbacks;
     ipc_retries = after.ipc_retries - before.ipc_retries;
+    cow_faults = after.cow_faults - before.cow_faults;
+    pages_copied = after.pages_copied - before.pages_copied;
+    bytes_saved = after.bytes_saved - before.bytes_saved;
   }
 
 (* Cost model, in simulated cycles.  The weights are the conventional

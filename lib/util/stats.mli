@@ -48,6 +48,16 @@ type t = {
   mutable plan_fallbacks : int;
       (** link-plan replays abandoned mid-way for the cold path *)
   mutable ipc_retries : int;  (** [pd_call] retries after transient EAGAIN *)
+  mutable cow_faults : int;
+      (** protection faults resolved inside the kernel by breaking a
+          copy-on-write mapping (never delivered to user handlers, never
+          billed to [faults]) *)
+  mutable pages_copied : int;
+      (** 4 KiB pages physically copied when a write diverged from a
+          COW-shared page (observability only — excluded from [cycles]) *)
+  mutable bytes_saved : int;
+      (** bytes a [Segment.copy] shared by reference counting instead of
+          copying (fork, exec and module-instantiation images) *)
 }
 
 (** The single global counter set. *)

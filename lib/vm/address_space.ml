@@ -13,7 +13,16 @@ type mapping = {
   prot : Prot.t;
   share : share;
   label : string;
+  cow : bool;
 }
+
+exception Cstring_unterminated of int
+
+(* A COW mapping keeps its logical protection (what [pp] prints, what a
+   later [protect] replaces) but its *effective* protection — what the
+   TLB caches and every access checks — has write stripped, so the
+   first store traps into the kernel's [resolve_cow] path. *)
+let effective m = if m.cow then Prot.strip_write m.prot else m.prot
 
 (* --- Software TLB ---------------------------------------------------
 
@@ -85,7 +94,10 @@ let map t ~base ~len ~seg ?(seg_off = 0) ~prot ~share ~label () =
     invalid_arg "Address_space.map: outside user space";
   if Interval_map.overlaps ~lo:base ~hi:(base + len) t.table then
     invalid_arg (Printf.sprintf "Address_space.map: 0x%x+0x%x overlaps" base len);
-  t.table <- Interval_map.add ~lo:base ~hi:(base + len) { seg; seg_off; prot; share; label } t.table;
+  t.table <-
+    Interval_map.add ~lo:base ~hi:(base + len)
+      { seg; seg_off; prot; share; label; cow = false }
+      t.table;
   invalidate t;
   Stats.global.pages_mapped <- Stats.global.pages_mapped + (len / Layout.page_size)
 
@@ -127,16 +139,17 @@ let lookup_slow t addr access =
   match Interval_map.find addr t.table with
   | None -> raise (Fault { addr; access; reason = Unmapped })
   | Some (lo, hi, m) ->
+    let prot = effective m in
     if t.caching then begin
       let e = tlb_entry t addr in
       e.te_page <- Layout.page_down addr;
       e.te_hi <- hi;
       e.te_delta <- m.seg_off - lo;
-      e.te_prot <- m.prot;
-      e.te_mask <- prot_mask m.prot;
+      e.te_prot <- prot;
+      e.te_mask <- prot_mask prot;
       e.te_seg <- Some m.seg
     end;
-    (m.seg, m.seg_off + (addr - lo), hi - addr, m.prot)
+    (m.seg, m.seg_off + (addr - lo), hi - addr, prot)
 
 let lookup t addr access =
   if not t.caching then lookup_slow t addr access
@@ -295,7 +308,7 @@ let read_cstring t addr =
   let buf = Buffer.create 32 in
   let chunk = Bytes.create 256 in
   let rec go i =
-    if i >= limit then failwith "Address_space.read_cstring: unterminated";
+    if i >= limit then raise (Cstring_unterminated addr);
     let seg, off, n =
       bulk_run t (addr + i) Prot.Read ~want:(min 256 (limit - i))
     in
@@ -310,21 +323,58 @@ let read_cstring t addr =
   in
   go 0
 
+let rebuild f table =
+  Interval_map.fold
+    (fun lo hi m acc -> Interval_map.add ~lo ~hi (f m) acc)
+    table Interval_map.empty
+
 let clone t =
+  let cow = !Segment.cow_enabled in
+  (* Flag a private mapping COW when its logical protection permits
+     writes — those are the mappings whose next store must trap so the
+     kernel can break the sharing.  Read-only/no-access mappings keep
+     their refcount-shared pages without a flag: if a later [protect]
+     opens them up, writes still diverge correctly at the segment layer
+     (the pages are shared), just without a fault. *)
+  let mark m =
+    if cow && m.share = Private && Prot.allows m.prot Prot.Write then
+      { m with cow = true }
+    else m
+  in
   let clone_mapping m =
     match m.share with
     | Public -> m
     | Private ->
       let seg = Segment.copy m.seg in
-      Stats.global.bytes_copied <- Stats.global.bytes_copied + Segment.size seg;
-      { m with seg }
+      if not cow then
+        Stats.global.bytes_copied <- Stats.global.bytes_copied + Segment.size seg;
+      mark { m with seg }
   in
-  let table =
-    Interval_map.fold
-      (fun lo hi m acc -> Interval_map.add ~lo ~hi (clone_mapping m) acc)
-      t.table Interval_map.empty
-  in
+  let table = rebuild clone_mapping t.table in
+  if cow then begin
+    (* The parent's private pages are now shared with the child: strip
+       its effective write permission too, and flush its TLB. *)
+    t.table <- rebuild mark t.table;
+    invalidate t
+  end;
   { table; tlb = fresh_tlb (); epoch = 0; caching = t.caching }
+
+(* Kernel-side resolution of a COW write fault: if [addr] lies in a COW
+   mapping whose logical protection allows the write, clear the flag
+   (restoring the original protection), bump the epoch so every cached
+   translation and decode is refetched, and let the caller retry the
+   access.  The retried store diverges pages at the segment layer —
+   copying each written page at most once, and not at all when the
+   write is identical to the shared bytes.  Returns false for genuine
+   protection faults, which the caller must deliver as SIGSEGV. *)
+let resolve_cow t addr =
+  match Interval_map.find addr t.table with
+  | Some (_, _, m) when m.cow && Prot.allows m.prot Prot.Write ->
+    t.table <- Interval_map.update addr (fun m -> { m with cow = false }) t.table;
+    invalidate t;
+    Stats.global.cow_faults <- Stats.global.cow_faults + 1;
+    true
+  | Some _ | None -> false
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";

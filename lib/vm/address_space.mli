@@ -21,10 +21,21 @@ type share = Private | Public
 type mapping = {
   seg : Segment.t;
   seg_off : int;  (** segment offset backing the mapping's base *)
-  prot : Prot.t;
+  prot : Prot.t;  (** logical protection (what {!pp} shows); a COW
+                      mapping's {e effective} protection additionally
+                      strips write until {!resolve_cow} runs *)
   share : share;
   label : string;  (** human-readable provenance, e.g. a module path *)
+  cow : bool;
+      (** set by {!clone} on writable private mappings: pages are
+          refcount-shared with the other space and the first store must
+          fault into {!resolve_cow} *)
 }
+
+(** Raised by {!read_cstring} when no NUL terminator appears within the
+    64 KB bound; the kernel surfaces it as [EFAULT] at syscall
+    boundaries. *)
+exception Cstring_unterminated of int
 
 (** Default for {!create}'s [?caching]: [true] unless the
     [HEMLOCK_NO_TLB] environment variable is set.  The TLB and the
@@ -102,7 +113,23 @@ val write_bytes : t -> int -> Bytes.t -> unit
 val read_cstring : t -> int -> string
 
 (** [clone t] implements the memory half of fork: private mappings get
-    fresh copied segments, public mappings alias the originals. *)
+    fresh copied segments, public mappings alias the originals.
+
+    With [Segment.cow_enabled] (the default) the copies share pages by
+    reference count, writable private mappings are flagged [cow] in
+    {e both} spaces (effective protection loses write, and both TLBs are
+    flushed via the epoch), and nothing is billed to [bytes_copied];
+    the first store on either side faults into {!resolve_cow}.  With it
+    off, eager deep copies billed to [bytes_copied], as before. *)
 val clone : t -> t
+
+(** [resolve_cow t addr] is the kernel's half of the COW protocol: on a
+    write protection fault at [addr], if the mapping is [cow] and its
+    logical protection allows the write, clear the flag (restoring the
+    original protection), bump the {!epoch}, bill one [cow_faults], and
+    return [true] — the caller retries the faulting access, which
+    un-shares pages one by one at the segment layer as it writes.
+    Returns [false] for genuine protection faults (deliver SIGSEGV). *)
+val resolve_cow : t -> int -> bool
 
 val pp : Format.formatter -> t -> unit

@@ -13,6 +13,11 @@ let allows prot access =
   | Read_exec, Write -> false
   | Read_write_exec, (Read | Write | Exec) -> true
 
+let strip_write = function
+  | Read_write -> Read_only
+  | Read_write_exec -> Read_exec
+  | (No_access | Read_only | Read_exec) as p -> p
+
 let to_string = function
   | No_access -> "---"
   | Read_only -> "r--"

@@ -7,6 +7,13 @@ type t = No_access | Read_only | Read_write | Read_exec | Read_write_exec
 type access = Read | Write | Exec
 
 val allows : t -> access -> bool
+
+(** The same protection with write permission removed (reads and
+    execution unchanged).  This is the {e effective} protection of a
+    copy-on-write mapping: the first store takes a protection fault the
+    kernel resolves by un-sharing, exactly like hardware write-protect
+    bits under fork. *)
+val strip_write : t -> t
 val pp : Format.formatter -> t -> unit
 val pp_access : Format.formatter -> access -> unit
 val to_string : t -> string

@@ -1,20 +1,55 @@
 module Codec = Hemlock_util.Codec
+module Stats = Hemlock_util.Stats
+
+(* --- Page-chunked, refcounted storage --------------------------------
+
+   Contents live in 4 KiB pages ([Layout.page_size]) behind per-page
+   reference counts.  A slot of [None] is the zero page: never
+   allocated, reads as zeroes.  [copy] in COW mode bumps every
+   allocated page's refcount and shares it; the first {e diverging}
+   write through either side copies just that page ([writable_page]).
+   A write that stores exactly the bytes already present on a shared
+   page is skipped outright — no copy, no version bump — so processes
+   replaying identical initialisation (relocation patching of a module
+   placed at the same base, an exec'd image writing its startup
+   globals) keep sharing every byte.
+
+   Refcounts are released when a page is dropped by [resize]/[replace].
+   There is deliberately no release on process exit: tying refcounts to
+   OCaml finalisation would make [pages_copied] depend on the host GC.
+   The cost of the leak is bounded — an unreleased count only means a
+   later write copies a page it could have reclaimed. *)
+
+type page = { pbytes : Bytes.t; mutable prc : int }
 
 type t = {
   id : int;
   name : string;
   max_size : int;
-  mutable data : Bytes.t; (* capacity; logical size tracked separately *)
+  mutable pages : page option array;
   mutable size : int;
   mutable version : int; (* bumped by every content write; see [version] *)
 }
 
+(* HEMLOCK_NO_COW restores eager deep copies (and, with them, the
+   seed's exact billing of fork into [bytes_copied]) for A/B in CI. *)
+let cow_enabled = ref (Sys.getenv_opt "HEMLOCK_NO_COW" = None)
+
 let next_id = ref 0
+
+let npages max_size = (max_size + Layout.page_size - 1) lsr Layout.page_shift
 
 let create ~name ~max_size () =
   if max_size <= 0 then invalid_arg "Segment.create: max_size <= 0";
   incr next_id;
-  { id = !next_id; name; max_size; data = Bytes.empty; size = 0; version = 0 }
+  {
+    id = !next_id;
+    name;
+    max_size;
+    pages = Array.make (npages max_size) None;
+    size = 0;
+    version = 0;
+  }
 
 let id t = t.id
 let name t = t.name
@@ -22,44 +57,95 @@ let max_size t = t.max_size
 let size t = t.size
 let version t = t.version
 
+let allocated_pages t =
+  Array.fold_left (fun n p -> if p = None then n else n + 1) 0 t.pages
+
+let shared_pages t =
+  Array.fold_left
+    (fun n -> function Some p when p.prc > 1 -> n + 1 | Some _ | None -> n)
+    0 t.pages
+
 let check_off t off len =
   if off < 0 || off + len > t.max_size then
     invalid_arg
       (Printf.sprintf "Segment %s: offset %d+%d out of bounds (max %d)" t.name off
          len t.max_size)
 
-let ensure_capacity t n =
-  if Bytes.length t.data < n then begin
-    let cap = max 256 (max n (2 * Bytes.length t.data)) in
-    let cap = min cap t.max_size in
-    let data = Bytes.make cap '\000' in
-    Bytes.blit t.data 0 data 0 (Bytes.length t.data);
-    t.data <- data
-  end
+let page_index off = off lsr Layout.page_shift
+let page_off off = off land (Layout.page_size - 1)
+
+let alloc_page () = { pbytes = Bytes.make Layout.page_size '\000'; prc = 1 }
+
+(* The page containing [off], made safe to mutate: a zero page is
+   allocated, a shared page is copied (the COW break — the only place a
+   page is ever physically duplicated). *)
+let writable_page t off =
+  let i = page_index off in
+  match Array.unsafe_get t.pages i with
+  | Some p when p.prc = 1 -> p
+  | Some p ->
+    p.prc <- p.prc - 1;
+    let q = { pbytes = Bytes.copy p.pbytes; prc = 1 } in
+    Stats.global.pages_copied <- Stats.global.pages_copied + 1;
+    Array.unsafe_set t.pages i (Some q);
+    q
+  | None ->
+    let q = alloc_page () in
+    Array.unsafe_set t.pages i (Some q);
+    q
+
+let drop_page t i =
+  match t.pages.(i) with
+  | None -> ()
+  | Some p ->
+    p.prc <- p.prc - 1;
+    t.pages.(i) <- None
 
 let resize t n =
   if n < 0 || n > t.max_size then invalid_arg "Segment.resize: bad size";
-  if n < t.size then
-    (* Clear the dropped suffix so re-growth reads zeroes. *)
-    Bytes.fill t.data n (Bytes.length t.data - n) '\000'
-  else ensure_capacity t n;
+  if n < t.size then begin
+    (* Clear the dropped suffix so re-growth reads zeroes: whole pages
+       beyond [n] are released, the boundary page's tail is zeroed. *)
+    for i = page_index (n + Layout.page_size - 1) to Array.length t.pages - 1 do
+      drop_page t i
+    done;
+    if page_off n <> 0 then begin
+      match t.pages.(page_index n) with
+      | None -> ()
+      | Some _ ->
+        let p = writable_page t n in
+        Bytes.fill p.pbytes (page_off n) (Layout.page_size - page_off n) '\000'
+    end
+  end;
   t.size <- n;
   t.version <- t.version + 1
 
 let get_u8 t off =
   check_off t off 1;
-  if off >= Bytes.length t.data then 0 else Codec.get_u8 t.data off
+  match Array.unsafe_get t.pages (page_index off) with
+  | None -> 0
+  | Some p -> Codec.get_u8 p.pbytes (page_off off)
 
 let set_u8 t off v =
   check_off t off 1;
-  ensure_capacity t (off + 1);
-  Codec.set_u8 t.data off v;
-  t.version <- t.version + 1;
+  (match Array.unsafe_get t.pages (page_index off) with
+  | Some p
+    when p.prc > 1 && off < t.size && Codec.get_u8 p.pbytes (page_off off) = v land 0xFF
+    ->
+    (* Identical write to a shared page: keep sharing it. *)
+    ()
+  | _ ->
+    let p = writable_page t off in
+    Codec.set_u8 p.pbytes (page_off off) v;
+    t.version <- t.version + 1);
   if off + 1 > t.size then t.size <- off + 1
 
 let get_u32 t off =
   check_off t off 4;
-  if off + 4 <= Bytes.length t.data then Codec.get_u32 t.data off
+  if page_off off <= Layout.page_size - 4 then
+    match Array.unsafe_get t.pages (page_index off) with
+    | None -> 0
+    | Some p -> Codec.get_u32 p.pbytes (page_off off)
   else
     get_u8 t off
     lor (get_u8 t (off + 1) lsl 8)
@@ -68,52 +154,87 @@ let get_u32 t off =
 
 let set_u32 t off v =
   check_off t off 4;
-  ensure_capacity t (off + 4);
-  Codec.set_u32 t.data off v;
-  t.version <- t.version + 1;
-  if off + 4 > t.size then t.size <- off + 4
-
-let blit_in t ~dst_off src =
-  let len = Bytes.length src in
-  if len > 0 then begin
-    check_off t dst_off len;
-    ensure_capacity t (dst_off + len);
-    Bytes.blit src 0 t.data dst_off len;
-    t.version <- t.version + 1;
-    if dst_off + len > t.size then t.size <- dst_off + len
+  if page_off off <= Layout.page_size - 4 then begin
+    (match Array.unsafe_get t.pages (page_index off) with
+    | Some p
+      when p.prc > 1
+           && off + 4 <= t.size
+           && Codec.get_u32 p.pbytes (page_off off) = Codec.mask32 v -> ()
+    | _ ->
+      let p = writable_page t off in
+      Codec.set_u32 p.pbytes (page_off off) v;
+      t.version <- t.version + 1);
+    if off + 4 > t.size then t.size <- off + 4
   end
+  else
+    for k = 0 to 3 do
+      set_u8 t (off + k) ((v lsr (8 * k)) land 0xFF)
+    done
 
-let blit_out t ~src_off ~len =
-  check_off t src_off len;
-  let out = Bytes.make len '\000' in
-  let avail = min len (max 0 (Bytes.length t.data - src_off)) in
-  if avail > 0 then Bytes.blit t.data src_off out 0 avail;
-  out
-
-let read_into t ~src_off dst ~dst_off ~len =
-  if len > 0 then begin
-    check_off t src_off len;
-    let avail = min len (max 0 (Bytes.length t.data - src_off)) in
-    if avail > 0 then Bytes.blit t.data src_off dst dst_off avail;
-    if avail < len then Bytes.fill dst (dst_off + avail) (len - avail) '\000'
-  end
+let sub_equal a ao b bo n =
+  let rec go i =
+    i >= n || (Bytes.unsafe_get a (ao + i) = Bytes.unsafe_get b (bo + i) && go (i + 1))
+  in
+  go 0
 
 let write_from t ~dst_off src ~src_off ~len =
   if len > 0 then begin
     check_off t dst_off len;
-    ensure_capacity t (dst_off + len);
-    Bytes.blit src src_off t.data dst_off len;
-    t.version <- t.version + 1;
+    let i = ref 0 in
+    while !i < len do
+      let off = dst_off + !i in
+      let po = page_off off in
+      let n = min (len - !i) (Layout.page_size - po) in
+      (match Array.unsafe_get t.pages (page_index off) with
+      | Some p
+        when p.prc > 1
+             && off + n <= t.size
+             && sub_equal p.pbytes po src (src_off + !i) n -> ()
+      | _ ->
+        let p = writable_page t off in
+        Bytes.blit src (src_off + !i) p.pbytes po n;
+        t.version <- t.version + 1);
+      i := !i + n
+    done;
     if dst_off + len > t.size then t.size <- dst_off + len
   end
+
+let blit_in t ~dst_off src = write_from t ~dst_off src ~src_off:0 ~len:(Bytes.length src)
+
+let read_into t ~src_off dst ~dst_off ~len =
+  if len > 0 then begin
+    check_off t src_off len;
+    let i = ref 0 in
+    while !i < len do
+      let off = src_off + !i in
+      let po = page_off off in
+      let n = min (len - !i) (Layout.page_size - po) in
+      (match Array.unsafe_get t.pages (page_index off) with
+      | None -> Bytes.fill dst (dst_off + !i) n '\000'
+      | Some p -> Bytes.blit p.pbytes po dst (dst_off + !i) n);
+      i := !i + n
+    done
+  end
+
+let blit_out t ~src_off ~len =
+  let out = Bytes.make len '\000' in
+  read_into t ~src_off out ~dst_off:0 ~len;
+  out
 
 let replace t b =
   let len = Bytes.length b in
   if len > t.max_size then invalid_arg "Segment.replace: larger than max_size";
-  ensure_capacity t len;
-  Bytes.blit b 0 t.data 0 len;
-  if Bytes.length t.data > len then
-    Bytes.fill t.data len (Bytes.length t.data - len) '\000';
+  for i = 0 to Array.length t.pages - 1 do
+    drop_page t i
+  done;
+  let i = ref 0 in
+  while !i < len do
+    let n = min (len - !i) Layout.page_size in
+    let p = alloc_page () in
+    Bytes.blit b !i p.pbytes 0 n;
+    t.pages.(page_index !i) <- Some p;
+    i := !i + n
+  done;
   t.size <- len;
   t.version <- t.version + 1
 
@@ -121,6 +242,21 @@ let contents t = blit_out t ~src_off:0 ~len:t.size
 
 let copy t =
   incr next_id;
-  { t with id = !next_id; data = Bytes.copy t.data }
+  if !cow_enabled then begin
+    (* O(pages): bump each allocated page's refcount and share it.  The
+       saving is what an eager copy would have moved. *)
+    Array.iter (function Some p -> p.prc <- p.prc + 1 | None -> ()) t.pages;
+    Stats.global.bytes_saved <- Stats.global.bytes_saved + t.size;
+    { t with id = !next_id; pages = Array.copy t.pages }
+  end
+  else
+    {
+      t with
+      id = !next_id;
+      pages =
+        Array.map
+          (Option.map (fun p -> { pbytes = Bytes.copy p.pbytes; prc = 1 }))
+          t.pages;
+    }
 
 let pp ppf t = Format.fprintf ppf "segment#%d(%s, %d/%d bytes)" t.id t.name t.size t.max_size

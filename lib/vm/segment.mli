@@ -3,9 +3,23 @@
     and the memory mapped from it are the {e same} segment, which is what
     makes Hemlock's write sharing genuine rather than copy-based.
 
-    Storage grows on demand up to [max_size] and is zero-filled. *)
+    Storage grows on demand up to [max_size] and is zero-filled.  It is
+    chunked into 4 KiB pages behind per-page reference counts: {!copy}
+    normally shares every page (an O(pages) refcount walk), and the
+    first diverging write to a shared page copies only that page.  A
+    write that would store the bytes a shared page already holds is
+    skipped entirely, so identical re-initialisation (relocation
+    replays, image startup writes) never breaks sharing. *)
 
 type t
+
+(** Copy-on-write kill switch: [false] (set the [HEMLOCK_NO_COW]
+    environment variable, or flip it directly) makes {!copy} an eager
+    deep copy, restoring pre-COW behaviour for A/B comparison.  The
+    simulated cost model is byte-identical either way; only the
+    [cow_faults]/[pages_copied]/[bytes_saved] observability counters
+    and host-side work differ. *)
+val cow_enabled : bool ref
 
 (** [create ~name ~max_size ()] makes an empty segment. *)
 val create : name:string -> max_size:int -> unit -> t
@@ -58,8 +72,20 @@ val write_from : t -> dst_off:int -> Bytes.t -> src_off:int -> len:int -> unit
 val replace : t -> Bytes.t -> unit
 
 (** [copy t] is a snapshot with identical contents and a fresh identity —
-    the private half of fork. *)
+    the private half of fork.  With {!cow_enabled} (the default) the
+    snapshot shares [t]'s pages by reference count and bills the skipped
+    copying to [Stats.bytes_saved]; writes through either segment then
+    copy single pages on demand (billed to [Stats.pages_copied]).  With
+    it off, an eager deep copy. *)
 val copy : t -> t
+
+(** Number of 4 KiB pages currently allocated (holes read as zeroes and
+    occupy nothing). *)
+val allocated_pages : t -> int
+
+(** Number of allocated pages currently shared with at least one other
+    segment (refcount > 1). *)
+val shared_pages : t -> int
 
 (** Whole current contents (length = [size t]). *)
 val contents : t -> Bytes.t

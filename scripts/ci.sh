@@ -18,6 +18,9 @@ HEMLOCK_NO_TLB=1 HEMLOCK_NO_DCACHE=1 dune runtest --force
 echo "== tests (linker fast path off: HEMLOCK_NO_SYMHASH + HEMLOCK_NO_PLANCACHE) =="
 HEMLOCK_NO_SYMHASH=1 HEMLOCK_NO_PLANCACHE=1 dune runtest --force
 
+echo "== tests (copy-on-write off: HEMLOCK_NO_COW) =="
+HEMLOCK_NO_COW=1 dune runtest --force
+
 echo "== examples =="
 for ex in quickstart rwho_demo parallel_sum figure_editor lynx_tables editor_server; do
   echo "-- examples/$ex"
@@ -43,8 +46,18 @@ HEMLOCK_NO_SYMHASH=1 HEMLOCK_NO_PLANCACHE=1 \
 diff -u bench/golden_e1_e13.txt _build/e1_e13_nolinkfast.txt
 echo "golden transcript identical without the linker fast path"
 
+echo "== golden transcript (copy-on-write off) =="
+HEMLOCK_NO_COW=1 \
+  dune exec bench/main.exe -- e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 \
+  > _build/e1_e13_nocow.txt
+diff -u bench/golden_e1_e13.txt _build/e1_e13_nocow.txt
+echo "golden transcript identical without copy-on-write"
+
 echo "== perf =="
 dune exec bench/main.exe -- perf
 
 echo "== perf-link =="
 dune exec bench/main.exe -- perf-link
+
+echo "== perf-vm (gates: program-visible behaviour identical, cow copies <1/4 of eager, >=5x fork throughput) =="
+dune exec bench/main.exe -- perf-vm

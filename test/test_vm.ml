@@ -151,6 +151,14 @@ let protect_unmap () =
   | exception As.Fault { reason = As.Unmapped; _ } -> ()
   | _ -> Alcotest.fail "unmapped after unmap"
 
+(* What the kernel's fault pipeline does for COW: a write protection
+   fault on a clone-shared mapping is resolved by [As.resolve_cow] and
+   the store retried.  Used by the direct (kernel-less) clone tests. *)
+let rec store_cow sp addr v =
+  try As.store_u32 sp addr v with
+  | As.Fault { addr = faddr; access = Prot.Write; reason = As.Protection }
+    when As.resolve_cow sp faddr -> store_cow sp addr v
+
 let clone_fork_semantics () =
   let sp = As.create () in
   let priv = seg "priv" and pub = seg "pub" in
@@ -162,10 +170,10 @@ let clone_fork_semantics () =
   As.store_u32 sp 0x3000_0000 1;
   let child = As.clone sp in
   (* Private divergence. *)
-  As.store_u32 sp 0x1000 2;
+  store_cow sp 0x1000 2;
   check_int "parent private" 2 (As.load_u32 sp 0x1000);
   check_int "child private copy unchanged" 1 (As.load_u32 child 0x1000);
-  (* Public sharing. *)
+  (* Public sharing (never COW-flagged, no fault to resolve). *)
   As.store_u32 child 0x3000_0000 99;
   check_int "public shared both ways" 99 (As.load_u32 sp 0x3000_0000)
 
@@ -210,7 +218,7 @@ let tlb_clone_isolation () =
   let child = As.clone sp in
   (* The child's fresh TLB must re-resolve to its own copied segment,
      not serve the parent's cached translation. *)
-  As.store_u32 sp 0x1000 6;
+  store_cow sp 0x1000 6;
   check_int "child sees its copy" 5 (As.load_u32 child 0x1000);
   As.unmap child 0x1000;
   check_int "parent unaffected by child unmap" 6 (As.load_u32 sp 0x1000)
