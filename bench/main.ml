@@ -25,6 +25,7 @@ module Segment = Hemlock_vm.Segment
 module As = Hemlock_vm.Address_space
 module Prot = Hemlock_vm.Prot
 module Stats = Hemlock_util.Stats
+module Trace = Hemlock_isa.Trace
 module Objfile = Hemlock_obj.Objfile
 module Cc = Hemlock_cc.Cc
 module Lds = Hemlock_linker.Lds
@@ -766,14 +767,23 @@ int main() {
 }
 |}
 
-let with_caches enabled f =
-  let tlb = !As.caching_default and dc = !Cpu.decode_cache_enabled in
-  As.caching_default := enabled;
-  Cpu.decode_cache_enabled := enabled;
+(* One switch per layer: [caches] is the memory-system fast path (TLB +
+   decode cache), [jit] the trace compiler on top of it. *)
+let with_profile ~caches ~jit ?threshold f =
+  let tlb = !As.caching_default
+  and dc = !Cpu.decode_cache_enabled
+  and je = !Trace.enabled
+  and jt = !Trace.threshold in
+  As.caching_default := caches;
+  Cpu.decode_cache_enabled := caches;
+  Trace.enabled := jit;
+  Option.iter (fun t -> Trace.threshold := t) threshold;
   Fun.protect
     ~finally:(fun () ->
       As.caching_default := tlb;
-      Cpu.decode_cache_enabled := dc)
+      Cpu.decode_cache_enabled := dc;
+      Trace.enabled := je;
+      Trace.threshold := jt)
     f
 
 let measure_ns f =
@@ -791,12 +801,41 @@ let measure_ns f =
     est;
   !out
 
+(* Profiling target: the perf workload under the JIT only, looped long
+   enough for a sampling profiler (`gprofng collect app`) to see the
+   closure chains.  Not part of any acceptance run. *)
+let perf_profile () =
+  with_profile ~caches:true ~jit:true (fun () ->
+      let k, _ldl = boot () in
+      let fs = Kernel.fs k in
+      Fs.mkdir fs "/shared/lib";
+      install_c k "/shared/lib/inc_a.o" perf_inc_a;
+      install_c k "/shared/lib/inc_b.o" perf_inc_b;
+      Fs.mkdir fs "/home/perf";
+      install_c k "/home/perf/main.o" perf_workload;
+      ignore
+        (link k ~dir:"/home/perf"
+           ~specs:
+             [
+               ("main.o", Sharing.Static_private);
+               ("/shared/lib/inc_a.o", Sharing.Dynamic_public);
+               ("/shared/lib/inc_b.o", Sharing.Dynamic_public);
+             ]
+           "prog");
+      for _ = 1 to 300 do
+        let p = Kernel.spawn_exec k "/home/perf/prog" in
+        Kernel.run k;
+        match p.Proc.state with
+        | Proc.Zombie 42 -> ()
+        | _ -> failwith "perf-profile: workload did not exit 42"
+      done)
+
 let perf () =
-  header "PERF: interpreter throughput — software TLB + decoded-insn cache";
-  (* One profile per cache setting, each on a fresh kernel: the address
+  header "PERF: interpreter throughput — TLB + decode cache + trace JIT";
+  (* One profile per configuration, each on a fresh kernel: the address
      space captures the caching flag when it is created. *)
-  let profile enabled =
-    with_caches enabled (fun () ->
+  let profile ~caches ~jit =
+    with_profile ~caches ~jit (fun () ->
         let k, _ldl = boot () in
         let fs = Kernel.fs k in
         Fs.mkdir fs "/shared/lib";
@@ -826,27 +865,43 @@ let perf () =
         let ns = measure_ns run_once in
         (d, ns))
   in
-  let d_on, ns_on = profile true in
-  let d_off, ns_off = profile false in
-  (* The fast path must be invisible to the simulated cost model. *)
-  if
-    d_on.Stats.instructions <> d_off.Stats.instructions
-    || d_on.Stats.faults <> d_off.Stats.faults
-    || d_on.Stats.syscalls <> d_off.Stats.syscalls
-    || Stats.cycles d_on <> Stats.cycles d_off
-  then failwith "perf: simulated costs differ with caches on vs off";
+  let d_jit, ns_jit = profile ~caches:true ~jit:true in
+  let d_on, ns_on = profile ~caches:true ~jit:false in
+  let d_off, ns_off = profile ~caches:false ~jit:false in
+  (* Neither fast path may be visible to the simulated cost model. *)
+  let same a b =
+    a.Stats.instructions = b.Stats.instructions
+    && a.Stats.faults = b.Stats.faults
+    && a.Stats.syscalls = b.Stats.syscalls
+    && a.Stats.context_switches = b.Stats.context_switches
+    && Stats.cycles a = Stats.cycles b
+  in
+  if not (same d_on d_off) then
+    failwith "perf: simulated costs differ with caches on vs off";
+  if not (same d_jit d_off) then
+    failwith "perf: simulated costs differ with the JIT on vs off";
   let insns = d_on.Stats.instructions in
   let ips ns = float_of_int insns /. (ns *. 1e-9) in
   let speedup = ns_off /. ns_on in
-  Printf.printf "workload: %d simulated instructions per run (deterministic both ways)\n\n"
+  let jit_vs_nocache = ns_off /. ns_jit in
+  let jit_vs_cache = ns_on /. ns_jit in
+  Printf.printf "workload: %d simulated instructions per run (deterministic all ways)\n\n"
     insns;
-  Printf.printf "%-12s | %14s | %16s | %s\n" "caches" "ns/run" "insns/sec" "cache hits";
+  Printf.printf "%-12s | %14s | %16s | %s\n" "config" "ns/run" "insns/sec" "fast-path hits";
   Printf.printf "-------------+----------------+------------------+---------------------------\n";
-  Printf.printf "%-12s | %14.0f | %16.0f | tlb %d, decode %d\n" "on" ns_on (ips ns_on)
+  Printf.printf "%-12s | %14.0f | %16.0f | (none)\n" "nocache" ns_off (ips ns_off);
+  Printf.printf "%-12s | %14.0f | %16.0f | tlb %d, decode %d\n" "cached" ns_on (ips ns_on)
     d_on.Stats.tlb_hits d_on.Stats.decode_hits;
-  Printf.printf "%-12s | %14.0f | %16.0f | tlb %d, decode %d\n" "off" ns_off (ips ns_off)
-    d_off.Stats.tlb_hits d_off.Stats.decode_hits;
-  Printf.printf "\nspeedup: %.2fx\n" speedup;
+  Printf.printf "%-12s | %14.0f | %16.0f | jit %d hits / %d compiles / %d exits\n" "jit"
+    ns_jit (ips ns_jit) d_jit.Stats.jit_hits d_jit.Stats.jit_compiles
+    d_jit.Stats.jit_exits;
+  Printf.printf "\ncache speedup:          %.2fx\n" speedup;
+  Printf.printf "jit over nocache:       %.2fx (floor 10x)\n" jit_vs_nocache;
+  Printf.printf "jit over decode cache:  %.2fx (floor 3x)\n" jit_vs_cache;
+  if jit_vs_nocache < 10.0 then
+    failwith "perf: JIT throughput under the 10x-over-nocache acceptance floor";
+  if jit_vs_cache < 3.0 then
+    failwith "perf: JIT throughput under the 3x-over-decode-cache acceptance floor";
   let json =
     Printf.sprintf
       "{\n\
@@ -854,10 +909,16 @@ let perf () =
       \  \"workload_instructions\": %d,\n\
       \  \"cached\": { \"ns_per_run\": %.0f, \"insns_per_sec\": %.0f },\n\
       \  \"uncached\": { \"ns_per_run\": %.0f, \"insns_per_sec\": %.0f },\n\
+      \  \"jit\": { \"ns_per_run\": %.0f, \"insns_per_sec\": %.0f,\n\
+      \            \"compiles\": %d, \"hits\": %d, \"exits\": %d, \"invalidations\": %d },\n\
       \  \"speedup\": %.2f,\n\
+      \  \"jit_speedup_vs_uncached\": %.2f,\n\
+      \  \"jit_speedup_vs_cached\": %.2f,\n\
       \  \"simulated_costs_identical\": true\n\
        }\n"
-      insns ns_on (ips ns_on) ns_off (ips ns_off) speedup
+      insns ns_on (ips ns_on) ns_off (ips ns_off) ns_jit (ips ns_jit)
+      d_jit.Stats.jit_compiles d_jit.Stats.jit_hits d_jit.Stats.jit_exits
+      d_jit.Stats.jit_invalidations speedup jit_vs_nocache jit_vs_cache
   in
   let path = Filename.concat (Sys.getcwd ()) "BENCH_interp.json" in
   let oc = open_out path in
@@ -1154,6 +1215,98 @@ let perf_vm () =
   Printf.printf "wrote %s\n" path
 
 (* ---------------------------------------------------------------------- *)
+(* perf-jit: trace-compiler stress — threshold 1, invalidation-heavy      *)
+(* ---------------------------------------------------------------------- *)
+
+(* Threshold 1 compiles every anchor on first sight, so traces exist
+   {e before} the lazy linker patches jump slots and before fork breaks
+   COW sharing — the invalidation and store-guard paths run for real
+   instead of being compiled around after the code has settled.  Every
+   workload must cost exactly the same with the JIT off. *)
+let perf_jit () =
+  header "PERF-JIT: trace compiler stress — threshold 1, invalidation-heavy";
+  let same a b =
+    a.Stats.instructions = b.Stats.instructions
+    && a.Stats.faults = b.Stats.faults
+    && a.Stats.syscalls = b.Stats.syscalls
+    && a.Stats.context_switches = b.Stats.context_switches
+    && Stats.cycles a = Stats.cycles b
+  in
+  let run_case name setup =
+    let profile ~jit () =
+      with_profile ~caches:true ~jit ~threshold:1 (fun () ->
+          let run_once = setup () in
+          let (), d = Stats.measure run_once in
+          d)
+    in
+    let d_off = profile ~jit:false () in
+    let d_jit = profile ~jit:true () in
+    if not (same d_off d_jit) then
+      failwith
+        (Printf.sprintf "perf-jit: %s costs differ with the JIT on vs off" name);
+    Printf.printf
+      "%-12s insns %9d | compiles %4d, hits %6d, exits %6d, invalidations %3d\n"
+      name d_jit.Stats.instructions d_jit.Stats.jit_compiles
+      d_jit.Stats.jit_hits d_jit.Stats.jit_exits d_jit.Stats.jit_invalidations;
+    d_jit
+  in
+  (* Cross-module calls, linked lazily: at threshold 1 the caller's
+     trace compiles while the jump slots still point at linker stubs,
+     so the binding stores must invalidate and the re-entries recompile
+     through the patched slots. *)
+  let calls_case () =
+    let k, _ldl = boot () in
+    let fs = Kernel.fs k in
+    Fs.mkdir fs "/shared/lib";
+    install_c k "/shared/lib/inc_a.o" perf_inc_a;
+    install_c k "/shared/lib/inc_b.o" perf_inc_b;
+    Fs.mkdir fs "/home/perf";
+    install_c k "/home/perf/main.o" perf_workload;
+    ignore
+      (link k ~dir:"/home/perf"
+         ~specs:
+           [
+             ("main.o", Sharing.Static_private);
+             ("/shared/lib/inc_a.o", Sharing.Dynamic_public);
+             ("/shared/lib/inc_b.o", Sharing.Dynamic_public);
+           ]
+         "prog");
+    fun () ->
+      let p = Kernel.spawn_exec k "/home/perf/prog" in
+      Kernel.run k;
+      match p.Proc.state with
+      | Proc.Zombie 42 -> ()
+      | _ -> failwith "perf-jit: call workload did not exit 42"
+  in
+  (* Fork under COW: children inherit the parent's hot code and write
+     shared pages; traces and their inline caches must never leak a
+     parent page into a child (or vice versa). *)
+  let fork_case () =
+    let k, _ldl = boot () in
+    Fs.mkdir (Kernel.fs k) "/home/perf";
+    install_c k "/home/perf/fork.o" vm_fork_workload;
+    ignore
+      (link k ~dir:"/home/perf"
+         ~specs:[ ("fork.o", Sharing.Static_private) ]
+         "forkprog");
+    fun () ->
+      Kernel.console_clear k;
+      let p = Kernel.spawn_exec k "/home/perf/forkprog" in
+      Kernel.run k;
+      (match p.Proc.state with
+      | Proc.Zombie 0 -> ()
+      | _ -> failwith "perf-jit: fork workload did not exit 0");
+      if Kernel.console k <> "0" then
+        failwith "perf-jit: fork workload console output changed"
+  in
+  let d_calls = run_case "calls" calls_case in
+  let d_fork = run_case "fork-cow" fork_case in
+  if d_calls.Stats.jit_compiles = 0 || d_fork.Stats.jit_compiles = 0 then
+    failwith "perf-jit: a stress workload never reached the compiler";
+  Printf.printf
+    "\nsimulated costs identical with the JIT on and off for every workload\n"
+
+(* ---------------------------------------------------------------------- *)
 (* crash-sweep: deterministic fault plans over /shared op traffic         *)
 (* ---------------------------------------------------------------------- *)
 
@@ -1235,7 +1388,7 @@ let () =
     List.filter
       (fun a ->
         a <> "bechamel" && a <> "perf" && a <> "perf-link" && a <> "perf-vm"
-        && a <> "crash-sweep"
+        && a <> "perf-jit" && a <> "perf-profile" && a <> "crash-sweep"
         && int_of_string_opt a = None)
       args
   in
@@ -1243,11 +1396,16 @@ let () =
   let run_perf = List.mem "perf" args in
   let run_perf_link = List.mem "perf-link" args in
   let run_perf_vm = List.mem "perf-vm" args in
+  let run_perf_jit = List.mem "perf-jit" args in
+  let run_perf_profile = List.mem "perf-profile" args in
   let run_crash_sweep = List.mem "crash-sweep" args in
   let selected =
-    (* `perf`/`perf-link`/`perf-vm`/`crash-sweep` alone run just those,
-       not every experiment *)
-    if wanted = [] && (run_perf || run_perf_link || run_perf_vm || run_crash_sweep)
+    (* `perf`/`perf-link`/`perf-vm`/`perf-jit`/`crash-sweep` alone run
+       just those, not every experiment *)
+    if
+      wanted = []
+      && (run_perf || run_perf_link || run_perf_vm || run_perf_jit
+         || run_perf_profile || run_crash_sweep)
     then []
     else if wanted = [] then experiments
     else
@@ -1266,6 +1424,8 @@ let () =
   if run_perf then perf ();
   if run_perf_link then perf_link ();
   if run_perf_vm then perf_vm ();
+  if run_perf_jit then perf_jit ();
+  if run_perf_profile then perf_profile ();
   if run_crash_sweep then
     crash_sweep (if sweep_seeds = [] then List.init 10 (fun i -> i + 1) else sweep_seeds);
   Printf.printf "\nAll experiments completed.\n"

@@ -59,7 +59,12 @@ let icache_slot pc =
   let p = pc lsr Layout.page_shift in
   (p lxor (p lsr 8)) land (icache_slots - 1)
 
-type t = { regs : int array; mutable pc : int; icache : dpage option array }
+type t = {
+  regs : int array;
+  mutable pc : int;
+  icache : dpage option array;
+  jit : Trace.state;
+}
 
 type status = Running | Halted of int
 
@@ -67,13 +72,16 @@ type run_result = Out_of_fuel | Trapped of Trap.t
 
 exception Cpu_error of { pc : int; msg : string }
 
+exception Illegal_insn of { ill_pc : int; ill_word : int }
+
 let create ~entry ~sp =
   let regs = Array.make 32 0 in
   regs.(Reg.sp) <- sp;
-  { regs; pc = entry; icache = Array.make icache_slots None }
+  { regs; pc = entry; icache = Array.make icache_slots None; jit = Trace.make regs }
 
 let fork t =
-  { regs = Array.copy t.regs; pc = t.pc; icache = Array.make icache_slots None }
+  let regs = Array.copy t.regs in
+  { regs; pc = t.pc; icache = Array.make icache_slots None; jit = Trace.make regs }
 
 (* Register indices come from 5-bit decode fields, so the 32-element
    array can skip bounds checks on the interpreter's hottest loads. *)
@@ -91,7 +99,10 @@ let decode_into t dp word idx =
     Array.unsafe_set dp.dp_words idx word;
     Array.unsafe_set dp.dp_insns idx insn;
     insn
-  | exception Failure msg -> error t msg
+  | exception Failure _ ->
+    (* Undecodable word: an illegal-instruction trap, not a host error.
+       [t.pc] still points at the word (fetch precedes any pc update). *)
+    raise (Illegal_insn { ill_pc = t.pc; ill_word = word })
 
 (* Slot invalid for this page/epoch: validate the fetch through the
    address space (raising the precise fault if it must) and re-pin the
@@ -132,7 +143,7 @@ let fetch_insn t space pc =
     let word = As.fetch space pc in
     match Insn.decode word with
     | insn -> insn
-    | exception Failure msg -> error t msg
+    | exception Failure _ -> raise (Illegal_insn { ill_pc = pc; ill_word = word })
   end
   else begin
     let slot = icache_slot pc in
@@ -324,19 +335,73 @@ let run ~fuel t space ~syscall =
 
 exception Syscall_trap
 
+(* With the trace JIT enabled, the same loop additionally offers every
+   {e anchored} pc — a burst start, or the successor of any step that
+   was not a straight fall-through — to {!Trace.enter}.  A compiled
+   trace threads the remaining fuel through its closure chain and
+   reports how it left; every exit re-anchors (trace tails are branch
+   targets by construction).  The accounting mirrors the interpreter
+   case-for-case: fuel-out at an instruction boundary, syscall/halt
+   with one instruction billed, faults with the instruction billed but
+   no fuel consumed and the pc on the faulting instruction. *)
 let run_trap ~fuel t space =
-  let rec go n =
-    if n = 0 then (Out_of_fuel, 0)
-    else
+  if not !Trace.enabled then begin
+    let rec go n =
+      if n = 0 then (Out_of_fuel, 0)
+      else
+        match step t space ~syscall:(fun _ -> raise_notrace Syscall_trap) with
+        | Running -> go (n - 1)
+        | Halted code -> (Trapped (Trap.Halt code), n - 1)
+        | exception Syscall_trap -> (Trapped Trap.Syscall, n - 1)
+        | exception Illegal_insn { ill_pc; ill_word } ->
+          (Trapped (Trap.Illegal { ill_pc; ill_word }), n)
+        | exception As.Fault { addr; access; reason } ->
+          ( Trapped
+              (Trap.Fault { f_addr = addr; f_access = access; f_reason = reason }),
+            n )
+    in
+    go fuel
+  end
+  else begin
+    let st = t.jit in
+    let rec go n anchored =
+      if n = 0 then (Out_of_fuel, 0)
+      else if not anchored then interp n
+      else
+        match Trace.enter st space t.pc n with
+        | Trace.Missed -> interp n
+        | Trace.Ran (Trace.X_side n') ->
+          t.pc <- Trace.resume_pc st;
+          go n' true
+        | Trace.Ran (Trace.X_halt (code, n')) ->
+          t.pc <- Trace.resume_pc st;
+          (Trapped (Trap.Halt code), n')
+        | Trace.Ran (Trace.X_syscall n') ->
+          t.pc <- Trace.resume_pc st;
+          (Trapped Trap.Syscall, n')
+        | exception As.Fault { addr; access; reason } ->
+          t.pc <- Trace.resume_pc st;
+          ( Trapped
+              (Trap.Fault { f_addr = addr; f_access = access; f_reason = reason }),
+            Trace.resume_fuel st )
+        | exception Trace.Error { e_pc; e_msg } ->
+          t.pc <- e_pc;
+          raise (Cpu_error { pc = e_pc; msg = e_msg })
+    and interp n =
+      let pc0 = t.pc in
       match step t space ~syscall:(fun _ -> raise_notrace Syscall_trap) with
-      | Running -> go (n - 1)
+      | Running -> go (n - 1) (t.pc <> pc0 + 4)
       | Halted code -> (Trapped (Trap.Halt code), n - 1)
       | exception Syscall_trap -> (Trapped Trap.Syscall, n - 1)
+      | exception Illegal_insn { ill_pc; ill_word } ->
+        (Trapped (Trap.Illegal { ill_pc; ill_word }), n)
       | exception As.Fault { addr; access; reason } ->
-        ( Trapped (Trap.Fault { f_addr = addr; f_access = access; f_reason = reason }),
+        ( Trapped
+            (Trap.Fault { f_addr = addr; f_access = access; f_reason = reason }),
           n )
-  in
-  go fuel
+    in
+    go fuel true
+  end
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>pc = 0x%08x@," t.pc;

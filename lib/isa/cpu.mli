@@ -8,7 +8,12 @@
 (** One page's worth of decoded instructions (see [decode_cache_enabled]). *)
 type dpage
 
-type t = { regs : int array; mutable pc : int; icache : dpage option array }
+type t = {
+  regs : int array;
+  mutable pc : int;
+  icache : dpage option array;
+  jit : Trace.state;  (** per-CPU trace-JIT state (see {!Trace}) *)
+}
 
 (** Per-page decoded-instruction cache switch; defaults to [true] unless
     the [HEMLOCK_NO_DCACHE] environment variable is set.  Reuse of a
@@ -21,8 +26,13 @@ type status =
   | Running
   | Halted of int  (** exit code *)
 
-(** Decode failures and arithmetic traps (division by zero). *)
+(** Arithmetic traps (division/remainder by zero). *)
 exception Cpu_error of { pc : int; msg : string }
+
+(** A fetched word that does not decode.  {!run_trap} converts it to
+    {!Trap.Illegal} so the kernel can kill the process like a SIGILL;
+    through {!step}/{!run} it propagates to the caller. *)
+exception Illegal_insn of { ill_pc : int; ill_word : int }
 
 val create : entry:int -> sp:int -> t
 
@@ -54,8 +64,13 @@ type run_result = Out_of_fuel | Trapped of Trap.t
     {!run} no callback is involved: a SYSCALL returns [Trapped Syscall]
     with the pc past the instruction and one unit of fuel consumed, a
     memory fault returns [Trapped (Fault _)] with the pc unmoved and no
-    fuel consumed, BREAK returns [Trapped (Halt code)].  Decode failures
-    and arithmetic traps still raise [Cpu_error]. *)
+    fuel consumed, BREAK returns [Trapped (Halt code)], an undecodable
+    word returns [Trapped (Illegal _)] with the pc unmoved and no fuel
+    consumed.  Arithmetic traps still raise [Cpu_error].
+
+    When the trace JIT is enabled (see {!Trace.enabled}) hot paths run
+    as compiled closure chains; execution, traps and simulated costs
+    are bit-identical to the plain interpreter either way. *)
 val run_trap :
   fuel:int -> t -> Hemlock_vm.Address_space.t -> run_result * int
 

@@ -8,6 +8,7 @@ type t =
   | Syscall
   | Fault of fault
   | Halt of int
+  | Illegal of { ill_pc : int; ill_word : int }
 
 let pp_fault ppf f =
   Format.fprintf ppf "%a fault at 0x%08x (%s)" Hemlock_vm.Prot.pp_access
@@ -20,3 +21,5 @@ let pp ppf = function
   | Syscall -> Format.pp_print_string ppf "syscall"
   | Fault f -> pp_fault ppf f
   | Halt code -> Format.fprintf ppf "halt (%d)" code
+  | Illegal { ill_pc; ill_word } ->
+    Format.fprintf ppf "illegal instruction 0x%08x at 0x%08x" ill_word ill_pc

@@ -24,6 +24,11 @@ type t =
           the pc still points at the faulting instruction, so resolving
           the fault and resuming restarts it. *)
   | Halt of int  (** BREAK: the program exited with this code. *)
+  | Illegal of { ill_pc : int; ill_word : int }
+      (** The fetched word does not decode to any instruction; the pc
+          still points at it, no instruction was billed and no fuel was
+          consumed.  The kernel treats it like SIGILL — the process is
+          killed, the host simulator never dies. *)
 
 val pp_fault : Format.formatter -> fault -> unit
 val pp : Format.formatter -> t -> unit

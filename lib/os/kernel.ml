@@ -673,6 +673,10 @@ let handle_trap t proc cpu = function
   | Trap.Halt code ->
     exit_proc t proc code;
     `Stop
+  | Trap.Illegal _ as trap ->
+    (* SIGILL: the process dies, the simulator does not. *)
+    kill t proc ~reason:(Format.asprintf "%a" Trap.pp trap);
+    `Stop
   | Trap.Fault fault -> handle_fault t proc fault
   | Trap.Syscall -> (
     match dispatch t proc cpu with

@@ -20,6 +20,13 @@ type t = {
   mutable next_pid : int;
   daemons : (int, unit) Hashtbl.t;
   mutable tick_count : int;
+  (* Pid-sorted snapshot of [proc_table], rebuilt lazily after an
+     add/remove.  The scheduler walks the process list several times
+     per pass, once per quantum — re-sorting the table each walk made
+     every pass O(n log n) in the number of processes ever spawned
+     (zombies included), which dominated long multi-process runs. *)
+  mutable plist : Proc.t list;
+  mutable plist_dirty : bool;
 }
 
 let create () =
@@ -28,6 +35,8 @@ let create () =
     next_pid = 1;
     daemons = Hashtbl.create 8;
     tick_count = 0;
+    plist = [];
+    plist_dirty = false;
   }
 
 let fresh_pid t =
@@ -35,18 +44,26 @@ let fresh_pid t =
   t.next_pid <- pid + 1;
   pid
 
-let add t proc = Hashtbl.replace t.proc_table proc.Proc.pid proc
+let add t proc =
+  Hashtbl.replace t.proc_table proc.Proc.pid proc;
+  t.plist_dirty <- true
 
 let remove t pid =
   Hashtbl.remove t.proc_table pid;
-  Hashtbl.remove t.daemons pid
+  Hashtbl.remove t.daemons pid;
+  t.plist_dirty <- true
 
 let find t pid = Hashtbl.find_opt t.proc_table pid
 
 let processes t =
-  List.sort
-    (fun a b -> compare a.Proc.pid b.Proc.pid)
-    (Hashtbl.fold (fun _ p acc -> p :: acc) t.proc_table [])
+  if t.plist_dirty then begin
+    t.plist <-
+      List.sort
+        (fun a b -> compare a.Proc.pid b.Proc.pid)
+        (Hashtbl.fold (fun _ p acc -> p :: acc) t.proc_table []);
+    t.plist_dirty <- false
+  end;
+  t.plist
 
 let set_daemon t proc = Hashtbl.replace t.daemons proc.Proc.pid ()
 

@@ -11,15 +11,32 @@ let sext32 v =
 let get_u8 b off = Char.code (Bytes.get b off)
 let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xFF))
 
-(* Single bounds-checked machine accesses rather than byte-at-a-time
-   assembly: these sit under every memory access the interpreter makes. *)
+(* These sit under every memory access the interpreter and the trace
+   JIT make: one explicit range check, then the unchecked 16-bit
+   primitives (little-endian loads/stores of immediate ints — no boxed
+   [Int32] allocation, unlike the [Bytes.get_int32_le] route, and small
+   enough to inline at call sites). *)
+external unsafe_get_16 : Bytes.t -> int -> int = "%caml_bytes_get16u"
+external unsafe_set_16 : Bytes.t -> int -> int -> unit = "%caml_bytes_set16u"
+
 let get_u16 b off = Bytes.get_uint16_le b off
 
 let set_u16 b off v = Bytes.set_uint16_le b off (v land 0xFFFF)
 
-let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFF_FFFF
+let unsafe_get_u32 b off =
+  unsafe_get_16 b off lor (unsafe_get_16 b (off + 2) lsl 16)
 
-let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let unsafe_set_u32 b off v =
+  unsafe_set_16 b off v;
+  unsafe_set_16 b (off + 2) (v lsr 16)
+
+let get_u32 b off =
+  if off < 0 || off + 4 > Bytes.length b then invalid_arg "index out of bounds";
+  unsafe_get_u32 b off
+
+let set_u32 b off v =
+  if off < 0 || off + 4 > Bytes.length b then invalid_arg "index out of bounds";
+  unsafe_set_u32 b off v
 
 module Writer = struct
   type t = Buffer.t

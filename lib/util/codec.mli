@@ -17,6 +17,12 @@ val set_u16 : Bytes.t -> int -> int -> unit
 val get_u32 : Bytes.t -> int -> int
 val set_u32 : Bytes.t -> int -> int -> unit
 
+(** Unchecked 32-bit accessors for callers that have already bounds-checked
+    the offset (the trace JIT's inline caches, page-local accesses). *)
+val unsafe_get_u32 : Bytes.t -> int -> int
+
+val unsafe_set_u32 : Bytes.t -> int -> int -> unit
+
 (** Growable byte buffer with primitive emitters. *)
 module Writer : sig
   type t

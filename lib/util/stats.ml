@@ -41,6 +41,13 @@ type t = {
   mutable cow_faults : int;
   mutable pages_copied : int;
   mutable bytes_saved : int;
+  (* Trace-JIT observability.  Host-side compilation behaviour of the
+     trace compiler; excluded from [cycles] — the JIT must leave the
+     simulated cost model byte-identical to the interpreter. *)
+  mutable jit_compiles : int;
+  mutable jit_hits : int;
+  mutable jit_exits : int;
+  mutable jit_invalidations : int;
 }
 
 let zero () =
@@ -73,6 +80,10 @@ let zero () =
     cow_faults = 0;
     pages_copied = 0;
     bytes_saved = 0;
+    jit_compiles = 0;
+    jit_hits = 0;
+    jit_exits = 0;
+    jit_invalidations = 0;
   }
 
 let global = zero ()
@@ -105,7 +116,11 @@ let reset () =
   global.ipc_retries <- 0;
   global.cow_faults <- 0;
   global.pages_copied <- 0;
-  global.bytes_saved <- 0
+  global.bytes_saved <- 0;
+  global.jit_compiles <- 0;
+  global.jit_hits <- 0;
+  global.jit_exits <- 0;
+  global.jit_invalidations <- 0
 
 let snapshot () = { global with instructions = global.instructions }
 
@@ -139,6 +154,10 @@ let diff ~before ~after =
     cow_faults = after.cow_faults - before.cow_faults;
     pages_copied = after.pages_copied - before.pages_copied;
     bytes_saved = after.bytes_saved - before.bytes_saved;
+    jit_compiles = after.jit_compiles - before.jit_compiles;
+    jit_hits = after.jit_hits - before.jit_hits;
+    jit_exits = after.jit_exits - before.jit_exits;
+    jit_invalidations = after.jit_invalidations - before.jit_invalidations;
   }
 
 (* Cost model, in simulated cycles.  The weights are the conventional

@@ -58,6 +58,17 @@ type t = {
   mutable bytes_saved : int;
       (** bytes a [Segment.copy] shared by reference counting instead of
           copying (fork, exec and module-instantiation images) *)
+  mutable jit_compiles : int;
+      (** traces compiled by the trace JIT, recompiles included
+          (observability only — excluded from [cycles]) *)
+  mutable jit_hits : int;  (** trace-cache entries that ran a compiled trace *)
+  mutable jit_exits : int;
+      (** guard side exits taken out of compiled traces back into the
+          interpreter (conditional branches, unknown indirect targets,
+          code-version changes) *)
+  mutable jit_invalidations : int;
+      (** compiled traces discarded because their code bytes or mapping
+          geometry changed (self-modifying code, remapping, COW breaks) *)
 }
 
 (** The single global counter set. *)

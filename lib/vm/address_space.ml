@@ -181,6 +181,19 @@ let exec_view t addr =
     raise (Fault { addr; access = Prot.Exec; reason = Protection });
   (seg, off - addr, addr + run)
 
+(* Like [exec_view] but for data accesses and non-raising: the mapping
+   geometry behind [addr] when its *effective* protection (so never a
+   COW mapping, for writes) allows [access], else [None].  Goes straight
+   to the interval map — no TLB fill, no stats — because it only runs on
+   the trace JIT's inline-cache miss path, after the authoritative
+   access already succeeded. *)
+let data_view t addr access =
+  match Interval_map.find addr t.table with
+  | None -> None
+  | Some (lo, hi, m) ->
+    if Prot.allows (effective m) access then Some (m.seg, m.seg_off - lo, hi)
+    else None
+
 (* Single-access entry points.  Each checks the TLB inline and, on a
    full hit (right page, in bounds, access allowed), goes straight to
    the segment — no intermediate tuples on the hot path.  Everything

@@ -103,6 +103,14 @@ val fetch : t -> int -> int
     CPU's decoded-instruction cache. *)
 val exec_view : t -> int -> Segment.t * int * int
 
+(** [data_view t addr access] is the mapping geometry [(seg, delta, hi)]
+    behind [addr] when its {e effective} protection allows [access]
+    (a COW mapping's stripped write counts as not allowing it), else
+    [None].  Unlike the checked accessors it never raises and never
+    touches the TLB; the result is valid until {!epoch} changes.  Used
+    by the trace JIT to fill its inline load/store caches. *)
+val data_view : t -> int -> Prot.access -> (Segment.t * int * int) option
+
 (** [read_bytes t addr len] performs [len] checked byte reads. *)
 val read_bytes : t -> int -> int -> Bytes.t
 

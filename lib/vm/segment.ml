@@ -29,6 +29,10 @@ type t = {
   mutable pages : page option array;
   mutable size : int;
   mutable version : int; (* bumped by every content write; see [version] *)
+  mutable page_gen : int;
+      (* bumped whenever a slot of [pages] changes identity (COW break,
+         zero-fill allocation, drop, replace) — never by in-place byte
+         writes; see [page_gen]/[page_view] *)
 }
 
 (* HEMLOCK_NO_COW restores eager deep copies (and, with them, the
@@ -49,6 +53,7 @@ let create ~name ~max_size () =
     pages = Array.make (npages max_size) None;
     size = 0;
     version = 0;
+    page_gen = 0;
   }
 
 let id t = t.id
@@ -56,6 +61,28 @@ let name t = t.name
 let max_size t = t.max_size
 let size t = t.size
 let version t = t.version
+let page_gen t = t.page_gen
+
+let page_view t off =
+  if off < 0 || off >= t.max_size then None
+  else
+    match t.pages.(off lsr Layout.page_shift) with
+    | Some p -> Some (p.pbytes, t.page_gen)
+    | None -> None
+
+(* Like [page_view], but only for pages that are exclusively owned
+   (refcount 1), so the caller may write through the bytes directly.
+   Soundness rests on [page_gen] being bumped by everything that could
+   turn the view stale: page identity changes, [copy] sharing the pages
+   out, and [resize] shrinking the logical size. *)
+let owned_page_view t off =
+  if off < 0 || off >= t.max_size then None
+  else
+    match t.pages.(off lsr Layout.page_shift) with
+    | Some p when p.prc = 1 -> Some (p.pbytes, t.page_gen)
+    | Some _ | None -> None
+
+let bump_version t = t.version <- t.version + 1
 
 let allocated_pages t =
   Array.fold_left (fun n p -> if p = None then n else n + 1) 0 t.pages
@@ -88,10 +115,12 @@ let writable_page t off =
     let q = { pbytes = Bytes.copy p.pbytes; prc = 1 } in
     Stats.global.pages_copied <- Stats.global.pages_copied + 1;
     Array.unsafe_set t.pages i (Some q);
+    t.page_gen <- t.page_gen + 1;
     q
   | None ->
     let q = alloc_page () in
     Array.unsafe_set t.pages i (Some q);
+    t.page_gen <- t.page_gen + 1;
     q
 
 let drop_page t i =
@@ -99,7 +128,8 @@ let drop_page t i =
   | None -> ()
   | Some p ->
     p.prc <- p.prc - 1;
-    t.pages.(i) <- None
+    t.pages.(i) <- None;
+    t.page_gen <- t.page_gen + 1
 
 let resize t n =
   if n < 0 || n > t.max_size then invalid_arg "Segment.resize: bad size";
@@ -118,7 +148,10 @@ let resize t n =
     end
   end;
   t.size <- n;
-  t.version <- t.version + 1
+  t.version <- t.version + 1;
+  (* Invalidate raw page views: a shrink lowers the write limit an
+     [owned_page_view] holder derived from [size]. *)
+  t.page_gen <- t.page_gen + 1
 
 let get_u8 t off =
   check_off t off 1;
@@ -129,8 +162,11 @@ let get_u8 t off =
 let set_u8 t off v =
   check_off t off 1;
   (match Array.unsafe_get t.pages (page_index off) with
-  | Some p
-    when p.prc > 1 && off < t.size && Codec.get_u8 p.pbytes (page_off off) = v land 0xFF
+  | Some p when p.prc = 1 ->
+    (* Exclusively owned page: write in place, no COW machinery. *)
+    Codec.set_u8 p.pbytes (page_off off) v;
+    t.version <- t.version + 1
+  | Some p when off < t.size && Codec.get_u8 p.pbytes (page_off off) = v land 0xFF
     ->
     (* Identical write to a shared page: keep sharing it. *)
     ()
@@ -156,9 +192,11 @@ let set_u32 t off v =
   check_off t off 4;
   if page_off off <= Layout.page_size - 4 then begin
     (match Array.unsafe_get t.pages (page_index off) with
+    | Some p when p.prc = 1 ->
+      Codec.set_u32 p.pbytes (page_off off) v;
+      t.version <- t.version + 1
     | Some p
-      when p.prc > 1
-           && off + 4 <= t.size
+      when off + 4 <= t.size
            && Codec.get_u32 p.pbytes (page_off off) = Codec.mask32 v -> ()
     | _ ->
       let p = writable_page t off in
@@ -236,7 +274,8 @@ let replace t b =
     i := !i + n
   done;
   t.size <- len;
-  t.version <- t.version + 1
+  t.version <- t.version + 1;
+  t.page_gen <- t.page_gen + 1
 
 let contents t = blit_out t ~src_off:0 ~len:t.size
 
@@ -244,9 +283,12 @@ let copy t =
   incr next_id;
   if !cow_enabled then begin
     (* O(pages): bump each allocated page's refcount and share it.  The
-       saving is what an eager copy would have moved. *)
+       saving is what an eager copy would have moved.  The source's
+       pages just went from owned to shared with unchanged identity, so
+       its [page_gen] must move to retire any [owned_page_view]. *)
     Array.iter (function Some p -> p.prc <- p.prc + 1 | None -> ()) t.pages;
     Stats.global.bytes_saved <- Stats.global.bytes_saved + t.size;
+    t.page_gen <- t.page_gen + 1;
     { t with id = !next_id; pages = Array.copy t.pages }
   end
   else

@@ -38,6 +38,37 @@ val size : t -> int
     re-reading the bytes. *)
 val version : t -> int
 
+(** Page-table generation: bumped whenever the {e identity} or the
+    {e sharing state} of any page chunk changes — a COW break swapping
+    in a private copy, a zero page being allocated by a first write,
+    pages dropped by [resize]/[replace], {!copy} sharing the pages out,
+    [resize] moving the logical size — and never by in-place byte
+    writes.  A caller holding a raw page from {!page_view} or
+    {!owned_page_view} may keep using it while this counter stands
+    still; the trace JIT's inline load and store caches ride on it. *)
+val page_gen : t -> int
+
+(** [page_view t off] is the raw 4 KiB page chunk holding [off] together
+    with the current {!page_gen}, or [None] if [off] is out of bounds or
+    the page is an (unallocated) zero page.  The bytes are live storage:
+    they must be treated as read-only, and reused only while
+    [page_gen t] equals the returned stamp. *)
+val page_view : t -> int -> (Bytes.t * int) option
+
+(** [owned_page_view t off] is like {!page_view} but only for a page
+    that is exclusively owned (refcount 1), which makes it legal to
+    {e write} through the bytes directly — provided every such write
+    stays below [size t] as of the returned stamp and is paired with a
+    {!bump_version}.  Valid only while [page_gen t] equals the stamp:
+    anything that could invalidate a cached writable view ({!copy}
+    sharing the page out, a COW break, {!resize}) bumps the counter. *)
+val owned_page_view : t -> int -> (Bytes.t * int) option
+
+(** [bump_version t] registers an out-of-band content mutation done
+    through {!owned_page_view} bytes, keeping {!version}'s contract that
+    it moves with every content write. *)
+val bump_version : t -> unit
+
 (** [resize t n] sets the logical size (zero-extends; truncation clears
     the dropped bytes so re-growth reads zeroes).
     @raise Invalid_argument if [n < 0] or [n > max_size t]. *)

@@ -21,6 +21,12 @@ HEMLOCK_NO_SYMHASH=1 HEMLOCK_NO_PLANCACHE=1 dune runtest --force
 echo "== tests (copy-on-write off: HEMLOCK_NO_COW) =="
 HEMLOCK_NO_COW=1 dune runtest --force
 
+echo "== tests (trace JIT off: HEMLOCK_NO_JIT) =="
+HEMLOCK_NO_JIT=1 dune runtest --force
+
+echo "== tests (trace JIT hot: HEMLOCK_JIT_THRESHOLD=1) =="
+HEMLOCK_JIT_THRESHOLD=1 dune runtest --force
+
 echo "== examples =="
 for ex in quickstart rwho_demo parallel_sum figure_editor lynx_tables editor_server; do
   echo "-- examples/$ex"
@@ -53,6 +59,20 @@ HEMLOCK_NO_COW=1 \
 diff -u bench/golden_e1_e13.txt _build/e1_e13_nocow.txt
 echo "golden transcript identical without copy-on-write"
 
+echo "== golden transcript (trace JIT off) =="
+HEMLOCK_NO_JIT=1 \
+  dune exec bench/main.exe -- e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 \
+  > _build/e1_e13_nojit.txt
+diff -u bench/golden_e1_e13.txt _build/e1_e13_nojit.txt
+echo "golden transcript identical without the trace JIT"
+
+echo "== golden transcript (trace JIT hot: HEMLOCK_JIT_THRESHOLD=1) =="
+HEMLOCK_JIT_THRESHOLD=1 \
+  dune exec bench/main.exe -- e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 \
+  > _build/e1_e13_hotjit.txt
+diff -u bench/golden_e1_e13.txt _build/e1_e13_hotjit.txt
+echo "golden transcript identical with every block trace-compiled"
+
 echo "== perf =="
 dune exec bench/main.exe -- perf
 
@@ -61,3 +81,6 @@ dune exec bench/main.exe -- perf-link
 
 echo "== perf-vm (gates: program-visible behaviour identical, cow copies <1/4 of eager, >=5x fork throughput) =="
 dune exec bench/main.exe -- perf-vm
+
+echo "== perf-jit (gates: simulated costs identical JIT on/off under invalidation stress) =="
+dune exec bench/main.exe -- perf-jit

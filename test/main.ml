@@ -7,6 +7,7 @@ let () =
       ("fs", Test_fs.suite);
       ("btree", Test_btree.suite);
       ("isa", Test_isa.suite);
+      ("jit", Test_jit.suite);
       ("obj", Test_obj.suite);
       ("cc", Test_cc.suite);
       ("os", Test_os.suite);

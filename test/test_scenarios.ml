@@ -310,14 +310,21 @@ let many_conflicting_subsystems () =
 let caches_do_not_change_simulation () =
   let module Cpu = Hemlock_isa.Cpu in
   let module As = Hemlock_vm.Address_space in
+  let module Trace = Hemlock_isa.Trace in
   let profile enabled =
     let old_tlb = !As.caching_default and old_dc = !Cpu.decode_cache_enabled in
+    (* Pin the trace JIT off: this test measures the interpreter's TLB +
+       decode-cache fast path, which a compiled trace bypasses entirely
+       (test_jit covers JIT-on/off equivalence). *)
+    let old_jit = !Trace.enabled in
     As.caching_default := enabled;
     Cpu.decode_cache_enabled := enabled;
+    Trace.enabled := false;
     Fun.protect
       ~finally:(fun () ->
         As.caching_default := old_tlb;
-        Cpu.decode_cache_enabled := old_dc)
+        Cpu.decode_cache_enabled := old_dc;
+        Trace.enabled := old_jit)
       (fun () ->
         let k, _ldl = boot () in
         let fs = Kernel.fs k in
