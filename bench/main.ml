@@ -9,6 +9,9 @@
                                BENCH_interp.json
      bench/main.exe perf-vm    copy-on-write fork/exec bench; writes
                                BENCH_vm.json
+     bench/main.exe perf-page  demand-paging bench: multi-MB /shared
+                               working set under shrinking RAM budgets;
+                               writes BENCH_page.json
      bench/main.exe crash-sweep [seeds]
                                deterministic fault sweep: per seed, drive
                                /shared op traffic under a PRNG fault plan
@@ -22,6 +25,7 @@ module Fs = Hemlock_sfs.Fs
 module Path = Hemlock_sfs.Path
 module Layout = Hemlock_vm.Layout
 module Segment = Hemlock_vm.Segment
+module Vm_object = Hemlock_vm.Vm_object
 module As = Hemlock_vm.Address_space
 module Prot = Hemlock_vm.Prot
 module Stats = Hemlock_util.Stats
@@ -1319,6 +1323,165 @@ let sweep_pool = [| "/shared/a"; "/shared/b"; "/shared/d/c"; "/shared/d/e"; "/sh
    and the fault plan (Fault.configure_random).  A simulated crash is
    recovered with rescan + fsck; the gate is that a second fsck is
    always clean — recovery converged, nothing left half-done. *)
+(* ---------------------------------------------------------------------- *)
+(* perf-page: demand paging — a /shared working set larger than RAM       *)
+(* ---------------------------------------------------------------------- *)
+
+(* A multi-MB shared working set chased through the E12 B-tree address
+   index, profiled under a shrinking [HEMLOCK_RAM_PAGES] budget.  The
+   billed cost model must be byte-identical at every budget and with
+   the pager off entirely — only the pager's observability counters
+   (major/minor faults, evictions, writebacks, peak residency) and host
+   time may move. *)
+let perf_page () =
+  header "PERF-PAGE: demand paging under bounded simulated RAM";
+  let module Addr_index = Hemlock_sfs.Addr_index in
+  let files = 8 in
+  let file_bytes = Layout.shared_slot_size in
+  (* 8 MB of file pages *)
+  let rounds = 3 in
+  let saved_enabled = !Vm_object.enabled in
+  let saved_ram = !Vm_object.ram_pages in
+  let profile ~pager ram =
+    Vm_object.reset ();
+    Vm_object.enabled := pager;
+    Vm_object.ram_pages := ram;
+    let k, _ldl = boot () in
+    let fs = Kernel.fs k in
+    Fs.mkdir fs "/shared/ws";
+    let path i = Printf.sprintf "/shared/ws/f%d" i in
+    for i = 0 to files - 1 do
+      Fs.create_file fs (path i);
+      (* Fill every page so first touches are major faults (the backing
+         file has content to read in), not zero-fill minors. *)
+      Fs.write_file fs (path i) (Bytes.make file_bytes (Char.chr (65 + i)))
+    done;
+    let run () =
+      let p =
+        Kernel.spawn_native k ~name:"pager-ws" (fun k proc ->
+            let idx = Addr_index.create Addr_index.Btree_index in
+            let bases =
+              Array.init files (fun i ->
+                  let base =
+                    Kernel.map_shared_file k proc ~path:(path i)
+                      ~prot:Hemlock_vm.Prot.Read_write
+                  in
+                  Addr_index.register idx ~base ~bytes:file_bytes (path i);
+                  base)
+            in
+            for round = 1 to rounds do
+              Array.iteri
+                (fun f base ->
+                  let pg = ref 0 in
+                  while !pg * Layout.page_size < file_bytes do
+                    let addr = base + (!pg * Layout.page_size) in
+                    (match Addr_index.translate idx addr with
+                    | Some _ -> ()
+                    | None -> failwith "perf-page: index lost a mapping");
+                    ignore (Kernel.load_u32 k proc addr);
+                    Kernel.store_u32 k proc addr (round + f + !pg);
+                    pg := !pg + 1
+                  done)
+                bases
+            done;
+            0)
+      in
+      Kernel.run k;
+      match p.Proc.state with
+      | Proc.Zombie 0 -> ()
+      | _ -> failwith "perf-page: workload did not exit 0"
+    in
+    let (), d = Stats.measure run in
+    (d, Vm_object.peak_resident ())
+  in
+  let label = function
+    | None -> "unbounded"
+    | Some n -> Printf.sprintf "%d pages" n
+  in
+  let budgets = [ Some 1024; Some 512; Some 256; Some 128; Some 64; Some 32 ] in
+  let off, _ = profile ~pager:false None in
+  let base, peak0 = profile ~pager:true None in
+  let curve = List.map (fun b -> (b, profile ~pager:true b)) budgets in
+  (* The acceptance gate: the pager must be invisible to the cost
+     model.  Anything billed — instructions, syscalls, delivered
+     faults, and therefore cycles — is identical at every budget and
+     with the pager off. *)
+  let same a b =
+    a.Stats.instructions = b.Stats.instructions
+    && a.Stats.syscalls = b.Stats.syscalls
+    && a.Stats.faults = b.Stats.faults
+    && Stats.cycles a = Stats.cycles b
+  in
+  List.iter
+    (fun (b, (d, _)) ->
+      if not (same off d) then begin
+        Printf.printf "pager off: insns %d syscalls %d faults %d cycles %d\n"
+          off.Stats.instructions off.Stats.syscalls off.Stats.faults
+          (Stats.cycles off);
+        Printf.printf "%s: insns %d syscalls %d faults %d cycles %d\n" (label b)
+          d.Stats.instructions d.Stats.syscalls d.Stats.faults (Stats.cycles d);
+        failwith
+          (Printf.sprintf "perf-page: simulated costs differ at %s vs pager off"
+             (label b))
+      end)
+    ((None, (base, peak0)) :: curve);
+  let ws_pages = files * file_bytes / Layout.page_size in
+  Printf.printf
+    "working set: %d shared files x %d KB = %d pages; %d full sweeps through the\n\
+     B-tree address index; every budget bills the identical %d cycles\n\n"
+    files (file_bytes / 1024) ws_pages rounds (Stats.cycles base);
+  Printf.printf "%-10s | %6s | %6s | %8s | %10s | %8s\n" "ram" "major" "minor"
+    "evicted" "written" "peak res";
+  Printf.printf "-----------+--------+--------+----------+------------+---------\n";
+  let row b (d, peak) =
+    Printf.printf "%-10s | %6d | %6d | %8d | %10d | %8d\n" (label b)
+      d.Stats.major_faults d.Stats.minor_faults d.Stats.pages_evicted
+      d.Stats.pages_written_back peak
+  in
+  row None (base, peak0);
+  List.iter (fun (b, r) -> row b r) curve;
+  (* Sanity of the curve itself: squeezing RAM below the working set
+     must actually evict, and dirty file pages must go through the
+     journalled writeback barrier. *)
+  (match List.assoc (Some 32) curve with
+  | d, _ ->
+    if d.Stats.pages_evicted = 0 then
+      failwith "perf-page: 32-page budget evicted nothing";
+    if d.Stats.pages_written_back = 0 then
+      failwith "perf-page: dirty file pages never hit the writeback barrier");
+  let json_rows =
+    List.map
+      (fun (b, (d, peak)) ->
+        Printf.sprintf
+          "    { \"ram_pages\": %s, \"major_faults\": %d, \"minor_faults\": %d, \
+           \"pages_evicted\": %d, \"pages_written_back\": %d, \"peak_resident\": %d }"
+          (match b with None -> "null" | Some n -> string_of_int n)
+          d.Stats.major_faults d.Stats.minor_faults d.Stats.pages_evicted
+          d.Stats.pages_written_back peak)
+      ((None, (base, peak0)) :: curve)
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"demand_paging\",\n\
+      \  \"working_set_pages\": %d,\n\
+      \  \"sweep_rounds\": %d,\n\
+      \  \"cycles_identical_all_budgets_and_pager_off\": true,\n\
+      \  \"cycles\": %d,\n\
+      \  \"curve\": [\n%s\n  ]\n\
+       }\n"
+      ws_pages rounds (Stats.cycles base)
+      (String.concat ",\n" json_rows)
+  in
+  let path = Filename.concat (Sys.getcwd ()) "BENCH_page.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path;
+  Vm_object.enabled := saved_enabled;
+  Vm_object.ram_pages := saved_ram;
+  Vm_object.reset ()
+
 let crash_sweep seeds =
   header "CRASH-SWEEP: deterministic fault plans over /shared op traffic";
   Printf.printf "%6s | %4s | %7s | %7s | %8s | %8s | %s\n" "seed" "ops" "faults"
@@ -1341,12 +1504,18 @@ let crash_sweep seeds =
       let ok = ref true in
       for _ = 1 to nops do
         let op () =
-          match Prng.int prng 5 with
+          match Prng.int prng 6 with
           | 0 -> Fs.create_file fs (pick ())
           | 1 -> Fs.write_file fs (pick ()) (Bytes.of_string (payload ()))
           | 2 -> Fs.append_file fs (pick ()) (Bytes.of_string (payload ()))
           | 3 -> Fs.rename fs ~src:(pick ()) (pick ())
-          | _ -> Fs.unlink fs (pick ())
+          | 4 -> Fs.unlink fs (pick ())
+          | _ ->
+            (* pager traffic: the eviction writeback barrier, so plans
+               arming [fs.pageout] get to crash mid-flush too *)
+            let path = pick () in
+            let seg = Fs.segment_of fs path in
+            Fs.page_writeback fs ~path ~seg ~page:(Prng.int prng 4)
         in
         match op () with
         | () | (exception Fs.Error _) | (exception Fault.Injected _) -> ()
@@ -1388,7 +1557,8 @@ let () =
     List.filter
       (fun a ->
         a <> "bechamel" && a <> "perf" && a <> "perf-link" && a <> "perf-vm"
-        && a <> "perf-jit" && a <> "perf-profile" && a <> "crash-sweep"
+        && a <> "perf-jit" && a <> "perf-profile" && a <> "perf-page"
+        && a <> "crash-sweep"
         && int_of_string_opt a = None)
       args
   in
@@ -1398,6 +1568,7 @@ let () =
   let run_perf_vm = List.mem "perf-vm" args in
   let run_perf_jit = List.mem "perf-jit" args in
   let run_perf_profile = List.mem "perf-profile" args in
+  let run_perf_page = List.mem "perf-page" args in
   let run_crash_sweep = List.mem "crash-sweep" args in
   let selected =
     (* `perf`/`perf-link`/`perf-vm`/`perf-jit`/`crash-sweep` alone run
@@ -1405,7 +1576,7 @@ let () =
     if
       wanted = []
       && (run_perf || run_perf_link || run_perf_vm || run_perf_jit
-         || run_perf_profile || run_crash_sweep)
+         || run_perf_profile || run_perf_page || run_crash_sweep)
     then []
     else if wanted = [] then experiments
     else
@@ -1426,6 +1597,7 @@ let () =
   if run_perf_vm then perf_vm ();
   if run_perf_jit then perf_jit ();
   if run_perf_profile then perf_profile ();
+  if run_perf_page then perf_page ();
   if run_crash_sweep then
     crash_sweep (if sweep_seeds = [] then List.init 10 (fun i -> i + 1) else sweep_seeds);
   Printf.printf "\nAll experiments completed.\n"

@@ -5,6 +5,7 @@ module Objfile = Hemlock_obj.Objfile
 module Fs = Hemlock_sfs.Fs
 module Path = Hemlock_sfs.Path
 module As = Hemlock_vm.Address_space
+module Vm_object = Hemlock_vm.Vm_object
 module Layout = Hemlock_vm.Layout
 module Prot = Hemlock_vm.Prot
 module Segment = Hemlock_vm.Segment
@@ -211,7 +212,19 @@ let instantiate t proc ps ~located ~public ~parent_scope =
   let mapped = ref [] in
   let unwind () =
     if !mapped <> [] then begin
-      List.iter (fun base -> As.unmap proc.Proc.space base) !mapped;
+      List.iter
+        (fun base ->
+          (match As.mapping_at proc.Proc.space base with
+          | Some (_, _, m) when m.As.share = As.Private ->
+            (* A discarded private instance segment is dead for good:
+               release its page refcounts now (the master template's
+               pages return to sole ownership, so its next sharing-out
+               starts clean) and drop its pager identity. *)
+            Segment.release m.As.seg;
+            Vm_object.forget m.As.seg
+          | Some _ | None -> ());
+          As.unmap proc.Proc.space base)
+        !mapped;
       Stats.global.link_rollbacks <- Stats.global.link_rollbacks + 1
     end
   in
@@ -227,8 +240,18 @@ let instantiate t proc ps ~located ~public ~parent_scope =
         (match As.mapping_at proc.Proc.space inst.Modinst.inst_base with
         | Some _ -> ()
         | None ->
+          let seg = inst.Modinst.inst_seg in
           As.map proc.Proc.space ~base:inst.Modinst.inst_base ~len:Layout.shared_slot_size
-            ~seg:inst.Modinst.inst_seg ~prot ~share:As.Public ~label:module_path ();
+            ~seg
+            ~kind:
+              (Vm_object.File_backed
+                 {
+                   path = module_path;
+                   writeback =
+                     (fun ~page ->
+                       Fs.page_writeback (Kernel.fs t.k) ~path:module_path ~seg ~page);
+                 })
+            ~prot ~share:As.Public ~label:module_path ();
           mapped := inst.Modinst.inst_base :: !mapped);
         Fault.hit "ldl.instantiate.mid";
         if fully then begin
@@ -251,8 +274,8 @@ let instantiate t proc ps ~located ~public ~parent_scope =
         let prot =
           if obj.Objfile.relocs = [] then Prot.Read_write_exec else Prot.No_access
         in
-        As.map proc.Proc.space ~base ~len:size ~seg:inst.Modinst.inst_seg ~prot
-          ~share:As.Private ~label:located ();
+        As.map proc.Proc.space ~base ~len:size ~seg:inst.Modinst.inst_seg
+          ~kind:Vm_object.Anonymous ~prot ~share:As.Private ~label:located ();
         mapped := base :: !mapped;
         Fault.hit "ldl.instantiate.mid";
         if prot = Prot.Read_write_exec then begin
@@ -684,8 +707,17 @@ let handle_fault t _k proc fault =
                 (match As.mapping_at proc.Proc.space inst.Modinst.inst_base with
                 | Some _ -> ()
                 | None ->
+                  let seg = inst.Modinst.inst_seg in
                   As.map proc.Proc.space ~base:inst.Modinst.inst_base
-                    ~len:Layout.shared_slot_size ~seg:inst.Modinst.inst_seg
+                    ~len:Layout.shared_slot_size ~seg
+                    ~kind:
+                      (Vm_object.File_backed
+                         {
+                           path;
+                           writeback =
+                             (fun ~page ->
+                               Fs.page_writeback (Kernel.fs t.k) ~path ~seg ~page);
+                         })
                     ~prot:Prot.No_access ~share:As.Public ~label:path ());
                 add_instance ps inst;
                 link_instance t proc ps inst)
@@ -756,7 +788,7 @@ let loader t _k proc bytes ~path =
     | Some _ | None -> build_image ("image:" ^ path)
   in
   As.map proc.Proc.space ~base:Aout.image_base ~len:(Layout.page_up size) ~seg
-    ~prot:Prot.Read_write_exec ~share:As.Private ~label:path ();
+    ~kind:Vm_object.Anonymous ~prot:Prot.Read_write_exec ~share:As.Private ~label:path ();
   Hashtbl.replace t.states proc.Proc.pid
     {
       ps_aout = Some aout;

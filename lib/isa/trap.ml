@@ -15,7 +15,8 @@ let pp_fault ppf f =
     f.f_access f.f_addr
     (match f.f_reason with
     | Hemlock_vm.Address_space.Unmapped -> "unmapped"
-    | Hemlock_vm.Address_space.Protection -> "protection")
+    | Hemlock_vm.Address_space.Protection -> "protection"
+    | Hemlock_vm.Address_space.Not_resident -> "not-resident")
 
 let pp ppf = function
   | Syscall -> Format.pp_print_string ppf "syscall"

@@ -1,4 +1,5 @@
 module As = Hemlock_vm.Address_space
+module Vm_object = Hemlock_vm.Vm_object
 module Layout = Hemlock_vm.Layout
 module Prot = Hemlock_vm.Prot
 module Segment = Hemlock_vm.Segment
@@ -146,6 +147,11 @@ let set_daemon t proc = Sched.set_daemon t.sched proc
 
 let exit_proc t proc code =
   proc.Proc.state <- Proc.Zombie code;
+  (* Detach the dead space from every VmObject so eviction stops
+     chasing it; the mapping table itself survives for post-mortem
+     inspection.  Segment refcounts stay (the documented
+     no-release-on-exit rule). *)
+  As.detach_all proc.Proc.space;
   Vfs.close_all t.vfs ~pid:proc.Proc.pid;
   Vfs.release_locks t.vfs ~pid:proc.Proc.pid
 
@@ -195,6 +201,15 @@ let cow_fault proc fault =
   && fault.f_access = Prot.Write
   && As.resolve_cow proc.Proc.space fault.f_addr
 
+(* Demand-paging faults ride the same kernel-internal protocol: a
+   [Not_resident] access materialises the page (evicting under a full
+   RAM budget) and the caller retries.  Never delivered to user
+   handlers, never billed to [Stats.faults], no fuel consumed — so the
+   cost model is pager-blind. *)
+let pager_fault proc fault =
+  fault.f_reason = As.Not_resident
+  && As.resolve_pager proc.Proc.space fault.f_addr fault.f_access
+
 (* Checked access for native process code: retries through SIGSEGV
    delivery, blocking on Retry_when conditions. *)
 let rec native_access : 'a. t -> Proc.t -> (unit -> 'a) -> 'a =
@@ -202,7 +217,7 @@ let rec native_access : 'a. t -> Proc.t -> (unit -> 'a) -> 'a =
   try f () with
   | As.Fault _ as e -> (
     let fault = Option.get (fault_of_exn e) in
-    if cow_fault proc fault then native_access t proc f
+    if pager_fault proc fault || cow_fault proc fault then native_access t proc f
     else
       match deliver_segv t proc fault with
       | Resolved -> native_access t proc f
@@ -254,7 +269,7 @@ let isa_access t proc f =
       try f () with
       | As.Fault _ as e -> (
         let fault = Option.get (fault_of_exn e) in
-        if cow_fault proc fault then go (fuel - 1)
+        if pager_fault proc fault || cow_fault proc fault then go (fuel - 1)
         else
           match deliver_segv t proc fault with
           | Resolved -> go (fuel - 1)
@@ -288,8 +303,15 @@ let map_shared_file_r t proc ~path ~prot =
       | Some _ -> base
       | None ->
         let seg = Fs.segment_of t.fs canonical in
-        As.map proc.Proc.space ~base ~len:Layout.shared_slot_size ~seg ~prot
-          ~share:As.Public ~label:canonical ();
+        As.map proc.Proc.space ~base ~len:Layout.shared_slot_size ~seg
+          ~kind:
+            (Vm_object.File_backed
+               {
+                 path = canonical;
+                 writeback =
+                   (fun ~page -> Fs.page_writeback t.fs ~path:canonical ~seg ~page);
+               })
+          ~prot ~share:As.Public ~label:canonical ();
         base)
 
 let map_shared_file t proc ~path ~prot =
@@ -411,7 +433,7 @@ let map_stack t proc =
     Segment.create ~name:(Printf.sprintf "stack:%d" proc.Proc.pid) ~max_size:stack_bytes ()
   in
   As.map proc.Proc.space ~base:(Layout.stack_limit - stack_bytes) ~len:stack_bytes ~seg
-    ~prot:Prot.Read_write ~share:As.Private ~label:"stack" ()
+    ~kind:Vm_object.Anonymous ~prot:Prot.Read_write ~share:As.Private ~label:"stack" ()
 
 let exec t proc path =
   Stats.global.syscalls <- Stats.global.syscalls + 1;
@@ -426,6 +448,9 @@ let exec t proc path =
       raise
         (os_error (Printf.sprintf "exec %s: unrecognised format" path) Errno.ENOEXEC)
     | (_, loader) :: rest -> (
+      (* exec replaces the image: tear the previous space down (the
+         original one first, then each failed loader attempt's). *)
+      As.teardown proc.Proc.space;
       proc.Proc.space <- As.create ();
       match loader t proc image ~path with
       | entry -> entry
@@ -519,8 +544,8 @@ let sbrk t proc bytes =
         Segment.create ~name:(Printf.sprintf "heap:%d:0x%x" proc.Proc.pid old) ~max_size:len ()
       in
       Segment.resize seg len;
-      As.map proc.Proc.space ~base:old ~len ~seg ~prot:Prot.Read_write ~share:As.Private
-        ~label:"heap" ();
+      As.map proc.Proc.space ~base:old ~len ~seg ~kind:Vm_object.Anonymous
+        ~prot:Prot.Read_write ~share:As.Private ~label:"heap" ();
       proc.Proc.brk <- old + len;
       ignore t;
       Ok old
@@ -649,8 +674,19 @@ let quantum = 4000
 (* Every exit from user mode arrives here as a Trap.t.  [`Stop] ends the
    process's quantum (blocked, yielded, exited, or a fault that must be
    retried from the top); [`Continue] resumes the interrupted burst. *)
-let handle_fault t proc fault =
-  if cow_fault proc fault then begin
+let handle_fault ?(ticked = true) t proc fault =
+  if pager_fault proc fault then begin
+    (* Like COW, resume the burst with no fuel consumed.  The tick
+       rollback is asymmetric because [Cpu.step] bills [instructions]
+       {e between} fetch and execute: a fetch fault raises before the
+       tick, a load/store fault after, so only the latter double-counts
+       on retry.  [~ticked:false] marks the raw-syscall path, where no
+       interpreter tick happened at all. *)
+    if ticked && fault.f_access <> Prot.Exec then
+      Stats.global.instructions <- Stats.global.instructions - 1;
+    `Continue
+  end
+  else if cow_fault proc fault then begin
     (* The faulting store never completed and consumed no fuel; resume
        the burst so the quantum (and [context_switches]) are exactly
        what they would be without COW.  The store's [instructions] tick
@@ -696,8 +732,9 @@ let handle_trap t proc cpu = function
       `Stop
     | exception (As.Fault _ as e) ->
       (* A registered syscall touched user memory raw; same treatment
-         as a fault trap from the interpreter. *)
-      handle_fault t proc (Option.get (fault_of_exn e)))
+         as a fault trap from the interpreter — except no instruction
+         ticked, so the pager branch must not roll one back. *)
+      handle_fault ~ticked:false t proc (Option.get (fault_of_exn e)))
 
 let run_isa_quantum t proc cpu =
   let rec burst fuel =

@@ -46,6 +46,11 @@ let syscall_load k proc cpu addr =
     else
       try As.load_u32 proc.Proc.space addr with
       | As.Fault { addr = a; access; reason } -> (
+        (* Pager faults are kernel-internal: materialise and retry
+           rather than raising SIGSEGV machinery for them. *)
+        if reason = As.Not_resident && As.resolve_pager proc.Proc.space a access then
+          go (fuel - 1)
+        else
         match
           Kernel.deliver_segv k proc { Kernel.f_addr = a; f_access = access; f_reason = reason }
         with
@@ -61,6 +66,15 @@ let free_now proc addr () =
   match As.load_u32 proc.Proc.space addr with
   | 0 -> true
   | _ -> false
+  | exception As.Fault { addr = a; access; reason = As.Not_resident } -> (
+    (* The lock word's page was evicted while we were blocked on it:
+       fault it back in, or the condition could never come true. *)
+    As.resolve_pager proc.Proc.space a access
+    &&
+    match As.load_u32 proc.Proc.space addr with
+    | 0 -> true
+    | _ -> false
+    | exception As.Fault _ -> false)
   | exception As.Fault _ -> false
 
 let install k =

@@ -56,6 +56,7 @@ type intent =
   | Intent_rename of { src : string; dst : string }
   | Intent_write of { path : string; digest : string }
   | Intent_module of { module_path : string }
+  | Intent_pageout of { path : string; page : int; digest : string }
 
 type t = {
   root : dir;
@@ -175,6 +176,28 @@ let journal_begin t intent =
 let journal_end t jid = t.journal <- List.filter (fun (j, _) -> j <> jid) t.journal
 
 let journal_pending t = List.rev t.journal
+
+(* One page of a shared file's dirty mapping, made durable.  A mapped
+   shared file and its memory are the {e same} segment, so the content
+   is already in place by construction: what the pager needs from the
+   file system is a {e durability barrier} — a journalled record that
+   this page was mid-flush if the machine dies inside it.  fsck then
+   digest-checks the page: matching means the pageout completed
+   (replay/acknowledge), anything else rolls the intent back.  A
+   transient injected failure at the barrier withdraws the intent and
+   re-raises, so the pager can abort that eviction with no journal
+   residue. *)
+let page_digest seg page =
+  Digest.bytes
+    (Segment.blit_out seg ~src_off:(page lsl Layout.page_shift) ~len:Layout.page_size)
+
+let page_writeback t ~path ~seg ~page =
+  let jid = journal_begin t (Intent_pageout { path; page; digest = page_digest seg page }) in
+  (try Fault.hit "fs.pageout"
+   with Fault.Injected _ as e ->
+     journal_end t jid;
+     raise e);
+  journal_end t jid
 
 (* Path-level API *)
 
@@ -590,6 +613,19 @@ let fsck t =
         else begin
           ignore (drop_entry t (Path.of_string ~cwd:Path.root path));
           note (Printf.sprintf "rolled back partial write of %s" path);
+          incr rolled
+        end
+      | Some _ | None -> incr rolled)
+    | Intent_pageout { path; page; digest } -> (
+      match lookup path with
+      | Some (_, File f)
+        when (page + 1) lsl Layout.page_shift <= Segment.max_size f.seg ->
+        if page_digest f.seg page = digest then incr replayed
+        else begin
+          (* The page changed between the barrier and the crash; the
+             file is still self-consistent (memory and file are one
+             segment), so the intent is simply withdrawn. *)
+          note (Printf.sprintf "discarded stale pageout of %s page %d" path page);
           incr rolled
         end
       | Some _ | None -> incr rolled)

@@ -167,6 +167,9 @@ type intent =
           decides replay (contents match) vs. roll back (partial) *)
   | Intent_module of { module_path : string }
       (** module creation: create → sections/relocs → publish magic *)
+  | Intent_pageout of { path : string; page : int; digest : string }
+      (** pager eviction flushing a dirty page of a mapped shared file:
+          [digest] of the page decides completed vs. withdrawn *)
 
 (** File an intent; returns a journal id to retire with {!journal_end}. *)
 val journal_begin : t -> intent -> int
@@ -176,6 +179,17 @@ val journal_end : t -> int -> unit
 
 (** Pending entries, oldest first (normally empty). *)
 val journal_pending : t -> (int * intent) list
+
+(** [page_writeback t ~path ~seg ~page] is the pager's journalled
+    durability barrier for one dirty page of a mapped shared file
+    ([seg] {e is} the file's segment, so contents are already in place
+    by construction).  Files an {!Intent_pageout}, passes the
+    [fs.pageout] fault site, retires the intent.  A transient injected
+    failure withdraws the intent and re-raises (the pager aborts that
+    eviction); a [Fault.Crash] leaves the intent for {!fsck}, which
+    digest-checks the page to decide completed vs. withdrawn. *)
+val page_writeback :
+  t -> path:string -> seg:Hemlock_vm.Segment.t -> page:int -> unit
 
 type fsck_report = {
   fsck_replayed : int;  (** pending intents rolled forward *)

@@ -68,7 +68,7 @@ let default_sites =
   [|
     "fs.create"; "fs.create.mid"; "fs.create.commit"; "fs.write"; "fs.append";
     "fs.rename"; "fs.rename.mid"; "fs.rename.commit"; "fs.unlink"; "fs.unlink.mid";
-    "mod.create"; "mod.create.mid";
+    "mod.create"; "mod.create.mid"; "fs.pageout";
   |]
 
 let configure_random ?(sites = default_sites) seed =

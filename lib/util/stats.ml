@@ -48,6 +48,18 @@ type t = {
   mutable jit_hits : int;
   mutable jit_exits : int;
   mutable jit_invalidations : int;
+  (* Demand-paging observability.  The pager resolves [Not_resident]
+     faults inside the kernel, like COW: user programs never observe
+     them, [faults] never counts them, and they consume no fuel — so
+     all five stay excluded from [cycles] and the golden transcripts
+     are byte-identical with HEMLOCK_NO_PAGER on or off and under any
+     HEMLOCK_RAM_PAGES.  [resident_pages] is a gauge (current pageable
+     resident set), not a cumulative count. *)
+  mutable major_faults : int;
+  mutable minor_faults : int;
+  mutable pages_evicted : int;
+  mutable pages_written_back : int;
+  mutable resident_pages : int;
 }
 
 let zero () =
@@ -84,6 +96,11 @@ let zero () =
     jit_hits = 0;
     jit_exits = 0;
     jit_invalidations = 0;
+    major_faults = 0;
+    minor_faults = 0;
+    pages_evicted = 0;
+    pages_written_back = 0;
+    resident_pages = 0;
   }
 
 let global = zero ()
@@ -120,7 +137,14 @@ let reset () =
   global.jit_compiles <- 0;
   global.jit_hits <- 0;
   global.jit_exits <- 0;
-  global.jit_invalidations <- 0
+  global.jit_invalidations <- 0;
+  global.major_faults <- 0;
+  global.minor_faults <- 0;
+  global.pages_evicted <- 0;
+  global.pages_written_back <- 0
+  (* [resident_pages] deliberately survives [reset]: it is a gauge of
+     live pager state, not a count accumulated inside a measured
+     region. *)
 
 let snapshot () = { global with instructions = global.instructions }
 
@@ -158,6 +182,11 @@ let diff ~before ~after =
     jit_hits = after.jit_hits - before.jit_hits;
     jit_exits = after.jit_exits - before.jit_exits;
     jit_invalidations = after.jit_invalidations - before.jit_invalidations;
+    major_faults = after.major_faults - before.major_faults;
+    minor_faults = after.minor_faults - before.minor_faults;
+    pages_evicted = after.pages_evicted - before.pages_evicted;
+    pages_written_back = after.pages_written_back - before.pages_written_back;
+    resident_pages = after.resident_pages;
   }
 
 (* Cost model, in simulated cycles.  The weights are the conventional

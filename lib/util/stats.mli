@@ -69,6 +69,24 @@ type t = {
   mutable jit_invalidations : int;
       (** compiled traces discarded because their code bytes or mapping
           geometry changed (self-modifying code, remapping, COW breaks) *)
+  mutable major_faults : int;
+      (** pager faults whose page had backing content to "read in" (a
+          file-backed page already written on the shared partition);
+          resolved inside the kernel like COW — never delivered, never
+          billed to [faults], excluded from [cycles] *)
+  mutable minor_faults : int;
+      (** pager faults satisfied by zero-fill or an in-memory page
+          (anonymous stacks/heaps, untouched file tails) *)
+  mutable pages_evicted : int;
+      (** resident pages reclaimed by the clock hand under a bounded
+          [HEMLOCK_RAM_PAGES] budget *)
+  mutable pages_written_back : int;
+      (** evicted dirty file-backed pages pushed through the intent
+          journal's durability barrier before reclaim *)
+  mutable resident_pages : int;
+      (** gauge (not cumulative): pageable pages currently resident.
+          [diff] reports the [after] side's gauge, and [reset] leaves
+          it alone — it tracks live pager state, not a measured delta. *)
 }
 
 (** The single global counter set. *)

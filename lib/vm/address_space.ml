@@ -1,7 +1,7 @@
 module Interval_map = Hemlock_util.Interval_map
 module Stats = Hemlock_util.Stats
 
-type fault_reason = Unmapped | Protection
+type fault_reason = Unmapped | Protection | Not_resident
 
 exception Fault of { addr : int; access : Prot.access; reason : fault_reason }
 
@@ -14,6 +14,7 @@ type mapping = {
   share : share;
   label : string;
   cow : bool;
+  obj : Vm_object.t;
 }
 
 exception Cstring_unterminated of int
@@ -55,11 +56,14 @@ type t = {
   tlb : tlb_entry array;
   mutable epoch : int;
   caching : bool;
+  uid : int;  (* identity for Vm_object attachment (eviction -> epoch) *)
 }
 
 (* Flipped off by setting HEMLOCK_NO_TLB, which keeps the slow path
    testable and lets the determinism tests compare both. *)
 let caching_default = ref (Sys.getenv_opt "HEMLOCK_NO_TLB" = None)
+
+let next_uid = ref 0
 
 let fresh_tlb () =
   Array.init tlb_size (fun _ ->
@@ -74,7 +78,8 @@ let fresh_tlb () =
 
 let create ?caching () =
   let caching = match caching with Some c -> c | None -> !caching_default in
-  { table = Interval_map.empty; tlb = fresh_tlb (); epoch = 0; caching }
+  incr next_uid;
+  { table = Interval_map.empty; tlb = fresh_tlb (); epoch = 0; caching; uid = !next_uid }
 
 let epoch t = t.epoch
 
@@ -86,7 +91,12 @@ let invalidate t =
       e.te_seg <- None)
     t.tlb
 
-let map t ~base ~len ~seg ?(seg_off = 0) ~prot ~share ~label () =
+(* The default kind is [Pinned]: raw mappers (tests, examples, runtime
+   libraries that touch segments with no kernel around to resolve pager
+   faults) get the seed's eager always-resident behaviour.  Only
+   kernel-managed sites opt into pageable kinds. *)
+let map t ~base ~len ~seg ?(seg_off = 0) ?(kind = Vm_object.Pinned) ~prot ~share ~label
+    () =
   if not (Layout.is_page_aligned base && Layout.is_page_aligned len) then
     invalid_arg "Address_space.map: unaligned base or length";
   if len <= 0 then invalid_arg "Address_space.map: empty mapping";
@@ -94,15 +104,36 @@ let map t ~base ~len ~seg ?(seg_off = 0) ~prot ~share ~label () =
     invalid_arg "Address_space.map: outside user space";
   if Interval_map.overlaps ~lo:base ~hi:(base + len) t.table then
     invalid_arg (Printf.sprintf "Address_space.map: 0x%x+0x%x overlaps" base len);
+  let obj = Vm_object.get_or_create seg kind in
+  Vm_object.attach obj ~uid:t.uid (fun () -> invalidate t);
   t.table <-
     Interval_map.add ~lo:base ~hi:(base + len)
-      { seg; seg_off; prot; share; label; cow = false }
+      { seg; seg_off; prot; share; label; cow = false; obj }
       t.table;
   invalidate t;
   Stats.global.pages_mapped <- Stats.global.pages_mapped + (len / Layout.page_size)
 
 let unmap t addr =
+  (match Interval_map.find addr t.table with
+  | Some (_, _, m) -> Vm_object.detach m.obj ~uid:t.uid
+  | None -> ());
   t.table <- Interval_map.remove addr t.table;
+  invalidate t
+
+(* Drop every object attachment so eviction stops invalidating a dead
+   space.  Process exit uses this alone: the mapping table survives for
+   post-mortem inspection (reads stay correct — the segments hold the
+   contents regardless of residency).  Segment page refcounts are
+   deliberately {e not} released — see the rule in [Segment]. *)
+let detach_all t =
+  Interval_map.fold
+    (fun _ _ m () -> Vm_object.detach m.obj ~uid:t.uid)
+    t.table ()
+
+(* Full deterministic teardown: exec discarding the replaced image. *)
+let teardown t =
+  detach_all t;
+  t.table <- Interval_map.empty;
   invalidate t
 
 let protect t addr prot =
@@ -139,6 +170,15 @@ let lookup_slow t addr access =
   match Interval_map.find addr t.table with
   | None -> raise (Fault { addr; access; reason = Unmapped })
   | Some (lo, hi, m) ->
+    let off = m.seg_off + (addr - lo) in
+    (* Residency comes after bounds but before protection: a page that
+       is mapped but not materialised faults [Not_resident], which the
+       kernel resolves internally (never delivered, never billed) —
+       the same protocol as COW.  Raising {e before} the TLB fill keeps
+       the invariant that a valid TLB entry implies a resident page:
+       eviction bumps the epoch of every attached space. *)
+    if not (Vm_object.resident m.obj off) then
+      raise (Fault { addr; access; reason = Not_resident });
     let prot = effective m in
     if t.caching then begin
       let e = tlb_entry t addr in
@@ -147,9 +187,14 @@ let lookup_slow t addr access =
       e.te_delta <- m.seg_off - lo;
       e.te_prot <- prot;
       e.te_mask <- prot_mask prot;
-      e.te_seg <- Some m.seg
-    end;
-    (m.seg, m.seg_off + (addr - lo), hi - addr, prot)
+      e.te_seg <- Some m.seg;
+      (* Later writes through this entry bypass the slow path, so a
+         write-granting fill marks the page dirty conservatively. *)
+      Vm_object.touch m.obj off
+        ~write:(access = Prot.Write || e.te_mask land 2 <> 0)
+    end
+    else Vm_object.touch m.obj off ~write:(access = Prot.Write);
+    (m.seg, off, hi - addr, prot)
 
 let lookup t addr access =
   if not t.caching then lookup_slow t addr access
@@ -281,9 +326,29 @@ let fetch t addr =
    single byte access to raise the identical exception. *)
 
 (* Returns the usable run length at [addr] for [access] ([>= 1]), after
-   the same bounds-then-protection checks a 1-byte [translate] does. *)
+   the same bounds-then-protection checks a 1-byte [translate] does.
+
+   Pager interaction: bulk spans self-serve their pager faults — the
+   syscall layer never delivered per-page faults for these, and routing
+   [Not_resident] out to the kernel here would restart the whole copy
+   per page (or exhaust the bounded ISA retry fuel on spans longer than
+   it).  The first page is materialised directly if needed; the run is
+   then clamped to the resident prefix, so each following page is
+   materialised by its own [bulk_run] call — a single forward pass even
+   when the span exceeds the RAM budget and early pages are evicted
+   while later ones fault in. *)
 let bulk_run t addr access ~want =
-  let seg, off, run, prot = lookup t addr access in
+  let seg, off, run, prot =
+    try lookup t addr access
+    with Fault { reason = Not_resident; _ } ->
+      (match Interval_map.find addr t.table with
+      | Some (lo, _, m) ->
+        Vm_object.materialise m.obj
+          (m.seg_off + (addr - lo))
+          ~write:(access = Prot.Write)
+      | None -> ());
+      lookup t addr access
+  in
   if not (Prot.allows prot access) then
     raise (Fault { addr; access; reason = Protection });
   let cap = Segment.max_size seg - off in
@@ -295,7 +360,24 @@ let bulk_run t addr access ~want =
     | Prot.Read | Prot.Exec -> ignore (Segment.get_u8 seg off));
     assert false
   end;
-  (seg, off, min want (min run cap))
+  let n = min want (min run cap) in
+  let n =
+    match Interval_map.find addr t.table with
+    | Some (lo, _, m) when Vm_object.pageable m.obj ->
+      let moff = m.seg_off + (addr - lo) in
+      let first = Layout.page_size - (addr land (Layout.page_size - 1)) in
+      let rec resident_prefix k =
+        if k >= n then n
+        else if Vm_object.resident m.obj (moff + k) then begin
+          Vm_object.touch m.obj (moff + k) ~write:(access = Prot.Write);
+          resident_prefix (k + Layout.page_size)
+        end
+        else k
+      in
+      resident_prefix first
+    | Some _ | None -> n
+  in
+  (seg, off, n)
 
 let read_bytes t addr len =
   let out = Bytes.make len '\000' in
@@ -343,6 +425,11 @@ let rebuild f table =
 
 let clone t =
   let cow = !Segment.cow_enabled in
+  incr next_uid;
+  let child =
+    { table = Interval_map.empty; tlb = fresh_tlb (); epoch = 0;
+      caching = t.caching; uid = !next_uid }
+  in
   (* Flag a private mapping COW when its logical protection permits
      writes — those are the mappings whose next store must trap so the
      kernel can break the sharing.  Read-only/no-access mappings keep
@@ -356,21 +443,48 @@ let clone t =
   in
   let clone_mapping m =
     match m.share with
-    | Public -> m
+    | Public ->
+      (* Shared object, shared residency: the child sees the same page
+         cache. *)
+      Vm_object.attach m.obj ~uid:child.uid (fun () -> invalidate child);
+      m
     | Private ->
       let seg = Segment.copy m.seg in
       if not cow then
         Stats.global.bytes_copied <- Stats.global.bytes_copied + Segment.size seg;
-      mark { m with seg }
+      (* A fresh segment gets a fresh object; the copy has no backing
+         file of its own, so a pageable parent yields an [Anonymous]
+         child (its pages fault in as minor faults — fork is itself
+         demand-paged), while a pinned parent stays pinned. *)
+      let kind =
+        if Vm_object.is_pinned m.obj then Vm_object.Pinned else Vm_object.Anonymous
+      in
+      let obj = Vm_object.get_or_create seg kind in
+      Vm_object.attach obj ~uid:child.uid (fun () -> invalidate child);
+      mark { m with seg; obj }
   in
-  let table = rebuild clone_mapping t.table in
+  child.table <- rebuild clone_mapping t.table;
   if cow then begin
     (* The parent's private pages are now shared with the child: strip
        its effective write permission too, and flush its TLB. *)
     t.table <- rebuild mark t.table;
     invalidate t
   end;
-  { table; tlb = fresh_tlb (); epoch = 0; caching = t.caching }
+  child
+
+(* Kernel-side resolution of a [Not_resident] fault: if [addr] lies in
+   a pageable mapping, materialise the page (evicting under a full RAM
+   budget) and let the caller retry the access.  Returns false when the
+   fault cannot be a pager fault — unmapped, or a pinned object — so
+   the caller falls through to COW/SIGSEGV handling. *)
+let resolve_pager t addr access =
+  match Interval_map.find addr t.table with
+  | Some (lo, _, m) when Vm_object.pageable m.obj ->
+    Vm_object.materialise m.obj
+      (m.seg_off + (addr - lo))
+      ~write:(access = Prot.Write);
+    true
+  | Some _ | None -> false
 
 (* Kernel-side resolution of a COW write fault: if [addr] lies in a COW
    mapping whose logical protection allows the write, clear the flag

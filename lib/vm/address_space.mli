@@ -8,9 +8,13 @@
 
 type t
 
-(** Why an access faulted: the address had no mapping at all, or the
-    mapping's protection forbade the access. *)
-type fault_reason = Unmapped | Protection
+(** Why an access faulted: the address had no mapping at all, the
+    mapping's protection forbade the access, or the page is mapped but
+    not materialised ([Not_resident] — resolved kernel-internally by
+    {!resolve_pager}, never delivered to user handlers and never billed,
+    exactly like COW).  Checked in that order: bounds, then residency,
+    then protection. *)
+type fault_reason = Unmapped | Protection | Not_resident
 
 exception Fault of { addr : int; access : Prot.access; reason : fault_reason }
 
@@ -30,6 +34,9 @@ type mapping = {
       (** set by {!clone} on writable private mappings: pages are
           refcount-shared with the other space and the first store must
           fault into {!resolve_cow} *)
+  obj : Vm_object.t;
+      (** pager-side identity: residency, backing kind, clock state.
+          Shared by every mapping of the same segment. *)
 }
 
 (** Raised by {!read_cstring} when no NUL terminator appears within the
@@ -56,21 +63,41 @@ val epoch : t -> int
 
 (** [map t ~base ~len ~seg ~prot ~share ~label] installs a mapping.
     [base] and [len] must be page-aligned; the range must be unmapped
-    user space.  @raise Invalid_argument otherwise. *)
+    user space.  @raise Invalid_argument otherwise.
+
+    [?kind] (default [Vm_object.Pinned]) selects how pages materialise.
+    The default keeps raw callers — tests, libraries with no kernel
+    around to resolve pager faults — on the seed's eager always-resident
+    behaviour; kernel-managed sites opt into [Anonymous] (stack, heap,
+    exec images, private module instances) or [File_backed] (shared-file
+    mappings, public module instances). *)
 val map :
   t ->
   base:int ->
   len:int ->
   seg:Segment.t ->
   ?seg_off:int ->
+  ?kind:Vm_object.kind ->
   prot:Prot.t ->
   share:share ->
   label:string ->
   unit ->
   unit
 
-(** [unmap t addr] removes the mapping containing [addr] (no-op if none). *)
+(** [unmap t addr] removes the mapping containing [addr] (no-op if
+    none), detaching its {!Vm_object.t}. *)
 val unmap : t -> int -> unit
+
+(** [detach_all t] drops every {!Vm_object.t} attachment (eviction
+    stops invalidating this space) but keeps the mapping table — what
+    process exit wants, so a zombie's mappings stay inspectable.
+    Segment page refcounts are deliberately {e not} released (see the
+    rule in {!Segment}). *)
+val detach_all : t -> unit
+
+(** [teardown t] = {!detach_all} plus unmapping everything — the
+    deterministic teardown for exec discarding the replaced image. *)
+val teardown : t -> unit
 
 (** [protect t addr prot] changes the protection of the whole mapping
     containing [addr].  @raise Not_found if unmapped. *)
@@ -139,5 +166,13 @@ val clone : t -> t
     un-shares pages one by one at the segment layer as it writes.
     Returns [false] for genuine protection faults (deliver SIGSEGV). *)
 val resolve_cow : t -> int -> bool
+
+(** [resolve_pager t addr access] is the kernel's half of the demand
+    paging protocol: on a [Not_resident] fault, materialise the page
+    (evicting a victim first when the RAM budget is full), bill
+    [major_faults]/[minor_faults], and return [true] — the caller
+    retries the access.  Returns [false] when [addr] is unmapped or the
+    mapping is pinned (fall through to COW/SIGSEGV handling). *)
+val resolve_pager : t -> int -> Prot.access -> bool
 
 val pp : Format.formatter -> t -> unit

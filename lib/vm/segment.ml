@@ -277,6 +277,19 @@ let replace t b =
   t.version <- t.version + 1;
   t.page_gen <- t.page_gen + 1
 
+(* Explicit-teardown refcount release.  [drop_page] decrements each
+   shared page's count, so a surviving sharer whose count returns to 1
+   writes in place again instead of COW-copying.  This is only called
+   from deterministic teardown paths (the linker unwinding a private
+   instance it just mapped, [replace]) — never from process exit or a
+   finaliser, which would make [pages_copied] depend on the host GC. *)
+let release t =
+  for i = 0 to Array.length t.pages - 1 do
+    drop_page t i
+  done;
+  t.size <- 0;
+  t.version <- t.version + 1
+
 let contents t = blit_out t ~src_off:0 ~len:t.size
 
 let copy t =

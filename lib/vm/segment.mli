@@ -102,6 +102,16 @@ val write_from : t -> dst_off:int -> Bytes.t -> src_off:int -> len:int -> unit
     @raise Invalid_argument if [Bytes.length b > max_size t]. *)
 val replace : t -> Bytes.t -> unit
 
+(** [release t] drops every page (decrementing shared refcounts) and
+    zeroes the logical size — the deterministic teardown for a segment
+    a rollback path is discarding.  A page still shared with another
+    segment returns to sole ownership there, so its next write happens
+    in place instead of COW-copying.  Deliberately {e not} called on
+    process exit (see the refcount rule in the header): only explicit
+    unmap/replace-style teardown may release, keeping [pages_copied]
+    independent of the host GC. *)
+val release : t -> unit
+
 (** [copy t] is a snapshot with identical contents and a fresh identity —
     the private half of fork.  With {!cow_enabled} (the default) the
     snapshot shares [t]'s pages by reference count and bills the skipped

@@ -27,6 +27,12 @@ HEMLOCK_NO_JIT=1 dune runtest --force
 echo "== tests (trace JIT hot: HEMLOCK_JIT_THRESHOLD=1) =="
 HEMLOCK_JIT_THRESHOLD=1 dune runtest --force
 
+echo "== tests (demand paging off: HEMLOCK_NO_PAGER) =="
+HEMLOCK_NO_PAGER=1 dune runtest --force
+
+echo "== tests (RAM squeezed: HEMLOCK_RAM_PAGES=32) =="
+HEMLOCK_RAM_PAGES=32 dune runtest --force
+
 echo "== examples =="
 for ex in quickstart rwho_demo parallel_sum figure_editor lynx_tables editor_server; do
   echo "-- examples/$ex"
@@ -73,6 +79,20 @@ HEMLOCK_JIT_THRESHOLD=1 \
 diff -u bench/golden_e1_e13.txt _build/e1_e13_hotjit.txt
 echo "golden transcript identical with every block trace-compiled"
 
+echo "== golden transcript (demand paging off) =="
+HEMLOCK_NO_PAGER=1 \
+  dune exec bench/main.exe -- e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 \
+  > _build/e1_e13_nopager.txt
+diff -u bench/golden_e1_e13.txt _build/e1_e13_nopager.txt
+echo "golden transcript identical without demand paging"
+
+echo "== golden transcript (RAM squeezed: HEMLOCK_RAM_PAGES=32) =="
+HEMLOCK_RAM_PAGES=32 \
+  dune exec bench/main.exe -- e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 \
+  > _build/e1_e13_ram32.txt
+diff -u bench/golden_e1_e13.txt _build/e1_e13_ram32.txt
+echo "golden transcript identical under a 32-page RAM budget"
+
 echo "== perf =="
 dune exec bench/main.exe -- perf
 
@@ -84,3 +104,6 @@ dune exec bench/main.exe -- perf-vm
 
 echo "== perf-jit (gates: simulated costs identical JIT on/off under invalidation stress) =="
 dune exec bench/main.exe -- perf-jit
+
+echo "== perf-page (gates: simulated costs identical at every RAM budget and pager off) =="
+dune exec bench/main.exe -- perf-page

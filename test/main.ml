@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("vm", Test_vm.suite);
       ("cow", Test_cow.suite);
+      ("pager", Test_pager.suite);
       ("fs", Test_fs.suite);
       ("btree", Test_btree.suite);
       ("isa", Test_isa.suite);

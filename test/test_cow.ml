@@ -225,7 +225,10 @@ let apply spaces obs (kind, who, addr, v) =
     tag
       (Printf.sprintf "F%d%d;"
          (match access with Prot.Read -> 0 | Prot.Write -> 1 | Prot.Exec -> 2)
-         (match reason with As.Unmapped -> 0 | As.Protection -> 1))
+         (match reason with
+         | As.Unmapped -> 0
+         | As.Protection -> 1
+         | As.Not_resident -> 2))
   in
   let region_base = if addr < 0x4000 then 0x1000 else 0x4000 in
   match kind with

@@ -266,7 +266,10 @@ let prop_tlb_coherence =
         | As.Fault { addr; access; reason } ->
           Printf.sprintf "fault %x %s %s" addr
             (match access with Prot.Read -> "r" | Prot.Write -> "w" | Prot.Exec -> "x")
-            (match reason with As.Unmapped -> "unmapped" | As.Protection -> "protection")
+            (match reason with
+            | As.Unmapped -> "unmapped"
+            | As.Protection -> "protection"
+            | As.Not_resident -> "not-resident")
         | Invalid_argument _ -> "invalid"
         | Not_found -> "notfound"
       in
