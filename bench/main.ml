@@ -12,6 +12,10 @@
      bench/main.exe perf-page  demand-paging bench: multi-MB /shared
                                working set under shrinking RAM budgets;
                                writes BENCH_page.json
+     bench/main.exe perf-cluster
+                               cluster rounds over OCaml 5 domains at 1/2/4
+                               domains; gates cost/console identity, writes
+                               BENCH_cluster.json
      bench/main.exe crash-sweep [seeds]
                                deterministic fault sweep: per seed, drive
                                /shared op traffic under a PRNG fault plan
@@ -1482,6 +1486,174 @@ let perf_page () =
   Vm_object.ram_pages := saved_ram;
   Vm_object.reset ()
 
+(* ---------------------------------------------------------------------- *)
+(* perf-cluster: cluster rounds spread over OCaml 5 domains                *)
+(* ---------------------------------------------------------------------- *)
+
+(* Per-machine interpreter load: enough straight-line arithmetic that a
+   cluster round is dominated by ISA stepping, the part that actually
+   parallelises across domains. *)
+let cluster_compute_src =
+  {|
+int main() {
+  int i;
+  int s;
+  s = 0;
+  i = 0;
+  while (i < 12000) {
+    s = s + i; s = s + i; s = s + i; s = s + i;
+    s = s - i; s = s - i; s = s - i; s = s + 1;
+    i = i + 1;
+  }
+  return s - 72006000 + 42;
+}
+|}
+
+(* Eight machines, each running one ISA compute process plus an
+   rwhod-shaped pair (a broadcast tx, an inbox-draining rx daemon).
+   Gates: per-machine observables (compute exit codes, datagrams
+   received) and the merged simulated costs are identical at every
+   domain count; wall time is reported per domain count, and the >= 2x
+   scaling gate applies only when the host actually has >= 4 cores. *)
+let perf_cluster () =
+  header "PERF-CLUSTER: cluster rounds spread over OCaml 5 domains";
+  let module Cluster = Hemlock_os.Cluster in
+  let machines = 8 in
+  let net_rounds = 6 in
+  let payload = 128 in
+  let expected_rx = (machines - 1) * net_rounds in
+  let build () =
+    let c = Cluster.create ~machines in
+    let received = Array.make machines 0 in
+    let computes =
+      Array.init machines (fun i ->
+          let k = Cluster.machine c i in
+          ignore (Ldl.install k);
+          Hemlock_runtime.Sync.install k;
+          Fs.mkdir (Kernel.fs k) "/home/w";
+          install_c k "/home/w/main.o" cluster_compute_src;
+          ignore
+            (link k ~dir:"/home/w" ~specs:[ ("main.o", Sharing.Static_private) ] "prog");
+          let rx =
+            Kernel.spawn_native k ~name:"rx" (fun k proc ->
+                while true do
+                  ignore (Kernel.msg_recv k proc Cluster.inbox);
+                  received.(i) <- received.(i) + 1
+                done;
+                0)
+          in
+          Kernel.set_daemon k rx;
+          ignore
+            (Kernel.spawn_native k ~name:"tx" (fun _k _proc ->
+                 for r = 1 to net_rounds do
+                   Cluster.broadcast c ~from:i
+                     (Bytes.make payload (Char.chr (64 + ((i + r) mod 32))))
+                 done;
+                 0));
+          Kernel.spawn_exec k "/home/w/prog")
+    in
+    (c, received, computes)
+  in
+  let run_at domains =
+    let c, received, computes = build () in
+    let before = Stats.snapshot () in
+    let t0 = Unix.gettimeofday () in
+    Cluster.run ~domains c;
+    let dt = Unix.gettimeofday () -. t0 in
+    let d = Stats.diff ~before ~after:(Stats.snapshot ()) in
+    Array.iteri
+      (fun i p ->
+        match p.Proc.state with
+        | Proc.Zombie 42 -> ()
+        | _ -> failwith (Printf.sprintf "perf-cluster: machine %d compute wrong exit" i))
+      computes;
+    Array.iteri
+      (fun i n ->
+        if n <> expected_rx then
+          failwith
+            (Printf.sprintf "perf-cluster: machine %d received %d/%d datagrams" i n
+               expected_rx))
+      received;
+    (d, dt)
+  in
+  let reps = 3 in
+  let profile domains =
+    let runs = List.init reps (fun _ -> run_at domains) in
+    let d0 = fst (List.hd runs) in
+    List.iter
+      (fun (d, _) ->
+        if Stats.cycles d <> Stats.cycles d0 then
+          failwith "perf-cluster: simulated costs differ across repetitions")
+      runs;
+    (d0, List.fold_left (fun acc (_, dt) -> min acc dt) infinity runs)
+  in
+  let counts = [ 1; 2; 4 ] in
+  let results = List.map (fun n -> (n, profile n)) counts in
+  let base, t1 = List.assoc 1 results in
+  let same a b =
+    a.Stats.instructions = b.Stats.instructions
+    && a.Stats.syscalls = b.Stats.syscalls
+    && a.Stats.faults = b.Stats.faults
+    && a.Stats.context_switches = b.Stats.context_switches
+    && a.Stats.messages_sent = b.Stats.messages_sent
+    && a.Stats.bytes_copied = b.Stats.bytes_copied
+    && Stats.cycles a = Stats.cycles b
+  in
+  List.iter
+    (fun (n, (d, _)) ->
+      if not (same base d) then
+        failwith
+          (Printf.sprintf "perf-cluster: simulated costs differ at %d domains vs 1" n))
+    results;
+  Printf.printf
+    "%d machines x (1 ISA compute process + rwhod tx/rx pair), %d broadcast\n\
+     datagrams per machine; every domain count bills the identical %d cycles,\n\
+     %d messages, and every machine receives all %d peer datagrams\n\n"
+    machines net_rounds (Stats.cycles base) base.Stats.messages_sent expected_rx;
+  Printf.printf "%-8s | %12s | %8s\n" "domains" "wall ms" "speedup";
+  Printf.printf "---------+--------------+---------\n";
+  List.iter
+    (fun (n, (_, dt)) ->
+      Printf.printf "%-8d | %12.2f | %7.2fx\n" n (dt *. 1e3) (t1 /. dt))
+    results;
+  let host_cores = Domain.recommended_domain_count () in
+  let _, t4 = List.assoc 4 results in
+  let speedup4 = t1 /. t4 in
+  if host_cores >= 4 then begin
+    if speedup4 < 2.0 then
+      failwith
+        (Printf.sprintf "perf-cluster: expected >= 2x at 4 domains, got %.2fx" speedup4)
+  end
+  else
+    Printf.printf
+      "\nhost reports %d usable core(s): the >= 2x wall-clock gate needs >= 4,\n\
+       so only the determinism gates apply on this machine\n"
+      host_cores;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"cluster_domains\",\n\
+      \  \"machines\": %d,\n\
+      \  \"host_cores\": %d,\n\
+      \  \"costs_identical_all_domain_counts\": true,\n\
+      \  \"cycles\": %d,\n\
+      \  \"messages\": %d,\n\
+      \  \"runs\": [\n%s\n  ]\n\
+       }\n"
+      machines host_cores (Stats.cycles base) base.Stats.messages_sent
+      (String.concat ",\n"
+         (List.map
+            (fun (n, (_, dt)) ->
+              Printf.sprintf "    { \"domains\": %d, \"wall_ns\": %.0f, \"speedup\": %.3f }"
+                n (dt *. 1e9) (t1 /. dt))
+            results))
+  in
+  let path = Filename.concat (Sys.getcwd ()) "BENCH_cluster.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
 let crash_sweep seeds =
   header "CRASH-SWEEP: deterministic fault plans over /shared op traffic";
   Printf.printf "%6s | %4s | %7s | %7s | %8s | %8s | %s\n" "seed" "ops" "faults"
@@ -1558,7 +1730,7 @@ let () =
       (fun a ->
         a <> "bechamel" && a <> "perf" && a <> "perf-link" && a <> "perf-vm"
         && a <> "perf-jit" && a <> "perf-profile" && a <> "perf-page"
-        && a <> "crash-sweep"
+        && a <> "perf-cluster" && a <> "crash-sweep"
         && int_of_string_opt a = None)
       args
   in
@@ -1569,6 +1741,7 @@ let () =
   let run_perf_jit = List.mem "perf-jit" args in
   let run_perf_profile = List.mem "perf-profile" args in
   let run_perf_page = List.mem "perf-page" args in
+  let run_perf_cluster = List.mem "perf-cluster" args in
   let run_crash_sweep = List.mem "crash-sweep" args in
   let selected =
     (* `perf`/`perf-link`/`perf-vm`/`perf-jit`/`crash-sweep` alone run
@@ -1576,7 +1749,7 @@ let () =
     if
       wanted = []
       && (run_perf || run_perf_link || run_perf_vm || run_perf_jit
-         || run_perf_profile || run_perf_page || run_crash_sweep)
+         || run_perf_profile || run_perf_page || run_perf_cluster || run_crash_sweep)
     then []
     else if wanted = [] then experiments
     else
@@ -1598,6 +1771,7 @@ let () =
   if run_perf_jit then perf_jit ();
   if run_perf_profile then perf_profile ();
   if run_perf_page then perf_page ();
+  if run_perf_cluster then perf_cluster ();
   if run_crash_sweep then
     crash_sweep (if sweep_seeds = [] then List.init 10 (fun i -> i + 1) else sweep_seeds);
   Printf.printf "\nAll experiments completed.\n"

@@ -133,7 +133,7 @@ module Files = struct
 
   let read_all k proc =
     let fs = Kernel.fs k in
-    Stats.global.syscalls <- Stats.global.syscalls + 1 (* readdir *);
+    (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1 (* readdir *);
     let names = Fs.readdir fs spool in
     List.filter_map
       (fun name ->

@@ -32,9 +32,12 @@ let image_size t = align4 (Bytes.length t.text) + align4 (Bytes.length t.data) +
 (* Hashed image-symbol lookup, memoized per physical symbol list (the
    list is immutable, so identity proves validity); same discipline and
    kill switch as the Objfile export index. *)
-let symtab_memo : ((string * int) list * (string, int) Hashtbl.t) list ref = ref []
+(* per-domain: a cache miss on a worker domain only costs a rebuild *)
+let symtab_memo_key : ((string * int) list * (string, int) Hashtbl.t) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let symtab_of t =
+  let symtab_memo = Domain.DLS.get symtab_memo_key in
   match List.find_opt (fun (syms, _) -> syms == t.symbols) !symtab_memo with
   | Some (_, tbl) -> tbl
   | None ->
@@ -52,10 +55,10 @@ let find_symbol t name =
     let found = Hashtbl.find_opt (symtab_of t) name in
     (match found with
     | Some _ ->
-      Hemlock_util.Stats.global.sym_hash_hits <- Hemlock_util.Stats.global.sym_hash_hits + 1
+      Hemlock_util.(Stats.cur ()).sym_hash_hits <- Hemlock_util.(Stats.cur ()).sym_hash_hits + 1
     | None ->
-      Hemlock_util.Stats.global.sym_hash_misses <-
-        Hemlock_util.Stats.global.sym_hash_misses + 1);
+      Hemlock_util.(Stats.cur ()).sym_hash_misses <-
+        Hemlock_util.(Stats.cur ()).sym_hash_misses + 1);
     found
   end
 

@@ -225,7 +225,7 @@ let instantiate t proc ps ~located ~public ~parent_scope =
           | Some _ | None -> ());
           As.unmap proc.Proc.space base)
         !mapped;
-      Stats.global.link_rollbacks <- Stats.global.link_rollbacks + 1
+      (Stats.cur ()).link_rollbacks <- (Stats.cur ()).link_rollbacks + 1
     end
   in
   let inst =
@@ -256,7 +256,7 @@ let instantiate t proc ps ~located ~public ~parent_scope =
         Fault.hit "ldl.instantiate.mid";
         if fully then begin
           inst.Modinst.inst_linked <- true;
-          Stats.global.modules_linked <- Stats.global.modules_linked + 1
+          (Stats.cur ()).modules_linked <- (Stats.cur ()).modules_linked + 1
         end;
         inst
       end
@@ -280,7 +280,7 @@ let instantiate t proc ps ~located ~public ~parent_scope =
         Fault.hit "ldl.instantiate.mid";
         if prot = Prot.Read_write_exec then begin
           inst.Modinst.inst_linked <- true;
-          Stats.global.modules_linked <- Stats.global.modules_linked + 1
+          (Stats.cur ()).modules_linked <- (Stats.cur ()).modules_linked + 1
         end;
         inst
       end
@@ -355,7 +355,7 @@ let resolve_scoped t proc ps scope name =
     end;
     match Hashtbl.find_opt ps.ps_symcache (scope, name) with
     | Some addr ->
-      Stats.global.sym_hash_hits <- Stats.global.sym_hash_hits + 1;
+      (Stats.cur ()).sym_hash_hits <- (Stats.cur ()).sym_hash_hits + 1;
       Some addr
     | None -> (
       match resolve_scoped_cold t proc ps scope name with
@@ -495,7 +495,7 @@ let planned t proc ps ~key ~cold_resolve ~run =
         Link_plan.miss ();
         run cold_resolve
       | exception Fault.Injected _ ->
-        Stats.global.plan_fallbacks <- Stats.global.plan_fallbacks + 1;
+        (Stats.cur ()).plan_fallbacks <- (Stats.cur ()).plan_fallbacks + 1;
         Link_plan.miss ();
         run cold_resolve)
     | None ->
@@ -556,7 +556,7 @@ let link_instance t proc ps inst =
     planned t proc ps ~key ~cold_resolve ~run;
     As.protect proc.Proc.space inst.Modinst.inst_base Prot.Read_write_exec;
     inst.Modinst.inst_linked <- true;
-    Stats.global.modules_linked <- Stats.global.modules_linked + 1
+    (Stats.cur ()).modules_linked <- (Stats.cur ()).modules_linked + 1
   end
 
 (* ----- start-up (crt0's trap) ---------------------------------------------- *)
@@ -586,7 +586,7 @@ let resolve_image_pending t proc ps =
         (fun r ->
           match resolve r.Objfile.rel_symbol with
           | Some addr ->
-            Stats.global.symbols_resolved <- Stats.global.symbols_resolved + 1;
+            (Stats.cur ()).symbols_resolved <- (Stats.cur ()).symbols_resolved + 1;
             Reloc_engine.apply sink
               ~at:(Aout.image_base + r.Objfile.rel_offset)
               ~kind:r.Objfile.rel_kind

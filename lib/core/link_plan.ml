@@ -15,12 +15,15 @@ let enabled = ref (Sys.getenv_opt "HEMLOCK_NO_PLANCACHE" = None)
    safe across kernels, and [Segment.version] advances on every content
    write, so a rewritten file can never serve a stale decode. *)
 
-let obj_cache : (int * int, Objfile.t) Hashtbl.t = Hashtbl.create 64
+(* per-domain decode caches: memoisation only *)
+let obj_cache_key : (int * int, Objfile.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
 
 let parse_obj ~seg bytes =
   if not !enabled then Objfile.parse bytes
   else begin
     let key = (Segment.id seg, Segment.version seg) in
+    let obj_cache = Domain.DLS.get obj_cache_key in
     match Hashtbl.find_opt obj_cache key with
     | Some obj -> obj
     | None ->
@@ -30,12 +33,14 @@ let parse_obj ~seg bytes =
       obj
   end
 
-let aout_cache : (int * int, Aout.t) Hashtbl.t = Hashtbl.create 16
+let aout_cache_key : (int * int, Aout.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
 
 let parse_aout ~seg bytes =
   if not !enabled then Aout.parse bytes
   else begin
     let key = (Segment.id seg, Segment.version seg) in
+    let aout_cache = Domain.DLS.get aout_cache_key in
     match Hashtbl.find_opt aout_cache key with
     | Some aout -> aout
     | None ->
@@ -96,6 +101,6 @@ let record store ~fs key plan =
     Hashtbl.replace store.st_tbl key plan
   end
 
-let hit () = Stats.global.plan_hits <- Stats.global.plan_hits + 1
+let hit () = (Stats.cur ()).plan_hits <- (Stats.cur ()).plan_hits + 1
 
-let miss () = Stats.global.plan_misses <- Stats.global.plan_misses + 1
+let miss () = (Stats.cur ()).plan_misses <- (Stats.cur ()).plan_misses + 1

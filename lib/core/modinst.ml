@@ -289,7 +289,11 @@ let public_instance ctx ~module_path ~scope =
    into every later instance.  Masters are never handed out directly —
    relocation scribbles on instances, and those writes must not reach
    the shared master. *)
-let placed_masters : (int * int, Segment.t) Hashtbl.t = Hashtbl.create 16
+(* per-domain: a worker that misses the memo places its own master copy
+   (the COW sharing it buys is per-domain, like the page caches) *)
+let placed_masters_key : (int * int, Segment.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+let placed_masters () = Domain.DLS.get placed_masters_key
 
 let private_instance ?(src = (-1, -1)) ~located ~obj ~base ~scope () =
   let size = placed_size obj in
@@ -301,11 +305,11 @@ let private_instance ?(src = (-1, -1)) ~located ~obj ~base ~scope () =
   let seg =
     if !Segment.cow_enabled && src <> (-1, -1) then begin
       let master =
-        match Hashtbl.find_opt placed_masters src with
+        match Hashtbl.find_opt (placed_masters ()) src with
         | Some master when Segment.max_size master = Layout.page_up size -> master
         | Some _ | None ->
           let master = build ("module-master:" ^ located) in
-          Hashtbl.replace placed_masters src master;
+          Hashtbl.replace (placed_masters ()) src master;
           master
       in
       Segment.copy master

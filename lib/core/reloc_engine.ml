@@ -16,11 +16,12 @@ type veneer_pool = {
 
 let veneer_slot_bytes = 16
 
-let veneer_count = ref 0
+(* atomic: parallel quanta may link concurrently across domains *)
+let veneer_count = Atomic.make 0
 
-let veneers_created () = !veneer_count
+let veneers_created () = Atomic.get veneer_count
 
-let reset_veneer_count () = veneer_count := 0
+let reset_veneer_count () = Atomic.set veneer_count 0
 
 let errf fmt = Printf.ksprintf (fun s -> raise (Link_error s)) fmt
 
@@ -53,11 +54,11 @@ let alloc_veneer sink pool ~target =
     let addr = pool.vp_base + (next * veneer_slot_bytes) in
     write_veneer sink addr ~target;
     pool.vp_set_next (next + 1);
-    incr veneer_count;
+    Atomic.incr veneer_count;
     addr
 
 let apply sink ~at ~kind ~value ~gp ~veneer =
-  Stats.global.relocs_applied <- Stats.global.relocs_applied + 1;
+  (Stats.cur ()).relocs_applied <- (Stats.cur ()).relocs_applied + 1;
   let word = sink.get32 at in
   match kind with
   | Objfile.Abs32 -> sink.set32 at value
@@ -96,7 +97,7 @@ let link_pass ~obj ~bases ~resolve ~already ~mark sink ~gp ~veneer =
       if not (already i) then
         match resolve r.Objfile.rel_symbol with
         | Some sym_addr ->
-          Stats.global.symbols_resolved <- Stats.global.symbols_resolved + 1;
+          (Stats.cur ()).symbols_resolved <- (Stats.cur ()).symbols_resolved + 1;
           let at = bases r.Objfile.rel_section + r.Objfile.rel_offset in
           apply sink ~at ~kind:r.Objfile.rel_kind
             ~value:(sym_addr + r.Objfile.rel_addend)

@@ -13,7 +13,9 @@ let cache_enabled = ref (Sys.getenv_opt "HEMLOCK_NO_SYMHASH" = None)
 
 (* Splitting is a pure function of the raw string, so parse each
    distinct LD_LIBRARY_PATH value once per process lifetime. *)
-let llp_memo : (string, string list) Hashtbl.t = Hashtbl.create 8
+(* per-domain: memoisation only, safe to rebuild per domain *)
+let llp_memo_key : (string, string list) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 let split_llp v = List.filter (fun d -> d <> "") (String.split_on_char ':' v)
 
@@ -23,6 +25,7 @@ let ld_library_path env =
   | Some v ->
     if not !cache_enabled then split_llp v
     else (
+      let llp_memo = Domain.DLS.get llp_memo_key in
       match Hashtbl.find_opt llp_memo v with
       | Some dirs -> dirs
       | None ->
@@ -83,8 +86,8 @@ let locate ctx ~dirs name =
     let key = (Fs.uid ctx.fs, Path.to_string ctx.cwd, dirs_key dirs, name) in
     match Hashtbl.find_opt locate_cache key with
     | Some (g, result) when g = gen ->
-      Hemlock_util.Stats.global.search_cache_hits <-
-        Hemlock_util.Stats.global.search_cache_hits + 1;
+      Hemlock_util.(Stats.cur ()).search_cache_hits <-
+        Hemlock_util.(Stats.cur ()).search_cache_hits + 1;
       result
     | Some _ | None ->
       if Hashtbl.length locate_cache > 8192 then Hashtbl.reset locate_cache;

@@ -158,7 +158,7 @@ let fetch_insn t space pc =
       if Segment.version dp.dp_seg = dp.dp_version then
         (* Untouched since fill: the cached word is the current word. *)
         if Array.unsafe_get dp.dp_words idx >= 0 then begin
-          Stats.global.decode_hits <- Stats.global.decode_hits + 1;
+          (Stats.cur ()).decode_hits <- (Stats.cur ()).decode_hits + 1;
           Array.unsafe_get dp.dp_insns idx
         end
         else decode_into t dp (Segment.get_u32 dp.dp_seg (pc + dp.dp_delta)) idx
@@ -166,7 +166,7 @@ let fetch_insn t space pc =
         (* Segment written since fill: verify the word before reuse. *)
         let word = Segment.get_u32 dp.dp_seg (pc + dp.dp_delta) in
         if Array.unsafe_get dp.dp_words idx = word then begin
-          Stats.global.decode_hits <- Stats.global.decode_hits + 1;
+          (Stats.cur ()).decode_hits <- (Stats.cur ()).decode_hits + 1;
           Array.unsafe_get dp.dp_insns idx
         end
         else decode_into t dp word idx
@@ -177,7 +177,7 @@ let fetch_insn t space pc =
 let step t space ~syscall =
   let pc = t.pc in
   let insn = fetch_insn t space pc in
-  Stats.global.instructions <- Stats.global.instructions + 1;
+  (Stats.cur ()).instructions <- (Stats.cur ()).instructions + 1;
   let next = pc + 4 in
   (* Single-dispatch: every arm finishes the instruction itself, so the
      interpreter pays one tag switch per step. *)
@@ -185,7 +185,7 @@ let step t space ~syscall =
   | Insn.Break -> Halted (Codec.sext32 (Array.unsafe_get t.regs Reg.a0))
   | Insn.Syscall ->
     t.pc <- next;
-    Stats.global.syscalls <- Stats.global.syscalls + 1;
+    (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
     syscall t;
     Running
   | Insn.Sll (rd, rt, sh) ->

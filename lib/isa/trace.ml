@@ -573,9 +573,9 @@ let compile st space entry_pc =
       (* The store really changed compiled code: stop before any stale
          instruction can run and let the entry path recompile. *)
       valid := false;
-      Stats.global.instructions <-
-        Stats.global.instructions + (ctx.c_fin - fuel);
-      Stats.global.jit_exits <- Stats.global.jit_exits + 1;
+      (Stats.cur ()).instructions <-
+        (Stats.cur ()).instructions + (ctx.c_fin - fuel);
+      (Stats.cur ()).jit_exits <- (Stats.cur ()).jit_exits + 1;
       ctx.c_pc <- next_pc;
       X_side fuel
     in
@@ -583,9 +583,9 @@ let compile st space entry_pc =
       if !log_enabled then
         Printf.eprintf "[jit] trace@0x%08x side exit -> 0x%08x\n%!" entry_pc
           target;
-      Stats.global.instructions <-
-        Stats.global.instructions + (ctx.c_fin - fuel);
-      Stats.global.jit_exits <- Stats.global.jit_exits + 1;
+      (Stats.cur ()).instructions <-
+        (Stats.cur ()).instructions + (ctx.c_fin - fuel);
+      (Stats.cur ()).jit_exits <- (Stats.cur ()).jit_exits + 1;
       ctx.c_pc <- target;
       X_side fuel
     in
@@ -600,8 +600,8 @@ let compile st space entry_pc =
     let loop_edge fuel =
       if fuel >= tr_len then !head fuel
       else begin
-        Stats.global.instructions <-
-          Stats.global.instructions + (ctx.c_fin - fuel);
+        (Stats.cur ()).instructions <-
+          (Stats.cur ()).instructions + (ctx.c_fin - fuel);
         ctx.c_pc <- entry_pc;
         X_side fuel
       end
@@ -647,8 +647,8 @@ let compile st space entry_pc =
       match sel.s_kind with
       | K_halt ->
         fun fuel ->
-          Stats.global.instructions <-
-            Stats.global.instructions + (ctx.c_fin - (fuel - 1));
+          (Stats.cur ()).instructions <-
+            (Stats.cur ()).instructions + (ctx.c_fin - (fuel - 1));
           ctx.c_pc <- pc;
           let a0 = Array.unsafe_get regs Reg.a0 in
           X_halt
@@ -656,9 +656,9 @@ let compile st space entry_pc =
               fuel - 1 )
       | K_syscall ->
         fun fuel ->
-          Stats.global.instructions <-
-            Stats.global.instructions + (ctx.c_fin - (fuel - 1));
-          Stats.global.syscalls <- Stats.global.syscalls + 1;
+          (Stats.cur ()).instructions <-
+            (Stats.cur ()).instructions + (ctx.c_fin - (fuel - 1));
+          (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
           ctx.c_pc <- pc + 4;
           X_syscall (fuel - 1)
       | K_jump -> skip ()
@@ -1297,22 +1297,22 @@ let run_trace st space tr fuel =
     let ctx = st.st_ctx in
     ctx.c_epoch <- As.epoch space;
     ctx.c_fin <- fuel;
-    Stats.global.jit_hits <- Stats.global.jit_hits + 1;
+    (Stats.cur ()).jit_hits <- (Stats.cur ()).jit_hits + 1;
     match tr.tr_first fuel with
     | x -> Ran x
     | exception e ->
       (* The trapping instruction was entered but not completed: settle
          the completed prefix plus its own tick (the interpreter bills
          before executing) and let the CPU translate the exception. *)
-      Stats.global.instructions <-
-        Stats.global.instructions + (ctx.c_fin - ctx.c_fuel) + 1;
+      (Stats.cur ()).instructions <-
+        (Stats.cur ()).instructions + (ctx.c_fin - ctx.c_fuel) + 1;
       raise e
   end
 
 let compile_and_run st space pc fuel =
   match compile st space pc with
   | Some tr ->
-    Stats.global.jit_compiles <- Stats.global.jit_compiles + 1;
+    (Stats.cur ()).jit_compiles <- (Stats.cur ()).jit_compiles + 1;
     Hashtbl.replace st.st_tbl pc (Compiled tr);
     run_trace st space tr fuel
   | None ->
@@ -1329,7 +1329,7 @@ let enter st space pc fuel =
   | Some (Compiled tr) ->
     if validate tr space then run_trace st space tr fuel
     else begin
-      Stats.global.jit_invalidations <- Stats.global.jit_invalidations + 1;
+      (Stats.cur ()).jit_invalidations <- (Stats.cur ()).jit_invalidations + 1;
       compile_and_run st space pc fuel
     end
   | Some (Counting n) ->

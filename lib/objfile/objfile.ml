@@ -124,23 +124,31 @@ let build_index symbols =
 (* Memo: obj_name -> (symbols-list == key, index) pairs.  Physical
    equality of the immutable symbol list is the validity proof; the
    table is bounded and cleared wholesale when it grows too large. *)
-let index_memo : (string, (symbol list * index) list) Hashtbl.t = Hashtbl.create 64
+type index_memo_state = {
+  memo : (string, (symbol list * index) list) Hashtbl.t;
+  mutable entries : int;
+}
 
-let index_memo_entries = ref 0
+(* per-domain: memoisation only; a worker domain rebuilds what it
+   misses *)
+let index_memo_key : index_memo_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { memo = Hashtbl.create 64; entries = 0 })
 
 let index_of t =
+  let im = Domain.DLS.get index_memo_key in
+  let index_memo = im.memo in
   let chain = Option.value ~default:[] (Hashtbl.find_opt index_memo t.obj_name) in
   match List.find_opt (fun (syms, _) -> syms == t.symbols) chain with
   | Some (_, ix) -> ix
   | None ->
-    if !index_memo_entries > 4096 then begin
+    if im.entries > 4096 then begin
       Hashtbl.reset index_memo;
-      index_memo_entries := 0
+      im.entries <- 0
     end;
     let ix = build_index t.symbols in
     Hashtbl.replace index_memo t.obj_name
       ((t.symbols, ix) :: Option.value ~default:[] (Hashtbl.find_opt index_memo t.obj_name));
-    incr index_memo_entries;
+    im.entries <- im.entries + 1;
     ix
 
 let find_symbol_linear t name =
@@ -159,8 +167,8 @@ let find_symbol t name =
       else None
     in
     (match found with
-    | Some _ -> Stats.global.sym_hash_hits <- Stats.global.sym_hash_hits + 1
-    | None -> Stats.global.sym_hash_misses <- Stats.global.sym_hash_misses + 1);
+    | Some _ -> (Stats.cur ()).sym_hash_hits <- (Stats.cur ()).sym_hash_hits + 1
+    | None -> (Stats.cur ()).sym_hash_misses <- (Stats.cur ()).sym_hash_misses + 1);
     found
   end
 
@@ -320,9 +328,10 @@ let parse bytes =
               List.init (Codec.Reader.u32 r) (fun _ -> read_sym ()));
       }
     in
-    Hashtbl.replace index_memo t.obj_name
-      ((t.symbols, ix) :: Option.value ~default:[] (Hashtbl.find_opt index_memo t.obj_name));
-    incr index_memo_entries
+    let im = Domain.DLS.get index_memo_key in
+    Hashtbl.replace im.memo t.obj_name
+      ((t.symbols, ix) :: Option.value ~default:[] (Hashtbl.find_opt im.memo t.obj_name));
+    im.entries <- im.entries + 1
   end;
   t
 

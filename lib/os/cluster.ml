@@ -1,6 +1,34 @@
 module Stats = Hemlock_util.Stats
+module Domain_pool = Hemlock_util.Domain_pool
 
-type t = { kernels : Kernel.t array }
+(* A datagram in flight.  [m_round] is the cluster round it was sent
+   in: it matures (becomes deliverable) one round later, so every
+   machine sees the same uniform one-round network latency no matter
+   how the machines are spread over domains.  [m_seq] is a per-sender
+   sequence number; sorting matured datagrams by (round, sender, seq)
+   makes delivery order deterministic even when a sender's messages
+   straddle a drain snapshot. *)
+type message = {
+  m_round : int;
+  m_sender : int;
+  m_seq : int;
+  m_payload : Bytes.t;
+}
+
+type mailbox = {
+  mb_lock : Mutex.t;
+  mutable mb_pending : message list;
+}
+
+type t = {
+  kernels : Kernel.t array;
+  mailboxes : mailbox array;
+  mutable round : int;
+  (* Per-sender broadcast counters.  Machine [i]'s counter is only
+     touched while machine [i] runs, and a machine runs on exactly one
+     domain per round, so plain ints suffice. *)
+  seqs : int array;
+}
 
 let inbox = "net-inbox"
 
@@ -11,55 +39,172 @@ let create ~machines =
     Kernel.msgq_create k inbox ~capacity:4096;
     k
   in
-  { kernels = Array.init machines boot }
+  {
+    kernels = Array.init machines boot;
+    mailboxes =
+      Array.init machines (fun _ -> { mb_lock = Mutex.create (); mb_pending = [] });
+    round = 0;
+    seqs = Array.make machines 0;
+  }
 
 let size t = Array.length t.kernels
 
 let machine t i = t.kernels.(i)
 
-(* A kernel-less enqueue: network delivery is not any process's syscall,
-   so it goes straight into the peer's queue via a transient carrier. *)
-let deliver k payload =
-  let carrier = Kernel.spawn_native k ~name:"net-rx" (fun k proc ->
-      Kernel.msg_send k proc inbox payload;
-      0)
-  in
-  ignore carrier
-
 let broadcast t ~from payload =
+  let seq = t.seqs.(from) in
+  t.seqs.(from) <- seq + 1;
+  let msg = { m_round = t.round; m_sender = from; m_seq = seq; m_payload = payload } in
   Array.iteri
-    (fun i k ->
+    (fun i mb ->
       if i <> from then begin
-        Stats.global.messages_sent <- Stats.global.messages_sent + 1;
-        Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length payload;
-        deliver k payload
+        Mutex.lock mb.mb_lock;
+        mb.mb_pending <- msg :: mb.mb_pending;
+        Mutex.unlock mb.mb_lock
       end)
-    t.kernels
+    t.mailboxes
 
-let run ?(max_rounds = 1_000_000) t =
+(* Deliver machine [i]'s matured datagrams, oldest first.  Returns how
+   many landed; network traffic is billed per datagram that actually
+   makes it into the inbox, on the delivering domain's stats record.
+   On [EAGAIN] (inbox full) the remainder waits for a later round. *)
+let drain t i =
+  let mb = t.mailboxes.(i) in
+  Mutex.lock mb.mb_lock;
+  let pending = mb.mb_pending in
+  mb.mb_pending <- [];
+  Mutex.unlock mb.mb_lock;
+  let matured, future = List.partition (fun m -> m.m_round < t.round) pending in
+  let matured =
+    List.sort
+      (fun a b ->
+        compare (a.m_round, a.m_sender, a.m_seq) (b.m_round, b.m_sender, b.m_seq))
+      matured
+  in
+  let k = t.kernels.(i) in
+  let delivered = ref 0 in
+  let rec deliver = function
+    | [] -> []
+    | m :: rest -> (
+      match Kernel.enqueue_net k inbox m.m_payload with
+      | Ok () ->
+        let st = Stats.cur () in
+        st.messages_sent <- st.messages_sent + 1;
+        st.bytes_copied <- st.bytes_copied + Bytes.length m.m_payload;
+        incr delivered;
+        deliver rest
+      | Error _ -> m :: rest)
+  in
+  let leftover = deliver matured in
+  if leftover <> [] || future <> [] then begin
+    Mutex.lock mb.mb_lock;
+    (* Concurrent broadcasts may have refilled the list; order does not
+       matter — the sort above re-establishes it at the next drain. *)
+    mb.mb_pending <- List.rev_append leftover (List.rev_append future mb.mb_pending);
+    Mutex.unlock mb.mb_lock
+  end;
+  !delivered
+
+let mailbox_depth t i =
+  let mb = t.mailboxes.(i) in
+  Mutex.lock mb.mb_lock;
+  let n = List.length mb.mb_pending in
+  Mutex.unlock mb.mb_lock;
+  n
+
+let pending_count t =
+  let n = ref 0 in
+  for i = 0 to size t - 1 do
+    n := !n + mailbox_depth t i
+  done;
+  !n
+
+let domains_from_env () =
+  match Sys.getenv_opt "HEMLOCK_DOMAINS" with
+  | None | Some "" -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> 1)
+
+let run ?(max_rounds = 1_000_000) ?domains t =
+  let machines = size t in
+  let requested =
+    match domains with
+    | Some d -> d
+    | None -> domains_from_env ()
+  in
+  if requested < 1 then invalid_arg "Cluster.run: need at least one domain";
+  (* More domains than machines would just idle. *)
+  let n = min requested machines in
+  let pool = Domain_pool.create ~domains:n in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
+  let outcomes = Array.make machines `Done in
+  let delivered = Array.make machines 0 in
+  (* One grace round before declaring the cluster wedged: datagrams
+     sent in round [r] only mature in round [r + 1], so a round with no
+     kernel progress can still be followed by deliveries. *)
+  let stall = ref 0 in
   let rec loop rounds =
     if rounds = 0 then raise (Kernel.Os_error "Cluster.run: round budget exhausted");
+    t.round <- t.round + 1;
+    (* Machine [i] belongs to worker [i mod n] for the whole run, so a
+       machine's kernel (and any native-process continuations inside
+       it) never migrates between domains. *)
+    Domain_pool.round pool (fun w ->
+        for i = 0 to machines - 1 do
+          if i mod n = w then begin
+            delivered.(i) <- drain t i;
+            outcomes.(i) <- Kernel.step t.kernels.(i)
+          end
+        done);
     let progress = ref false in
     let idle = ref [] in
-    Array.iteri
-      (fun i k ->
-        match Kernel.step k with
-        | `Progress -> progress := true
-        | `Idle -> idle := i :: !idle
-        | `Done -> ())
-      t.kernels;
-    if !progress then loop (rounds - 1)
-    else if !idle <> [] then
-      (* No machine can move and no network traffic is pending: report
-         every stuck process, tagged with its machine. *)
-      raise
-        (Kernel.Deadlock
-           (List.concat_map
-              (fun i ->
-                List.map
-                  (fun b ->
-                    { b with Kernel.b_comm = Printf.sprintf "m%d:%s" i b.Kernel.b_comm })
-                  (Kernel.blocked_processes t.kernels.(i)))
-              (List.rev !idle)))
+    let deliveries = ref 0 in
+    for i = machines - 1 downto 0 do
+      deliveries := !deliveries + delivered.(i);
+      match outcomes.(i) with
+      | `Progress -> progress := true
+      | `Idle -> idle := i :: !idle
+      | `Done -> ()
+    done;
+    let pending = pending_count t in
+    if !progress || !deliveries > 0 then begin
+      stall := 0;
+      loop (rounds - 1)
+    end
+    else if pending > 0 && !stall = 0 then begin
+      incr stall;
+      loop (rounds - 1)
+    end
+    else if !idle <> [] || pending > 0 then begin
+      (* No machine can move and the network cannot drain: report every
+         stuck process tagged with its machine, plus a synthetic entry
+         per machine whose inbox traffic is undeliverable. *)
+      let stuck =
+        List.concat_map
+          (fun i ->
+            List.map
+              (fun b ->
+                { b with Kernel.b_comm = Printf.sprintf "m%d:%s" i b.Kernel.b_comm })
+              (Kernel.blocked_processes t.kernels.(i)))
+          !idle
+      in
+      let net =
+        List.filter_map
+          (fun i ->
+            let depth = mailbox_depth t i in
+            if depth = 0 then None
+            else
+              Some
+                {
+                  Kernel.b_pid = 0;
+                  b_comm = Printf.sprintf "m%d:net" i;
+                  b_why = Printf.sprintf "%d undeliverable datagram(s) for %s" depth inbox;
+                })
+          (List.init machines (fun i -> i))
+      in
+      raise (Kernel.Deadlock (stuck @ net))
+    end
   in
   loop max_rounds

@@ -2,11 +2,20 @@
     the substrate for running rwhod the way the paper did, on "our local
     network of 65 rwhod-equipped machines", one kernel per machine.
 
-    Each machine gets a message queue named {!inbox}; {!broadcast}
-    enqueues a datagram into every {e other} machine's inbox (UDP
-    broadcast, loss-free).  The cluster scheduler interleaves the
-    machines' kernels until all are quiescent, so a daemon blocked on
-    its inbox wakes when a peer's broadcast arrives. *)
+    Each machine gets a message queue named {!inbox}.  {!broadcast}
+    stamps a datagram with the current cluster round and posts it to
+    every {e other} machine's mailbox; the datagram matures one round
+    later, when the receiving machine drains its mailbox into the inbox
+    queue (UDP broadcast, loss-free, uniform one-round latency).  The
+    cluster scheduler interleaves the machines' kernels — spread over
+    OCaml domains when asked — until all are quiescent, so a daemon
+    blocked on its inbox wakes when a peer's broadcast arrives.
+
+    Determinism: matured datagrams are delivered sorted by
+    (round, sender, per-sender sequence number), each machine is pinned
+    to one domain for a whole run, and per-domain statistics are merged
+    in domain order — so console output and simulated costs are
+    identical for every domain count. *)
 
 type t
 
@@ -22,12 +31,23 @@ val size : t -> int
 (** [machine t i] is machine [i]'s kernel. *)
 val machine : t -> int -> Kernel.t
 
-(** [broadcast t ~from payload] delivers [payload] to every machine
-    except [from], counting network traffic as message sends. *)
+(** [broadcast t ~from payload] posts [payload] to every machine except
+    [from], stamped with the current round.  Network traffic is billed
+    ([messages_sent], [bytes_copied]) only when a datagram actually
+    lands in a peer's inbox, on the delivering domain's stats. *)
 val broadcast : t -> from:int -> Bytes.t -> unit
 
-(** Interleave all machines until every one reports [`Done].
-    @raise Kernel.Deadlock when no machine can make progress but some
-    non-daemon process is still blocked.
+(** Interleave all machines until every one reports [`Done] and no
+    datagrams remain in flight.  Each round drains every machine's
+    matured datagrams into its inbox (a full inbox pushes the rest to a
+    later round), then gives the machine one kernel step.
+
+    [domains] defaults to [HEMLOCK_DOMAINS] (default 1 — the
+    deterministic single-domain oracle) and is capped at the machine
+    count; machine [i] runs on domain [i mod domains].
+
+    @raise Kernel.Deadlock when no machine can make progress, nothing
+    was delivered, and either some non-daemon process is blocked or
+    in-flight datagrams are undeliverable (reported as [m<i>:net]).
     @param max_rounds safety valve. *)
-val run : ?max_rounds:int -> t -> unit
+val run : ?max_rounds:int -> ?domains:int -> t -> unit

@@ -45,11 +45,28 @@ let msg_send t name b =
     Proc.wait_until
       ~why:(Printf.sprintf "msgq %s not full" name)
       (fun () -> Queue.length q.mq_queue < q.mq_capacity);
-    Stats.global.syscalls <- Stats.global.syscalls + 1;
-    Stats.global.messages_sent <- Stats.global.messages_sent + 1;
-    Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
+    (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
+    (Stats.cur ()).messages_sent <- (Stats.cur ()).messages_sent + 1;
+    (Stats.cur ()).bytes_copied <- (Stats.cur ()).bytes_copied + Bytes.length b;
     Queue.add (Bytes.copy b) q.mq_queue;
     Ok ())
+
+(* Non-blocking enqueue for deliveries that originate outside any
+   process context — the cluster's network pump runs on the scheduler
+   loop, where [Proc.wait_until]'s effect has no handler.  Performs no
+   billing: the {e sender's} machine accounts for the transfer when the
+   enqueue succeeds.  [Error EAGAIN] when the queue is full, so the
+   caller can keep the message pending (backpressure) instead of
+   dropping it. *)
+let msg_enqueue t name b =
+  match find_msgq t name with
+  | Error err -> Error err
+  | Ok q ->
+    if Queue.length q.mq_queue >= q.mq_capacity then Error Errno.EAGAIN
+    else begin
+      Queue.add (Bytes.copy b) q.mq_queue;
+      Ok ()
+    end
 
 let msg_recv t name =
   match find_msgq t name with
@@ -58,20 +75,20 @@ let msg_recv t name =
     Proc.wait_until
       ~why:(Printf.sprintf "msgq %s non-empty" name)
       (fun () -> not (Queue.is_empty q.mq_queue));
-    Stats.global.syscalls <- Stats.global.syscalls + 1;
+    (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
     let b = Queue.take q.mq_queue in
-    Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
+    (Stats.cur ()).bytes_copied <- (Stats.cur ()).bytes_copied + Bytes.length b;
     Ok b
 
 let msg_try_recv t name =
   match find_msgq t name with
   | Error err -> Error err
   | Ok q ->
-    Stats.global.syscalls <- Stats.global.syscalls + 1;
+    (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
     if Queue.is_empty q.mq_queue then Ok None
     else begin
       let b = Queue.take q.mq_queue in
-      Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
+      (Stats.cur ()).bytes_copied <- (Stats.cur ()).bytes_copied + Bytes.length b;
       Ok (Some b)
     end
 
@@ -97,16 +114,16 @@ let pd_call t kernel ~service arg =
       match Fault.hit "ipc.send" with
       | exception Fault.Injected { failure = Hemlock_util.Fault.Eagain; _ }
         when n < max_attempts - 1 ->
-        Stats.global.ipc_retries <- Stats.global.ipc_retries + 1;
-        Stats.global.instructions <- Stats.global.instructions + (50 lsl n);
+        (Stats.cur ()).ipc_retries <- (Stats.cur ()).ipc_retries + 1;
+        (Stats.cur ()).instructions <- (Stats.cur ()).instructions + (50 lsl n);
         attempt (n + 1)
       | exception Fault.Injected { failure; _ } -> Error (Errno.of_failure failure)
       | () ->
         (* One trap, two domain switches (in and out), no copying: the
            handler runs against the server's address space while the
            caller is suspended. *)
-        Stats.global.syscalls <- Stats.global.syscalls + 1;
-        Stats.global.context_switches <- Stats.global.context_switches + 2;
+        (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
+        (Stats.cur ()).context_switches <- (Stats.cur ()).context_switches + 2;
         Ok (pd_entry kernel pd_owner arg)
     in
     attempt 0

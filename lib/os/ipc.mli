@@ -25,6 +25,14 @@ val msgq_exists : 'k t -> string -> bool
 val msgq_length : 'k t -> string -> (int, Errno.t) result
 
 val msg_send : 'k t -> string -> Bytes.t -> (unit, Errno.t) result
+
+(** Non-blocking enqueue from {e outside} any process context (the
+    cluster's network pump): never waits, never bills — the sender
+    accounts for the transfer on success.  [EAGAIN] when the queue is
+    full, so the caller can hold the message for a later retry instead
+    of dropping it. *)
+val msg_enqueue : 'k t -> string -> Bytes.t -> (unit, Errno.t) result
+
 val msg_recv : 'k t -> string -> (Bytes.t, Errno.t) result
 val msg_try_recv : 'k t -> string -> (Bytes.t option, Errno.t) result
 

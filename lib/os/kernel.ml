@@ -11,6 +11,7 @@ module Trap = Hemlock_isa.Trap
 module Codec = Hemlock_util.Codec
 module Stats = Hemlock_util.Stats
 module Fault = Hemlock_util.Fault
+module Domain_pool = Hemlock_util.Domain_pool
 
 type blocked = Sched.blocked = { b_pid : int; b_comm : string; b_why : string }
 
@@ -44,6 +45,13 @@ type t = {
   ext_syscalls : (int, t -> Proc.t -> Cpu.t -> unit) Hashtbl.t;
   mutable binfmts : (string * (t -> Proc.t -> Bytes.t -> path:string -> int)) list;
   mutable fork_hooks : (parent:Proc.t -> child:Proc.t -> unit) list;
+  lock : Mutex.t;
+      (* the kernel big lock, contended only in parallel mode: one
+         domain at a time mutates the shared tables (fs, vfs, ipc,
+         scheduler, console) *)
+  mutable par : bool;
+      (* true only while a [step_par] round has ISA quanta spread over
+         domains; the sequential paths never touch [lock] *)
 }
 
 and handler = t -> Proc.t -> fault -> segv_result
@@ -69,7 +77,20 @@ let create () =
     ext_syscalls = Hashtbl.create 8;
     binfmts = [];
     fork_hooks = [];
+    lock = Mutex.create ();
+    par = false;
   }
+
+(* Lock order: kernel lock first, then any address-space range lock —
+   never the reverse.  In sequential mode ([par = false]) this is a
+   single branch; kernel code below the trap pipeline assumes its
+   caller took the lock (or that no other domain is running). *)
+let with_kernel_lock t f =
+  if t.par then begin
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+  end
+  else f ()
 
 (* Hooks are kept newest-first (O(1) registration) and reversed into
    registration order at each fork. *)
@@ -112,7 +133,7 @@ let install_segv_handler t proc ~name h =
   Hashtbl.replace t.segv_handlers proc.Proc.pid ((name, h) :: chain)
 
 let deliver_segv t proc fault =
-  Stats.global.faults <- Stats.global.faults + 1;
+  (Stats.cur ()).faults <- (Stats.cur ()).faults + 1;
   let chain = Option.value ~default:[] (Hashtbl.find_opt t.segv_handlers proc.Proc.pid) in
   let rec walk = function
     | [] -> Unhandled
@@ -229,7 +250,7 @@ let rec native_access : 'a. t -> Proc.t -> (unit -> 'a) -> 'a =
 
 (* Each checked access bills one instruction, so native workload code
    and ISA code are accounted on the same scale. *)
-let tick () = Stats.global.instructions <- Stats.global.instructions + 1
+let tick () = (Stats.cur ()).instructions <- (Stats.cur ()).instructions + 1
 
 let load_u8 t proc addr =
   tick ();
@@ -281,21 +302,21 @@ let isa_access t proc f =
 (* --- the new kernel calls ------------------------------------------------ *)
 
 let sys_path_to_addr_r t proc path =
-  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
   fs_result (fun () -> Fs.addr_of_path t.fs ~cwd:proc.Proc.cwd path)
 
 let sys_path_to_addr t proc path =
   ok_exn ("path_to_addr " ^ path) (sys_path_to_addr_r t proc path)
 
 let sys_addr_to_path_r t _proc addr =
-  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
   fs_result (fun () -> Fs.path_of_addr t.fs addr)
 
 let sys_addr_to_path t proc addr =
   ok_exn (Printf.sprintf "addr_to_path 0x%08x" addr) (sys_addr_to_path_r t proc addr)
 
 let map_shared_file_r t proc ~path ~prot =
-  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
   fs_result (fun () ->
       let base = Fs.addr_of_path t.fs ~cwd:proc.Proc.cwd path in
       let canonical = Fs.path_of_addr t.fs base in
@@ -320,8 +341,8 @@ let map_shared_file t proc ~path ~prot =
 (* --- file descriptors ----------------------------------------------------- *)
 
 let sys_open_r t proc ?(create = false) ?(trunc = false) path =
-  Stats.global.syscalls <- Stats.global.syscalls + 1;
-  Stats.global.files_opened <- Stats.global.files_opened + 1;
+  (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
+  (Stats.cur ()).files_opened <- (Stats.cur ()).files_opened + 1;
   match
     fs_result (fun () ->
         Fault.hit "vfs.open";
@@ -338,8 +359,8 @@ let sys_open t proc ?create ?trunc path =
   ok_exn ("open " ^ path) (sys_open_r t proc ?create ?trunc path)
 
 let sys_open_by_addr_r t proc addr =
-  Stats.global.syscalls <- Stats.global.syscalls + 1;
-  Stats.global.files_opened <- Stats.global.files_opened + 1;
+  (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
+  (Stats.cur ()).files_opened <- (Stats.cur ()).files_opened + 1;
   match
     fs_result (fun () ->
         let path = Fs.path_of_addr t.fs addr in
@@ -352,34 +373,34 @@ let sys_open_by_addr t proc addr =
   ok_exn (Printf.sprintf "open 0x%08x" addr) (sys_open_by_addr_r t proc addr)
 
 let sys_read_r t proc fd len =
-  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
   match Vfs.read t.vfs ~pid:proc.Proc.pid fd len with
   | Ok b ->
-    Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
+    (Stats.cur ()).bytes_copied <- (Stats.cur ()).bytes_copied + Bytes.length b;
     Ok b
   | Error e -> Error e
 
 let sys_read t proc fd len = ok_exn (Printf.sprintf "read fd %d" fd) (sys_read_r t proc fd len)
 
 let sys_write_r t proc fd b =
-  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
   match Vfs.write t.vfs ~pid:proc.Proc.pid fd b with
   | Ok n ->
-    Stats.global.bytes_copied <- Stats.global.bytes_copied + n;
+    (Stats.cur ()).bytes_copied <- (Stats.cur ()).bytes_copied + n;
     Ok n
   | Error e -> Error e
 
 let sys_write t proc fd b = ok_exn (Printf.sprintf "write fd %d" fd) (sys_write_r t proc fd b)
 
 let sys_lseek_r t proc fd pos =
-  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
   Vfs.lseek t.vfs ~pid:proc.Proc.pid fd pos
 
 let sys_lseek t proc fd pos =
   ok_exn (Printf.sprintf "lseek fd %d" fd) (sys_lseek_r t proc fd pos)
 
 let sys_close_r t proc fd =
-  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
   Vfs.close t.vfs ~pid:proc.Proc.pid fd
 
 let sys_close t proc fd = ok_exn (Printf.sprintf "close fd %d" fd) (sys_close_r t proc fd)
@@ -389,7 +410,7 @@ let sys_close t proc fd = ok_exn (Printf.sprintf "close fd %d" fd) (sys_close_r 
 let lock_key proc path = Path.to_string (Path.of_string ~cwd:proc.Proc.cwd path)
 
 let try_flock t proc path =
-  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
   Vfs.try_lock t.vfs ~key:(lock_key proc path) ~pid:proc.Proc.pid
 
 let flock t proc path =
@@ -398,7 +419,7 @@ let flock t proc path =
   ignore (try_flock t proc path)
 
 let funlock t proc path =
-  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
   match Vfs.unlock t.vfs ~key:(lock_key proc path) ~pid:proc.Proc.pid with
   | Ok () -> ()
   | Error _ -> raise (Os_error "funlock: not the lock holder")
@@ -436,7 +457,7 @@ let map_stack t proc =
     ~kind:Vm_object.Anonymous ~prot:Prot.Read_write ~share:As.Private ~label:"stack" ()
 
 let exec t proc path =
-  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
   (* Signal dispositions are reset across exec, as in Unix. *)
   Hashtbl.remove t.segv_handlers proc.Proc.pid;
   let image =
@@ -486,7 +507,7 @@ let fork_isa t proc =
   match proc.Proc.body with
   | Proc.Native _ -> raise (Os_error "fork: only ISA processes can fork")
   | Proc.Isa cpu ->
-    Stats.global.syscalls <- Stats.global.syscalls + 1;
+    (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
     let pid = Sched.fresh_pid t.sched in
     let child_cpu = Cpu.fork cpu in
     let child =
@@ -529,7 +550,7 @@ let waitpid t proc =
   if children t proc.Proc.pid = [] then raise (os_error "waitpid" Errno.ECHILD);
   Proc.wait_until ~why:"waitpid: a child to exit" (fun () ->
       List.exists Proc.is_zombie (children t proc.Proc.pid));
-  Stats.global.syscalls <- Stats.global.syscalls + 1;
+  (Stats.cur ()).syscalls <- (Stats.cur ()).syscalls + 1;
   Option.get (reap t proc)
 
 (* --- ISA syscall dispatch -------------------------------------------------------- *)
@@ -673,9 +694,22 @@ let quantum = 4000
 
 (* Every exit from user mode arrives here as a Trap.t.  [`Stop] ends the
    process's quantum (blocked, yielded, exited, or a fault that must be
-   retried from the top); [`Continue] resumes the interrupted burst. *)
-let handle_fault ?(ticked = true) t proc fault =
-  if pager_fault proc fault then begin
+   retried from the top); [`Continue] resumes the interrupted burst.
+
+   Kernel-internal fault resolution (pager + COW) runs {e outside} the
+   kernel lock: the address space's range locks provide all the
+   exclusion page resolution needs, so concurrent quanta faulting on
+   disjoint ranges never serialise here.  The one exception is a
+   bounded RAM budget: eviction can push dirty pages through the shared
+   Fs journal, so that path takes the kernel lock ([~locked] marks
+   callers already holding it). *)
+let internal_fault ?(locked = false) ?(ticked = true) t proc fault =
+  let pager () =
+    if t.par && (not locked) && !Vm_object.ram_pages <> None then
+      with_kernel_lock t (fun () -> pager_fault proc fault)
+    else pager_fault proc fault
+  in
+  if pager () then begin
     (* Like COW, resume the burst with no fuel consumed.  The tick
        rollback is asymmetric because [Cpu.step] bills [instructions]
        {e between} fetch and execute: a fetch fault raises before the
@@ -683,8 +717,8 @@ let handle_fault ?(ticked = true) t proc fault =
        on retry.  [~ticked:false] marks the raw-syscall path, where no
        interpreter tick happened at all. *)
     if ticked && fault.f_access <> Prot.Exec then
-      Stats.global.instructions <- Stats.global.instructions - 1;
-    `Continue
+      (Stats.cur ()).instructions <- (Stats.cur ()).instructions - 1;
+    true
   end
   else if cow_fault proc fault then begin
     (* The faulting store never completed and consumed no fuel; resume
@@ -692,10 +726,14 @@ let handle_fault ?(ticked = true) t proc fault =
        what they would be without COW.  The store's [instructions] tick
        already happened in [Cpu.step], so roll it back — the retried
        store counts once, keeping the cost model COW-blind. *)
-    Stats.global.instructions <- Stats.global.instructions - 1;
-    `Continue
+    (Stats.cur ()).instructions <- (Stats.cur ()).instructions - 1;
+    true
   end
-  else
+  else false
+
+(* SIGSEGV delivery for a fault the kernel could not resolve
+   internally.  In parallel mode the caller holds the kernel lock. *)
+let deliver_fault t proc fault =
   match deliver_segv t proc fault with
   | Resolved -> `Stop (* pc still points at the faulting instruction *)
   | Retry_when cond ->
@@ -705,36 +743,43 @@ let handle_fault ?(ticked = true) t proc fault =
     kill t proc ~reason:(pp_fault fault);
     `Stop
 
-let handle_trap t proc cpu = function
+let handle_trap t proc cpu trap =
+  match trap with
   | Trap.Halt code ->
-    exit_proc t proc code;
+    with_kernel_lock t (fun () -> exit_proc t proc code);
     `Stop
-  | Trap.Illegal _ as trap ->
+  | Trap.Illegal _ ->
     (* SIGILL: the process dies, the simulator does not. *)
-    kill t proc ~reason:(Format.asprintf "%a" Trap.pp trap);
+    with_kernel_lock t (fun () -> kill t proc ~reason:(Format.asprintf "%a" Trap.pp trap));
     `Stop
-  | Trap.Fault fault -> handle_fault t proc fault
-  | Trap.Syscall -> (
-    match dispatch t proc cpu with
-    | () -> `Continue
-    | exception Isa_exit code ->
-      exit_proc t proc code;
-      `Stop
-    | exception Isa_yield -> `Stop
-    | exception Isa_blocked { cond; why } ->
-      proc.Proc.state <- Proc.Blocked { cond; why };
-      `Stop
-    | exception Isa_fatal msg ->
-      kill t proc ~reason:msg;
-      `Stop
-    | exception Os_error msg ->
-      kill t proc ~reason:msg;
-      `Stop
-    | exception (As.Fault _ as e) ->
-      (* A registered syscall touched user memory raw; same treatment
-         as a fault trap from the interpreter — except no instruction
-         ticked, so the pager branch must not roll one back. *)
-      handle_fault ~ticked:false t proc (Option.get (fault_of_exn e)))
+  | Trap.Fault fault ->
+    if internal_fault t proc fault then `Continue
+    else with_kernel_lock t (fun () -> deliver_fault t proc fault)
+  | Trap.Syscall ->
+    with_kernel_lock t (fun () ->
+        match dispatch t proc cpu with
+        | () -> `Continue
+        | exception Isa_exit code ->
+          exit_proc t proc code;
+          `Stop
+        | exception Isa_yield -> `Stop
+        | exception Isa_blocked { cond; why } ->
+          proc.Proc.state <- Proc.Blocked { cond; why };
+          `Stop
+        | exception Isa_fatal msg ->
+          kill t proc ~reason:msg;
+          `Stop
+        | exception Os_error msg ->
+          kill t proc ~reason:msg;
+          `Stop
+        | exception (As.Fault _ as e) ->
+          (* A registered syscall touched user memory raw; same
+             treatment as a fault trap from the interpreter — except no
+             instruction ticked, so the pager branch must not roll one
+             back (and the kernel lock is already held). *)
+          let fault = Option.get (fault_of_exn e) in
+          if internal_fault ~locked:true ~ticked:false t proc fault then `Continue
+          else deliver_fault t proc fault)
 
 let run_isa_quantum t proc cpu =
   let rec burst fuel =
@@ -802,3 +847,56 @@ let blocked_processes t = Sched.blocked_nondaemons t.sched
 let run ?max_ticks t =
   Sched.run ?max_ticks t.sched ~run_one:(run_one t) ~on_budget:(fun () ->
       raise (Os_error "Kernel.run: tick budget exhausted"))
+
+(* --- network delivery ------------------------------------------------------------- *)
+
+(* Direct enqueue onto a machine-local message queue, for deliveries
+   that originate outside any process — the cluster's network pump.
+   No carrier process is spawned and nothing is billed here: the
+   {e sending} machine accounts [messages_sent]/[bytes_copied] when the
+   enqueue succeeds, and a full queue answers [EAGAIN] so the sender
+   holds the message instead of dropping it. *)
+let enqueue_net t name payload = Ipc.msg_enqueue t.ipc name payload
+
+(* --- parallel scheduling ---------------------------------------------------------- *)
+
+(* One parallel pass: ISA quanta spread over the pool's domains (proc
+   [i] of the runnable ISA list on worker [i mod domains]), natives
+   afterwards on the calling domain — their effect continuations must
+   not migrate, and running them with no ISA quantum in flight means
+   the plain (unlocked) syscall entry points they call stay safe.  The
+   scheduler bills every quantum up front on the calling domain, so
+   tick and context-switch totals are independent of the partition. *)
+let run_many t pool ps =
+  let isa, native =
+    List.partition
+      (fun p -> match p.Proc.body with Proc.Isa _ -> true | Proc.Native _ -> false)
+      ps
+  in
+  (match isa with
+  | [] -> ()
+  | [ p ] -> run_one t p (* one quantum: no need to arm the lock *)
+  | _ ->
+    let isa = Array.of_list isa in
+    let n = Domain_pool.domains pool in
+    t.par <- true;
+    Fun.protect
+      ~finally:(fun () -> t.par <- false)
+      (fun () ->
+        Domain_pool.round pool (fun w ->
+            Array.iteri (fun i p -> if i mod n = w then run_one t p) isa)));
+  List.iter (fun p -> if p.Proc.state = Proc.Runnable then run_one t p) native
+
+let step_par t ~pool = Sched.step_par t.sched ~run_many:(run_many t pool)
+
+let run_par ?(max_ticks = 2_000_000) t ~pool =
+  let deadline = ticks t + max_ticks in
+  let rec loop () =
+    if ticks t > deadline then raise (Os_error "Kernel.run: tick budget exhausted")
+    else
+      match step_par t ~pool with
+      | `Progress -> loop ()
+      | `Done -> ()
+      | `Idle -> raise (Deadlock (blocked_processes t))
+  in
+  loop ()

@@ -68,7 +68,8 @@ type t = {
   mutable next_jid : int;
 }
 
-let next_uid = ref 0
+(* atomic: file systems are created on any domain (cluster boot) *)
+let next_uid = Atomic.make 0
 
 let uid t = t.uid
 
@@ -90,13 +91,13 @@ let fresh_ino t =
 let new_dir t = Dir { entries = Hashtbl.create 8; dir_ino = fresh_ino t }
 
 let create () =
-  incr next_uid;
+
   let t =
     {
       root = { entries = Hashtbl.create 8; dir_ino = 2 };
       next_ino = 4096; (* normal-partition inodes; shared inodes are slots 0..1023 *)
       addr_table = Array.make Layout.shared_slots None;
-      uid = !next_uid;
+      uid = Atomic.fetch_and_add next_uid 1 + 1;
       generation = 0;
       journal = [];
       next_jid = 1;
@@ -309,8 +310,8 @@ let segment_of t ?cwd s =
 let read_file t ?cwd s =
   let _, f = resolve_file t ~op:"read" (parse t ?cwd s) in
   let len = Segment.size f.seg in
-  Stats.global.bytes_copied <- Stats.global.bytes_copied + len;
-  Stats.global.files_opened <- Stats.global.files_opened + 1;
+  (Stats.cur ()).bytes_copied <- (Stats.cur ()).bytes_copied + len;
+  (Stats.cur ()).files_opened <- (Stats.cur ()).files_opened + 1;
   Segment.blit_out f.seg ~src_off:0 ~len
 
 (* Remove a canonical path's directory entry without passing through the
@@ -382,8 +383,8 @@ let write_file t ?cwd s b =
   write_like t ~op:"write" ~site:"fs.write" p b
     ~would_overflow:(fun f -> Bytes.length b > Segment.max_size f.seg)
     ~apply:(fun f ->
-      Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
-      Stats.global.files_opened <- Stats.global.files_opened + 1;
+      (Stats.cur ()).bytes_copied <- (Stats.cur ()).bytes_copied + Bytes.length b;
+      (Stats.cur ()).files_opened <- (Stats.cur ()).files_opened + 1;
       Segment.replace f.seg b)
 
 let append_file t ?cwd s b =
@@ -391,7 +392,7 @@ let append_file t ?cwd s b =
   write_like t ~op:"append" ~site:"fs.append" p b
     ~would_overflow:(fun f -> Segment.size f.seg + Bytes.length b > Segment.max_size f.seg)
     ~apply:(fun f ->
-      Stats.global.bytes_copied <- Stats.global.bytes_copied + Bytes.length b;
+      (Stats.cur ()).bytes_copied <- (Stats.cur ()).bytes_copied + Bytes.length b;
       Segment.blit_in f.seg ~dst_off:(Segment.size f.seg) b)
 
 let symlink t ?cwd ~target s =
@@ -700,8 +701,8 @@ let fsck t =
     slot_paths;
   (* Repairs may have changed the namespace: settle the table again. *)
   rescan_shared t;
-  Stats.global.journal_replays <- Stats.global.journal_replays + !replayed;
-  Stats.global.journal_rollbacks <- Stats.global.journal_rollbacks + !rolled;
+  (Stats.cur ()).journal_replays <- (Stats.cur ()).journal_replays + !replayed;
+  (Stats.cur ()).journal_rollbacks <- (Stats.cur ()).journal_rollbacks + !rolled;
   let repairs = List.rev !repairs in
   {
     fsck_replayed = !replayed;

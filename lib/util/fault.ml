@@ -7,20 +7,30 @@ type action = Fail of failure | Crash_here
 
 type arm = { at : int; act : action }
 
+(* The armed plan is written by [configure]/[clear] on the spawning
+   domain only, before any worker domain runs, and is read-only while
+   domains execute — so the table needs no lock.  Hit {e counters} are
+   per-domain (a DLS-keyed table): each domain owns an independent
+   deterministic stream of site ordinals, so a plan like "site@3=crash"
+   fires at the third hit {e on that domain}, reproducible under any
+   fixed machine-to-domain partition. *)
 let armed : (string, arm list) Hashtbl.t = Hashtbl.create 16
 
-let counts : (string, int) Hashtbl.t = Hashtbl.create 16
+let counts_key : (string, int) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let counts () = Domain.DLS.get counts_key
 
 let enabled = ref false
 
 let active () = !enabled
 
-let hits site = Option.value ~default:0 (Hashtbl.find_opt counts site)
+let hits site = Option.value ~default:0 (Hashtbl.find_opt (counts ()) site)
 
 let clear () =
   enabled := false;
   Hashtbl.reset armed;
-  Hashtbl.reset counts
+  Hashtbl.reset (counts ())
 
 let failure_name = function Eio -> "eio" | Enospc -> "enospc" | Eagain -> "eagain"
 
@@ -91,14 +101,14 @@ let configure_random ?(sites = default_sites) seed =
 let hit site =
   if !enabled then begin
     let n = hits site + 1 in
-    Hashtbl.replace counts site n;
+    Hashtbl.replace (counts ()) site n;
     match Hashtbl.find_opt armed site with
     | None -> ()
     | Some arms -> (
       match List.find_opt (fun a -> a.at = n) arms with
       | None -> ()
       | Some { act; _ } -> (
-        Stats.global.faults_injected <- Stats.global.faults_injected + 1;
+        (Stats.cur ()).faults_injected <- (Stats.cur ()).faults_injected + 1;
         match act with
         | Fail failure -> raise (Injected { site; failure })
         | Crash_here ->

@@ -44,10 +44,17 @@ exception Crash of { site : string }
 val active : unit -> bool
 
 (** [hit site] advances [site]'s counter and fires the armed action, if
-    any, whose countdown has expired. *)
+    any, whose countdown has expired.
+
+    Hit counters are {e per-domain} (the armed plan itself is shared,
+    written only between parallel regions): each domain advances an
+    independent deterministic stream of ordinals, so ["site@3=crash"]
+    fires at the third hit on whichever domain reaches three first —
+    reproducible under any fixed machine-to-domain partition. *)
 val hit : string -> unit
 
-(** Hits so far at a site (0 when the engine is idle). *)
+(** Hits so far at a site on the calling domain (0 when the engine is
+    idle). *)
 val hits : string -> int
 
 (** [configure plan] arms a plan and resets all counters.  Grammar:
@@ -62,7 +69,9 @@ val configure : string -> unit
     reproduces the run. *)
 val configure_random : ?sites:string array -> int -> unit
 
-(** Disarm and reset all counters. *)
+(** Disarm and reset the calling domain's counters.  Call only between
+    parallel regions (the plan tables are read-only while worker
+    domains run). *)
 val clear : unit -> unit
 
 val failure_name : failure -> string

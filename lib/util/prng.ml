@@ -12,6 +12,27 @@ let next t =
   let z = Int64.logxor z (Int64.shift_right_logical z 31) in
   Int64.to_int (Int64.shift_right_logical z 2)
 
+(* Deterministic stream splitting (SplitMix-style): a child stream's
+   seed state is a mixed draw from the parent, so parent and child
+   sequences are independent and reproducible from the root seed
+   alone — no shared mutable state between the two. *)
+let split t =
+  let z = Int64.add t.state golden in
+  t.state <- z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  { state = Int64.logxor z 0xA3EC647659359ACDL }
+
+(* The [index]-th stream of a seed family: stream [i] is the [i]-th
+   split of a root generator.  Per-domain consumers (one stream per
+   domain, split from the run's seed) use this so their draws are
+   deterministic under any machine-to-domain partition. *)
+let stream ~seed ~index =
+  if index < 0 then invalid_arg "Prng.stream: negative index";
+  let root = create ~seed in
+  let rec skip i = if i = 0 then split root else (ignore (split root); skip (i - 1)) in
+  skip index
+
 let int t n =
   if n <= 0 then invalid_arg "Prng.int: bound must be positive";
   next t mod n

@@ -8,6 +8,19 @@ val create : seed:int -> t
 (** Next raw 64-bit value (as a non-negative 62-bit OCaml int). *)
 val next : t -> int
 
+(** [split t] advances [t] once and returns an independent child
+    generator derived deterministically from the consumed draw —
+    SplitMix-style stream splitting.  Parent and child share no state
+    afterwards, so one can live on another domain. *)
+val split : t -> t
+
+(** [stream ~seed ~index] is the [index]-th independent stream of the
+    [seed] family (the [index]-th [split] of a fresh root generator).
+    Per-domain consumers use stream [d] on domain [d], making their
+    draws deterministic under any machine-to-domain partition.
+    @raise Invalid_argument if [index < 0]. *)
+val stream : seed:int -> index:int -> t
+
 (** [int t n] is uniform in [\[0, n)]. @raise Invalid_argument if [n <= 0]. *)
 val int : t -> int -> int
 

@@ -105,6 +105,62 @@ let zero () =
 
 let global = zero ()
 
+(* --- per-domain counters ---------------------------------------------
+   Every domain owns a private counter record reached through [cur];
+   the main domain's record {e is} [global], so single-domain code (and
+   every existing test and benchmark) observes exactly the seed's
+   behaviour.  Worker domains start from zero and are merged into the
+   spawner's record in worker-index order when a domain pool shuts
+   down — all fields are sums, so the merged totals are independent of
+   the host interleaving. *)
+
+let dls_key = Domain.DLS.new_key zero
+
+let () = Domain.DLS.set dls_key global
+
+let cur () = Domain.DLS.get dls_key
+
+let merge_into ~into t =
+  into.instructions <- into.instructions + t.instructions;
+  into.syscalls <- into.syscalls + t.syscalls;
+  into.bytes_copied <- into.bytes_copied + t.bytes_copied;
+  into.faults <- into.faults + t.faults;
+  into.pages_mapped <- into.pages_mapped + t.pages_mapped;
+  into.modules_linked <- into.modules_linked + t.modules_linked;
+  into.relocs_applied <- into.relocs_applied + t.relocs_applied;
+  into.symbols_resolved <- into.symbols_resolved + t.symbols_resolved;
+  into.files_opened <- into.files_opened + t.files_opened;
+  into.messages_sent <- into.messages_sent + t.messages_sent;
+  into.context_switches <- into.context_switches + t.context_switches;
+  into.tlb_hits <- into.tlb_hits + t.tlb_hits;
+  into.tlb_misses <- into.tlb_misses + t.tlb_misses;
+  into.decode_hits <- into.decode_hits + t.decode_hits;
+  into.sym_hash_hits <- into.sym_hash_hits + t.sym_hash_hits;
+  into.sym_hash_misses <- into.sym_hash_misses + t.sym_hash_misses;
+  into.plan_hits <- into.plan_hits + t.plan_hits;
+  into.plan_misses <- into.plan_misses + t.plan_misses;
+  into.search_cache_hits <- into.search_cache_hits + t.search_cache_hits;
+  into.faults_injected <- into.faults_injected + t.faults_injected;
+  into.journal_replays <- into.journal_replays + t.journal_replays;
+  into.journal_rollbacks <- into.journal_rollbacks + t.journal_rollbacks;
+  into.link_rollbacks <- into.link_rollbacks + t.link_rollbacks;
+  into.plan_fallbacks <- into.plan_fallbacks + t.plan_fallbacks;
+  into.ipc_retries <- into.ipc_retries + t.ipc_retries;
+  into.cow_faults <- into.cow_faults + t.cow_faults;
+  into.pages_copied <- into.pages_copied + t.pages_copied;
+  into.bytes_saved <- into.bytes_saved + t.bytes_saved;
+  into.jit_compiles <- into.jit_compiles + t.jit_compiles;
+  into.jit_hits <- into.jit_hits + t.jit_hits;
+  into.jit_exits <- into.jit_exits + t.jit_exits;
+  into.jit_invalidations <- into.jit_invalidations + t.jit_invalidations;
+  into.major_faults <- into.major_faults + t.major_faults;
+  into.minor_faults <- into.minor_faults + t.minor_faults;
+  into.pages_evicted <- into.pages_evicted + t.pages_evicted;
+  into.pages_written_back <- into.pages_written_back + t.pages_written_back;
+  (* the gauge is per-domain clock state; the merged gauge is the sum of
+     the domains' live resident sets *)
+  into.resident_pages <- into.resident_pages + t.resident_pages
+
 let reset () =
   global.instructions <- 0;
   global.syscalls <- 0;

@@ -89,8 +89,22 @@ type t = {
           it alone — it tracks live pager state, not a measured delta. *)
 }
 
-(** The single global counter set. *)
+(** The main domain's counter set.  On the main domain [cur () == global];
+    tests and benchmarks that read [global] directly keep working. *)
 val global : t
+
+(** The calling domain's counter record.  The main domain's record is
+    [global]; each worker domain gets an independent zeroed record, so
+    counting never contends across domains.  Worker records are merged
+    into the spawner's record — in worker-index order — when a
+    {!Domain_pool} shuts down. *)
+val cur : unit -> t
+
+(** [merge_into ~into t] adds every field of [t] into [into].  All
+    fields are sums (the [resident_pages] gauge merges as the sum of the
+    domains' live resident sets), so merging is order-independent; the
+    pool still fixes worker-index order as the documented contract. *)
+val merge_into : into:t -> t -> unit
 
 val reset : unit -> unit
 

@@ -1,0 +1,43 @@
+(** Interval-keyed reader/writer locks over page ranges.
+
+    One value guards one address space.  Holds cover half-open page
+    ranges [\[lo, hi)]; two holds conflict when the ranges overlap and
+    at least one is [Exclusive].  Disjoint ranges never block each
+    other, so concurrent faults, maps and pager materialisations on
+    different parts of a shared space proceed without contention.
+
+    {b Contract:} one held range per thread of control — never acquire
+    a second range on the same lock while holding one.  Under that
+    contract a waiting thread holds nothing, so no wait cycle (and no
+    deadlock) can form; the lock needs no ordering discipline beyond
+    it.
+
+    {b Kill switch:} with [HEMLOCK_NO_RANGELOCK] set (non-empty,
+    non-["0"]) at startup, every acquisition becomes an exclusive
+    whole-space hold — the lock degenerates to one mutex per space.
+    The observable semantics are identical, only concurrency is lost;
+    use it to bisect suspected range-granularity bugs. *)
+
+type mode = Shared | Exclusive
+
+type t
+
+val create : unit -> t
+
+(** Block until no conflicting hold remains, then record the hold.
+    Writers can starve under a continuous stream of overlapping
+    readers; the simulator's regions are short enough not to care.
+    @raise Invalid_argument if [hi <= lo]. *)
+val acquire : t -> lo:int -> hi:int -> mode -> unit
+
+(** Drop one hold with exactly this range and wake all waiters.
+    @raise Invalid_argument if no such hold exists. *)
+val release : t -> lo:int -> hi:int -> unit
+
+(** [with_range t ~lo ~hi mode f]: acquire, run [f], always release. *)
+val with_range : t -> lo:int -> hi:int -> mode -> (unit -> 'a) -> 'a
+
+(** Snapshot of current holds as [(lo, hi, mode)], sorted by [lo] —
+    for tests.  Under the kill switch, holds read back as
+    [Exclusive]. *)
+val held : t -> (int * int * mode) list

@@ -18,9 +18,19 @@ module Stats = Hemlock_util.Stats
    There is deliberately no release on process exit: tying refcounts to
    OCaml finalisation would make [pages_copied] depend on the host GC.
    The cost of the leak is bounded — an unreleased count only means a
-   later write copies a page it could have reclaimed. *)
+   later write copies a page it could have reclaimed.
 
-type page = { pbytes : Bytes.t; mutable prc : int }
+   Concurrency: refcounts and the id allocator are atomics, so sharing
+   and COW breaks are safe when domains touch a segment through
+   disjoint page ranges (the address-space range locks guarantee
+   exactly that).  [version] and [page_gen] stay plain ints on purpose:
+   a cross-domain writer's bump may be observed late by another
+   domain's cached decode/TLB state, which is the simulator's analogue
+   of real SMP instruction-cache incoherence — the owning domain always
+   sees its own bumps, and the range locks order any write that could
+   change bytes another domain is about to run. *)
+
+type page = { pbytes : Bytes.t; prc : int Atomic.t }
 
 type t = {
   id : int;
@@ -39,15 +49,14 @@ type t = {
    seed's exact billing of fork into [bytes_copied]) for A/B in CI. *)
 let cow_enabled = ref (Sys.getenv_opt "HEMLOCK_NO_COW" = None)
 
-let next_id = ref 0
+let next_id = Atomic.make 0
 
 let npages max_size = (max_size + Layout.page_size - 1) lsr Layout.page_shift
 
 let create ~name ~max_size () =
   if max_size <= 0 then invalid_arg "Segment.create: max_size <= 0";
-  incr next_id;
   {
-    id = !next_id;
+    id = Atomic.fetch_and_add next_id 1 + 1;
     name;
     max_size;
     pages = Array.make (npages max_size) None;
@@ -79,7 +88,7 @@ let owned_page_view t off =
   if off < 0 || off >= t.max_size then None
   else
     match t.pages.(off lsr Layout.page_shift) with
-    | Some p when p.prc = 1 -> Some (p.pbytes, t.page_gen)
+    | Some p when Atomic.get p.prc = 1 -> Some (p.pbytes, t.page_gen)
     | Some _ | None -> None
 
 let bump_version t = t.version <- t.version + 1
@@ -89,7 +98,7 @@ let allocated_pages t =
 
 let shared_pages t =
   Array.fold_left
-    (fun n -> function Some p when p.prc > 1 -> n + 1 | Some _ | None -> n)
+    (fun n -> function Some p when Atomic.get p.prc > 1 -> n + 1 | Some _ | None -> n)
     0 t.pages
 
 let check_off t off len =
@@ -101,7 +110,7 @@ let check_off t off len =
 let page_index off = off lsr Layout.page_shift
 let page_off off = off land (Layout.page_size - 1)
 
-let alloc_page () = { pbytes = Bytes.make Layout.page_size '\000'; prc = 1 }
+let alloc_page () = { pbytes = Bytes.make Layout.page_size '\000'; prc = Atomic.make 1 }
 
 (* The page containing [off], made safe to mutate: a zero page is
    allocated, a shared page is copied (the COW break — the only place a
@@ -109,11 +118,11 @@ let alloc_page () = { pbytes = Bytes.make Layout.page_size '\000'; prc = 1 }
 let writable_page t off =
   let i = page_index off in
   match Array.unsafe_get t.pages i with
-  | Some p when p.prc = 1 -> p
+  | Some p when Atomic.get p.prc = 1 -> p
   | Some p ->
-    p.prc <- p.prc - 1;
-    let q = { pbytes = Bytes.copy p.pbytes; prc = 1 } in
-    Stats.global.pages_copied <- Stats.global.pages_copied + 1;
+    Atomic.decr p.prc;
+    let q = { pbytes = Bytes.copy p.pbytes; prc = Atomic.make 1 } in
+    (Stats.cur ()).pages_copied <- (Stats.cur ()).pages_copied + 1;
     Array.unsafe_set t.pages i (Some q);
     t.page_gen <- t.page_gen + 1;
     q
@@ -127,7 +136,7 @@ let drop_page t i =
   match t.pages.(i) with
   | None -> ()
   | Some p ->
-    p.prc <- p.prc - 1;
+    Atomic.decr p.prc;
     t.pages.(i) <- None;
     t.page_gen <- t.page_gen + 1
 
@@ -162,7 +171,7 @@ let get_u8 t off =
 let set_u8 t off v =
   check_off t off 1;
   (match Array.unsafe_get t.pages (page_index off) with
-  | Some p when p.prc = 1 ->
+  | Some p when Atomic.get p.prc = 1 ->
     (* Exclusively owned page: write in place, no COW machinery. *)
     Codec.set_u8 p.pbytes (page_off off) v;
     t.version <- t.version + 1
@@ -192,7 +201,7 @@ let set_u32 t off v =
   check_off t off 4;
   if page_off off <= Layout.page_size - 4 then begin
     (match Array.unsafe_get t.pages (page_index off) with
-    | Some p when p.prc = 1 ->
+    | Some p when Atomic.get p.prc = 1 ->
       Codec.set_u32 p.pbytes (page_off off) v;
       t.version <- t.version + 1
     | Some p
@@ -225,7 +234,7 @@ let write_from t ~dst_off src ~src_off ~len =
       let n = min (len - !i) (Layout.page_size - po) in
       (match Array.unsafe_get t.pages (page_index off) with
       | Some p
-        when p.prc > 1
+        when Atomic.get p.prc > 1
              && off + n <= t.size
              && sub_equal p.pbytes po src (src_off + !i) n -> ()
       | _ ->
@@ -293,24 +302,24 @@ let release t =
 let contents t = blit_out t ~src_off:0 ~len:t.size
 
 let copy t =
-  incr next_id;
+  let id = Atomic.fetch_and_add next_id 1 + 1 in
   if !cow_enabled then begin
     (* O(pages): bump each allocated page's refcount and share it.  The
        saving is what an eager copy would have moved.  The source's
        pages just went from owned to shared with unchanged identity, so
        its [page_gen] must move to retire any [owned_page_view]. *)
-    Array.iter (function Some p -> p.prc <- p.prc + 1 | None -> ()) t.pages;
-    Stats.global.bytes_saved <- Stats.global.bytes_saved + t.size;
+    Array.iter (function Some p -> Atomic.incr p.prc | None -> ()) t.pages;
+    (Stats.cur ()).bytes_saved <- (Stats.cur ()).bytes_saved + t.size;
     t.page_gen <- t.page_gen + 1;
-    { t with id = !next_id; pages = Array.copy t.pages }
+    { t with id; pages = Array.copy t.pages }
   end
   else
     {
       t with
-      id = !next_id;
+      id;
       pages =
         Array.map
-          (Option.map (fun p -> { pbytes = Bytes.copy p.pbytes; prc = 1 }))
+          (Option.map (fun p -> { pbytes = Bytes.copy p.pbytes; prc = Atomic.make 1 }))
           t.pages;
     }
 

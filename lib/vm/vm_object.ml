@@ -77,32 +77,50 @@ let npages seg = (Segment.max_size seg + Layout.page_size - 1) lsr Layout.page_s
    segment destructor — the same deliberate rule as page refcounts not
    being released on exit); [forget] exists for teardown paths that
    know the segment is done for, and stale entries cost a hashtable
-   slot plus, at worst, a clean eviction of their leftover frames. *)
-let registry : (int, t) Hashtbl.t = Hashtbl.create 64
+   slot plus, at worst, a clean eviction of their leftover frames.
+
+   The registry and the clock below are {e per-domain} (a DLS-keyed
+   record): each domain owns an independent page cache and
+   second-chance hand, the simulator's analogue of per-CPU page-frame
+   pools.  Residency is pure accounting (eviction never discards
+   contents), so domains disagreeing about which pages are "in RAM" can
+   skew observability counters but never data.  The main domain's
+   instance is the instance the seed had, so single-domain runs are
+   bit-for-bit unchanged. *)
+type state = {
+  registry : (int, t) Hashtbl.t;
+  (* Fixed circular frame table (one slot per page of simulated RAM)
+     with a second-chance hand, lazily sized from [budget ()].
+     Unbounded mode keeps no table: pages stay resident forever. *)
+  mutable table : (t * int) option array;
+  mutable used : int;
+  mutable hand : int;
+  mutable peak : int;
+}
+
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { registry = Hashtbl.create 64; table = [||]; used = 0; hand = 0; peak = 0 })
+
+let st () = Domain.DLS.get state_key
 
 (* --- the clock ------------------------------------------------------- *)
 
-(* Fixed circular frame table (one slot per page of simulated RAM) with
-   a second-chance hand, lazily sized from [budget ()].  Unbounded mode
-   keeps no table: pages stay resident forever. *)
-let table : (t * int) option array ref = ref [||]
-let used = ref 0
-let hand = ref 0
-let peak = ref 0
-
 let gauge delta =
-  Stats.global.resident_pages <- Stats.global.resident_pages + delta;
-  if Stats.global.resident_pages > !peak then peak := Stats.global.resident_pages
+  let s = st () and c = Stats.cur () in
+  c.resident_pages <- c.resident_pages + delta;
+  if c.resident_pages > s.peak then s.peak <- c.resident_pages
 
-let peak_resident () = !peak
+let peak_resident () = (st ()).peak
 
 let reset () =
-  Hashtbl.reset registry;
-  table := [||];
-  used := 0;
-  hand := 0;
-  peak := 0;
-  Stats.global.resident_pages <- 0
+  let s = st () in
+  Hashtbl.reset s.registry;
+  s.table <- [||];
+  s.used <- 0;
+  s.hand <- 0;
+  s.peak <- 0;
+  (Stats.cur ()).resident_pages <- 0
 
 let is_pinned t =
   match t.obj_kind with Pinned -> true | Anonymous | File_backed _ -> false
@@ -131,7 +149,8 @@ let touch t off ~write =
    machine stopped mid-writeback, and the journal entry is the
    evidence fsck recovers from. *)
 let try_evict slot =
-  match !table.(slot) with
+  let s = st () in
+  match s.table.(slot) with
   | None -> true
   | Some (o, p) -> (
     let write_back () =
@@ -139,7 +158,7 @@ let try_evict slot =
         match o.obj_kind with
         | File_backed { writeback; _ } ->
           writeback ~page:p;
-          Stats.global.pages_written_back <- Stats.global.pages_written_back + 1
+          (Stats.cur ()).pages_written_back <- (Stats.cur ()).pages_written_back + 1
         | Anonymous | Pinned -> ()
     in
     match write_back () with
@@ -148,9 +167,9 @@ let try_evict slot =
       bit_clear o.refbit p;
       bit_clear o.resident p;
       o.frames <- o.frames - 1;
-      !table.(slot) <- None;
-      used := !used - 1;
-      Stats.global.pages_evicted <- Stats.global.pages_evicted + 1;
+      s.table.(slot) <- None;
+      s.used <- s.used - 1;
+      (Stats.cur ()).pages_evicted <- (Stats.cur ()).pages_evicted + 1;
       gauge (-1);
       Hashtbl.iter (fun _ (_, invalidate) -> invalidate ()) o.spaces;
       true
@@ -160,14 +179,15 @@ let place_frame t i =
   match budget () with
   | None -> ()
   | Some n ->
-    if Array.length !table <> n then begin
+    let s = st () in
+    if Array.length s.table <> n then begin
       (* budget changed since the last placement: start a fresh clock
          (callers change HEMLOCK_RAM_PAGES only around [reset ()]) *)
-      table := Array.make n None;
-      used := 0;
-      hand := 0
+      s.table <- Array.make n None;
+      s.used <- 0;
+      s.hand <- 0
     end;
-    if !used >= n then begin
+    if s.used >= n then begin
       (* second chance: clear reference bits until an unreferenced,
          evictable victim turns up; two full sweeps with no victim
          means everything is both hot and unevictable, and the table
@@ -175,29 +195,29 @@ let place_frame t i =
       let victim = ref None in
       let steps = ref 0 in
       while !victim = None && !steps < 2 * n do
-        (match !table.(!hand) with
-        | None -> victim := Some !hand
+        (match s.table.(s.hand) with
+        | None -> victim := Some s.hand
         | Some (o, p) ->
           if bit_get o.refbit p then bit_clear o.refbit p
-          else if try_evict !hand then victim := Some !hand);
-        if !victim = None then hand := (!hand + 1) mod n;
+          else if try_evict s.hand then victim := Some s.hand);
+        if !victim = None then s.hand <- (s.hand + 1) mod n;
         incr steps
       done;
       match !victim with
       | Some slot ->
-        !table.(slot) <- Some (t, i);
-        used := !used + 1;
-        hand := (slot + 1) mod n
+        s.table.(slot) <- Some (t, i);
+        s.used <- s.used + 1;
+        s.hand <- (slot + 1) mod n
       | None -> ()
     end
     else begin
       (* free slot: first fit from the hand, wrapping *)
-      let slot = ref !hand in
-      while !table.(!slot) <> None do
+      let slot = ref s.hand in
+      while s.table.(!slot) <> None do
         slot := (!slot + 1) mod n
       done;
-      !table.(!slot) <- Some (t, i);
-      used := !used + 1
+      s.table.(!slot) <- Some (t, i);
+      s.used <- s.used + 1
     end
 
 let materialise t off ~write =
@@ -213,8 +233,8 @@ let materialise t off ~write =
         (match t.obj_kind with
         | File_backed _ when Segment.page_view t.obj_seg (i lsl Layout.page_shift) <> None
           ->
-          Stats.global.major_faults <- Stats.global.major_faults + 1
-        | _ -> Stats.global.minor_faults <- Stats.global.minor_faults + 1);
+          (Stats.cur ()).major_faults <- (Stats.cur ()).major_faults + 1
+        | _ -> (Stats.cur ()).minor_faults <- (Stats.cur ()).minor_faults + 1);
         bit_set t.resident i;
         bit_set t.refbit i;
         if write then bit_set t.dirty i;
@@ -232,20 +252,20 @@ let materialise t off ~write =
 let pin t =
   if not (is_pinned t) then begin
     t.obj_kind <- Pinned;
-    let tbl = !table in
+    let s = st () in
     Array.iteri
       (fun slot -> function
         | Some (o, _) when o == t ->
-          tbl.(slot) <- None;
-          used := !used - 1
+          s.table.(slot) <- None;
+          s.used <- s.used - 1
         | Some _ | None -> ())
-      tbl;
+      s.table;
     gauge (-t.frames);
     t.frames <- 0
   end
 
 let get_or_create seg kind =
-  match Hashtbl.find_opt registry (Segment.id seg) with
+  match Hashtbl.find_opt (st ()).registry (Segment.id seg) with
   | Some t ->
     (match kind with Pinned -> pin t | Anonymous | File_backed _ -> ());
     t
@@ -262,25 +282,25 @@ let get_or_create seg kind =
         frames = 0;
       }
     in
-    Hashtbl.replace registry (Segment.id seg) t;
+    Hashtbl.replace (st ()).registry (Segment.id seg) t;
     t
 
 let forget seg =
-  match Hashtbl.find_opt registry (Segment.id seg) with
+  let s = st () in
+  match Hashtbl.find_opt s.registry (Segment.id seg) with
   | None -> ()
   | Some t ->
-    let tbl = !table in
     Array.iteri
       (fun slot -> function
         | Some (o, _) when o == t ->
-          tbl.(slot) <- None;
-          used := !used - 1
+          s.table.(slot) <- None;
+          s.used <- s.used - 1
         | Some _ | None -> ())
-      tbl;
+      s.table;
     gauge (-t.frames);
     t.frames <- 0;
     Bytes.fill t.resident 0 (Bytes.length t.resident) '\000';
-    Hashtbl.remove registry (Segment.id seg)
+    Hashtbl.remove s.registry (Segment.id seg)
 
 let attach t ~uid invalidate =
   match Hashtbl.find_opt t.spaces uid with

@@ -33,6 +33,12 @@ HEMLOCK_NO_PAGER=1 dune runtest --force
 echo "== tests (RAM squeezed: HEMLOCK_RAM_PAGES=32) =="
 HEMLOCK_RAM_PAGES=32 dune runtest --force
 
+echo "== tests (clusters on 4 domains: HEMLOCK_DOMAINS=4) =="
+HEMLOCK_DOMAINS=4 dune runtest --force
+
+echo "== tests (range locks degraded to one big lock: HEMLOCK_NO_RANGELOCK=1) =="
+HEMLOCK_NO_RANGELOCK=1 dune runtest --force
+
 echo "== examples =="
 for ex in quickstart rwho_demo parallel_sum figure_editor lynx_tables editor_server; do
   echo "-- examples/$ex"
@@ -41,6 +47,9 @@ done
 
 echo "== crash sweep (deterministic fault plans; gate: recovery fsck clean) =="
 dune exec bench/main.exe -- crash-sweep 1 2 3 4 5 6 7 8 9 10
+
+echo "== crash sweep (clusters on 4 domains: HEMLOCK_DOMAINS=4) =="
+HEMLOCK_DOMAINS=4 dune exec bench/main.exe -- crash-sweep 1 2 3 4 5 6 7 8 9 10
 
 # The golden steps below double as the fault-layer-disabled check: the
 # injection engine is compiled into every one of these paths but no plan
@@ -93,6 +102,20 @@ HEMLOCK_RAM_PAGES=32 \
 diff -u bench/golden_e1_e13.txt _build/e1_e13_ram32.txt
 echo "golden transcript identical under a 32-page RAM budget"
 
+echo "== golden transcript (single-domain oracle: HEMLOCK_DOMAINS=1) =="
+HEMLOCK_DOMAINS=1 \
+  dune exec bench/main.exe -- e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 \
+  > _build/e1_e13_dom1.txt
+diff -u bench/golden_e1_e13.txt _build/e1_e13_dom1.txt
+echo "golden transcript identical on the single-domain oracle"
+
+echo "== golden transcript (clusters on 4 domains: HEMLOCK_DOMAINS=4) =="
+HEMLOCK_DOMAINS=4 \
+  dune exec bench/main.exe -- e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 \
+  > _build/e1_e13_dom4.txt
+diff -u bench/golden_e1_e13.txt _build/e1_e13_dom4.txt
+echo "golden transcript identical with clusters spread over 4 domains"
+
 echo "== perf =="
 dune exec bench/main.exe -- perf
 
@@ -107,3 +130,6 @@ dune exec bench/main.exe -- perf-jit
 
 echo "== perf-page (gates: simulated costs identical at every RAM budget and pager off) =="
 dune exec bench/main.exe -- perf-page
+
+echo "== perf-cluster (gates: observables and simulated costs identical at 1/2/4 domains) =="
+dune exec bench/main.exe -- perf-cluster

@@ -22,6 +22,7 @@ let () =
       ("failures", Test_failures.suite);
       ("crash", Test_crash.suite);
       ("differential", Test_diff.suite);
+      ("parallel", Test_parallel.suite);
       ("scenarios", Test_scenarios.suite);
       ("lisp", Test_lisp.suite);
     ]
