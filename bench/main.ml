@@ -16,11 +16,17 @@
                                cluster rounds over OCaml 5 domains at 1/2/4
                                domains; gates cost/console identity, writes
                                BENCH_cluster.json
+     bench/main.exe perf-net   cluster traffic through the network
+                               profiles (ideal/lan/wan/lossy): gossip
+                               rwhod + per-machine users; gates trace
+                               identity across domain counts, writes
+                               BENCH_net.json
      bench/main.exe crash-sweep [seeds]
                                deterministic fault sweep: per seed, drive
-                               /shared op traffic under a PRNG fault plan
-                               and require every recovery fsck to come
-                               back clean *)
+                               /shared op traffic (and a cluster broadcast
+                               burst with the net sites armed) under a
+                               PRNG fault plan and require every recovery
+                               fsck to come back clean *)
 
 module Kernel = Hemlock_os.Kernel
 module Proc = Hemlock_os.Proc
@@ -1523,7 +1529,9 @@ let perf_cluster () =
   let payload = 128 in
   let expected_rx = (machines - 1) * net_rounds in
   let build () =
-    let c = Cluster.create ~machines in
+    (* pinned to [Ideal]: the gates below assert exact full-matrix
+       delivery regardless of HEMLOCK_NET_PROFILE *)
+    let c = Cluster.create ~profile:Hemlock_os.Net.Ideal ~machines () in
     let received = Array.make machines 0 in
     let computes =
       Array.init machines (fun i ->
@@ -1654,6 +1662,175 @@ let perf_cluster () =
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
+(* ---------------------------------------------------------------------- *)
+(* perf-net: cluster traffic through lossy network profiles               *)
+(* ---------------------------------------------------------------------- *)
+
+(* N machines x simulated users: the gossip rwhod deployment plus, each
+   epoch, a user on every machine exercising local message-queue IPC and
+   firing a reliable remote-exec request at a random peer.  Run once per
+   network profile; report delivery/drop/duplicate counts, convergence
+   epochs and delivery-latency percentiles to BENCH_net.json.  The
+   determinism gate reruns ideal and lossy at 4 domains and requires the
+   identical trace. *)
+let perf_net () =
+  header "PERF-NET: cluster traffic under deterministic loss and latency";
+  let module Cluster = Hemlock_os.Cluster in
+  let module Net = Hemlock_os.Net in
+  let module Gossip = Rwho.Gossip in
+  let module Prng = Hemlock_util.Prng in
+  let module Serializer = Hemlock_baseline.Serializer in
+  let machines = 6 in
+  let epochs = 5 in
+  let seed = 11 in
+  let run_profile profile ~domains =
+    let g =
+      Gossip.create ~profile ~seed ~domains Rwho.Shared_db ~machines ()
+    in
+    let c = Gossip.cluster g in
+    let timeouts = Array.make machines 0 in
+    let execs = Array.make machines 0 in
+    (* per-machine user randomness, drawn only inside that machine's
+       processes — same trace at every domain count *)
+    let rngs = Array.init machines (fun i -> Prng.stream ~seed:(seed + 0x515) ~index:i) in
+    let drive i k =
+      ignore
+        (Kernel.spawn_native k ~name:"user" (fun k proc ->
+             let rng = rngs.(i) in
+             (* local IPC: a private queue exercised end to end *)
+             let q = Printf.sprintf "user-m%d" i in
+             if not (Kernel.msgq_exists k q) then Kernel.msgq_create k q ~capacity:4;
+             for n = 1 to 3 do
+               Kernel.msg_send k proc q (Bytes.make (16 + n) 'u');
+               ignore (Kernel.msg_recv k proc q)
+             done;
+             (* remote exec on a random peer, reliably *)
+             let p = Prng.int rng (machines - 1) in
+             let p = if p >= i then p + 1 else p in
+             let cost = 50 + Prng.int rng 200 in
+             (match
+                Cluster.send_reliable c ~from:i ~dst:p
+                  (Serializer.to_binary
+                     (Serializer.List [ Serializer.Str "exec"; Serializer.Int cost ]))
+              with
+             | Ok () -> execs.(i) <- execs.(i) + 1
+             | Error e ->
+               assert (e = Hemlock_os.Errno.ETIMEDOUT);
+               timeouts.(i) <- timeouts.(i) + 1);
+             0))
+    in
+    let before = Stats.snapshot () in
+    for _ = 1 to epochs do
+      Gossip.epoch ~drive g
+    done;
+    let convergence = Gossip.converge ~max_epochs:64 g in
+    let d = Stats.diff ~before ~after:(Stats.snapshot ()) in
+    let tel = Net.telemetry (Cluster.net c) in
+    let sum a = Array.fold_left ( + ) 0 a in
+    let rounds = Cluster.rounds c in
+    (* every live machine must read the same database at the end *)
+    if not (Gossip.converged g) then
+      failwith "perf-net: cluster failed to converge within the epoch budget";
+    let fingerprint = Digest.to_hex (Digest.string (Gossip.ruptime g 0 ^ Gossip.rwho g 0)) in
+    ( tel,
+      sum timeouts,
+      sum execs,
+      convergence,
+      rounds,
+      Stats.cycles d,
+      fingerprint )
+  in
+  let profiles = [ Net.Ideal; Net.Lan; Net.Wan; Net.Lossy ] in
+  (* determinism gate: ideal and lossy must yield the identical delivery
+     trace, simulated costs and database at 1 and 4 domains *)
+  List.iter
+    (fun profile ->
+      let t1, to1, ex1, cv1, r1, cy1, f1 = run_profile profile ~domains:1 in
+      let t4, to4, ex4, cv4, r4, cy4, f4 = run_profile profile ~domains:4 in
+      if
+        (t1.Net.t_sent, t1.Net.t_delivered, t1.Net.t_dropped, t1.Net.t_duplicated)
+        <> (t4.Net.t_sent, t4.Net.t_delivered, t4.Net.t_dropped, t4.Net.t_duplicated)
+        || t1.Net.t_latency <> t4.Net.t_latency
+        || (to1, ex1, cv1, r1, cy1, f1) <> (to4, ex4, cv4, r4, cy4, f4)
+      then
+        failwith
+          (Printf.sprintf "perf-net: %s trace differs at 4 domains vs 1"
+             (Net.profile_to_string profile)))
+    [ Net.Ideal; Net.Lossy ];
+  Printf.printf
+    "%d machines x (gossip rwhod + 1 user: local msgq IPC + reliable remote\n\
+     exec), %d epochs then anti-entropy to convergence; ideal and lossy\n\
+     traces verified identical at 1 and 4 domains\n\n"
+    machines epochs;
+  Printf.printf "%-7s | %5s | %5s | %5s | %4s | %5s | %5s | %4s | %4s | %4s\n"
+    "profile" "sent" "deliv" "drop" "dup" "tmout" "convg" "p50" "p95" "p99";
+  Printf.printf
+    "--------+-------+-------+-------+------+-------+-------+------+------+------\n";
+  let rows =
+    List.map
+      (fun profile ->
+        let tel, timeouts, execs, convergence, rounds, cycles, _fp =
+          run_profile profile ~domains:1
+        in
+        let p n = Net.percentile tel n in
+        let conv_str = match convergence with Some n -> string_of_int n | None -> "-" in
+        Printf.printf "%-7s | %5d | %5d | %5d | %4d | %5d | %5s | %4d | %4d | %4d\n"
+          (Net.profile_to_string profile)
+          tel.Net.t_sent tel.Net.t_delivered tel.Net.t_dropped tel.Net.t_duplicated
+          timeouts conv_str (p 50) (p 95) (p 99);
+        (profile, tel, timeouts, execs, convergence, rounds, cycles, p))
+      profiles
+  in
+  (* sanity gates: the ideal profile drops nothing; the lossy profiles
+     still converge and still execute the user traffic *)
+  List.iter
+    (fun (profile, tel, timeouts, execs, convergence, _rounds, _cycles, _p) ->
+      (match profile with
+      | Net.Ideal ->
+        if tel.Net.t_dropped <> 0 || tel.Net.t_duplicated <> 0 || timeouts <> 0 then
+          failwith "perf-net: ideal profile lost or duplicated traffic"
+      | Net.Lan | Net.Wan | Net.Lossy -> ());
+      if convergence = None then
+        failwith
+          (Printf.sprintf "perf-net: %s did not converge" (Net.profile_to_string profile));
+      if execs + timeouts <> machines * epochs then
+        failwith "perf-net: user exec requests unaccounted for")
+    rows;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"net_profiles\",\n\
+      \  \"machines\": %d,\n\
+      \  \"epochs\": %d,\n\
+      \  \"seed\": %d,\n\
+      \  \"trace_identical_1_and_4_domains\": true,\n\
+      \  \"profiles\": [\n%s\n  ]\n\
+       }\n"
+      machines epochs seed
+      (String.concat ",\n"
+         (List.map
+            (fun (profile, tel, timeouts, execs, convergence, rounds, cycles, p) ->
+              Printf.sprintf
+                "    { \"profile\": %S, \"sent\": %d, \"delivered\": %d, \"dropped\": \
+                 %d, \"duplicated\": %d, \"timeouts\": %d, \"execs_completed\": %d, \
+                 \"convergence_epochs\": %s, \"rounds\": %d, \"cycles\": %d, \
+                 \"delivered_per_round\": %.3f, \"latency_p50\": %d, \"latency_p95\": \
+                 %d, \"latency_p99\": %d }"
+                (Net.profile_to_string profile)
+                tel.Net.t_sent tel.Net.t_delivered tel.Net.t_dropped
+                tel.Net.t_duplicated timeouts execs
+                (match convergence with Some n -> string_of_int n | None -> "null")
+                rounds cycles
+                (float_of_int tel.Net.t_delivered /. float_of_int (max 1 rounds))
+                (p 50) (p 95) (p 99))
+            rows))
+  in
+  let path = Filename.concat (Sys.getcwd ()) "BENCH_net.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
 let crash_sweep seeds =
   header "CRASH-SWEEP: deterministic fault plans over /shared op traffic";
   Printf.printf "%6s | %4s | %7s | %7s | %8s | %8s | %s\n" "seed" "ops" "faults"
@@ -1700,6 +1877,24 @@ let crash_sweep seeds =
           rolled := !rolled + r.Fs.fsck_rolled_back;
           if not (Fs.fsck fs).Fs.fsck_clean then ok := false
       done;
+      (* a short cluster burst so the net.send / net.deliver sites fire
+         under the same plan: drops just vanish (datagram loss is not a
+         consistency event), a crash kills the mid-operation machine *)
+      (let module Cluster = Hemlock_os.Cluster in
+       match
+         let c = Cluster.create ~profile:Hemlock_os.Net.Ideal ~seed ~machines:2 () in
+         for i = 0 to 1 do
+           ignore
+             (Kernel.spawn_native (Cluster.machine c i) ~name:"burst" (fun _k _proc ->
+                  for r = 1 to 3 do
+                    Cluster.broadcast c ~from:i (Bytes.make (8 + r) 'b')
+                  done;
+                  0))
+         done;
+         Cluster.run c
+       with
+       | () | (exception Fault.Injected _) | (exception Kernel.Deadlock _) -> ()
+       | exception Fault.Crash _ -> incr crashes);
       Fault.clear ();
       if not (Fs.fsck fs).Fs.fsck_clean then ok := false;
       if not !ok then incr failures;
@@ -1730,7 +1925,7 @@ let () =
       (fun a ->
         a <> "bechamel" && a <> "perf" && a <> "perf-link" && a <> "perf-vm"
         && a <> "perf-jit" && a <> "perf-profile" && a <> "perf-page"
-        && a <> "perf-cluster" && a <> "crash-sweep"
+        && a <> "perf-cluster" && a <> "perf-net" && a <> "crash-sweep"
         && int_of_string_opt a = None)
       args
   in
@@ -1742,6 +1937,7 @@ let () =
   let run_perf_profile = List.mem "perf-profile" args in
   let run_perf_page = List.mem "perf-page" args in
   let run_perf_cluster = List.mem "perf-cluster" args in
+  let run_perf_net = List.mem "perf-net" args in
   let run_crash_sweep = List.mem "crash-sweep" args in
   let selected =
     (* `perf`/`perf-link`/`perf-vm`/`perf-jit`/`crash-sweep` alone run
@@ -1749,7 +1945,8 @@ let () =
     if
       wanted = []
       && (run_perf || run_perf_link || run_perf_vm || run_perf_jit
-         || run_perf_profile || run_perf_page || run_perf_cluster || run_crash_sweep)
+         || run_perf_profile || run_perf_page || run_perf_cluster || run_perf_net
+         || run_crash_sweep)
     then []
     else if wanted = [] then experiments
     else
@@ -1772,6 +1969,7 @@ let () =
   if run_perf_profile then perf_profile ();
   if run_perf_page then perf_page ();
   if run_perf_cluster then perf_cluster ();
+  if run_perf_net then perf_net ();
   if run_crash_sweep then
     crash_sweep (if sweep_seeds = [] then List.init 10 (fun i -> i + 1) else sweep_seeds);
   Printf.printf "\nAll experiments completed.\n"

@@ -374,9 +374,14 @@ let run_simulation ~style ~n_hosts ~rounds ~max_users =
 (* ----- the true multi-machine deployment ----- *)
 
 module Cluster = Hemlock_os.Cluster
+module Net = Hemlock_os.Net
 
+(* The original broadcast-everything deployment: every machine pushes
+   its status to every peer each round.  Kept as the loss-free baseline
+   (experiment E5 and the golden transcripts measure it); the gossip
+   deployment below is the cluster mode that survives a real network. *)
 let run_cluster ~style ~machines ~rounds ~max_users =
-  let cluster = Cluster.create ~machines in
+  let cluster = Cluster.create ~machines () in
   let store k proc st =
     match style with
     | File_spool -> Files.store k proc st
@@ -425,3 +430,326 @@ let run_cluster ~style ~machines ~rounds ~max_users =
          0));
   Kernel.run k0;
   (!reports, Stats.diff ~before ~after:(Stats.snapshot ()))
+
+(* ----- pull-based gossip / anti-entropy deployment -----
+
+   Broadcast-everything is O(n^2) datagrams per round and falls apart
+   the moment the network drops packets: a missed broadcast is gone
+   forever.  Real rwhod survived on a campus network by treating the
+   spool as a database with timestamps and aging hosts out.  This
+   deployment does the same over the simulated lossy network: each
+   epoch every live machine records its own status (versioned by
+   epoch), then pulls from one random peer — it sends a digest of the
+   (host, version) pairs it knows, and the peer answers with a delta of
+   everything newer.  Entries merge by highest version, so duplicated
+   or reordered deltas are harmless, and a partitioned or dead host
+   simply stops producing new versions and ages out as "down" after
+   [down_after] epochs.  All randomness (status contents, peer choice)
+   comes from per-machine [Prng.stream]s consumed on the machine's own
+   pinned domain, so a seed reproduces the same gossip trace at every
+   domain count. *)
+
+module Gossip = struct
+  (* Per-machine soft state alongside the authoritative /shared (or
+     spool) database: the newest version merged per host, and a mirror
+     of each host's latest status so digests and deltas need not
+     re-parse the database. *)
+  type peer = {
+    p_versions : (string, int) Hashtbl.t;
+    p_latest : (string, status) Hashtbl.t;
+  }
+
+  type gossip = {
+    cluster : Cluster.t;
+    style : style;
+    machines : int;
+    max_users : int;
+    down_after : int;
+    peers : peer array;
+    rngs : Prng.t array;  (* per-machine: status draws, then peer pick *)
+    alive : bool array;
+    domains : int option;
+    mutable epoch : int;
+  }
+
+  type t = gossip
+
+  let host_name i = Printf.sprintf "host%02d" i
+
+  let store_status g k proc st =
+    match g.style with
+    | File_spool -> Files.store k proc st
+    | Shared_db -> Shm.store k proc st
+
+  (* Merge one gossiped status: newest version per host wins, writing
+     through to the shared database. *)
+  let merge g i k proc st ver =
+    let peer = g.peers.(i) in
+    let cur = Option.value ~default:(-1) (Hashtbl.find_opt peer.p_versions st.st_host) in
+    if ver > cur then begin
+      store_status g k proc st;
+      Hashtbl.replace peer.p_versions st.st_host ver;
+      Hashtbl.replace peer.p_latest st.st_host st
+    end
+
+  let digest_of peer =
+    List.sort compare
+      (Hashtbl.fold (fun host ver acc -> (host, ver) :: acc) peer.p_versions [])
+
+  let encode_pull ~requester peer =
+    Serializer.to_binary
+      (Serializer.List
+         [
+           Serializer.Str "pull";
+           Serializer.Int requester;
+           Serializer.List
+             (List.map
+                (fun (host, ver) ->
+                  Serializer.List [ Serializer.Str host; Serializer.Int ver ])
+                (digest_of peer));
+         ])
+
+  (* The per-machine network daemon: answers pulls with deltas, merges
+     deltas, and executes remote-exec requests (the perf-net harness's
+     simulated user traffic). *)
+  let spawn_netd g i =
+    let k = Cluster.machine g.cluster i in
+    let d =
+      Kernel.spawn_native k ~name:"netd" (fun k proc ->
+          while true do
+            (match Serializer.of_binary (Kernel.msg_recv k proc Cluster.inbox) with
+            | Serializer.List
+                [ Serializer.Str "pull"; Serializer.Int requester; Serializer.List digest ]
+              ->
+              let have = Hashtbl.create 16 in
+              List.iter
+                (function
+                  | Serializer.List [ Serializer.Str h; Serializer.Int ver ] ->
+                    Hashtbl.replace have h ver
+                  | _ -> ())
+                digest;
+              let peer = g.peers.(i) in
+              let fresh =
+                List.sort compare
+                  (Hashtbl.fold
+                     (fun host ver acc ->
+                       if ver > Option.value ~default:(-1) (Hashtbl.find_opt have host)
+                       then (host, ver) :: acc
+                       else acc)
+                     peer.p_versions [])
+              in
+              if fresh <> [] then
+                Cluster.send g.cluster ~from:i ~dst:requester
+                  (Serializer.to_binary
+                     (Serializer.List
+                        [
+                          Serializer.Str "delta";
+                          Serializer.List
+                            (List.map
+                               (fun (host, ver) ->
+                                 Serializer.List
+                                   [
+                                     value_of_status (Hashtbl.find peer.p_latest host);
+                                     Serializer.Int ver;
+                                   ])
+                               fresh);
+                        ]))
+            | Serializer.List [ Serializer.Str "delta"; Serializer.List entries ] ->
+              List.iter
+                (function
+                  | Serializer.List [ stv; Serializer.Int ver ] ->
+                    merge g i k proc (status_of_value stv) ver
+                  | _ -> ())
+                entries
+            | Serializer.List [ Serializer.Str "exec"; Serializer.Int cost ] ->
+              (* a remote-exec request: run the command, i.e. bill its
+                 simulated work on this machine *)
+              let st = Stats.cur () in
+              st.instructions <- st.instructions + cost;
+              st.context_switches <- st.context_switches + 1
+            | _ -> ())
+          done;
+          0)
+    in
+    Kernel.set_daemon k d
+
+  let create ?(down_after = 4) ?(max_users = 3) ?profile ?seed ?domains style ~machines
+      () =
+    let cluster = Cluster.create ?profile ?seed ~machines () in
+    let wseed =
+      (match seed with Some s -> s | None -> Net.seed_from_env ()) + 0x9e37
+    in
+    let g =
+      {
+        cluster;
+        style;
+        machines;
+        max_users;
+        down_after;
+        peers =
+          Array.init machines (fun _ ->
+              { p_versions = Hashtbl.create 16; p_latest = Hashtbl.create 16 });
+        rngs = Array.init machines (fun i -> Prng.stream ~seed:wseed ~index:i);
+        alive = Array.make machines true;
+        domains;
+        epoch = 0;
+      }
+    in
+    for i = 0 to machines - 1 do
+      let k = Cluster.machine cluster i in
+      (match style with
+      | File_spool -> Files.setup k
+      | Shared_db ->
+        ignore
+          (Kernel.spawn_native k ~name:"rwho-setup" (fun k proc ->
+               Shm.setup k proc;
+               0));
+        Kernel.run k);
+      spawn_netd g i
+    done;
+    g
+
+  let cluster g = g.cluster
+
+  let epoch_count g = g.epoch
+
+  (* One gossip epoch.  Every live machine runs a short-lived tick
+     process on its own kernel: optionally record a fresh local status
+     (versioned by the new epoch), then pull from one random peer.
+     [drive] can add extra per-machine traffic (the perf-net harness's
+     users) before the cluster runs to quiescence. *)
+  let tick ?drive ~gen g =
+    (* the staleness clock only advances when hosts speak: an
+       anti-entropy-only settle round must not age anyone out *)
+    if gen then g.epoch <- g.epoch + 1;
+    let e = g.epoch in
+    for i = 0 to g.machines - 1 do
+      if g.alive.(i) then begin
+        let k = Cluster.machine g.cluster i in
+        ignore
+          (Kernel.spawn_native k ~name:"rwhod-tick" (fun k proc ->
+               let rng = g.rngs.(i) in
+               if gen then
+                 merge g i k proc
+                   (gen_status rng ~host:(host_name i) ~max_users:g.max_users)
+                   e;
+               (* uniform pull target over the other machines — dead
+                  peers included: you don't know who is down *)
+               if g.machines > 1 then begin
+                 let p = Prng.int rng (g.machines - 1) in
+                 let p = if p >= i then p + 1 else p in
+                 Cluster.send g.cluster ~from:i ~dst:p
+                   (encode_pull ~requester:i g.peers.(i))
+               end;
+               0));
+        match drive with Some f -> f i k | None -> ()
+      end
+    done;
+    Cluster.run ?domains:g.domains g.cluster
+
+  (* A full epoch: new local statuses plus anti-entropy. *)
+  let epoch ?drive g = tick ?drive ~gen:true g
+
+  (* Anti-entropy only: no new versions, just convergence traffic. *)
+  let settle ?drive g = tick ?drive ~gen:false g
+
+  (* The actual database contents as machine [i] sees them, via the
+     same utilities the paper ran. *)
+  let db_reports g i =
+    let k = Cluster.machine g.cluster i in
+    let out = ref ("", "") in
+    ignore
+      (Kernel.spawn_native k ~name:"rwho-util" (fun k proc ->
+           out :=
+             (match g.style with
+             | File_spool -> (Files.rwho k proc, Files.ruptime k proc)
+             | Shared_db -> (Shm.rwho k proc, Shm.ruptime k proc));
+           0));
+    Kernel.run k;
+    !out
+
+  let fingerprint g i =
+    let r, u = db_reports g i in
+    Digest.to_hex (Digest.string (r ^ "\x00" ^ u))
+
+  let converged g =
+    let fp = ref None in
+    let same = ref true in
+    for i = 0 to g.machines - 1 do
+      if g.alive.(i) then begin
+        let f = fingerprint g i in
+        match !fp with
+        | None -> fp := Some f
+        | Some f0 -> if f <> f0 then same := false
+      end
+    done;
+    !same
+
+  (* Anti-entropy epochs until every live machine's database reads the
+     same; [Some epochs_taken] or [None] past the budget. *)
+  let converge ?(max_epochs = 64) g =
+    let rec go n =
+      if converged g then Some n
+      else if n >= max_epochs then None
+      else begin
+        settle g;
+        go (n + 1)
+      end
+    in
+    go 0
+
+  (* rwhod's staleness rule: a host whose newest gossiped version is
+     older than [down_after] epochs is presumed down. *)
+  let is_down g i host =
+    match Hashtbl.find_opt g.peers.(i).p_versions host with
+    | None -> true
+    | Some v -> g.epoch - v > g.down_after
+
+  (* rwho on machine [i]: logged-in users on hosts believed up. *)
+  let rwho g i =
+    let peer = g.peers.(i) in
+    let entries =
+      Hashtbl.fold
+        (fun host st acc ->
+          if is_down g i host then acc
+          else
+            List.map (fun u -> (u.u_name, host, u.u_tty, u.u_idle)) st.st_users @ acc)
+        peer.p_latest []
+    in
+    format_rwho entries
+
+  (* ruptime on machine [i], with the "down" marking real ruptime had. *)
+  let ruptime g i =
+    let peer = g.peers.(i) in
+    let hosts =
+      List.sort compare (Hashtbl.fold (fun h _ acc -> h :: acc) peer.p_latest [])
+    in
+    String.concat ""
+      (List.map
+         (fun host ->
+           let st = Hashtbl.find peer.p_latest host in
+           if is_down g i host then
+             Printf.sprintf "%-8s down since epoch %d\n" host
+               (Option.value ~default:0 (Hashtbl.find_opt peer.p_versions host))
+           else
+             Printf.sprintf "%-8s up %6d, %2d users, load %s %s %s\n" host st.st_uptime
+               (List.length st.st_users) (format_load st.st_load1)
+               (format_load st.st_load5) (format_load st.st_load15))
+         hosts)
+
+  (* Simulated host death: the machine stops ticking and its traffic is
+     cut by a single-machine partition (its daemon can no longer be
+     reached, nor answer). *)
+  let kill g i =
+    g.alive.(i) <- false;
+    Net.partition (Cluster.net g.cluster) ~name:(Printf.sprintf "down-m%d" i)
+      ~groups:[ [ i ] ]
+
+  let revive g i =
+    g.alive.(i) <- true;
+    Net.heal (Cluster.net g.cluster) ~name:(Printf.sprintf "down-m%d" i)
+
+  let partition g ~name ~groups = Net.partition (Cluster.net g.cluster) ~name ~groups
+
+  let heal g ~name = Net.heal (Cluster.net g.cluster) ~name
+end

@@ -90,3 +90,80 @@ val run_cluster :
   rounds:int ->
   max_users:int ->
   (string * string) * Hemlock_util.Stats.t
+
+(** {1 Gossip deployment}
+
+    The cluster mode that survives a lossy network: pull-based
+    anti-entropy instead of broadcast-everything.  Each epoch every
+    live machine versions its own status with the epoch number, then
+    pulls from one random peer by sending a digest of its known
+    (host, version) pairs; the peer answers with a delta of everything
+    newer.  Merging keeps the highest version per host, so drops merely
+    delay convergence and duplicates are idempotent.  A host whose
+    newest version has aged past [down_after] epochs is reported
+    "down", exactly like real ruptime.
+
+    Determinism: all draws (status contents, peer choice) come from
+    per-machine {!Hemlock_util.Prng.stream}s consumed on the machine's
+    own pinned domain, so one seed reproduces the same gossip trace at
+    every domain count and under every network profile. *)
+module Gossip : sig
+  type t
+
+  (** [create style ~machines ()] boots a cluster, sets up each
+      machine's database and spawns its network daemon.  [down_after]
+      (default 4) is the staleness horizon in epochs; [profile] and
+      [seed] default to the environment as in {!Hemlock_os.Cluster.create};
+      [domains] is passed to every internal {!Hemlock_os.Cluster.run}. *)
+  val create :
+    ?down_after:int ->
+    ?max_users:int ->
+    ?profile:Hemlock_os.Net.profile ->
+    ?seed:int ->
+    ?domains:int ->
+    style ->
+    machines:int ->
+    unit ->
+    t
+
+  val cluster : t -> Hemlock_os.Cluster.t
+
+  (** Epochs elapsed (the gossip clock — each {!epoch} or {!settle}
+      advances it). *)
+  val epoch_count : t -> int
+
+  (** One full epoch: every live machine records a fresh local status
+      and gossips.  [drive] may inject extra per-machine work before
+      the cluster runs — the traffic harness's simulated users. *)
+  val epoch : ?drive:(int -> Kernel.t -> unit) -> t -> unit
+
+  (** Anti-entropy only: gossip without new statuses. *)
+  val settle : ?drive:(int -> Kernel.t -> unit) -> t -> unit
+
+  (** Do every live machine's database reports read identically? *)
+  val converged : t -> bool
+
+  (** Run {!settle} epochs until {!converged}; [Some epochs_taken] or
+      [None] when [max_epochs] (default 64) wasn't enough. *)
+  val converge : ?max_epochs:int -> t -> int option
+
+  (** Machine [i]'s view: is [host] presumed down? *)
+  val is_down : t -> int -> string -> bool
+
+  (** rwho as machine [i] sees it — users on hosts believed up. *)
+  val rwho : t -> int -> string
+
+  (** ruptime as machine [i] sees it, with "down" marking. *)
+  val ruptime : t -> int -> string
+
+  (** [kill g i] stops machine [i] ticking and partitions it off;
+      {!revive} undoes both.  Peers age it out as "down". *)
+  val kill : t -> int -> unit
+
+  val revive : t -> int -> unit
+
+  (** Named partitions over the underlying network ({!Hemlock_os.Net}). *)
+  val partition : t -> name:string -> groups:int list list -> unit
+
+  val heal : t -> name:string -> unit
+end

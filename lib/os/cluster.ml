@@ -1,17 +1,29 @@
 module Stats = Hemlock_util.Stats
+module Fault = Hemlock_util.Fault
 module Domain_pool = Hemlock_util.Domain_pool
 
-(* A datagram in flight.  [m_round] is the cluster round it was sent
-   in: it matures (becomes deliverable) one round later, so every
-   machine sees the same uniform one-round network latency no matter
-   how the machines are spread over domains.  [m_seq] is a per-sender
-   sequence number; sorting matured datagrams by (round, sender, seq)
-   makes delivery order deterministic even when a sender's messages
-   straddle a drain snapshot. *)
+(* A datagram in flight.  [m_sent] is the cluster round it left the
+   sender; [m_mature] is the first round it may be delivered —
+   [m_sent + latency], where the latency comes from the network
+   profile's per-link draw ([Net.transmit]; always 1 under [Ideal], so
+   the default profile keeps the old uniform one-round bus).  [m_seq]
+   is a per-sender sequence number and [m_copy] distinguishes
+   network-injected duplicates; sorting matured datagrams by
+   (maturity, sender, seq, copy) makes delivery order deterministic
+   even when a sender's messages straddle a drain snapshot or arrive
+   out of order. *)
+type kind =
+  | Data
+  | Data_acked of { xfer : int }  (** reliable send: deliver, then ack *)
+  | Ack of { xfer : int }  (** transport ack riding back to the sender *)
+
 type message = {
-  m_round : int;
+  m_sent : int;
+  m_mature : int;
   m_sender : int;
   m_seq : int;
+  m_copy : int;
+  m_kind : kind;
   m_payload : Bytes.t;
 }
 
@@ -23,17 +35,30 @@ type mailbox = {
 type t = {
   kernels : Kernel.t array;
   mailboxes : mailbox array;
+  net : Net.t;
   mutable round : int;
-  (* Per-sender broadcast counters.  Machine [i]'s counter is only
-     touched while machine [i] runs, and a machine runs on exactly one
-     domain per round, so plain ints suffice. *)
+  (* Per-sender counters.  Machine [i]'s counters are only touched
+     while machine [i] runs (its own sends, and the acks its drain
+     emits), and a machine runs on exactly one domain per round, so
+     plain ints suffice. *)
   seqs : int array;
+  xfers : int array;
+  (* Acks received by machine [i]'s drain, keyed by transfer id; read
+     by that machine's blocked reliable senders — same domain. *)
+  acked : (int, unit) Hashtbl.t array;
+  (* Reliable senders currently sleeping out an ack timeout, and the
+     highest deadline round any of them waits for.  Written from
+     worker domains, read by the coordinator's stall check. *)
+  waiters : int Atomic.t;
+  max_wake : int Atomic.t;
 }
 
 let inbox = "net-inbox"
 
-let create ~machines =
+let create ?profile ?seed ~machines () =
   if machines <= 0 then invalid_arg "Cluster.create: need at least one machine";
+  let profile = match profile with Some p -> p | None -> Net.profile_from_env () in
+  let seed = match seed with Some s -> s | None -> Net.seed_from_env () in
   let boot _ =
     let k = Kernel.create () in
     Kernel.msgq_create k inbox ~capacity:4096;
@@ -43,42 +68,94 @@ let create ~machines =
     kernels = Array.init machines boot;
     mailboxes =
       Array.init machines (fun _ -> { mb_lock = Mutex.create (); mb_pending = [] });
+    net = Net.create ~machines ~profile ~seed;
     round = 0;
     seqs = Array.make machines 0;
+    xfers = Array.make machines 0;
+    acked = Array.init machines (fun _ -> Hashtbl.create 16);
+    waiters = Atomic.make 0;
+    max_wake = Atomic.make 0;
   }
 
 let size t = Array.length t.kernels
 
 let machine t i = t.kernels.(i)
 
+let net t = t.net
+
+let rounds t = t.round
+
+let push_mail t dst msg =
+  let mb = t.mailboxes.(dst) in
+  Mutex.lock mb.mb_lock;
+  mb.mb_pending <- msg :: mb.mb_pending;
+  Mutex.unlock mb.mb_lock
+
+(* One link transmission.  The [net.send] fault site fires per
+   destination: an injected failure loses this link's datagram, a crash
+   kills the sending machine mid-send.  [Net.transmit] then rolls the
+   profile's dice — partition, loss, latency, duplication. *)
+let link_send t ~from ~dst ~seq ~kind payload =
+  match Fault.hit "net.send" with
+  | () ->
+    List.iteri
+      (fun copy lat ->
+        push_mail t dst
+          {
+            m_sent = t.round;
+            m_mature = t.round + lat;
+            m_sender = from;
+            m_seq = seq;
+            m_copy = copy;
+            m_kind = kind;
+            m_payload = payload;
+          })
+      (Net.transmit t.net ~from ~dst)
+  | exception Fault.Injected _ -> Net.drop_at_send t.net ~from
+
 let broadcast t ~from payload =
+  (* One defensive copy per send: [Kernel.enqueue_net] gives every
+     receiver its own copy at delivery, so this single in-flight copy
+     is safe to share across destinations and network duplicates even
+     if the sender immediately reuses its buffer.  Host-side only —
+     network traffic is still billed per datagram that lands. *)
+  let payload = Bytes.copy payload in
   let seq = t.seqs.(from) in
   t.seqs.(from) <- seq + 1;
-  let msg = { m_round = t.round; m_sender = from; m_seq = seq; m_payload = payload } in
-  Array.iteri
-    (fun i mb ->
-      if i <> from then begin
-        Mutex.lock mb.mb_lock;
-        mb.mb_pending <- msg :: mb.mb_pending;
-        Mutex.unlock mb.mb_lock
-      end)
-    t.mailboxes
+  for dst = 0 to size t - 1 do
+    if dst <> from then link_send t ~from ~dst ~seq ~kind:Data payload
+  done
+
+let check_dst t ~what ~from dst =
+  if dst = from || dst < 0 || dst >= size t then
+    invalid_arg (Printf.sprintf "Cluster.%s: bad destination" what)
+
+let send t ~from ~dst payload =
+  check_dst t ~what:"send" ~from dst;
+  let payload = Bytes.copy payload in
+  let seq = t.seqs.(from) in
+  t.seqs.(from) <- seq + 1;
+  link_send t ~from ~dst ~seq ~kind:Data payload
 
 (* Deliver machine [i]'s matured datagrams, oldest first.  Returns how
-   many landed; network traffic is billed per datagram that actually
+   many landed; payload traffic is billed per datagram that actually
    makes it into the inbox, on the delivering domain's stats record.
-   On [EAGAIN] (inbox full) the remainder waits for a later round. *)
+   On [EAGAIN] (inbox full) the remainder waits for a later round.
+   Reliable-send payloads additionally put an ack on the wire back to
+   the sender — itself subject to the network's loss and latency. *)
 let drain t i =
   let mb = t.mailboxes.(i) in
   Mutex.lock mb.mb_lock;
   let pending = mb.mb_pending in
   mb.mb_pending <- [];
   Mutex.unlock mb.mb_lock;
-  let matured, future = List.partition (fun m -> m.m_round < t.round) pending in
+  let matured, future = List.partition (fun m -> m.m_mature <= t.round) pending in
   let matured =
     List.sort
       (fun a b ->
-        compare (a.m_round, a.m_sender, a.m_seq) (b.m_round, b.m_sender, b.m_seq))
+        compare
+          (a.m_mature, a.m_sender, a.m_seq, a.m_copy)
+          (b.m_mature, b.m_sender, b.m_seq, b.m_copy))
       matured
   in
   let k = t.kernels.(i) in
@@ -86,14 +163,34 @@ let drain t i =
   let rec deliver = function
     | [] -> []
     | m :: rest -> (
-      match Kernel.enqueue_net k inbox m.m_payload with
-      | Ok () ->
-        let st = Stats.cur () in
-        st.messages_sent <- st.messages_sent + 1;
-        st.bytes_copied <- st.bytes_copied + Bytes.length m.m_payload;
-        incr delivered;
+      match Fault.hit "net.deliver" with
+      | exception Fault.Injected _ ->
+        Net.drop_at_deliver t.net ~dst:i;
         deliver rest
-      | Error _ -> m :: rest)
+      | () -> (
+        match m.m_kind with
+        | Ack { xfer } ->
+          Hashtbl.replace t.acked.(i) xfer ();
+          Net.delivered t.net ~dst:i ~rounds:(t.round - m.m_sent);
+          incr delivered;
+          deliver rest
+        | Data | Data_acked _ -> (
+          match Kernel.enqueue_net k inbox m.m_payload with
+          | Ok () ->
+            let st = Stats.cur () in
+            st.messages_sent <- st.messages_sent + 1;
+            st.bytes_copied <- st.bytes_copied + Bytes.length m.m_payload;
+            Net.delivered t.net ~dst:i ~rounds:(t.round - m.m_sent);
+            (match m.m_kind with
+            | Data_acked { xfer } ->
+              let seq = t.seqs.(i) in
+              t.seqs.(i) <- seq + 1;
+              link_send t ~from:i ~dst:m.m_sender ~seq ~kind:(Ack { xfer })
+                (Bytes.create 0)
+            | Data | Ack _ -> ());
+            incr delivered;
+            deliver rest
+          | Error _ -> m :: rest)))
   in
   let leftover = deliver matured in
   if leftover <> [] || future <> [] then begin
@@ -105,19 +202,20 @@ let drain t i =
   end;
   !delivered
 
-let mailbox_depth t i =
+(* (depth, matured, highest maturity) of machine [i]'s mailbox.  Only
+   the matured count names genuinely undeliverable datagrams; the rest
+   are just late. *)
+let mailbox_stats t i =
   let mb = t.mailboxes.(i) in
   Mutex.lock mb.mb_lock;
-  let n = List.length mb.mb_pending in
+  let pending = mb.mb_pending in
   Mutex.unlock mb.mb_lock;
-  n
-
-let pending_count t =
-  let n = ref 0 in
-  for i = 0 to size t - 1 do
-    n := !n + mailbox_depth t i
-  done;
-  !n
+  List.fold_left
+    (fun (depth, matured, horizon) m ->
+      ( depth + 1,
+        (if m.m_mature <= t.round then matured + 1 else matured),
+        max horizon m.m_mature ))
+    (0, 0, 0) pending
 
 let domains_from_env () =
   match Sys.getenv_opt "HEMLOCK_DOMAINS" with
@@ -126,6 +224,62 @@ let domains_from_env () =
     match int_of_string_opt (String.trim s) with
     | Some n when n >= 1 -> n
     | Some _ | None -> 1)
+
+(* ----- reliable per-datagram send ----- *)
+
+let retries_from_env () =
+  match Option.bind (Sys.getenv_opt "HEMLOCK_NET_RETRIES") int_of_string_opt with
+  | Some n when n >= 0 -> n
+  | Some _ | None -> 4
+
+let timeout_from_env () =
+  match Option.bind (Sys.getenv_opt "HEMLOCK_NET_TIMEOUT") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> 4
+
+(* The retry window stops doubling here: with the default base of 4
+   rounds and 4 retries the whole exchange resolves within ~60 rounds
+   of simulated time. *)
+let backoff_cap = 64
+
+let rec fetch_max a v =
+  let cur = Atomic.get a in
+  if v <= cur then () else if Atomic.compare_and_set a cur v then () else fetch_max a v
+
+let send_reliable t ~from ~dst ?retries ?timeout payload =
+  check_dst t ~what:"send_reliable" ~from dst;
+  let retries = match retries with Some r -> max 0 r | None -> retries_from_env () in
+  let base = match timeout with Some w -> max 1 w | None -> timeout_from_env () in
+  let payload = Bytes.copy payload in
+  let xfer = t.xfers.(from) in
+  t.xfers.(from) <- xfer + 1;
+  let acked = t.acked.(from) in
+  let rec attempt n window =
+    let seq = t.seqs.(from) in
+    t.seqs.(from) <- seq + 1;
+    link_send t ~from ~dst ~seq ~kind:(Data_acked { xfer }) payload;
+    let deadline = t.round + window in
+    fetch_max t.max_wake deadline;
+    Atomic.incr t.waiters;
+    Proc.wait_until
+      ~why:(Printf.sprintf "net:ack xfer %d from m%d" xfer dst)
+      (fun () -> Hashtbl.mem acked xfer || t.round >= deadline);
+    Atomic.decr t.waiters;
+    if Hashtbl.mem acked xfer then begin
+      Hashtbl.remove acked xfer;
+      Ok ()
+    end
+    else if n >= retries then Error Errno.ETIMEDOUT
+    else begin
+      (* capped exponential backoff, billed in simulated cycles: the
+         sender spins its wheels, it does not stop the world *)
+      let st = Stats.cur () in
+      st.net_retransmits <- st.net_retransmits + 1;
+      st.instructions <- st.instructions + (100 lsl min n 6);
+      attempt (n + 1) (min backoff_cap (window * 2))
+    end
+  in
+  attempt 0 base
 
 let run ?(max_rounds = 1_000_000) ?domains t =
   let machines = size t in
@@ -141,10 +295,6 @@ let run ?(max_rounds = 1_000_000) ?domains t =
   Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
   let outcomes = Array.make machines `Done in
   let delivered = Array.make machines 0 in
-  (* One grace round before declaring the cluster wedged: datagrams
-     sent in round [r] only mature in round [r + 1], so a round with no
-     kernel progress can still be followed by deliveries. *)
-  let stall = ref 0 in
   let rec loop rounds =
     if rounds = 0 then raise (Kernel.Os_error "Cluster.run: round budget exhausted");
     t.round <- t.round + 1;
@@ -168,19 +318,32 @@ let run ?(max_rounds = 1_000_000) ?domains t =
       | `Idle -> idle := i :: !idle
       | `Done -> ()
     done;
-    let pending = pending_count t in
-    if !progress || !deliveries > 0 then begin
-      stall := 0;
+    let pending = ref 0 in
+    let horizon = ref 0 in
+    for i = 0 to machines - 1 do
+      let depth, _, h = mailbox_stats t i in
+      pending := !pending + depth;
+      horizon := max !horizon h
+    done;
+    (* A reliable sender sleeping out an ack timeout keeps the cluster
+       alive until its deadline round, even with nothing in flight. *)
+    let horizon =
+      if Atomic.get t.waiters > 0 then max !horizon (Atomic.get t.max_wake)
+      else !horizon
+    in
+    if !progress || !deliveries > 0 then loop (rounds - 1)
+    else if t.round < horizon then
+      (* Nothing moved this round, but in-flight datagrams with a
+         future maturity (or a pending retry deadline) can still wake
+         the cluster: with multi-round latencies, the old single grace
+         round becomes "wait out the highest in-flight maturity". *)
       loop (rounds - 1)
-    end
-    else if pending > 0 && !stall = 0 then begin
-      incr stall;
-      loop (rounds - 1)
-    end
-    else if !idle <> [] || pending > 0 then begin
+    else if !idle <> [] || !pending > 0 then begin
       (* No machine can move and the network cannot drain: report every
          stuck process tagged with its machine, plus a synthetic entry
-         per machine whose inbox traffic is undeliverable. *)
+         per machine whose inbox traffic is undeliverable.  Only
+         matured datagrams count — anything younger would have pushed
+         the horizon past the current round. *)
       let stuck =
         List.concat_map
           (fun i ->
@@ -193,14 +356,15 @@ let run ?(max_rounds = 1_000_000) ?domains t =
       let net =
         List.filter_map
           (fun i ->
-            let depth = mailbox_depth t i in
-            if depth = 0 then None
+            let _, matured, _ = mailbox_stats t i in
+            if matured = 0 then None
             else
               Some
                 {
                   Kernel.b_pid = 0;
                   b_comm = Printf.sprintf "m%d:net" i;
-                  b_why = Printf.sprintf "%d undeliverable datagram(s) for %s" depth inbox;
+                  b_why =
+                    Printf.sprintf "%d undeliverable datagram(s) for %s" matured inbox;
                 })
           (List.init machines (fun i -> i))
       in

@@ -26,6 +26,7 @@ type t =
   | ENOSYS
   | ENOTEMPTY
   | ELOOP
+  | ETIMEDOUT
 
 (* Linux numbering, so the negative-v0 values ISA programs observe match
    what a Unix programmer expects. *)
@@ -55,12 +56,13 @@ let code = function
   | ENOSYS -> 38
   | ENOTEMPTY -> 39
   | ELOOP -> 40
+  | ETIMEDOUT -> 110
 
 let all =
   [
     EPERM; ENOENT; ESRCH; EIO; ENXIO; ENOEXEC; EBADF; ECHILD; EAGAIN; ENOMEM; EACCES;
     EFAULT; EBUSY; EEXIST; EXDEV; ENOTDIR; EISDIR; EINVAL; EMFILE; ENOSPC;
-    ESPIPE; EDEADLK; ENOSYS; ENOTEMPTY; ELOOP;
+    ESPIPE; EDEADLK; ENOSYS; ENOTEMPTY; ELOOP; ETIMEDOUT;
   ]
 
 let name = function
@@ -89,6 +91,7 @@ let name = function
   | ENOSYS -> "ENOSYS"
   | ENOTEMPTY -> "ENOTEMPTY"
   | ELOOP -> "ELOOP"
+  | ETIMEDOUT -> "ETIMEDOUT"
 
 let message = function
   | EPERM -> "operation not permitted"
@@ -116,6 +119,7 @@ let message = function
   | ENOSYS -> "function not implemented"
   | ENOTEMPTY -> "directory not empty"
   | ELOOP -> "too many levels of symbolic links"
+  | ETIMEDOUT -> "connection timed out"
 
 let of_code n = List.find_opt (fun e -> code e = n) all
 

@@ -33,6 +33,7 @@ type t =
   | ENOSYS
   | ENOTEMPTY
   | ELOOP
+  | ETIMEDOUT
 
 (** The Linux numeric code (e.g. [ENOENT] = 2); ISA programs see the
     negated code in [$v0]. *)

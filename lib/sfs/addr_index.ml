@@ -1,4 +1,4 @@
-type backend = Linear | Btree_index
+type backend = Linear | Btree_index | Auto
 
 type entry = { e_base : int; e_bytes : int; e_path : string }
 
@@ -6,17 +6,46 @@ type repr =
   | Lin of entry list ref (* unordered, scanned in full: the prototype *)
   | Bt of entry Btree.t
 
-type t = { repr : repr; mutable probes : int; mutable count : int }
+type t = {
+  mutable repr : repr;
+  backend : backend;
+  threshold : int;
+  mutable probes : int;
+  mutable count : int;
+}
 
-let backend_to_string = function Linear -> "linear" | Btree_index -> "b-tree"
+let default_threshold = 1024 (* the prototype's slot-table capacity *)
 
-let create = function
-  | Linear -> { repr = Lin (ref []); probes = 0; count = 0 }
-  | Btree_index -> { repr = Bt (Btree.create ()); probes = 0; count = 0 }
+let backend_to_string = function
+  | Linear -> "linear"
+  | Btree_index -> "b-tree"
+  | Auto -> "auto"
+
+let create ?(threshold = default_threshold) backend =
+  let repr =
+    match backend with
+    | Linear | Auto -> Lin (ref [])
+    | Btree_index -> Bt (Btree.create ())
+  in
+  { repr; backend; threshold; probes = 0; count = 0 }
 
 let size t = t.count
 
+let in_use t = match t.repr with Lin _ -> Linear | Bt _ -> Btree_index
+
 let overlaps a b = a.e_base < b.e_base + b.e_bytes && b.e_base < a.e_base + a.e_bytes
+
+(* The Auto backend's tipping point: once the table reaches the size the
+   prototype's fixed slot array topped out at, migrate every entry into
+   the B-tree — the paper's plan for the 64-bit address space.  One-way:
+   a table that has ever been big stays a B-tree. *)
+let maybe_promote t =
+  match t.repr with
+  | Lin entries when t.backend = Auto && t.count >= t.threshold ->
+    let bt = Btree.create () in
+    List.iter (fun e -> Btree.insert bt e.e_base e) !entries;
+    t.repr <- Bt bt
+  | Lin _ | Bt _ -> ()
 
 let register t ~base ~bytes path =
   if bytes <= 0 then invalid_arg "Addr_index.register: empty segment";
@@ -32,7 +61,8 @@ let register t ~base ~bytes path =
     | Some (_, other) when overlaps entry other -> invalid_arg "Addr_index.register: overlap"
     | _ -> ());
     Btree.insert bt base entry);
-  t.count <- t.count + 1
+  t.count <- t.count + 1;
+  maybe_promote t
 
 let unregister t ~base =
   let removed =
@@ -65,6 +95,26 @@ let translate t addr =
     match Btree.find_leq bt addr with
     | Some (_, e) when addr < e.e_base + e.e_bytes -> Some (e.e_path, addr - e.e_base)
     | Some _ | None -> None)
+
+let to_list t =
+  let entries =
+    match t.repr with
+    | Lin entries -> !entries
+    | Bt bt -> List.map snd (Btree.to_list bt)
+  in
+  List.sort compare
+    (List.map (fun e -> (e.e_base, e.e_bytes, e.e_path)) entries)
+
+let clear t =
+  (match t.repr with
+  | Lin entries -> entries := []
+  | Bt _ ->
+    (* a cleared Auto index restarts linear; an explicit B-tree stays one *)
+    t.repr <-
+      (match t.backend with
+      | Btree_index -> Bt (Btree.create ())
+      | Linear | Auto -> Lin (ref [])));
+  t.count <- 0
 
 let probes t = t.probes
 

@@ -61,7 +61,10 @@ type intent =
 type t = {
   root : dir;
   mutable next_ino : int;
-  addr_table : string option array; (* the kernel's linear lookup table *)
+  addr_index : Addr_index.t;
+  (* the kernel's address→segment index: linear like the prototype's
+     table while small, a B-tree past 1024 entries (Addr_index.Auto) *)
+  slot_used : bool array; (* slot allocation bitmap for the 32-bit layout *)
   uid : int; (* distinguishes file systems in cross-kernel caches *)
   mutable generation : int; (* bumped by every namespace/content mutation *)
   mutable journal : (int * intent) list; (* pending intents, newest first *)
@@ -96,7 +99,8 @@ let create () =
     {
       root = { entries = Hashtbl.create 8; dir_ino = 2 };
       next_ino = 4096; (* normal-partition inodes; shared inodes are slots 0..1023 *)
-      addr_table = Array.make Layout.shared_slots None;
+      addr_index = Addr_index.create Addr_index.Auto;
+      slot_used = Array.make Layout.shared_slots false;
       uid = Atomic.fetch_and_add next_uid 1 + 1;
       generation = 0;
       journal = [];
@@ -154,12 +158,22 @@ let resolve_file t ~op p =
 let alloc_slot t ~op path =
   let rec scan i =
     if i >= Layout.shared_slots then error op path No_space
-    else if t.addr_table.(i) = None then i
+    else if not t.slot_used.(i) then i
     else scan (i + 1)
   in
   scan 0
 
-let free_slot t slot = t.addr_table.(slot) <- None
+(* Publish or re-point slot [i]'s index entry (re-pointing happens when a
+   rename moves a shared file: the address is permanent, the path is not). *)
+let publish_slot t slot path =
+  let base = Layout.addr_of_slot slot in
+  ignore (Addr_index.unregister t.addr_index ~base);
+  Addr_index.register t.addr_index ~base ~bytes:Layout.shared_slot_size path;
+  t.slot_used.(slot) <- true
+
+let free_slot t slot =
+  t.slot_used.(slot) <- false;
+  ignore (Addr_index.unregister t.addr_index ~base:(Layout.addr_of_slot slot))
 
 (* Intent journal.  The journal lives in [t] — the same place as the
    "disk" — so it survives a simulated crash; an entry present at fsck
@@ -250,7 +264,7 @@ let rec create_file t ?cwd s =
         }
       in
       try
-        t.addr_table.(slot) <- Some (Path.to_string full);
+        publish_slot t slot (Path.to_string full);
         Fault.hit "fs.create.mid";
         Hashtbl.replace dir.entries name (File file);
         Fault.hit "fs.create.commit";
@@ -259,7 +273,7 @@ let rec create_file t ?cwd s =
         (* Recoverable failure mid-create: undo both steps so the caller
            observes an errno and an unchanged file system.  (A [Crash]
            deliberately skips this — the machine stopped.) *)
-        t.addr_table.(slot) <- None;
+        free_slot t slot;
         Hashtbl.remove dir.entries name;
         journal_end t jid;
         raise e
@@ -489,7 +503,7 @@ let rename t ?cwd ~src dst =
      shared file whose path just changed (the moved file itself, or the
      contents of a moved directory). *)
   let rec fix canon = function
-    | File f -> Option.iter (fun slot -> t.addr_table.(slot) <- Some (Path.to_string canon)) f.slot
+    | File f -> Option.iter (fun slot -> publish_slot t slot (Path.to_string canon)) f.slot
     | Link _ -> ()
     | Dir d -> Hashtbl.iter (fun name child -> fix (canon @ [ name ]) child) d.entries
   in
@@ -537,15 +551,20 @@ let path_of_addr t a =
   let op = "path_of_addr" in
   if not (Layout.is_public a) then
     raise (Error { op; path = Printf.sprintf "0x%08x" a; kind = Not_shared });
-  match t.addr_table.(Layout.slot_of_addr a) with
-  | Some p -> p
+  (* the translation the SIGSEGV handler makes: resolved through the
+     address index, probes counted (Addr_index.probes) *)
+  match Addr_index.translate t.addr_index a with
+  | Some (p, _off) -> p
   | None -> raise (Error { op; path = Printf.sprintf "0x%08x" a; kind = Not_found })
 
 let slot_owner t a =
-  if Layout.is_public a then t.addr_table.(Layout.slot_of_addr a) else None
+  if Layout.is_public a then
+    Option.map fst (Addr_index.translate t.addr_index a)
+  else None
 
 let rescan_shared t =
-  Array.fill t.addr_table 0 (Array.length t.addr_table) None;
+  Addr_index.clear t.addr_index;
+  Array.fill t.slot_used 0 (Array.length t.slot_used) false;
   let rec walk canon dir =
     let names = List.sort String.compare (Hashtbl.fold (fun k _ a -> k :: a) dir.entries []) in
     let visit name =
@@ -553,7 +572,7 @@ let rescan_shared t =
       | Some (Dir d) -> walk (canon @ [ name ]) d
       | Some (File f) ->
         Option.iter
-          (fun slot -> t.addr_table.(slot) <- Some (Path.to_string (canon @ [ name ])))
+          (fun slot -> publish_slot t slot (Path.to_string (canon @ [ name ])))
           f.slot
       | Some (Link _) | None -> ()
     in
@@ -713,13 +732,13 @@ let fsck t =
   }
 
 let shared_free_slots t =
-  Array.fold_left (fun acc e -> if e = None then acc + 1 else acc) 0 t.addr_table
+  Array.fold_left (fun acc used -> if used then acc else acc + 1) 0 t.slot_used
 
 let shared_table t =
-  let acc = ref [] in
-  for i = Array.length t.addr_table - 1 downto 0 do
-    match t.addr_table.(i) with
-    | Some p -> acc := (i, p) :: !acc
-    | None -> ()
-  done;
-  !acc
+  List.map
+    (fun (base, _bytes, path) -> (Layout.slot_of_addr base, path))
+    (Addr_index.to_list t.addr_index)
+
+let shared_index_backend t = Addr_index.in_use t.addr_index
+
+let shared_index_probes t = Addr_index.probes t.addr_index

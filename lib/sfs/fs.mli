@@ -212,3 +212,12 @@ val shared_free_slots : t -> int
 
 (** All live (slot, path) pairs, in slot order. *)
 val shared_table : t -> (int * string) list
+
+(** The representation currently backing the kernel's /shared address
+    index ({!Addr_index.Auto}: linear until the table reaches the
+    prototype's 1024 slots, a B-tree from there). *)
+val shared_index_backend : t -> Addr_index.backend
+
+(** Cumulative probes spent by address translations ({!path_of_addr},
+    {!slot_owner}) — the E12 cost measure, now live in the kernel. *)
+val shared_index_probes : t -> int

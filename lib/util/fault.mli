@@ -77,5 +77,7 @@ val clear : unit -> unit
 val failure_name : failure -> string
 
 (** The sites {!configure_random} draws from: the multi-step [/shared]
-    mutation sites, where a crash leaves real partial state. *)
+    mutation sites, where a crash leaves real partial state, plus the
+    simulated network's [net.send]/[net.deliver] datagram points, where
+    an injected error drops the datagram on the floor. *)
 val default_sites : string array

@@ -31,6 +31,16 @@ type t = {
   mutable link_rollbacks : int;
   mutable plan_fallbacks : int;
   mutable ipc_retries : int;
+  (* Network observability.  Counted by the simulated network layer
+     ([Net]/[Cluster]): datagram fates and reliable-send retransmits.
+     Excluded from [cycles] — delivered traffic is already billed as
+     [messages_sent]/[bytes_copied] on the delivering domain, and the
+     default [ideal] profile must leave the cost model byte-identical
+     to the loss-free bus it replaces. *)
+  mutable net_delivered : int;
+  mutable net_dropped : int;
+  mutable net_duplicated : int;
+  mutable net_retransmits : int;
   (* Copy-on-write observability.  [pages_copied]/[bytes_saved] measure
      how much copying COW actually performed vs avoided; [cow_faults]
      counts the kernel-internal protection faults that break mapping-level
@@ -89,6 +99,10 @@ let zero () =
     link_rollbacks = 0;
     plan_fallbacks = 0;
     ipc_retries = 0;
+    net_delivered = 0;
+    net_dropped = 0;
+    net_duplicated = 0;
+    net_retransmits = 0;
     cow_faults = 0;
     pages_copied = 0;
     bytes_saved = 0;
@@ -146,6 +160,10 @@ let merge_into ~into t =
   into.link_rollbacks <- into.link_rollbacks + t.link_rollbacks;
   into.plan_fallbacks <- into.plan_fallbacks + t.plan_fallbacks;
   into.ipc_retries <- into.ipc_retries + t.ipc_retries;
+  into.net_delivered <- into.net_delivered + t.net_delivered;
+  into.net_dropped <- into.net_dropped + t.net_dropped;
+  into.net_duplicated <- into.net_duplicated + t.net_duplicated;
+  into.net_retransmits <- into.net_retransmits + t.net_retransmits;
   into.cow_faults <- into.cow_faults + t.cow_faults;
   into.pages_copied <- into.pages_copied + t.pages_copied;
   into.bytes_saved <- into.bytes_saved + t.bytes_saved;
@@ -187,6 +205,10 @@ let reset () =
   global.link_rollbacks <- 0;
   global.plan_fallbacks <- 0;
   global.ipc_retries <- 0;
+  global.net_delivered <- 0;
+  global.net_dropped <- 0;
+  global.net_duplicated <- 0;
+  global.net_retransmits <- 0;
   global.cow_faults <- 0;
   global.pages_copied <- 0;
   global.bytes_saved <- 0;
@@ -231,6 +253,10 @@ let diff ~before ~after =
     link_rollbacks = after.link_rollbacks - before.link_rollbacks;
     plan_fallbacks = after.plan_fallbacks - before.plan_fallbacks;
     ipc_retries = after.ipc_retries - before.ipc_retries;
+    net_delivered = after.net_delivered - before.net_delivered;
+    net_dropped = after.net_dropped - before.net_dropped;
+    net_duplicated = after.net_duplicated - before.net_duplicated;
+    net_retransmits = after.net_retransmits - before.net_retransmits;
     cow_faults = after.cow_faults - before.cow_faults;
     pages_copied = after.pages_copied - before.pages_copied;
     bytes_saved = after.bytes_saved - before.bytes_saved;

@@ -48,6 +48,16 @@ type t = {
   mutable plan_fallbacks : int;
       (** link-plan replays abandoned mid-way for the cold path *)
   mutable ipc_retries : int;  (** [pd_call] retries after transient EAGAIN *)
+  mutable net_delivered : int;
+      (** cluster datagrams that landed in a peer inbox (observability
+          only — delivered traffic is billed as [messages_sent]) *)
+  mutable net_dropped : int;
+      (** cluster datagrams lost to the simulated network: profile
+          loss, an active partition, or an injected [net.*] fault *)
+  mutable net_duplicated : int;
+      (** extra datagram copies the simulated network injected *)
+  mutable net_retransmits : int;
+      (** reliable-send retransmissions after an ack timeout *)
   mutable cow_faults : int;
       (** protection faults resolved inside the kernel by breaking a
           copy-on-write mapping (never delivered to user handlers, never

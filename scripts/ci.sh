@@ -39,6 +39,12 @@ HEMLOCK_DOMAINS=4 dune runtest --force
 echo "== tests (range locks degraded to one big lock: HEMLOCK_NO_RANGELOCK=1) =="
 HEMLOCK_NO_RANGELOCK=1 dune runtest --force
 
+echo "== tests (network ideal, pinned: HEMLOCK_NET_PROFILE=ideal) =="
+HEMLOCK_NET_PROFILE=ideal dune runtest --force
+
+echo "== tests (network lossy: HEMLOCK_NET_PROFILE=lossy; gate is suite success — loss legitimately changes delivery) =="
+HEMLOCK_NET_PROFILE=lossy dune runtest --force
+
 echo "== examples =="
 for ex in quickstart rwho_demo parallel_sum figure_editor lynx_tables editor_server; do
   echo "-- examples/$ex"
@@ -50,6 +56,13 @@ dune exec bench/main.exe -- crash-sweep 1 2 3 4 5 6 7 8 9 10
 
 echo "== crash sweep (clusters on 4 domains: HEMLOCK_DOMAINS=4) =="
 HEMLOCK_DOMAINS=4 dune exec bench/main.exe -- crash-sweep 1 2 3 4 5 6 7 8 9 10
+
+# Random fault plans draw from Fault.default_sites, which now includes
+# net.send / net.deliver; the per-seed cluster burst inside crash-sweep
+# exercises them.  A lossy network profile on top must not change the
+# recovery verdicts.
+echo "== crash sweep (network lossy: HEMLOCK_NET_PROFILE=lossy) =="
+HEMLOCK_NET_PROFILE=lossy dune exec bench/main.exe -- crash-sweep 1 2 3 4 5 6 7 8 9 10
 
 # The golden steps below double as the fault-layer-disabled check: the
 # injection engine is compiled into every one of these paths but no plan
@@ -116,6 +129,22 @@ HEMLOCK_DOMAINS=4 \
 diff -u bench/golden_e1_e13.txt _build/e1_e13_dom4.txt
 echo "golden transcript identical with clusters spread over 4 domains"
 
+echo "== golden transcript (network ideal, pinned: HEMLOCK_NET_PROFILE=ideal) =="
+HEMLOCK_NET_PROFILE=ideal HEMLOCK_NET_SEED=1 \
+  dune exec bench/main.exe -- e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 \
+  > _build/e1_e13_netideal.txt
+diff -u bench/golden_e1_e13.txt _build/e1_e13_netideal.txt
+echo "golden transcript identical with the ideal network pinned"
+
+# Under a lossy profile the experiments must still *complete* (E5's
+# cluster deployment pins its own delivery assumptions), but delivery
+# differences are legitimate — only the ideal diff gates.
+echo "== experiments complete under a lossy network (no golden gate) =="
+HEMLOCK_NET_PROFILE=lossy \
+  dune exec bench/main.exe -- e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 \
+  > _build/e1_e13_netlossy.txt
+echo "experiments completed under HEMLOCK_NET_PROFILE=lossy"
+
 echo "== perf =="
 dune exec bench/main.exe -- perf
 
@@ -133,3 +162,12 @@ dune exec bench/main.exe -- perf-page
 
 echo "== perf-cluster (gates: observables and simulated costs identical at 1/2/4 domains) =="
 dune exec bench/main.exe -- perf-cluster
+
+# perf-net internally reruns the ideal and lossy scenarios at 1 and 4
+# domains and gates trace identity; the two invocations below smoke it
+# with the suite's two domain defaults on top.
+echo "== perf-net (gates: traffic trace identical at 1/4 domains; all profiles converge) =="
+dune exec bench/main.exe -- perf-net
+
+echo "== perf-net (clusters on 4 domains: HEMLOCK_DOMAINS=4) =="
+HEMLOCK_DOMAINS=4 dune exec bench/main.exe -- perf-net

@@ -23,6 +23,7 @@ let () =
       ("crash", Test_crash.suite);
       ("differential", Test_diff.suite);
       ("parallel", Test_parallel.suite);
+      ("net", Test_net.suite);
       ("scenarios", Test_scenarios.suite);
       ("lisp", Test_lisp.suite);
     ]

@@ -9,6 +9,7 @@ module Stats = Hemlock_util.Stats
 module Domain_pool = Hemlock_util.Domain_pool
 module Range_lock = Hemlock_vm.Range_lock
 module Cluster = Hemlock_os.Cluster
+module Net = Hemlock_os.Net
 module Errno = Hemlock_os.Errno
 
 (* Matches Range_lock's own parse of the kill switch: some properties
@@ -248,7 +249,10 @@ let cluster_observables ~domains =
   let machines = 4 in
   let sends = 5 in
   let heard = Array.make machines [] in
-  let c = Cluster.create ~machines in
+  (* pinned to [Ideal]: this test asserts exact full-matrix delivery,
+     which must hold even when the suite runs under a lossy
+     HEMLOCK_NET_PROFILE *)
+  let c = Cluster.create ~profile:Net.Ideal ~machines () in
   for i = 0 to machines - 1 do
     let k = Cluster.machine c i in
     let rx =
@@ -289,7 +293,7 @@ let cluster_lockstep () =
   check_int "cycles" (Stats.cycles d1) (Stats.cycles d4)
 
 let cluster_deadlock_tagged () =
-  let c = Cluster.create ~machines:2 in
+  let c = Cluster.create ~profile:Net.Ideal ~machines:2 () in
   ignore
     (Kernel.spawn_native (Cluster.machine c 1) ~name:"stuck" (fun k proc ->
          ignore (Kernel.msg_recv k proc Cluster.inbox);
