@@ -49,6 +49,7 @@ module Sharing = Hemlock_linker.Sharing
 module Modinst = Hemlock_linker.Modinst
 module Reloc_engine = Hemlock_linker.Reloc_engine
 module Link_plan = Hemlock_linker.Link_plan
+module Stable_link = Hemlock_linker.Stable_link
 module Plt = Hemlock_baseline.Plt
 module Channels = Hemlock_baseline.Channels
 module Rwho = Hemlock_apps.Rwho
@@ -928,11 +929,13 @@ let perf () =
       \  \"speedup\": %.2f,\n\
       \  \"jit_speedup_vs_uncached\": %.2f,\n\
       \  \"jit_speedup_vs_cached\": %.2f,\n\
-      \  \"simulated_costs_identical\": true\n\
+      \  \"simulated_costs_identical\": true,\n\
+      \  \"stats\": %s\n\
        }\n"
       insns ns_on (ips ns_on) ns_off (ips ns_off) ns_jit (ips ns_jit)
       d_jit.Stats.jit_compiles d_jit.Stats.jit_hits d_jit.Stats.jit_exits
       d_jit.Stats.jit_invalidations speedup jit_vs_nocache jit_vs_cache
+      (Stats.to_json d_jit)
   in
   let path = Filename.concat (Sys.getcwd ()) "BENCH_interp.json" in
   let oc = open_out path in
@@ -998,8 +1001,76 @@ let perf_link () =
         let ns = measure_ns run_once in
         (d_first, d_steady, ns))
   in
+  (* Boot profiles: same chain, but the measured exec is the FIRST one
+     after [Kernel.reboot] — the reboot hook drops every kernel-resident
+     cache, so without stable linking the exec pays the full cold path.
+     With stable linking the pre-reboot exec's plans and symbol indexes
+     are synced into /shared/.stable and the post-reboot exec replays
+     them. *)
+  let boot_profile stable =
+    with_link_caches true (fun () ->
+        let saved = !Stable_link.enabled in
+        Stable_link.enabled := stable;
+        Fun.protect
+          ~finally:(fun () -> Stable_link.enabled := saved)
+          (fun () ->
+            let k, ldl = boot () in
+            let fs = Kernel.fs k in
+            Fs.mkdir fs "/home/lib";
+            ignore (Modgen.install ~deep:true ldl ~dir:"/home/lib" ~modules);
+            Modgen.link_driver ~deep:modules ldl ~dir:"/home/lib"
+              ~out:"/home/perf/prog" ~used;
+            let last = ref None in
+            let run_once () =
+              Kernel.console_clear k;
+              let p = Kernel.spawn_exec k "/home/perf/prog" in
+              Kernel.run k;
+              last := Some p;
+              match p.Proc.state with
+              | Proc.Zombie 0 -> ()
+              | _ -> failwith "perf-link: driver did not exit 0"
+            in
+            run_once ();
+            (* records the plans *)
+            if int_of_string_opt (String.trim (Kernel.console k)) <> Some want then
+              failwith "perf-link: wrong driver output";
+            let report =
+              if stable then Ldl.stable_sync ldl
+              else { Ldl.sync_plans = 0; sync_objs = 0; sync_skipped = 0 }
+            in
+            Kernel.reboot k;
+            let (), d_boot = Stats.measure run_once in
+            if int_of_string_opt (String.trim (Kernel.console k)) <> Some want then
+              failwith "perf-link: wrong driver output on the first exec after reboot";
+            (* First-exec latency: the reboot (cache teardown plus, with
+               stable linking, the boot-time reseeding) runs between the
+               timed windows, so each measured exec is exactly the first
+               one after a boot; the boot work itself is timed
+               separately and reported alongside. *)
+            let iters = 40 in
+            let t_boot = ref 0.0 and t_run = ref 0.0 in
+            for _ = 1 to iters do
+              let t0 = Unix.gettimeofday () in
+              Kernel.reboot k;
+              let t1 = Unix.gettimeofday () in
+              run_once ();
+              let t2 = Unix.gettimeofday () in
+              t_boot := !t_boot +. (t1 -. t0);
+              t_run := !t_run +. (t2 -. t1)
+            done;
+            let ns = !t_run /. float_of_int iters *. 1e9 in
+            let boot_ns = !t_boot /. float_of_int iters *. 1e9 in
+            let prov =
+              match !last with Some p -> Ldl.linkstat_proc_json ldl p | None -> "[]"
+            in
+            (d_boot, ns, boot_ns, report, prov, Ldl.linkstat_json ldl)))
+  in
   let f_on, s_on, ns_on = profile true in
   let f_off, s_off, ns_off = profile false in
+  let d_cold_boot, ns_cold_boot, cold_reboot_ns, _, _, _ = boot_profile false in
+  let d_stable_boot, ns_stable_boot, stable_reboot_ns, sync, stable_prov, linkstat =
+    boot_profile true
+  in
   (* The fast path must be invisible to the simulated cost model — on
      both the recording exec and the replaying one. *)
   let same a b =
@@ -1013,7 +1084,15 @@ let perf_link () =
   in
   if not (same f_on f_off && same s_on s_off) then
     failwith "perf-link: simulated costs differ with the fast path on vs off";
+  (* Stable linking too: replay re-performs every instantiation through
+     the ordinary path and the loads are host-side segment reads, so the
+     first exec after reboot must bill identically with and without it. *)
+  if not (same d_cold_boot d_stable_boot) then
+    failwith "perf-link: simulated costs differ cold-boot vs stable-boot";
+  if sync.Ldl.sync_plans = 0 || sync.Ldl.sync_objs = 0 then
+    failwith "perf-link: stable sync persisted nothing";
   let speedup = ns_off /. ns_on in
+  let boot_speedup = ns_cold_boot /. ns_stable_boot in
   Printf.printf
     "workload: %d-module deep chain, %d faults / %d symbols per exec (deterministic both ways)\n\n"
     modules s_on.Stats.faults s_on.Stats.symbols_resolved;
@@ -1025,7 +1104,22 @@ let perf_link () =
   Printf.printf "%-12s | %14.0f | sym hash %d/%d, search %d/%d, plans %d/%d\n" "off" ns_off
     f_off.Stats.sym_hash_hits s_off.Stats.sym_hash_hits f_off.Stats.search_cache_hits
     s_off.Stats.search_cache_hits f_off.Stats.plan_hits s_off.Stats.plan_hits;
-  Printf.printf "\nspeedup (cold exec vs plan replay): %.2fx\n" speedup;
+  Printf.printf "\nspeedup (cold exec vs plan replay): %.2fx\n\n" speedup;
+  Printf.printf "%-12s | %14s | %12s | %s\n" "boot" "ns/first-exec" "ns/reboot"
+    "plan activity after reboot";
+  Printf.printf
+    "-------------+----------------+--------------+---------------------------------\n";
+  Printf.printf "%-12s | %14.0f | %12.0f | plans %d hits / %d misses\n" "cold"
+    ns_cold_boot cold_reboot_ns d_cold_boot.Stats.plan_hits d_cold_boot.Stats.plan_misses;
+  Printf.printf "%-12s | %14.0f | %12.0f | plans %d hits / %d misses, stable loads %d\n"
+    "stable" ns_stable_boot stable_reboot_ns d_stable_boot.Stats.plan_hits
+    d_stable_boot.Stats.plan_misses d_stable_boot.Stats.stable_loads;
+  Printf.printf
+    "\nstable sync: %d plans + %d symbol indexes persisted (%d skipped)\n"
+    sync.Ldl.sync_plans sync.Ldl.sync_objs sync.Ldl.sync_skipped;
+  Printf.printf "boot speedup (cold boot vs stable boot): %.2fx (floor 5x)\n" boot_speedup;
+  if boot_speedup < 5.0 then
+    failwith "perf-link: stable-boot first exec under the 5x-over-cold-boot floor";
   let json =
     Printf.sprintf
       "{\n\
@@ -1037,10 +1131,19 @@ let perf_link () =
       \  \"cold\": { \"ns_per_exec\": %.0f },\n\
       \  \"first_exec\": { \"sym_hash_hits\": %d, \"search_cache_hits\": %d },\n\
       \  \"speedup\": %.2f,\n\
-      \  \"simulated_costs_identical\": true\n\
-       }\n"
+      \  \"cold_boot\": { \"ns_first_exec\": %.0f, \"ns_reboot\": %.0f, \"stats\": %s },\n\
+      \  \"stable_boot\": { \"ns_first_exec\": %.0f, \"ns_reboot\": %.0f,\n\
+      \                    \"plans_persisted\": %d, \"objs_persisted\": %d,\n\
+      \                    \"stats\": %s },\n\
+      \  \"boot_speedup\": %.2f,\n\
+      \  \"simulated_costs_identical\": true,\n\
+      \  \"provenance\": %s,\n\
+      \  \"linkstat\": %s}\n"
       modules s_on.Stats.faults s_on.Stats.symbols_resolved ns_on s_on.Stats.plan_hits
-      ns_off f_on.Stats.sym_hash_hits f_on.Stats.search_cache_hits speedup
+      ns_off f_on.Stats.sym_hash_hits f_on.Stats.search_cache_hits speedup ns_cold_boot
+      cold_reboot_ns (Stats.to_json d_cold_boot) ns_stable_boot stable_reboot_ns
+      sync.Ldl.sync_plans sync.Ldl.sync_objs (Stats.to_json d_stable_boot) boot_speedup
+      stable_prov linkstat
   in
   let path = Filename.concat (Sys.getcwd ()) "BENCH_link.json" in
   let oc = open_out path in
@@ -1214,13 +1317,14 @@ let perf_vm () =
       \    \"eager\": { \"ns_per_exec\": %.0f },\n\
       \    \"speedup_host\": %.2f\n\
       \  },\n\
-      \  \"program_visible_behaviour_identical\": true\n\
+      \  \"program_visible_behaviour_identical\": true,\n\
+      \  \"stats\": %s\n\
        }\n"
       fork_speedup_cycles vm_fork_count nsf_on (Stats.cycles df_on) df_on.Stats.cow_faults
       df_on.Stats.pages_copied df_on.Stats.bytes_saved nsf_off
       (Stats.cycles df_off) df_off.Stats.bytes_copied fork_speedup_ns
       fork_speedup_cycles image_pages nse_on de_on.Stats.pages_copied
-      de_on.Stats.bytes_saved nse_off exec_speedup_ns
+      de_on.Stats.bytes_saved nse_off exec_speedup_ns (Stats.to_json de_on)
   in
   let path = Filename.concat (Sys.getcwd ()) "BENCH_vm.json" in
   let oc = open_out path in
@@ -1478,10 +1582,11 @@ let perf_page () =
       \  \"sweep_rounds\": %d,\n\
       \  \"cycles_identical_all_budgets_and_pager_off\": true,\n\
       \  \"cycles\": %d,\n\
-      \  \"curve\": [\n%s\n  ]\n\
+      \  \"curve\": [\n%s\n  ],\n\
+      \  \"stats\": %s\n\
        }\n"
       ws_pages rounds (Stats.cycles base)
-      (String.concat ",\n" json_rows)
+      (String.concat ",\n" json_rows) (Stats.to_json base)
   in
   let path = Filename.concat (Sys.getcwd ()) "BENCH_page.json" in
   let oc = open_out path in
@@ -1646,9 +1751,11 @@ let perf_cluster () =
       \  \"costs_identical_all_domain_counts\": true,\n\
       \  \"cycles\": %d,\n\
       \  \"messages\": %d,\n\
+      \  \"stats\": %s,\n\
       \  \"runs\": [\n%s\n  ]\n\
        }\n"
       machines host_cores (Stats.cycles base) base.Stats.messages_sent
+      (Stats.to_json base)
       (String.concat ",\n"
          (List.map
             (fun (n, (_, dt)) ->
@@ -1804,9 +1911,11 @@ let perf_net () =
       \  \"epochs\": %d,\n\
       \  \"seed\": %d,\n\
       \  \"trace_identical_1_and_4_domains\": true,\n\
+      \  \"stats\": %s,\n\
       \  \"profiles\": [\n%s\n  ]\n\
        }\n"
       machines epochs seed
+      (Stats.to_json (Stats.snapshot ()))
       (String.concat ",\n"
          (List.map
             (fun (profile, tel, timeouts, execs, convergence, rounds, cycles, p) ->
@@ -1853,12 +1962,17 @@ let crash_sweep seeds =
       let ok = ref true in
       for _ = 1 to nops do
         let op () =
-          match Prng.int prng 6 with
+          match Prng.int prng 7 with
           | 0 -> Fs.create_file fs (pick ())
           | 1 -> Fs.write_file fs (pick ()) (Bytes.of_string (payload ()))
           | 2 -> Fs.append_file fs (pick ()) (Bytes.of_string (payload ()))
           | 3 -> Fs.rename fs ~src:(pick ()) (pick ())
           | 4 -> Fs.unlink fs (pick ())
+          | 5 ->
+            (* stable-link persist traffic: the fs.stable site fires
+               before the journalled write, so plans arming it get to
+               crash mid-persist like any other /shared writer *)
+            Stable_link.persist_raw fs ~key:(payload ())
           | _ ->
             (* pager traffic: the eviction writeback barrier, so plans
                arming [fs.pageout] get to crash mid-flush too *)

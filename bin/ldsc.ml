@@ -62,7 +62,7 @@ let compile_host_file ~use_gp path =
 
 (* ----- run ----- *)
 
-let cmd_run specs lib_dirs env_pairs use_gp show_stats show_layout runs =
+let cmd_run specs lib_dirs env_pairs use_gp show_stats show_layout show_linkstat runs =
   let specs =
     List.map (fun s -> match parse_spec s with Ok v -> v | Error e -> failwith e) specs
   in
@@ -116,6 +116,8 @@ let cmd_run specs lib_dirs env_pairs use_gp show_stats show_layout runs =
   | _, _ -> ());
   if show_stats then
     Printf.printf "--- stats ---\n%s\n" (Format.asprintf "%a" Stats.pp (Stats.snapshot ()));
+  if show_linkstat then
+    Printf.printf "--- linkstat ---\n%s\n" (Ldl.linkstat_json ldl);
   0
 
 (* ----- compile / asm / objdump ----- *)
@@ -190,6 +192,12 @@ let stats_arg = Arg.(value & flag & info [ "stats" ] ~doc:"Print simulator cost 
 let layout_arg =
   Arg.(value & flag & info [ "layout" ] ~doc:"Print the final process's address space.")
 
+let linkstat_arg =
+  Arg.(value & flag & info [ "linkstat" ]
+         ~doc:"Print the kernel linkstat dump: per-process symbol-resolution \
+               provenance (cold walk vs. plan replay vs. stable-boot replay, hash \
+               vs. linear probe) and the full cost-counter snapshot, as JSON.")
+
 let runs_arg =
   Arg.(value & opt int 1 & info [ "runs" ] ~docv:"N"
          ~doc:"Execute the program N times (public modules persist between runs).")
@@ -201,9 +209,10 @@ let file_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile, link and execute a program on a fresh simulated machine")
     Term.(
-      const (fun specs dirs env gp st lay runs ->
-          wrap (fun () -> cmd_run specs dirs env gp st lay runs))
-      $ specs_arg $ lib_dirs_arg $ env_arg $ use_gp_arg $ stats_arg $ layout_arg $ runs_arg)
+      const (fun specs dirs env gp st lay lstat runs ->
+          wrap (fun () -> cmd_run specs dirs env gp st lay lstat runs))
+      $ specs_arg $ lib_dirs_arg $ env_arg $ use_gp_arg $ stats_arg $ layout_arg
+      $ linkstat_arg $ runs_arg)
 
 let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile one source file to a template .o on the host")

@@ -21,7 +21,18 @@ let expected ~modules ~used =
   in
   f 0 used
 
-let module_source ~modules i =
+(* Deep-mode modules carry [deep_xrefs] extra data references into
+   modules further down the chain, summed behind a branch the driver's
+   recursion never takes.  Each is a real reloc the linker must resolve
+   through the root scope's full module list — like the bulk of the
+   references a real program ships, they never execute — so resolution
+   traffic scales like a symbol-rich program while the executed
+   instruction stream (and [expected]) stays that of the plain chain.
+   Non-deep chains skip them: their scopes only reach each module's
+   successor, so a forward reference would be unresolvable. *)
+let deep_xrefs = 6
+
+let module_source ?(deep = false) ~modules i =
   if i = modules - 1 then
     Printf.sprintf {|
 int d%d = %d;
@@ -30,17 +41,35 @@ int f%d(int x) {
 }
 |} i (datum i) i i
   else
+    let dead =
+      if not deep then []
+      else
+        List.filter
+          (fun j -> j <> i && j <> i + 1)
+          (List.sort_uniq compare
+             (List.init deep_xrefs (fun j -> min (modules - 1) (i + 2 + j))))
+    in
+    let externs =
+      String.concat ""
+        (List.map (fun j -> Printf.sprintf "extern int d%d;\n" j) dead)
+    in
+    let dead_branch =
+      if dead = [] then ""
+      else
+        Printf.sprintf "  if (x > 1000000) { return %s; }\n"
+          (String.concat " + " (List.map (fun j -> Printf.sprintf "d%d" j) dead))
+    in
     Printf.sprintf
       {|
 extern int f%d(int x);
 extern int d%d;
-int d%d = %d;
+%sint d%d = %d;
 int f%d(int x) {
   if (x < 1) { return d%d; }
-  return f%d(x - 1) + d%d + d%d;
+%s  return f%d(x - 1) + d%d + d%d;
 }
 |}
-      (i + 1) (i + 1) i (datum i) i i (i + 1) i (i + 1)
+      (i + 1) (i + 1) externs i (datum i) i i dead_branch (i + 1) i (i + 1)
 
 let install ?(deep = false) ldl ~dir ~modules =
   let k = Ldl.kernel ldl in
@@ -48,7 +77,7 @@ let install ?(deep = false) ldl ~dir ~modules =
   let ctx = { Search.fs; cwd = Path.root; env = [] } in
   List.init modules (fun i ->
       let template = Printf.sprintf "%s/mod%d.o" dir i in
-      let obj = Cc.to_object ~name:(Filename.basename template) (module_source ~modules i) in
+      let obj = Cc.to_object ~name:(Filename.basename template) (module_source ~deep ~modules i) in
       Fs.write_file fs template (Objfile.serialize obj);
       (* Embed the successor in the module's own list: the reachability
          graph the paper describes, one edge per module.  In [deep] mode

@@ -22,6 +22,21 @@ exception Would_block of (unit -> bool)
 
 let errf fmt = Printf.ksprintf (fun s -> raise (Link_error s)) fmt
 
+(* Per-symbol resolution provenance (observability only): how the last
+   resolution of each name was answered, and how often the name was
+   resolved at all.  Strings are kept flat so the JSON export needs no
+   joins: [pv_source] is "cold" | "replay" | "stable" | "dlsym",
+   [pv_probe] is "hash" | "linear" | "cached" | "plan", [pv_origin] is
+   the exporting instance key (or "image" | "plan" | "own"), [pv_scope]
+   the scope label the walk found it at. *)
+type prov = {
+  mutable pv_count : int;
+  mutable pv_source : string;
+  mutable pv_probe : string;
+  mutable pv_origin : string;
+  mutable pv_scope : string;
+}
+
 type pstate = {
   mutable ps_aout : Aout.t option;
   mutable ps_image_seg : Segment.t option;
@@ -42,12 +57,17 @@ type pstate = {
   (* successful scoped resolutions, epoch-validated against the FS
      generation (instances never move within a process, so a cached
      success can only go stale through the namespace) *)
-  ps_symcache : (Modinst.scope * string, int) Hashtbl.t;
+  ps_symcache : (Modinst.scope * string, int * string * string) Hashtbl.t;
   mutable ps_symcache_gen : int;
-  (* memoized [inst_digest] of ps_sorted; valid while the array is
-     physically unchanged (every insert/rebuild allocates a fresh one,
-     and the digest reads only immutable Modinst fields) *)
-  mutable ps_digest : (Modinst.t array * string) option;
+  (* host-side: per-symbol resolution provenance for linkstat *)
+  ps_prov : (string, prov) Hashtbl.t;
+  (* incrementally-maintained digest of the instance set: the XOR of
+     each instance's fragment digest.  XOR makes the combination
+     order-independent, so an insert is O(1) instead of re-digesting
+     the whole set — [inst_digest] runs once per planned region, and
+     regions interleave with instantiation, which made the old
+     whole-array re-digest O(N^2) per exec *)
+  mutable ps_digest : Bytes.t;  (* 16 raw digest bytes *)
 }
 
 type t = {
@@ -65,6 +85,13 @@ type t = {
   (* regions that raised mid-recording: a retried region would record an
      incomplete instantiation list, so never plan these again *)
   poisoned : (string, unit) Hashtbl.t;
+  (* whether the persisted symbol indexes under /shared/.stable have
+     been used to warm the decode caches since the last (re)boot *)
+  mutable stable_seeded : bool;
+  (* host-side: every persisted plan, decoded and digest-verified once
+     per (re)boot by [seed_stable], so the first exec after reboot pays
+     in-memory lookups instead of per-region file loads *)
+  stable_plans : (string, Modinst.scope Link_plan.plan) Hashtbl.t;
 }
 
 let kernel t = t.k
@@ -79,6 +106,19 @@ let ctx_of t proc =
   { Search.fs = Kernel.fs t.k; cwd = proc.Proc.cwd; env = proc.Proc.env }
 
 let state t proc = Hashtbl.find_opt t.states proc.Proc.pid
+
+let note_prov ps name ~source ~probe ~origin ~scope =
+  match Hashtbl.find_opt ps.ps_prov name with
+  | Some p ->
+    p.pv_count <- p.pv_count + 1;
+    p.pv_source <- source;
+    p.pv_probe <- probe;
+    p.pv_origin <- origin;
+    p.pv_scope <- scope
+  | None ->
+    Hashtbl.replace ps.ps_prov name
+      { pv_count = 1; pv_source = source; pv_probe = probe; pv_origin = origin;
+        pv_scope = scope }
 
 let instances t proc =
   match state t proc with Some ps -> List.rev ps.ps_instances | None -> []
@@ -108,10 +148,33 @@ let pending_image_relocs t proc =
 
 let find_instance ps located = Hashtbl.find_opt ps.ps_by_key located
 
+(* One instance's contribution to the set digest: identity, placement,
+   publicness and decode content identity — everything a plan needs the
+   pre-existing set to match on. *)
+let inst_fragment inst =
+  let sid, sver = inst.Modinst.inst_src in
+  Digest.string
+    (String.concat "\x01"
+       [
+         inst.Modinst.inst_key;
+         string_of_int inst.Modinst.inst_base;
+         (if inst.Modinst.inst_public then "1" else "0");
+         string_of_int sid;
+         string_of_int sver;
+       ])
+
+let digest_xor acc frag =
+  for i = 0 to 15 do
+    Bytes.set acc i (Char.chr (Char.code (Bytes.get acc i) lxor Char.code frag.[i]))
+  done
+
 (* Register a fresh instance in the list and every index. *)
 let add_instance ps inst =
   ps.ps_instances <- inst :: ps.ps_instances;
   Hashtbl.replace ps.ps_by_key inst.Modinst.inst_key inst;
+  let acc = Bytes.copy ps.ps_digest in
+  digest_xor acc (inst_fragment inst);
+  ps.ps_digest <- acc;
   let n = Array.length ps.ps_sorted in
   let arr = Array.make (n + 1) inst in
   let rec ins i =
@@ -134,6 +197,9 @@ let rebuild_indexes ps =
   let arr = Array.of_list ps.ps_instances in
   Array.sort (fun a b -> compare a.Modinst.inst_base b.Modinst.inst_base) arr;
   ps.ps_sorted <- arr;
+  let acc = Bytes.make 16 '\000' in
+  List.iter (fun i -> digest_xor acc (inst_fragment i)) ps.ps_instances;
+  ps.ps_digest <- acc;
   ps.ps_unlinked <- List.filter (fun i -> not i.Modinst.inst_linked) ps.ps_instances
 
 (* Returns the decoded template and its content identity — the backing
@@ -318,22 +384,29 @@ let ensure_instance_by_name t proc ps ~scope name =
       Some (instantiate t proc ps ~located ~public:(is_shared_located located) ~parent_scope:scope))
 
 (* Scoped symbol resolution: this scope's module list, then the parent
-   chain; at the root, also the main image's exports. *)
+   chain; at the root, also the main image's exports.  Successes carry
+   provenance: the exporting instance (or "image") and the scope node
+   whose module list answered. *)
 let rec resolve_scoped_cold t proc ps scope name =
   let try_module mname =
     match ensure_instance_by_name t proc ps ~scope mname with
-    | Some inst -> Modinst.find_export inst name
+    | Some inst ->
+      Option.map
+        (fun addr -> (addr, inst.Modinst.inst_key, scope.Modinst.sc_label))
+        (Modinst.find_export inst name)
     | None -> None
   in
   match List.find_map try_module scope.Modinst.sc_modules with
-  | Some addr -> Some addr
+  | Some hit -> Some hit
   | None -> (
     match scope.Modinst.sc_parent with
     | Some parent -> resolve_scoped_cold t proc ps parent name
     | None -> (
       match ps.ps_aout with
       | Some aout ->
-        Option.map (fun off -> Aout.image_base + off) (Aout.find_symbol aout name)
+        Option.map
+          (fun off -> (Aout.image_base + off, "image", scope.Modinst.sc_label))
+          (Aout.find_symbol aout name)
       | None -> None))
 
 (* Per-scope symbol cache.  Only successes are cached: a failed walk may
@@ -345,8 +418,13 @@ let rec resolve_scoped_cold t proc ps scope name =
    the decode they were built from, so rewriting a template file — even
    through a mapping, invisibly to the generation — cannot change what
    a cold re-walk of this process would answer. *)
+let probe_kind () = if !Objfile.sym_hash_enabled then "hash" else "linear"
+
 let resolve_scoped t proc ps scope name =
-  if not !Objfile.sym_hash_enabled then resolve_scoped_cold t proc ps scope name
+  if not !Objfile.sym_hash_enabled then
+    Option.map
+      (fun (addr, origin, slabel) -> (addr, origin, slabel, "linear"))
+      (resolve_scoped_cold t proc ps scope name)
   else begin
     let gen = Fs.generation (Kernel.fs t.k) in
     if gen <> ps.ps_symcache_gen then begin
@@ -354,14 +432,14 @@ let resolve_scoped t proc ps scope name =
       ps.ps_symcache_gen <- gen
     end;
     match Hashtbl.find_opt ps.ps_symcache (scope, name) with
-    | Some addr ->
+    | Some (addr, origin, slabel) ->
       (Stats.cur ()).sym_hash_hits <- (Stats.cur ()).sym_hash_hits + 1;
-      Some addr
+      Some (addr, origin, slabel, "cached")
     | None -> (
       match resolve_scoped_cold t proc ps scope name with
-      | Some addr ->
-        Hashtbl.replace ps.ps_symcache (scope, name) addr;
-        Some addr
+      | Some (addr, origin, slabel) ->
+        Hashtbl.replace ps.ps_symcache (scope, name) (addr, origin, slabel);
+        Some (addr, origin, slabel, "hash")
       | None -> None)
   end
 
@@ -455,51 +533,79 @@ let record_plan t ~fs key cold =
    Fault order is execution-dependent (and the program key cannot see
    what drives it), so two execs of one program may well reach the same
    region with different sets; they simply use distinct plan slots. *)
-let inst_digest ps =
-  match ps.ps_digest with
-  | Some (arr, d) when arr == ps.ps_sorted -> d
-  | Some _ | None ->
-    let b = Buffer.create 128 in
-    Array.iter
-      (fun i ->
-        let sid, sver = i.Modinst.inst_src in
-        Buffer.add_string b i.Modinst.inst_key;
-        Buffer.add_string b
-          (Printf.sprintf "\x01%d\x01%b\x01%d\x01%d\x02" i.Modinst.inst_base
-             i.Modinst.inst_public sid sver))
-      ps.ps_sorted;
-    let d = Digest.to_hex (Digest.string (Buffer.contents b)) in
-    ps.ps_digest <- Some (ps.ps_sorted, d);
-    d
+let inst_digest ps = Digest.to_hex (Bytes.to_string ps.ps_digest)
+
+(* Stable-boot seeding: warm the (host-side) decode and export-index
+   caches from the persisted symbol indexes, and decode every persisted
+   plan once into [t.stable_plans] — once per (re)boot, so the first
+   exec pays in-memory lookups instead of per-region file loads.  Eager
+   at reboot (instantiations precede the first planned region), lazy as
+   a backstop for callers that bypass [Kernel.reboot]. *)
+let seed_stable t =
+  t.stable_seeded <- true;
+  if !Stable_link.enabled && !Link_plan.enabled then begin
+    let fs = Kernel.fs t.k in
+    Stable_link.seed_indexes fs;
+    List.iter
+      (fun (key, plan) -> Hashtbl.replace t.stable_plans key plan)
+      (Stable_link.load_plans fs)
+  end
+
+let stable_fetch t key =
+  if not !Stable_link.enabled then None
+  else begin
+    if not t.stable_seeded then seed_stable t;
+    match Hashtbl.find_opt t.stable_plans key with
+    | Some plan ->
+      Stable_link.note_load ();
+      Some plan
+    | None -> None
+  end
 
 (* The shared plan-or-cold driver: [run] performs the relocation work
-   given a resolve function; [cold_resolve] is the scope walk. *)
+   given a resolve function; [cold_resolve] is the scope walk.  Plans
+   come from the in-memory store first, then (after a reboot emptied
+   it) from the stable files; a stable plan that replays is promoted
+   back into the store. *)
 let planned t proc ps ~key ~cold_resolve ~run =
   let fs = Kernel.fs t.k in
   let key = Option.map (fun k -> k ^ "\x05" ^ inst_digest ps) key in
   match if !Link_plan.enabled then key else None with
   | None -> run cold_resolve
   | Some key -> (
-    match Link_plan.lookup t.plans ~fs key with
-    | Some plan -> (
-      (* Replay is an optimisation; an injected failure during it must
-         degrade to the cold path, never fail the exec. *)
+    (* Replay is an optimisation; an injected failure during it must
+       degrade to the cold path, never fail the exec.  A stable plan
+       may survive namespace changes the in-memory store cannot (the
+       store clears on every generation bump), so its deps can name
+       templates that no longer load — [Link_error] there means stale,
+       not fatal.  [Would_block] and [Fault.Crash] propagate. *)
+    let replay which plan =
+      let source = match which with `Mem -> "replay" | `Stable -> "stable" in
       match
         Fault.hit "plan.replay";
-        replay_deps t proc ps plan
+        (try replay_deps t proc ps plan with Link_error _ -> false)
       with
       | true ->
         Link_plan.hit ();
-        run (fun name -> Hashtbl.find_opt plan.Link_plan.plan_addrs name)
+        if which = `Stable then Link_plan.record t.plans ~fs key plan;
+        run (fun name ->
+            match Hashtbl.find_opt plan.Link_plan.plan_addrs name with
+            | Some addr ->
+              note_prov ps name ~source ~probe:"plan" ~origin:"plan" ~scope:"";
+              Some addr
+            | None -> None);
+        true
       | false ->
-        Link_plan.miss ();
-        run cold_resolve
+        if which = `Stable then begin
+          Hashtbl.remove t.stable_plans key;
+          Stable_link.reject fs ~key
+        end;
+        false
       | exception Fault.Injected _ ->
         (Stats.cur ()).plan_fallbacks <- (Stats.cur ()).plan_fallbacks + 1;
-        Link_plan.miss ();
-        run cold_resolve)
-    | None ->
-      Link_plan.miss ();
+        false
+    in
+    let cold () =
       if Hashtbl.mem t.poisoned key then run cold_resolve
       else
         record_plan t ~fs key (fun ~record ->
@@ -508,7 +614,24 @@ let planned t proc ps ~key ~cold_resolve ~run =
                 | Some addr ->
                   record name addr;
                   Some addr
-                | None -> None)))
+                | None -> None))
+    in
+    match Link_plan.lookup t.plans ~fs key with
+    | Some plan ->
+      if not (replay `Mem plan) then begin
+        Link_plan.miss ();
+        run cold_resolve
+      end
+    | None -> (
+      match stable_fetch t key with
+      | Some plan ->
+        if not (replay `Stable plan) then begin
+          Link_plan.miss ();
+          cold ()
+        end
+      | None ->
+        Link_plan.miss ();
+        cold ()))
 
 (* ----- the lazy link pass ------------------------------------------------- *)
 
@@ -524,8 +647,16 @@ let link_instance t proc ps inst =
     in
     let cold_resolve name =
       match Modinst.find_own inst name with
-      | Some addr -> Some addr
-      | None -> resolve_scoped t proc ps inst.Modinst.inst_scope name
+      | Some addr ->
+        note_prov ps name ~source:"cold" ~probe:(probe_kind ())
+          ~origin:inst.Modinst.inst_key ~scope:inst.Modinst.inst_key;
+        Some addr
+      | None -> (
+        match resolve_scoped t proc ps inst.Modinst.inst_scope name with
+        | Some (addr, origin, slabel, probe) ->
+          note_prov ps name ~source:"cold" ~probe ~origin ~scope:slabel;
+          Some addr
+        | None -> None)
     in
     let already, mark =
       if inst.Modinst.inst_public then
@@ -596,7 +727,13 @@ let resolve_image_pending t proc ps =
         ps.ps_pending;
       ps.ps_pending <- List.rev !still
     in
-    let cold_resolve name = resolve_scoped t proc ps ps.ps_root name in
+    let cold_resolve name =
+      match resolve_scoped t proc ps ps.ps_root name with
+      | Some (addr, origin, slabel, probe) ->
+        note_prov ps name ~source:"cold" ~probe ~origin ~scope:slabel;
+        Some addr
+      | None -> None
+    in
     let key = Option.map (fun pk -> "rip\x01" ^ pk) (prog_key t proc ps) in
     planned t proc ps ~key ~cold_resolve ~run
 
@@ -804,7 +941,8 @@ let loader t _k proc bytes ~path =
       ps_unlinked = [];
       ps_symcache = Hashtbl.create 64;
       ps_symcache_gen = -1;
-      ps_digest = None;
+      ps_prov = Hashtbl.create 64;
+      ps_digest = Bytes.make 16 '\000';
     };
   Kernel.install_segv_handler t.k proc ~name:"hemlock-ldl" (handle_fault t);
   Aout.image_base + aout.Aout.entry_off
@@ -845,7 +983,10 @@ let clone_for_fork t ~parent ~child =
         ps_unlinked = [];
         ps_symcache = Hashtbl.create 64;
         ps_symcache_gen = -1;
-      ps_digest = None;
+        (* provenance is per-process observability: the child starts
+           empty and accumulates its own post-fork resolutions *)
+        ps_prov = Hashtbl.create 64;
+        ps_digest = Bytes.make 16 '\000';
       }
     in
     rebuild_indexes child_ps;
@@ -864,6 +1005,8 @@ let install k =
       images = Hashtbl.create 16;
       plan_rec = None;
       poisoned = Hashtbl.create 16;
+      stable_seeded = false;
+      stable_plans = Hashtbl.create 64;
     }
   in
   Kernel.register_binfmt k ~name:"hexe" (fun kk proc bytes ~path -> loader t kk proc bytes ~path);
@@ -876,6 +1019,29 @@ let install k =
           | Would_block cond -> Kernel.block_syscall ~why:"ldl: a creation lock" cpu cond
           | Link_error msg -> warn t "ldl: %s" msg));
   Kernel.add_fork_hook k (fun ~parent ~child -> clone_for_fork t ~parent ~child);
+  (* Reboot kills the kernel-resident LINK STATE: the plan store, the
+     template decode memo, the export-symbol indexes, the search/locate
+     cache.  That is exactly the state stable linking persists into
+     /shared (or deliberately leaves cold, for the locate cache), so an
+     honest cold boot demands it goes.  Placed CONTENT stays: the image
+     and placed-module masters and the decoded-image memo are keyed by
+     the (id, version) content identity of segments that themselves
+     survive the reboot — they model bytes living in the persistent
+     segment store, which is the paper's whole point.  All of it is
+     host-side either way; dropping or keeping it never changes
+     simulated costs.  With stable linking on, the persisted symbol
+     indexes are reseeded eagerly: instantiations run before the first
+     planned region, so lazy seeding would be too late to warm the
+     decode path. *)
+  Kernel.add_reboot_hook k (fun () ->
+      Link_plan.reset_store t.plans;
+      Hashtbl.reset t.poisoned;
+      Link_plan.clear_obj_cache ();
+      Objfile.clear_index_memo ();
+      Search.clear_locate_cache ();
+      t.stable_seeded <- false;
+      Hashtbl.reset t.stable_plans;
+      if !Stable_link.enabled then seed_stable t);
   t
 
 let attach t proc =
@@ -903,7 +1069,8 @@ let attach t proc =
         ps_unlinked = [];
         ps_symcache = Hashtbl.create 64;
         ps_symcache_gen = -1;
-      ps_digest = None;
+        ps_prov = Hashtbl.create 64;
+        ps_digest = Bytes.make 16 '\000';
       };
     Kernel.install_segv_handler t.k proc ~name:"hemlock-ldl" (handle_fault t)
   end
@@ -928,13 +1095,160 @@ let dlsym t proc name =
   let ps = Option.get (state t proc) in
   retry_native (fun () ->
       match resolve_scoped t proc ps ps.ps_root name with
-      | Some addr -> Some addr
+      | Some (addr, origin, slabel, probe) ->
+        note_prov ps name ~source:"dlsym" ~probe ~origin ~scope:slabel;
+        Some addr
       | None ->
         (* dld-style: symbols of explicitly loaded modules are visible
            even when no module list names them. *)
-        List.find_map (fun inst -> Modinst.find_export inst name) ps.ps_instances)
+        List.find_map
+          (fun inst ->
+            Option.map
+              (fun addr ->
+                note_prov ps name ~source:"dlsym" ~probe:(probe_kind ())
+                  ~origin:inst.Modinst.inst_key ~scope:"loaded";
+                addr)
+              (Modinst.find_export inst name))
+          ps.ps_instances)
 
 let link_now t proc inst =
   match state t proc with
   | None -> errf "link_now: process not attached"
   | Some ps -> retry_native (fun () -> link_instance t proc ps inst)
+
+(* ----- stable sync ------------------------------------------------------------------ *)
+
+type sync_report = { sync_plans : int; sync_objs : int; sync_skipped : int }
+
+(* Write-behind persistence: an explicit sync point, not persist-at-
+   record.  Recording happens while the namespace is still mutating
+   (module files being created), and every [Fs.write_file] bumps the
+   generation that wipes the plan store — persisting inline would
+   self-invalidate.  At sync time the world is quiescent; the writes
+   are billed like any other file writes, which is why no normal exec
+   path ever syncs implicitly. *)
+let stable_sync t =
+  let fs = Kernel.fs t.k in
+  if not (!Stable_link.enabled && !Link_plan.enabled) then
+    { sync_plans = 0; sync_objs = 0; sync_skipped = 0 }
+  else begin
+    let plans = Link_plan.entries t.plans ~fs in
+    let objs = Hashtbl.create 64 in
+    (* Symbol indexes come from the live instance sets, not from plan
+       deps: a plan records only the instantiations its own region
+       performed (a driver that names every module up front leaves the
+       deps empty), while the instances hold every template actually
+       decoded. *)
+    Hashtbl.iter
+      (fun _ ps ->
+        Array.iter
+          (fun inst ->
+            let src = inst.Modinst.inst_src in
+            if src <> (-1, -1) && not (Hashtbl.mem objs src) then
+              Hashtbl.replace objs src (inst.Modinst.inst_key, inst.Modinst.inst_obj))
+          ps.ps_sorted)
+      t.states;
+    let obj_list =
+      List.sort
+        (fun ((a : string), _, _) (b, _, _) -> String.compare a b)
+        (Hashtbl.fold (fun src (located, obj) acc -> (located, src, obj) :: acc) objs [])
+    in
+    if plans <> [] || obj_list <> [] then Stable_link.ensure_dir fs;
+    let nobjs = ref 0 and nplans = ref 0 and skipped = ref 0 in
+    List.iter
+      (fun (located, src, obj) ->
+        if Stable_link.persist_obj fs ~located ~src obj then incr nobjs
+        else incr skipped)
+      obj_list;
+    List.iter
+      (fun (key, plan) ->
+        if Stable_link.persist_plan fs ~key plan then incr nplans else incr skipped)
+      plans;
+    { sync_plans = !nplans; sync_objs = !nobjs; sync_skipped = !skipped }
+  end
+
+(* ----- linkstat: resolution provenance as JSON -------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prov_rows ps =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun name p acc -> (name, p) :: acc) ps.ps_prov [])
+
+let linkstat_proc_json t proc =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[";
+  (match state t proc with
+  | None -> ()
+  | Some ps ->
+    List.iteri
+      (fun i (name, p) ->
+        if i > 0 then Buffer.add_string b ",";
+        Buffer.add_string b
+          (Printf.sprintf
+             "\n  { \"symbol\": \"%s\", \"origin\": \"%s\", \"scope\": \"%s\", \
+              \"probe\": \"%s\", \"source\": \"%s\", \"count\": %d }"
+             (json_escape name) (json_escape p.pv_origin) (json_escape p.pv_scope)
+             (json_escape p.pv_probe) (json_escape p.pv_source) p.pv_count))
+      (prov_rows ps));
+  Buffer.add_string b "\n]";
+  Buffer.contents b
+
+(* Per-process aggregates plus kernel-wide totals and the full counter
+   set — the "kernel linkstat" dump. *)
+let linkstat_json t =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n  \"processes\": [";
+  let pids =
+    List.sort compare (Hashtbl.fold (fun pid _ acc -> pid :: acc) t.states [])
+  in
+  let tot = Hashtbl.create 16 in
+  let bump tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+  let counts_json tbl =
+    let rows =
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+    in
+    String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v) rows)
+  in
+  List.iteri
+    (fun i pid ->
+      let ps = Hashtbl.find t.states pid in
+      let sources = Hashtbl.create 8 and probes = Hashtbl.create 8 in
+      Hashtbl.iter
+        (fun _ p ->
+          bump sources p.pv_source;
+          bump probes p.pv_probe;
+          bump tot ("source:" ^ p.pv_source);
+          bump tot ("probe:" ^ p.pv_probe))
+        ps.ps_prov;
+      let prog =
+        match ps.ps_prog with Some (path, _, _) -> path | None -> "(attached)"
+      in
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    { \"pid\": %d, \"prog\": \"%s\", \"n_symbols\": %d, \
+            \"by_source\": { %s }, \"by_probe\": { %s } }"
+           pid (json_escape prog) (Hashtbl.length ps.ps_prov) (counts_json sources)
+           (counts_json probes)))
+    pids;
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b (Printf.sprintf "  \"totals\": { %s },\n" (counts_json tot));
+  Buffer.add_string b
+    (Printf.sprintf "  \"stats\": %s\n}" (Stats.to_json (Stats.snapshot ())));
+  Buffer.contents b

@@ -72,3 +72,43 @@ val dlsym : t -> Proc.t -> string -> int option
 
 (** Force a module's link pass now (what a fault would do). *)
 val link_now : t -> Proc.t -> Modinst.t -> unit
+
+(** {1 Stable linking}
+
+    The in-memory plan store and decode caches die with [Kernel.reboot];
+    {!stable_sync} persists them under [/shared/.stable] (see
+    {!Stable_link}), and the reboot hook installed by {!install} reseeds
+    from the persisted files so the first exec after reboot replays
+    plans instead of walking scopes cold. *)
+
+type sync_report = {
+  sync_plans : int;  (** plan files persisted (or already present) *)
+  sync_objs : int;  (** symbol-index files persisted (or present) *)
+  sync_skipped : int;  (** files skipped on injected/FS failures *)
+}
+
+(** Persist every live link plan and every instantiated template's
+    symbol index into [/shared/.stable] through the journalled write
+    path.  An explicit sync point — the writes are billed like any
+    other file writes, so no implicit exec path ever calls this.  A
+    no-op (all zeros) when stable linking or the plan cache is off.
+    Raises {!Hemlock_util.Fault.Crash} through (crash sweep). *)
+val stable_sync : t -> sync_report
+
+(** {1 Linkstat: resolution provenance}
+
+    Host-side observability: every resolved symbol records how its last
+    resolution was answered — the exporting module and scope, hash vs.
+    linear vs. cached probe, and whether it came from a cold walk, an
+    in-memory plan replay, a stable-boot replay, or dlsym. *)
+
+(** Per-symbol provenance of one process, as a JSON array sorted by
+    symbol: [{"symbol", "origin", "scope", "probe", "source",
+    "count"}]. *)
+val linkstat_proc_json : t -> Proc.t -> string
+
+(** The kernel-wide linkstat dump: per-process aggregates (symbol
+    counts by source and probe), kernel totals, and the full
+    {!Hemlock_util.Stats} counter snapshot under ["stats"]. *)
+val linkstat_json : t -> string
+

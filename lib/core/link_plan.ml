@@ -36,6 +36,22 @@ let parse_obj ~seg bytes =
 let aout_cache_key : (int * int, Aout.t) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 16)
 
+let clear_parse_caches () =
+  Hashtbl.reset (Domain.DLS.get obj_cache_key);
+  Hashtbl.reset (Domain.DLS.get aout_cache_key)
+
+(* Reboot clears only the template decode memo: it is kernel-resident
+   link state that stable linking re-warms from persisted symbol-index
+   files.  The image (HEXE) memo is keyed by the content identity of a
+   file that itself survives the reboot, so it stays. *)
+let clear_obj_cache () = Hashtbl.reset (Domain.DLS.get obj_cache_key)
+
+(* Stable-boot seeding: a persisted symbol-index file carries the
+   already-serialized template, so decode once at seed time and future
+   [parse_obj] calls for the same (id, version) hit the memo. *)
+let seed_obj ~src obj =
+  if !enabled then Hashtbl.replace (Domain.DLS.get obj_cache_key) src obj
+
 let parse_aout ~seg bytes =
   if not !enabled then Aout.parse bytes
   else begin
@@ -100,6 +116,19 @@ let record store ~fs key plan =
     validate store ~fs;
     Hashtbl.replace store.st_tbl key plan
   end
+
+let entries store ~fs =
+  if not !enabled then []
+  else begin
+    validate store ~fs;
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) store.st_tbl [])
+  end
+
+let reset_store store =
+  store.st_gen <- -1;
+  Hashtbl.reset store.st_tbl
 
 let hit () = (Stats.cur ()).plan_hits <- (Stats.cur ()).plan_hits + 1
 

@@ -295,6 +295,8 @@ let placed_masters_key : (int * int, Segment.t) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 16)
 let placed_masters () = Domain.DLS.get placed_masters_key
 
+let clear_placed_masters () = Hashtbl.reset (placed_masters ())
+
 let private_instance ?(src = (-1, -1)) ~located ~obj ~base ~scope () =
   let size = placed_size obj in
   let build name =

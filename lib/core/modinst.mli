@@ -128,3 +128,8 @@ val public_instance : Search.ctx -> module_path:string -> scope:scope -> t
     diverging pages copy-on-write. *)
 val private_instance :
   ?src:int * int -> located:string -> obj:Objfile.t -> base:int -> scope:scope -> unit -> t
+
+(** Drop the calling domain's placed-master memo (reboot: masters are
+    kernel-resident host state; dropping them only costs future COW
+    sharing). *)
+val clear_placed_masters : unit -> unit

@@ -50,6 +50,10 @@ let has_slash name = String.contains name '/'
 let locate_cache : (int * string * string * string, int * string option) Hashtbl.t =
   Hashtbl.create 256
 
+let clear_locate_cache () =
+  Hashtbl.reset locate_cache;
+  Hashtbl.reset (Domain.DLS.get llp_memo_key)
+
 let locate_uncached ctx ~dirs name =
   let exists_file p =
     Fs.exists ctx.fs ~cwd:ctx.cwd p

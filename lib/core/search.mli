@@ -41,3 +41,7 @@ val runtime_dirs : ctx -> recorded:string list -> string list
     from it lands in the symlink's directory (the temp-directory trick
     of §4). *)
 val locate : ctx -> dirs:string list -> string -> string option
+
+(** Drop the global {!locate} cache and the calling domain's
+    LD_LIBRARY_PATH memo (reboot). *)
+val clear_locate_cache : unit -> unit

@@ -1,0 +1,84 @@
+(** Stable linking: the persistence layer under [/shared/.stable].
+
+    The PR 3 link-plan and symbol caches are kernel-resident and die
+    with [Kernel.reboot]; this module writes them into the shared
+    partition itself — link plans keyed by the full plan identity, and
+    HOB2 symbol indexes keyed by template content identity — so the
+    first exec after a reboot replays persisted plans instead of
+    re-walking scopes.
+
+    Files are content-addressed (the name carries a digest of the key),
+    so persisting is either a skip (the file already holds these bytes)
+    or a fresh-file write through the journalled [Fs] path — crash
+    during persist is all-or-nothing under [Fs.fsck], covered by the
+    crash sweep via the [fs.stable] fault site.  Loads are host-side
+    only (segment reads, never billed); a corrupt, truncated or stale
+    file is reaped on its first failed load.  See DESIGN.md, "Stable
+    linking". *)
+
+(** Kill switch (set from [HEMLOCK_NO_STABLELINK] at start-up). *)
+val enabled : bool ref
+
+(** The reserved namespace, ["/shared/.stable"]. *)
+val dir : string
+
+(** Create {!dir} if missing. *)
+val ensure_dir : Hemlock_sfs.Fs.t -> unit
+
+(** Path of the plan file for a plan key (content-addressed). *)
+val plan_path : string -> string
+
+(** Path of the symbol-index file for a template (content-addressed by
+    located path and template (segment id, version)). *)
+val obj_path : located:string -> src:int * int -> string
+
+(** [persist_plan fs ~key plan] writes the plan file unless it already
+    exists; [true] iff the file exists afterwards.  An injected error
+    or FS failure degrades to [false]; a {!Hemlock_util.Fault.Crash}
+    propagates (the machine stopped). *)
+val persist_plan :
+  Hemlock_sfs.Fs.t -> key:string -> Modinst.scope Link_plan.plan -> bool
+
+(** Same for a template's serialized HOB2 symbol index. *)
+val persist_obj :
+  Hemlock_sfs.Fs.t -> located:string -> src:int * int -> Hemlock_obj.Objfile.t -> bool
+
+(** One-pass sweep of {!dir}: decode and digest-verify every plan file,
+    reaping the ones that no longer parse.  Runs once per boot (see
+    [Ldl.seed_stable]); the caller serves lookups from the result and
+    counts each consumed plan with {!note_load}.  Unbilled. *)
+val load_plans :
+  Hemlock_sfs.Fs.t -> (string * Modinst.scope Link_plan.plan) list
+
+(** Count one consumed stable plan ([stable_loads]). *)
+val note_load : unit -> unit
+
+(** [load_plan fs ~key] loads and digest-verifies the persisted plan,
+    or [None] — reaping the file and counting a reject if it exists
+    but is corrupt or keyed differently.  Unbilled (segment read). *)
+val load_plan :
+  Hemlock_sfs.Fs.t -> key:string -> Modinst.scope Link_plan.plan option
+
+(** [reject fs ~key] reaps the plan file after a failed replay (the
+    persisted plan verified but no longer matches the live world). *)
+val reject : Hemlock_sfs.Fs.t -> key:string -> unit
+
+(** Warm the per-domain template decode and export-index caches from
+    every persisted symbol index whose backing template still has the
+    recorded content identity; stale or corrupt index files are reaped.
+    Unbilled. *)
+val seed_indexes : Hemlock_sfs.Fs.t -> unit
+
+(** The deterministic bytes {!persist_raw} writes for [key] — exposed
+    so the crash sweep's oracle can predict post-recovery contents. *)
+val raw_blob : key:string -> Bytes.t
+
+(** Crash-sweep entry point: persist a trivial plan blob for [key]
+    through the ordinary write path, raising through on injected
+    failures and crashes. *)
+val persist_raw : Hemlock_sfs.Fs.t -> key:string -> unit
+
+(** Whether a segment holds a well-formed stable-link file (plan or
+    index) — the janitor keeps such files and reaps the rest of
+    [/shared/.stable]. *)
+val valid_segment : Hemlock_vm.Segment.t -> bool

@@ -134,6 +134,11 @@ type index_memo_state = {
 let index_memo_key : index_memo_state Domain.DLS.key =
   Domain.DLS.new_key (fun () -> { memo = Hashtbl.create 64; entries = 0 })
 
+let clear_index_memo () =
+  let im = Domain.DLS.get index_memo_key in
+  Hashtbl.reset im.memo;
+  im.entries <- 0
+
 let index_of t =
   let im = Domain.DLS.get index_memo_key in
   let index_memo = im.memo in

@@ -99,4 +99,8 @@ val serialize : ?with_index:bool -> t -> Bytes.t
     @raise Failure on bad magic or truncation. *)
 val parse : Bytes.t -> t
 
+(** Drop the calling domain's export-index memo (reboot: kernel-resident
+    host caches die with the kernel). *)
+val clear_index_memo : unit -> unit
+
 val pp : Format.formatter -> t -> unit

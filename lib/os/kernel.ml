@@ -45,6 +45,7 @@ type t = {
   ext_syscalls : (int, t -> Proc.t -> Cpu.t -> unit) Hashtbl.t;
   mutable binfmts : (string * (t -> Proc.t -> Bytes.t -> path:string -> int)) list;
   mutable fork_hooks : (parent:Proc.t -> child:Proc.t -> unit) list;
+  mutable reboot_hooks : (unit -> unit) list;
   lock : Mutex.t;
       (* the kernel big lock, contended only in parallel mode: one
          domain at a time mutates the shared tables (fs, vfs, ipc,
@@ -77,6 +78,7 @@ let create () =
     ext_syscalls = Hashtbl.create 8;
     binfmts = [];
     fork_hooks = [];
+    reboot_hooks = [];
     lock = Mutex.create ();
     par = false;
   }
@@ -96,9 +98,13 @@ let with_kernel_lock t f =
    registration order at each fork. *)
 let add_fork_hook t hook = t.fork_hooks <- hook :: t.fork_hooks
 
+let add_reboot_hook t hook = t.reboot_hooks <- hook :: t.reboot_hooks
+
 let fs t = t.fs
 
-let reboot t = Fs.rescan_shared t.fs
+let reboot t =
+  Fs.rescan_shared t.fs;
+  List.iter (fun h -> h ()) (List.rev t.reboot_hooks)
 
 let console t = Buffer.contents t.console_buf
 let console_clear t = Buffer.clear t.console_buf

@@ -39,8 +39,15 @@ val create : unit -> t
 val fs : t -> Hemlock_sfs.Fs.t
 
 (** Simulate a reboot: the in-kernel addr->path table is discarded and
-    rebuilt by scanning the shared file system (crash survival, §3). *)
+    rebuilt by scanning the shared file system (crash survival, §3),
+    then the registered reboot hooks run in registration order — the
+    dynamic linker uses one to drop kernel-resident caches and reseed
+    from the stable-link files persisted under [/shared/.stable]. *)
 val reboot : t -> unit
+
+(** [add_reboot_hook t h] runs [h] after every {!reboot}, in
+    registration order. *)
+val add_reboot_hook : t -> (unit -> unit) -> unit
 
 (** {1 Console} *)
 

@@ -4,8 +4,9 @@ module Layout = Hemlock_vm.Layout
 module Segment = Hemlock_vm.Segment
 module Modinst = Hemlock_linker.Modinst
 module Aout = Hemlock_linker.Aout
+module Stable_link = Hemlock_linker.Stable_link
 
-type kind = Module | Heap | Template | Executable | Plain
+type kind = Module | Heap | Template | Executable | Stable | Plain
 
 type entry = {
   j_slot : int;
@@ -22,6 +23,7 @@ let kind_to_string = function
   | Heap -> "heap"
   | Template -> "template"
   | Executable -> "executable"
+  | Stable -> "stable"
   | Plain -> "plain"
 
 let starts_with seg s =
@@ -42,12 +44,21 @@ let classify seg =
     else Plain
   with _ -> Plain
 
+(* Files under the reserved stable-link namespace are classified by
+   where they live, not by their header: a truncated plan file has no
+   recognizable header left, and it must still be identified as
+   stable-link state so the policy below can judge it. *)
+let in_stable_dir path =
+  let prefix = Stable_link.dir ^ "/" in
+  String.length path > String.length prefix
+  && String.sub path 0 (String.length prefix) = prefix
+
 let survey k =
   let fs = Kernel.fs k in
   List.map
     (fun (slot, path) ->
       let seg = Fs.segment_of fs path in
-      let kind = classify seg in
+      let kind = if in_stable_dir path then Stable else classify seg in
       {
         j_slot = slot;
         j_path = path;
@@ -93,6 +104,14 @@ let orphan_policy k ~flagged =
          unacknowledged creations — a published module whose creator
          crashed after the commit point is left alone. *)
       List.mem e.j_path flagged
+    | Stable ->
+      (* Stable-link files are pure cache: a file that no longer
+         decodes (truncated header, garbled body) can never be loaded
+         again and is reaped; a well-formed one is kept — staleness
+         against the live world is judged at load time, which reaps on
+         first failed load. *)
+      not
+        (try Stable_link.valid_segment (Fs.segment_of fs e.j_path) with _ -> false)
     | Heap | Template | Executable -> false
 
 let reap k ~policy =

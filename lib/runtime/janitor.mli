@@ -15,6 +15,10 @@ type kind =
   | Heap  (** a formatted segment heap *)
   | Template  (** a module template (.o contents) *)
   | Executable  (** an a.out image *)
+  | Stable
+      (** a stable-link file under [/shared/.stable] (persisted link
+          plan or symbol index) — classified by path, so truncated
+          wrecks are still recognized as stable-link state *)
   | Plain  (** anything else *)
 
 type entry = {
@@ -51,7 +55,9 @@ type policy = entry -> bool
     whose header is unreadable), plus [Plain] files in [flagged] —
     typically {!Hemlock_sfs.Fs.fsck}'s [fsck_orphans], creations a crash
     left unacknowledged.  Published modules are never flagged this way,
-    so a module whose creator crashed after the commit point survives. *)
+    so a module whose creator crashed after the commit point survives.
+    [Stable] files are reaped iff they no longer decode (truncated or
+    corrupt); well-formed ones are judged at load time instead. *)
 val orphan_policy : Kernel.t -> flagged:string list -> policy
 
 (** [reap k ~policy] removes every surveyed entry the policy selects and

@@ -82,6 +82,7 @@ let default_sites =
     "fs.create"; "fs.create.mid"; "fs.create.commit"; "fs.write"; "fs.append";
     "fs.rename"; "fs.rename.mid"; "fs.rename.commit"; "fs.unlink"; "fs.unlink.mid";
     "mod.create"; "mod.create.mid"; "fs.pageout"; "net.send"; "net.deliver";
+    "fs.stable";
   |]
 
 let configure_random ?(sites = default_sites) seed =

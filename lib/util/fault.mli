@@ -24,7 +24,7 @@
     [fs.unlink], [fs.unlink.mid], [vfs.open], [vfs.read], [vfs.write],
     [vfs.lseek], [vfs.close], [seg.grow], [ldl.instantiate],
     [ldl.instantiate.mid], [plan.replay], [mod.create],
-    [mod.create.mid], [ipc.send]. *)
+    [mod.create.mid], [ipc.send], [fs.stable]. *)
 
 type failure = Eio | Enospc | Eagain
 
@@ -79,5 +79,6 @@ val failure_name : failure -> string
 (** The sites {!configure_random} draws from: the multi-step [/shared]
     mutation sites, where a crash leaves real partial state, plus the
     simulated network's [net.send]/[net.deliver] datagram points, where
-    an injected error drops the datagram on the floor. *)
+    an injected error drops the datagram on the floor, plus [fs.stable]
+    (the stable-link persist point under [/shared/.stable]). *)
 val default_sites : string array

@@ -35,6 +35,17 @@ type t = {
       (** link passes that ran cold (no plan, or plan rejected) *)
   mutable search_cache_hits : int;
       (** [Search.locate] results served from the path-resolution cache *)
+  mutable stable_persists : int;
+      (** link plans / symbol indexes written under [/shared/.stable]
+          by a stable-link sync (the writes themselves are billed as
+          ordinary file writes; this counts the persisted files) *)
+  mutable stable_loads : int;
+      (** persisted stable-link files loaded and digest-verified after
+          a reboot (observability only) *)
+  mutable stable_rejects : int;
+      (** persisted stable-link files rejected — corrupt, truncated,
+          key/digest mismatch, or stale against the live template — and
+          reaped on first failed load *)
   mutable faults_injected : int;
       (** {!Fault} firings (injected errors and simulated crashes);
           zero unless a fault plan is armed *)
@@ -134,3 +145,12 @@ val pp : Format.formatter -> t -> unit
 (** [measure f] runs [f ()] and returns its result together with the
     counter deltas it produced. *)
 val measure : (unit -> 'a) -> 'a * t
+
+(** Flat JSON object mapping every counter name to its value, e.g.
+    [{ "instructions": 123, ... }].  Embedded by the benches in their
+    BENCH_*.json files and by the linkstat dump. *)
+val to_json : t -> string
+
+(** Parse the object shape {!to_json} emits (keys in any order; unknown
+    keys ignored; missing keys zero).  Round-trips {!to_json} exactly. *)
+val of_json : string -> t

@@ -15,6 +15,7 @@ let () =
       ("errno", Test_errno.suite);
       ("linker", Test_linker.suite);
       ("linkfast", Test_linkfast.suite);
+      ("stable", Test_stable.suite);
       ("ldl", Test_ldl.suite);
       ("runtime", Test_runtime.suite);
       ("baseline", Test_baseline.suite);

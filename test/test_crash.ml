@@ -13,6 +13,7 @@ module Layout = Hemlock_vm.Layout
 module Janitor = Hemlock_runtime.Janitor
 module Modgen = Hemlock_apps.Modgen
 module Link_plan = Hemlock_linker.Link_plan
+module Stable_link = Hemlock_linker.Stable_link
 module M = Map.Make (String)
 
 (* ----- random op traffic with crashes, vs an oracle ----------------------- *)
@@ -20,24 +21,31 @@ module M = Map.Make (String)
 (* A small closed path pool so renames and re-creates collide often. *)
 let pool = [| "/shared/a"; "/shared/b"; "/shared/d/c"; "/shared/d/e"; "/shared/f" |]
 
+(* Stable-link persist traffic rides the same sweep: a small key pool
+   so repeats hit the skip-if-present path, and the content-addressed
+   file names double as oracle keys ([raw_blob] is deterministic). *)
+let stable_keys = [| "alpha"; "beta"; "gamma" |]
+
 type op =
   | Create of string
   | Write of string * string
   | Append of string * string
   | Rename of string * string
   | Unlink of string
+  | Stable of string  (* persist a stable-link plan blob for this key *)
 
 let gen_op prng =
   let p () = Prng.choose prng pool in
   let payload () =
     String.init (1 + Prng.int prng 12) (fun _ -> Char.chr (97 + Prng.int prng 26))
   in
-  match Prng.int prng 5 with
+  match Prng.int prng 6 with
   | 0 -> Create (p ())
   | 1 -> Write (p (), payload ())
   | 2 -> Append (p (), payload ())
   | 3 -> Rename (p (), p ())
-  | _ -> Unlink (p ())
+  | 4 -> Unlink (p ())
+  | _ -> Stable (Prng.choose prng stable_keys)
 
 let apply_fs fs = function
   | Create p -> Fs.create_file fs p
@@ -45,6 +53,7 @@ let apply_fs fs = function
   | Append (p, s) -> Fs.append_file fs p (Bytes.of_string s)
   | Rename (src, dst) -> Fs.rename fs ~src dst
   | Unlink p -> Fs.unlink fs p
+  | Stable key -> Stable_link.persist_raw fs ~key
 
 (* Oracle semantics of a {e successful} op (write/append create missing
    files, just as the FS does). *)
@@ -58,12 +67,15 @@ let apply_oracle m = function
     | Some v -> M.add dst v (M.remove src m)
     | None -> m)
   | Unlink p -> M.remove p m
+  | Stable key ->
+    M.add (Stable_link.plan_path key) (Bytes.to_string (Stable_link.raw_blob ~key)) m
 
 let state_of fs =
   Array.fold_left
     (fun m p ->
       if Fs.exists fs p then M.add p (Bytes.to_string (Fs.read_file fs p)) m else m)
-    M.empty pool
+    M.empty
+    (Array.append pool (Array.map Stable_link.plan_path stable_keys))
 
 (* The multi-step FS mutation sites: where a crash leaves real partial
    state for fsck to resolve. *)
@@ -71,6 +83,7 @@ let fs_sites =
   [|
     "fs.create"; "fs.create.mid"; "fs.create.commit"; "fs.write"; "fs.append";
     "fs.rename"; "fs.rename.mid"; "fs.rename.commit"; "fs.unlink"; "fs.unlink.mid";
+    "fs.stable";
   |]
 
 (* One (seed, plan) pair.  Every op must be all-or-nothing against the

@@ -186,6 +186,24 @@ let stats_cycles_model () =
   let s = Stats.snapshot () in
   check_bool "faults cost more than instructions" true (Stats.cycles s > 2)
 
+let stats_json_roundtrip () =
+  Stats.reset ();
+  Stats.global.instructions <- 12345;
+  Stats.global.faults <- 7;
+  Stats.global.stable_persists <- 3;
+  Stats.global.stable_loads <- 2;
+  Stats.global.stable_rejects <- 1;
+  Stats.global.plan_hits <- 42;
+  let s = Stats.snapshot () in
+  let j = Stats.to_json s in
+  let s' = Stats.of_json j in
+  check_bool "of_json inverts to_json" true (s = s');
+  check_string "re-serialization is stable" j (Stats.to_json s');
+  (* Unknown keys are ignored, missing keys read as zero. *)
+  let partial = Stats.of_json {|{ "faults": 9, "not_a_counter": 1 }|} in
+  check_int "present key parsed" 9 partial.Stats.faults;
+  check_int "missing key zero" 0 partial.Stats.instructions
+
 let suite =
   [
     test "interval_map: basic add/find" im_basic;
@@ -204,4 +222,5 @@ let suite =
     test "prng: shuffle permutes" prng_shuffle_permutes;
     test "stats: measure deltas" stats_measure;
     test "stats: cycle model" stats_cycles_model;
+    test "stats: JSON round-trip" stats_json_roundtrip;
   ]
